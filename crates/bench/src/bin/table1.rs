@@ -1,0 +1,5 @@
+//! Regenerates Table I (interposer specifications).
+fn main() {
+    bench::banner("Table I - interposer specifications (inputs)");
+    println!("{}", codesign::tables::table1());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table VI (material impact at fixed 400 um).
+fn main() {
+    bench::banner("Table VI - fixed-length material comparison (paper ordering: APX < Shinko < Glass < Silicon)");
+    println!("{}", codesign::tables::table6_text().expect("table 6"));
+}

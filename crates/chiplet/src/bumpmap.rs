@@ -1,0 +1,286 @@
+//! Micro-bump assignment (Section VI-A).
+//!
+//! Signal and P/G bumps are assigned in a repeating 2×4 unit pattern in
+//! which six of the eight sites carry signals and two carry power/ground,
+//! repeated across a near-square array until all pins are placed; unused
+//! sites are removed to reduce routing obstruction.
+
+use netlist::chiplet_netlist::ChipletKind;
+use serde::Serialize;
+use techlib::calib;
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+/// What a bump site carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum BumpRole {
+    /// Signal pin; payload is the signal index (0-based).
+    Signal(usize),
+    /// Power pin.
+    Power,
+    /// Ground pin.
+    Ground,
+}
+
+/// One placed bump.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Bump {
+    /// X offset from the die's lower-left corner, µm.
+    pub x_um: f64,
+    /// Y offset from the die's lower-left corner, µm.
+    pub y_um: f64,
+    /// What the bump carries.
+    pub role: BumpRole,
+}
+
+/// The bump plan of one chiplet on one technology.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BumpPlan {
+    /// Signal bump count.
+    pub signal: usize,
+    /// Power/ground bump count.
+    pub pg: usize,
+    /// Array side (bumps per row/column).
+    pub cols: usize,
+    /// Bump pitch, µm.
+    pub pitch_um: f64,
+    /// Edge keepout on each side, µm.
+    pub margin_um: f64,
+    /// Placed bumps (unused array sites already removed).
+    pub bumps: Vec<Bump>,
+}
+
+impl BumpPlan {
+    /// Builds the bump plan for a chiplet with `signal` signal pins on
+    /// technology `spec`, using the paper's recorded P/G counts for the
+    /// six studied designs (see [`techlib::calib::paper_pg_bumps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is zero.
+    pub fn for_design(signal: usize, kind: ChipletKind, spec: &InterposerSpec) -> BumpPlan {
+        let pg = calib::paper_pg_bumps(spec.kind, kind == ChipletKind::Logic);
+        BumpPlan::with_counts(signal, pg, spec)
+    }
+
+    /// Builds a bump plan with the generative 2:1 signal-to-P/G rule
+    /// (`pg = ceil(signal / 2)`), the rule Section VI-A states.
+    pub fn from_rule(signal: usize, spec: &InterposerSpec) -> BumpPlan {
+        BumpPlan::with_counts(signal, signal.div_ceil(2), spec)
+    }
+
+    /// Builds a bump plan with explicit counts.
+    pub fn with_counts(signal: usize, pg: usize, spec: &InterposerSpec) -> BumpPlan {
+        assert!(signal > 0, "chiplet needs at least one signal bump");
+        let total = signal + pg;
+        let cols = (total as f64).sqrt().ceil() as usize;
+        let pitch = spec.microbump_pitch_um;
+        let margin = calib::bump_field_margin_um(spec.kind);
+        // Fill the array row-major with the repeating 2×4 unit pattern:
+        // within each 8-site unit, sites 3 and 7 are P/G, the rest signal.
+        let mut bumps = Vec::with_capacity(total);
+        let mut sig_left = signal;
+        let mut pg_left = pg;
+        let mut sig_idx = 0usize;
+        let mut site = 0usize;
+        'fill: for row in 0..cols {
+            for col in 0..cols {
+                if sig_left == 0 && pg_left == 0 {
+                    break 'fill;
+                }
+                let x = margin + col as f64 * pitch + pitch / 2.0;
+                let y = margin + row as f64 * pitch + pitch / 2.0;
+                let unit_pos = site % 8;
+                site += 1;
+                let want_pg = unit_pos == 3 || unit_pos == 7;
+                let role = if (want_pg && pg_left > 0) || sig_left == 0 {
+                    pg_left -= 1;
+                    // Alternate power and ground within the P/G budget.
+                    if pg_left % 2 == 0 {
+                        BumpRole::Power
+                    } else {
+                        BumpRole::Ground
+                    }
+                } else {
+                    sig_left -= 1;
+                    sig_idx += 1;
+                    BumpRole::Signal(sig_idx - 1)
+                };
+                bumps.push(Bump { x_um: x, y_um: y, role });
+            }
+        }
+        BumpPlan {
+            signal,
+            pg,
+            cols,
+            pitch_um: pitch,
+            margin_um: margin,
+            bumps,
+        }
+    }
+
+    /// Total bump count.
+    pub fn total(&self) -> usize {
+        self.signal + self.pg
+    }
+
+    /// Bump-limited die width: array extent plus keepout, µm.
+    pub fn bump_limited_width_um(&self) -> f64 {
+        self.cols as f64 * self.pitch_um + 2.0 * self.margin_um
+    }
+
+    /// Coordinates of signal bump `i`, µm from the die corner.
+    pub fn signal_position(&self, i: usize) -> Option<(f64, f64)> {
+        self.bumps.iter().find_map(|b| match b.role {
+            BumpRole::Signal(idx) if idx == i => Some((b.x_um, b.y_um)),
+            _ => None,
+        })
+    }
+
+    /// All power/ground bump coordinates.
+    pub fn pg_positions(&self) -> Vec<(f64, f64)> {
+        self.bumps
+            .iter()
+            .filter(|b| !matches!(b.role, BumpRole::Signal(_)))
+            .map(|b| (b.x_um, b.y_um))
+            .collect()
+    }
+}
+
+/// Paper Table II signal bump counts: 299 for logic, 231 for memory.
+pub fn paper_signal_count(kind: ChipletKind) -> usize {
+    match kind {
+        ChipletKind::Logic => 299,
+        ChipletKind::Memory => 231,
+    }
+}
+
+/// Builds the Table II bump plan for (`chiplet`, `tech`).
+pub fn paper_plan(chiplet: ChipletKind, tech: InterposerKind) -> BumpPlan {
+    let spec = InterposerSpec::for_kind(tech);
+    BumpPlan::for_design(paper_signal_count(chiplet), chiplet, &spec)
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The 2×4 unit pattern always yields roughly 3:1 signal:P/G
+        /// interleaving while both budgets last, and every plan fits its
+        /// own bump-limited outline.
+        #[test]
+        fn plans_fit_and_interleave(signal in 16usize..500, tech_idx in 0usize..6) {
+            let tech = InterposerKind::PACKAGED[tech_idx];
+            let spec = InterposerSpec::for_kind(tech);
+            let plan = BumpPlan::from_rule(signal, &spec);
+            prop_assert_eq!(plan.total(), signal + signal.div_ceil(2));
+            let w = plan.bump_limited_width_um();
+            for b in &plan.bumps {
+                prop_assert!(b.x_um > 0.0 && b.x_um < w);
+                prop_assert!(b.y_um > 0.0 && b.y_um < w);
+            }
+            // No two bumps share a site.
+            let mut seen = std::collections::HashSet::new();
+            for b in &plan.bumps {
+                let key = ((b.x_um * 10.0) as i64, (b.y_um * 10.0) as i64);
+                prop_assert!(seen.insert(key), "duplicate site {key:?}");
+            }
+        }
+
+        /// Array side never shrinks as the pin count grows.
+        #[test]
+        fn cols_monotone_in_total(base in 16usize..300, extra in 0usize..200) {
+            let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            let a = BumpPlan::from_rule(base, &spec);
+            let b = BumpPlan::from_rule(base + extra, &spec);
+            prop_assert!(b.cols >= a.cols);
+            prop_assert!(b.bump_limited_width_um() >= a.bump_limited_width_um());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glass_logic_matches_table2() {
+        let p = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
+        assert_eq!(p.signal, 299);
+        assert_eq!(p.pg, 165);
+        assert_eq!(p.total(), 464);
+        assert_eq!(p.cols, 22);
+        assert!((p.bump_limited_width_um() - 820.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apx_memory_matches_table2() {
+        let p = paper_plan(ChipletKind::Memory, InterposerKind::Apx);
+        assert_eq!(p.total(), 347);
+        assert_eq!(p.cols, 19);
+        assert!((p.bump_limited_width_um() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rule_gives_two_to_one_ratio() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Apx);
+        let p = BumpPlan::from_rule(299, &spec);
+        assert_eq!(p.pg, 150); // APX logic in Table II follows the raw rule
+        let p = BumpPlan::from_rule(231, &spec);
+        assert_eq!(p.pg, 116); // APX memory likewise
+    }
+
+    #[test]
+    fn all_bumps_placed_and_counted() {
+        for tech in InterposerKind::PACKAGED {
+            for chiplet in [ChipletKind::Logic, ChipletKind::Memory] {
+                let p = paper_plan(chiplet, tech);
+                assert_eq!(p.bumps.len(), p.total(), "{tech} {chiplet}");
+                let sig = p
+                    .bumps
+                    .iter()
+                    .filter(|b| matches!(b.role, BumpRole::Signal(_)))
+                    .count();
+                assert_eq!(sig, p.signal);
+            }
+        }
+    }
+
+    #[test]
+    fn signal_indices_are_dense_and_unique() {
+        let p = paper_plan(ChipletKind::Logic, InterposerKind::Silicon25D);
+        let mut seen = vec![false; p.signal];
+        for b in &p.bumps {
+            if let BumpRole::Signal(i) = b.role {
+                assert!(!seen[i], "duplicate signal index {i}");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        for i in 0..p.signal {
+            assert!(p.signal_position(i).is_some());
+        }
+    }
+
+    #[test]
+    fn bumps_stay_inside_the_die() {
+        let p = paper_plan(ChipletKind::Memory, InterposerKind::Shinko);
+        let w = p.bump_limited_width_um();
+        for b in &p.bumps {
+            assert!(b.x_um > 0.0 && b.x_um < w);
+            assert!(b.y_um > 0.0 && b.y_um < w);
+        }
+    }
+
+    #[test]
+    fn pg_alternates_power_and_ground() {
+        let p = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
+        let power = p.bumps.iter().filter(|b| b.role == BumpRole::Power).count();
+        let ground = p.bumps.iter().filter(|b| b.role == BumpRole::Ground).count();
+        assert!((power as i64 - ground as i64).abs() <= 1);
+        assert_eq!(power + ground, p.pg);
+    }
+}

@@ -1,0 +1,200 @@
+//! Footprint solving (Table II).
+//!
+//! A chiplet's die size is the larger of two constraints:
+//!
+//! 1. **Bump-limited** — the micro-bump array (side × pitch plus keepout)
+//!    must fit every signal and P/G pin. This binds the logic chiplet on
+//!    every technology (464 bumps at 35 µm pitch ⇒ 0.82 mm on glass).
+//! 2. **Cell-area-limited** — placed cell area divided by the utilisation
+//!    cap. This binds the memory chiplet on glass, whose bump array would
+//!    otherwise push utilisation beyond the routable ceiling.
+//!
+//! Stacked configurations override both: the Glass 3D memory die matches
+//! the logic die above it, and both Silicon 3D dies match the larger
+//! footprint so the tiers align.
+
+use crate::bumpmap::BumpPlan;
+use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
+use serde::Serialize;
+use techlib::calib;
+use techlib::cells::CellLibrary;
+use techlib::spec::InterposerSpec;
+
+/// Grid the footprint solver snaps die widths to, µm.
+pub const FOOTPRINT_SNAP_UM: f64 = 5.0;
+
+/// The solved footprint of one chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FootprintPlan {
+    /// Final die width (square die), µm.
+    pub width_um: f64,
+    /// The bump-limited width, µm.
+    pub bump_limited_um: f64,
+    /// The cell-area-limited width, µm.
+    pub cell_limited_um: f64,
+    /// Placed cell area (standard cells + AIB macros), µm².
+    pub cell_area_um2: f64,
+    /// True if the footprint was forced to match a stacking partner.
+    pub matched: bool,
+}
+
+impl FootprintPlan {
+    /// Die area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        (self.width_um / 1e3).powi(2)
+    }
+
+    /// Placement utilisation at the final footprint.
+    pub fn utilization(&self) -> f64 {
+        self.cell_area_um2 / (self.width_um * self.width_um)
+    }
+}
+
+/// Solves the footprint of `chiplet` on `spec`.
+///
+/// `match_width_um` forces the die to a stacking partner's width (Glass 3D
+/// memory under logic; both Silicon 3D tiers).
+pub fn solve(
+    chiplet: &ChipletNetlist,
+    bumps: &BumpPlan,
+    _spec: &InterposerSpec,
+    match_width_um: Option<f64>,
+) -> FootprintPlan {
+    let lib = CellLibrary::tsmc28_like();
+    let cell_area = lib.population_area_um2(&chiplet.cells)
+        + chiplet.signal_pins as f64 * calib::AIB_AREA_PER_SIGNAL_UM2;
+    let util_cap = match chiplet.kind {
+        ChipletKind::Logic => calib::LOGIC_UTIL_CAP,
+        ChipletKind::Memory => calib::MEM_UTIL_CAP,
+    };
+    let bump_limited = bumps.bump_limited_width_um();
+    let cell_limited = snap_up((cell_area / util_cap).sqrt());
+    let (width, matched) = match match_width_um {
+        Some(w) => (w.max(bump_limited).max(cell_limited), true),
+        None => (bump_limited.max(cell_limited), false),
+    };
+    FootprintPlan {
+        width_um: width,
+        bump_limited_um: bump_limited,
+        cell_limited_um: cell_limited,
+        cell_area_um2: cell_area,
+        matched,
+    }
+}
+
+fn snap_up(w: f64) -> f64 {
+    (w / FOOTPRINT_SNAP_UM).ceil() * FOOTPRINT_SNAP_UM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bumpmap::BumpPlan;
+    use netlist::chiplet_netlist::chipletize;
+    use netlist::openpiton::two_tile_openpiton;
+    use netlist::partition::hierarchical_l3_split;
+    use netlist::serdes::SerdesPlan;
+    use techlib::spec::InterposerKind;
+
+    fn netlists() -> (ChipletNetlist, ChipletNetlist) {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        chipletize(&d, &p, &SerdesPlan::paper())
+    }
+
+    fn plan(kind: InterposerKind, chiplet: &ChipletNetlist, matched: Option<f64>) -> FootprintPlan {
+        let spec = InterposerSpec::for_kind(kind);
+        let bumps = BumpPlan::for_design(chiplet.signal_pins, chiplet.kind, &spec);
+        solve(chiplet, &bumps, &spec, matched)
+    }
+
+    #[test]
+    fn glass_logic_is_bump_limited_at_820um() {
+        let (logic, _) = netlists();
+        let fp = plan(InterposerKind::Glass25D, &logic, None);
+        assert_eq!(fp.width_um, 820.0);
+        assert!(fp.bump_limited_um > fp.cell_limited_um);
+        // Table III: 64.20 % utilisation.
+        assert!((fp.utilization() - 0.642).abs() < 0.02, "{}", fp.utilization());
+    }
+
+    #[test]
+    fn glass_memory_is_cell_limited_near_770um() {
+        let (_, mem) = netlists();
+        let fp = plan(InterposerKind::Glass25D, &mem, None);
+        // Paper: 0.77–0.78 mm.
+        assert!(
+            (755.0..=790.0).contains(&fp.width_um),
+            "width {}",
+            fp.width_um
+        );
+        assert!(fp.cell_limited_um > fp.bump_limited_um);
+        assert!((fp.utilization() - 0.8354).abs() < 0.03);
+    }
+
+    #[test]
+    fn silicon_logic_is_940um_at_48_7_percent() {
+        let (logic, _) = netlists();
+        let fp = plan(InterposerKind::Silicon25D, &logic, None);
+        assert_eq!(fp.width_um, 940.0);
+        assert!((fp.utilization() - 0.487).abs() < 0.02);
+    }
+
+    #[test]
+    fn silicon_memory_is_bump_limited_at_820um() {
+        let (_, mem) = netlists();
+        let fp = plan(InterposerKind::Silicon25D, &mem, None);
+        assert_eq!(fp.width_um, 820.0);
+        assert!((fp.utilization() - 0.7365).abs() < 0.03);
+    }
+
+    #[test]
+    fn apx_chiplets_are_largest() {
+        let (logic, mem) = netlists();
+        let fl = plan(InterposerKind::Apx, &logic, None);
+        let fm = plan(InterposerKind::Apx, &mem, None);
+        assert_eq!(fl.width_um, 1150.0);
+        assert_eq!(fm.width_um, 1000.0);
+        // Table III: APX logic utilisation 34 %.
+        assert!((fl.utilization() - 0.34).abs() < 0.03);
+    }
+
+    #[test]
+    fn glass_3d_memory_matches_logic_footprint() {
+        let (logic, mem) = netlists();
+        let fl = plan(InterposerKind::Glass3D, &logic, None);
+        let fm = plan(InterposerKind::Glass3D, &mem, Some(fl.width_um));
+        assert_eq!(fm.width_um, fl.width_um);
+        assert!(fm.matched);
+        // Table III: 73.65 % for the matched glass 3D memory die.
+        assert!((fm.utilization() - 0.7365).abs() < 0.03);
+    }
+
+    #[test]
+    fn silicon_3d_memory_matches_logic_at_940um() {
+        let (logic, mem) = netlists();
+        let fl = plan(InterposerKind::Silicon3D, &logic, None);
+        let fm = plan(InterposerKind::Silicon3D, &mem, Some(fl.width_um));
+        assert_eq!(fl.width_um, 940.0);
+        assert_eq!(fm.width_um, 940.0);
+        assert!((fm.utilization() - 0.5605).abs() < 0.03);
+    }
+
+    #[test]
+    fn area_ratios_match_table2() {
+        let (logic, _) = netlists();
+        let glass = plan(InterposerKind::Glass25D, &logic, None).area_mm2();
+        let si = plan(InterposerKind::Silicon25D, &logic, None).area_mm2();
+        let apx = plan(InterposerKind::Apx, &logic, None).area_mm2();
+        assert!(((si / glass) - 1.31).abs() < 0.03, "{}", si / glass);
+        assert!(((apx / glass) - 1.97).abs() < 0.05, "{}", apx / glass);
+    }
+
+    #[test]
+    fn matching_never_shrinks_below_constraints() {
+        let (_, mem) = netlists();
+        let fp = plan(InterposerKind::Glass25D, &mem, Some(100.0));
+        assert!(fp.width_um >= fp.bump_limited_um);
+        assert!(fp.width_um >= fp.cell_limited_um);
+    }
+}

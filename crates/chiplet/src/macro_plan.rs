@@ -1,0 +1,181 @@
+//! AIB I/O macro pre-placement (Section V-D, Fig. 7).
+//!
+//! The flow pre-places each signal bump's AIB driver macro "adjacent to
+//! the micro-bump locations to minimize wire delay from the input to the
+//! micro-bump pad". This module computes those macro sites: each driver
+//! sits at a legal, non-overlapping position as close as possible to its
+//! bump, and the resulting bump-to-macro net lengths feed the Fig. 7
+//! wiring statistics.
+
+use crate::bumpmap::{BumpPlan, BumpRole};
+use serde::Serialize;
+use techlib::iodriver::IoDriver;
+
+/// One placed AIB macro.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MacroSite {
+    /// The signal index the macro serves.
+    pub signal: usize,
+    /// Macro lower-left corner, µm.
+    pub origin_um: (f64, f64),
+    /// Manhattan distance from the macro centre to its bump, µm.
+    pub bump_net_um: f64,
+}
+
+/// The macro placement of one chiplet.
+#[derive(Debug, Clone, Serialize)]
+pub struct MacroPlan {
+    /// Placed macros, one per signal bump.
+    pub sites: Vec<MacroSite>,
+    /// Macro dimensions, µm.
+    pub macro_um: (f64, f64),
+}
+
+impl MacroPlan {
+    /// Average bump-to-macro net length, µm.
+    pub fn average_net_um(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        self.sites.iter().map(|s| s.bump_net_um).sum::<f64>() / self.sites.len() as f64
+    }
+
+    /// Longest bump-to-macro net, µm.
+    pub fn max_net_um(&self) -> f64 {
+        self.sites.iter().map(|s| s.bump_net_um).fold(0.0, f64::max)
+    }
+
+    /// True if no two macros overlap.
+    pub fn is_overlap_free(&self) -> bool {
+        let (w, h) = self.macro_um;
+        for (i, a) in self.sites.iter().enumerate() {
+            for b in self.sites.iter().skip(i + 1) {
+                let sep_x = a.origin_um.0 + w <= b.origin_um.0 + 1e-9
+                    || b.origin_um.0 + w <= a.origin_um.0 + 1e-9;
+                let sep_y = a.origin_um.1 + h <= b.origin_um.1 + 1e-9
+                    || b.origin_um.1 + h <= a.origin_um.1 + 1e-9;
+                if !(sep_x || sep_y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Plans the AIB macro sites for `bumps` on a die of `die_um` width.
+///
+/// Strategy (matching the flow's description): macros snap to a row/column
+/// grid of macro-sized slots; each signal bump claims the nearest free
+/// slot, processed in bump order. Slots are spaced one macro pitch apart,
+/// so the plan is overlap-free by construction.
+pub fn plan(bumps: &BumpPlan, die_um: f64) -> MacroPlan {
+    let drv = IoDriver::aib();
+    let (mw, mh) = drv.layout_um;
+    // Slot grid with a small routing halo between macros.
+    let pitch_x = mw + 2.0;
+    let pitch_y = mh + 2.0;
+    let cols = (die_um / pitch_x).floor().max(1.0) as usize;
+    let rows = (die_um / pitch_y).floor().max(1.0) as usize;
+    let mut taken = vec![false; cols * rows];
+    let mut sites = Vec::new();
+
+    for bump in &bumps.bumps {
+        let BumpRole::Signal(idx) = bump.role else {
+            continue;
+        };
+        // Preferred slot under the bump, then spiral outward.
+        let cx = ((bump.x_um / pitch_x) as usize).min(cols - 1);
+        let cy = ((bump.y_um / pitch_y) as usize).min(rows - 1);
+        let mut best: Option<(usize, usize, f64)> = None;
+        'search: for radius in 0..cols.max(rows) {
+            let x0 = cx.saturating_sub(radius);
+            let x1 = (cx + radius).min(cols - 1);
+            let y0 = cy.saturating_sub(radius);
+            let y1 = (cy + radius).min(rows - 1);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    if taken[y * cols + x] {
+                        continue;
+                    }
+                    let mx = x as f64 * pitch_x + mw / 2.0;
+                    let my = y as f64 * pitch_y + mh / 2.0;
+                    let d = (mx - bump.x_um).abs() + (my - bump.y_um).abs();
+                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((x, y, d));
+                    }
+                }
+            }
+            if best.is_some() {
+                // One extra ring to be sure nothing closer hides diagonally.
+                if radius > 0 {
+                    break 'search;
+                }
+            }
+        }
+        let (x, y, d) = best.expect("a die always has more slots than signals");
+        taken[y * cols + x] = true;
+        sites.push(MacroSite {
+            signal: idx,
+            origin_um: (x as f64 * pitch_x, y as f64 * pitch_y),
+            bump_net_um: d,
+        });
+    }
+    MacroPlan {
+        sites,
+        macro_um: (mw, mh),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bumpmap::paper_plan;
+    use netlist::chiplet_netlist::ChipletKind;
+    use techlib::spec::InterposerKind;
+
+    #[test]
+    fn glass_logic_macros_all_place_without_overlap() {
+        let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
+        let plan = plan(&bumps, 820.0);
+        assert_eq!(plan.sites.len(), 299);
+        assert!(plan.is_overlap_free());
+    }
+
+    #[test]
+    fn macros_sit_close_to_their_bumps() {
+        // The whole point of pre-placement: bump-to-AIB nets stay within
+        // a couple of bump pitches.
+        let bumps = paper_plan(ChipletKind::Memory, InterposerKind::Glass25D);
+        let plan = plan(&bumps, 775.0);
+        assert!(
+            plan.average_net_um() < 2.0 * bumps.pitch_um,
+            "avg = {}",
+            plan.average_net_um()
+        );
+        assert!(plan.max_net_um() < 6.0 * bumps.pitch_um, "max = {}", plan.max_net_um());
+    }
+
+    #[test]
+    fn every_signal_gets_exactly_one_macro() {
+        let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Apx);
+        let plan = plan(&bumps, 1150.0);
+        let mut seen = vec![false; 299];
+        for s in &plan.sites {
+            assert!(!seen[s.signal], "duplicate macro for signal {}", s.signal);
+            seen[s.signal] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn macros_stay_on_die() {
+        let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Silicon25D);
+        let p = plan(&bumps, 940.0);
+        let (w, h) = p.macro_um;
+        for s in &p.sites {
+            assert!(s.origin_um.0 + w <= 940.0 + w, "x = {}", s.origin_um.0);
+            assert!(s.origin_um.1 + h <= 940.0 + h, "y = {}", s.origin_um.1);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulated-annealing cluster placement.
+//!
+//! The flow's placer works at cluster granularity: the chiplet netlist is
+//! condensed into a few hundred clusters with Rent-style connectivity, the
+//! AIB I/O macros are pre-placed next to their micro-bumps (as the paper
+//! describes), and an annealer minimises half-perimeter wirelength (HPWL).
+//! The placer's HPWL validates the analytic routed-wirelength model of
+//! [`crate::wirelength`] and feeds the macro-planning ablation bench.
+
+use netlist::chiplet_netlist::ChipletNetlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// A placeable cluster.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cluster {
+    /// Cluster area, µm².
+    pub area_um2: f64,
+    /// Fixed location (AIB macros pinned to the bump field), or `None` for
+    /// movable clusters.
+    pub fixed: Option<(f64, f64)>,
+}
+
+/// A placement problem: clusters, multi-pin nets, and a square die.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementProblem {
+    /// Die width (square), µm.
+    pub die_um: f64,
+    /// Clusters to place.
+    pub clusters: Vec<Cluster>,
+    /// Nets as cluster-index sets (2+ pins each).
+    pub nets: Vec<Vec<usize>>,
+}
+
+/// A finished placement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Placement {
+    /// Cluster centre coordinates, µm.
+    pub positions: Vec<(f64, f64)>,
+    /// Total half-perimeter wirelength, µm.
+    pub hpwl_um: f64,
+}
+
+/// Annealer configuration.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Moves per temperature step.
+    pub moves_per_temp: usize,
+    /// Initial temperature as a fraction of die width.
+    pub t0_frac: f64,
+    /// Geometric cooling rate per step.
+    pub cooling: f64,
+    /// Temperature steps.
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            moves_per_temp: 600,
+            t0_frac: 0.5,
+            cooling: 0.92,
+            steps: 60,
+            seed: 11,
+        }
+    }
+}
+
+/// Condenses a chiplet netlist into a synthetic cluster-level placement
+/// problem with Rent-style connectivity: a 2-D mesh of local nets plus a
+/// population of random longer nets, deterministic in `seed`.
+pub fn synthetic_problem(
+    chiplet: &ChipletNetlist,
+    die_um: f64,
+    clusters: usize,
+    seed: u64,
+) -> PlacementProblem {
+    assert!(clusters >= 4, "need at least 4 clusters");
+    assert!(die_um > 0.0, "die must have positive width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lib = techlib::cells::CellLibrary::tsmc28_like();
+    let total_area = lib.population_area_um2(&chiplet.cells);
+    let per = total_area / clusters as f64;
+    let side = (clusters as f64).sqrt().round() as usize;
+    let cs: Vec<Cluster> = (0..clusters)
+        .map(|_| Cluster {
+            area_um2: per,
+            fixed: None,
+        })
+        .collect();
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    // Local mesh nets: each cluster talks to its +x and +y neighbours.
+    for i in 0..clusters {
+        let (r, c) = (i / side, i % side);
+        if c + 1 < side {
+            nets.push(vec![i, i + 1]);
+        }
+        if (r + 1) * side + c < clusters {
+            nets.push(vec![i, i + side]);
+        }
+    }
+    // Rent tail: ~0.5 multi-pin random nets per cluster.
+    for _ in 0..clusters / 2 {
+        let pins = rng.gen_range(3..=5);
+        let mut net: Vec<usize> = (0..pins).map(|_| rng.gen_range(0..clusters)).collect();
+        net.sort_unstable();
+        net.dedup();
+        if net.len() >= 2 {
+            nets.push(net);
+        }
+    }
+    PlacementProblem {
+        die_um,
+        clusters: cs,
+        nets,
+    }
+}
+
+/// Half-perimeter wirelength of `positions` over `nets`, µm.
+pub fn hpwl(nets: &[Vec<usize>], positions: &[(f64, f64)]) -> f64 {
+    nets.iter()
+        .map(|net| {
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            for &i in net {
+                let (x, y) = positions[i];
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+            (max_x - min_x) + (max_y - min_y)
+        })
+        .sum()
+}
+
+/// Runs simulated annealing, returning the final placement.
+///
+/// Movable clusters start on a uniform grid and are perturbed with
+/// range-limited displacement moves; fixed clusters never move. Acceptance
+/// follows the Metropolis criterion with geometric cooling.
+pub fn sa_place(problem: &PlacementProblem, config: &SaConfig) -> Placement {
+    let n = problem.clusters.len();
+    assert!(n > 0, "cannot place zero clusters");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let cell = problem.die_um / side as f64;
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|i| match problem.clusters[i].fixed {
+            Some(p) => p,
+            None => {
+                let (r, c) = (i / side, i % side);
+                (
+                    (c as f64 + 0.5) * cell,
+                    (r as f64 + 0.5) * cell,
+                )
+            }
+        })
+        .collect();
+
+    // Net membership index for incremental evaluation.
+    let mut member: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ni, net) in problem.nets.iter().enumerate() {
+        for &c in net {
+            member[c].push(ni);
+        }
+    }
+    let net_hpwl = |net: &[usize], pos: &[(f64, f64)]| -> f64 {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &i in net {
+            let (x, y) = pos[i];
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        (max_x - min_x) + (max_y - min_y)
+    };
+
+    let movable: Vec<usize> = (0..n)
+        .filter(|&i| problem.clusters[i].fixed.is_none())
+        .collect();
+    if movable.is_empty() {
+        let total = hpwl(&problem.nets, &pos);
+        return Placement {
+            positions: pos,
+            hpwl_um: total,
+        };
+    }
+
+    let mut t = config.t0_frac * problem.die_um;
+    for _ in 0..config.steps {
+        for _ in 0..config.moves_per_temp {
+            let v = movable[rng.gen_range(0..movable.len())];
+            let old = pos[v];
+            let range = t.max(cell / 2.0);
+            let nx = (old.0 + rng.gen_range(-range..=range)).clamp(0.0, problem.die_um);
+            let ny = (old.1 + rng.gen_range(-range..=range)).clamp(0.0, problem.die_um);
+            let before: f64 = member[v].iter().map(|&ni| net_hpwl(&problem.nets[ni], &pos)).sum();
+            pos[v] = (nx, ny);
+            let after: f64 = member[v].iter().map(|&ni| net_hpwl(&problem.nets[ni], &pos)).sum();
+            let delta = after - before;
+            if delta > 0.0 && rng.gen::<f64>() >= (-delta / t).exp() {
+                pos[v] = old; // reject
+            }
+        }
+        t *= config.cooling;
+    }
+    let total = hpwl(&problem.nets, &pos);
+    Placement {
+        positions: pos,
+        hpwl_um: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::chiplet_netlist::chipletize;
+    use netlist::openpiton::two_tile_openpiton;
+    use netlist::partition::hierarchical_l3_split;
+    use netlist::serdes::SerdesPlan;
+
+    fn logic_netlist() -> ChipletNetlist {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        chipletize(&d, &p, &SerdesPlan::paper()).0
+    }
+
+    fn small_config() -> SaConfig {
+        SaConfig {
+            moves_per_temp: 200,
+            steps: 40,
+            ..SaConfig::default()
+        }
+    }
+
+    #[test]
+    fn sa_improves_on_initial_grid() {
+        let problem = synthetic_problem(&logic_netlist(), 820.0, 100, 3);
+        let initial = {
+            // Initial grid placement HPWL.
+            let cfg = SaConfig {
+                steps: 0,
+                ..small_config()
+            };
+            sa_place(&problem, &cfg).hpwl_um
+        };
+        let refined = sa_place(&problem, &small_config()).hpwl_um;
+        assert!(
+            refined < initial,
+            "SA should improve: {refined} vs {initial}"
+        );
+    }
+
+    #[test]
+    fn placement_stays_on_die() {
+        let problem = synthetic_problem(&logic_netlist(), 820.0, 64, 5);
+        let p = sa_place(&problem, &small_config());
+        for &(x, y) in &p.positions {
+            assert!((0.0..=820.0).contains(&x));
+            assert!((0.0..=820.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sa_is_deterministic() {
+        let problem = synthetic_problem(&logic_netlist(), 820.0, 64, 5);
+        let a = sa_place(&problem, &small_config());
+        let b = sa_place(&problem, &small_config());
+        assert_eq!(a.hpwl_um, b.hpwl_um);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn fixed_clusters_do_not_move() {
+        let mut problem = synthetic_problem(&logic_netlist(), 820.0, 64, 5);
+        problem.clusters[0].fixed = Some((10.0, 10.0));
+        problem.clusters[10].fixed = Some((800.0, 400.0));
+        let p = sa_place(&problem, &small_config());
+        assert_eq!(p.positions[0], (10.0, 10.0));
+        assert_eq!(p.positions[10], (800.0, 400.0));
+    }
+
+    #[test]
+    fn hpwl_of_coincident_points_is_zero() {
+        let nets = vec![vec![0, 1, 2]];
+        let pos = vec![(5.0, 5.0); 3];
+        assert_eq!(hpwl(&nets, &pos), 0.0);
+    }
+
+    #[test]
+    fn hpwl_matches_hand_example() {
+        let nets = vec![vec![0, 1], vec![1, 2]];
+        let pos = vec![(0.0, 0.0), (3.0, 4.0), (3.0, 0.0)];
+        assert_eq!(hpwl(&nets, &pos), 7.0 + 4.0);
+    }
+
+    #[test]
+    fn bigger_die_longer_wires() {
+        let nl = logic_netlist();
+        let cfg = small_config();
+        let small = sa_place(&synthetic_problem(&nl, 820.0, 100, 3), &cfg).hpwl_um;
+        let large = sa_place(&synthetic_problem(&nl, 1150.0, 100, 3), &cfg).hpwl_um;
+        assert!(large > small, "{large} vs {small}");
+    }
+}

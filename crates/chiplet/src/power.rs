@@ -1,0 +1,161 @@
+//! Chiplet power decomposition (Table III).
+//!
+//! Total power = internal + switching + leakage:
+//!
+//! * **internal** — cell-internal (short-circuit + clock-tree) energy per
+//!   cycle, from the cell library population statistics;
+//! * **switching** — `α · (C_pin + C_wire) · V² · f` with the calibrated
+//!   activity factors of [`techlib::calib`];
+//! * **leakage** — population leakage.
+
+use crate::footprint::FootprintPlan;
+use crate::wirelength;
+use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
+use serde::Serialize;
+use techlib::calib;
+use techlib::cells::CellLibrary;
+use techlib::iodriver::IoDriver;
+use techlib::spec::InterposerKind;
+
+/// Power decomposition of a chiplet, W.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerBreakdown {
+    /// Cell-internal power, W.
+    pub internal_w: f64,
+    /// Net switching power, W.
+    pub switching_w: f64,
+    /// Leakage power, W.
+    pub leakage_w: f64,
+    /// Total pin capacitance, F.
+    pub pin_cap_f: f64,
+    /// Total routed wire capacitance, F.
+    pub wire_cap_f: f64,
+    /// AIB I/O driver average power, W (included in `internal_w`'s total
+    /// roll-up but reported separately as the paper does).
+    pub aib_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total chiplet power, W (internal + switching + leakage + AIB).
+    pub fn total_w(&self) -> f64 {
+        self.internal_w + self.switching_w + self.leakage_w + self.aib_w
+    }
+}
+
+/// Computes the Table III power rows for one chiplet.
+pub fn analyze(
+    chiplet: &ChipletNetlist,
+    footprint: &FootprintPlan,
+    tech: InterposerKind,
+    freq_hz: f64,
+) -> PowerBreakdown {
+    let lib = CellLibrary::tsmc28_like();
+    let vdd = lib.vdd();
+    let pin_cap = lib.population_pin_cap_f(&chiplet.cells);
+    let wire_cap = wirelength::wire_capacitance_f(chiplet, footprint, tech);
+    let activity = match chiplet.kind {
+        ChipletKind::Logic => calib::LOGIC_ACTIVITY,
+        ChipletKind::Memory => calib::MEM_ACTIVITY,
+    };
+    let switching = activity * (pin_cap + wire_cap) * vdd * vdd * freq_hz;
+    let internal = lib.population_internal_w(&chiplet.cells, freq_hz);
+    let leakage = lib.population_leakage_w(&chiplet.cells);
+    let aib = chiplet.signal_pins as f64
+        * IoDriver::aib().average_power_w(calib::DATA_RATE_BPS, calib::LINK_ACTIVITY);
+    PowerBreakdown {
+        internal_w: internal,
+        switching_w: switching,
+        leakage_w: leakage,
+        pin_cap_f: pin_cap,
+        wire_cap_f: wire_cap,
+        aib_w: aib,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bumpmap::BumpPlan;
+    use crate::footprint;
+    use netlist::chiplet_netlist::chipletize;
+    use netlist::openpiton::two_tile_openpiton;
+    use netlist::partition::hierarchical_l3_split;
+    use netlist::serdes::SerdesPlan;
+    use techlib::spec::InterposerSpec;
+
+    fn breakdown(tech: InterposerKind, logic: bool) -> PowerBreakdown {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        let (l, m) = chipletize(&d, &p, &SerdesPlan::paper());
+        let chiplet = if logic { l } else { m };
+        let spec = InterposerSpec::for_kind(tech);
+        let bumps = BumpPlan::for_design(chiplet.signal_pins, chiplet.kind, &spec);
+        let fp = footprint::solve(&chiplet, &bumps, &spec, None);
+        analyze(&chiplet, &fp, tech, calib::TARGET_FREQ_HZ)
+    }
+
+    #[test]
+    fn glass_logic_power_matches_table3() {
+        let p = breakdown(InterposerKind::Glass25D, true);
+        // Paper: total 142.35 mW, internal 67.83, switching 67.67,
+        // leakage 6.85.
+        assert!((p.total_w() * 1e3 - 142.35).abs() / 142.35 < 0.06, "{}", p.total_w() * 1e3);
+        assert!((p.internal_w * 1e3 - 67.83).abs() / 67.83 < 0.06);
+        assert!((p.switching_w * 1e3 - 67.67).abs() / 67.67 < 0.08);
+        assert!((p.leakage_w * 1e3 - 6.85).abs() / 6.85 < 0.08);
+    }
+
+    #[test]
+    fn glass_memory_power_matches_table3() {
+        let p = breakdown(InterposerKind::Glass25D, false);
+        // Paper: total 46.06 mW, internal 26.02, switching 18.49, leak 1.55.
+        assert!((p.total_w() * 1e3 - 46.06).abs() / 46.06 < 0.07, "{}", p.total_w() * 1e3);
+        assert!((p.leakage_w * 1e3 - 1.55).abs() / 1.55 < 0.05);
+    }
+
+    #[test]
+    fn pin_caps_match_table3() {
+        let pl = breakdown(InterposerKind::Glass25D, true);
+        let pm = breakdown(InterposerKind::Glass25D, false);
+        // Paper: 395.11 pF logic, ~81.5 pF memory.
+        assert!((pl.pin_cap_f * 1e12 - 395.0).abs() / 395.0 < 0.05, "{}", pl.pin_cap_f * 1e12);
+        assert!((pm.pin_cap_f * 1e12 - 81.5).abs() / 81.5 < 0.05, "{}", pm.pin_cap_f * 1e12);
+    }
+
+    #[test]
+    fn aib_power_is_negligible_fraction() {
+        let p = breakdown(InterposerKind::Glass25D, true);
+        // Paper: 0.54 mW, ~0.4 % of the chiplet.
+        assert!((p.aib_w * 1e3) < 1.0, "{}", p.aib_w * 1e3);
+        assert!(p.aib_w / p.total_w() < 0.01);
+    }
+
+    #[test]
+    fn silicon_3d_has_lowest_chiplet_power() {
+        let p3 = breakdown(InterposerKind::Silicon3D, true).total_w();
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Glass3D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let p = breakdown(tech, true).total_w();
+            assert!(p3 < p, "{tech}: {p3} vs {p}");
+        }
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        let (l, _) = chipletize(&d, &p, &SerdesPlan::paper());
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let bumps = BumpPlan::for_design(l.signal_pins, l.kind, &spec);
+        let fp = footprint::solve(&l, &bumps, &spec, None);
+        let p700 = analyze(&l, &fp, InterposerKind::Glass25D, 700e6);
+        let p350 = analyze(&l, &fp, InterposerKind::Glass25D, 350e6);
+        assert!((p350.switching_w - p700.switching_w / 2.0).abs() < 1e-6);
+        assert_eq!(p350.leakage_w, p700.leakage_w);
+    }
+}

@@ -1,0 +1,98 @@
+//! STA-lite achieved-frequency model (Table III Fmax).
+//!
+//! Every design targets 700 MHz. The achieved frequency is set by the
+//! critical path: a base combinational-depth delay plus a wire-delay term
+//! proportional to the average routed net length, plus a small
+//! deterministic per-design jitter standing in for place-and-route noise
+//! (the paper's per-design spread is <2 % and not systematic).
+
+use crate::footprint::FootprintPlan;
+use crate::wirelength;
+use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
+use techlib::calib;
+use techlib::spec::InterposerKind;
+
+/// Achieved maximum frequency, MHz.
+pub fn fmax_mhz(
+    chiplet: &ChipletNetlist,
+    footprint: &FootprintPlan,
+    tech: InterposerKind,
+) -> f64 {
+    let base_ns = match chiplet.kind {
+        ChipletKind::Logic => calib::BASE_PATH_DELAY_LOGIC_NS,
+        ChipletKind::Memory => calib::BASE_PATH_DELAY_MEM_NS,
+    };
+    let avg_net = wirelength::average_net_length_um(chiplet, footprint, tech);
+    let wire_ns = calib::PATH_WIRE_DELAY_COEFF * avg_net;
+    let jitter = 1.0 + 0.006 * calib::design_jitter(&format!("fmax-{tech}-{}", chiplet.kind));
+    let period_ns = (base_ns + wire_ns) * jitter;
+    1e3 / period_ns
+}
+
+/// Worst negative slack against the 700 MHz target, ns (negative = miss).
+pub fn slack_ns(fmax_mhz: f64) -> f64 {
+    let target_period = 1e3 / (calib::TARGET_FREQ_HZ / 1e6);
+    let achieved_period = 1e3 / fmax_mhz;
+    target_period - achieved_period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bumpmap::BumpPlan;
+    use crate::footprint;
+    use netlist::chiplet_netlist::chipletize;
+    use netlist::openpiton::two_tile_openpiton;
+    use netlist::partition::hierarchical_l3_split;
+    use netlist::serdes::SerdesPlan;
+    use techlib::spec::InterposerSpec;
+
+    fn netlists() -> (ChipletNetlist, ChipletNetlist) {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        chipletize(&d, &p, &SerdesPlan::paper())
+    }
+
+    fn fmax(chiplet: &ChipletNetlist, tech: InterposerKind) -> f64 {
+        let spec = InterposerSpec::for_kind(tech);
+        let bumps = BumpPlan::for_design(chiplet.signal_pins, chiplet.kind, &spec);
+        let fp = footprint::solve(chiplet, &bumps, &spec, None);
+        fmax_mhz(chiplet, &fp, tech)
+    }
+
+    #[test]
+    fn all_designs_close_near_700mhz() {
+        let (logic, mem) = netlists();
+        for tech in InterposerKind::PACKAGED {
+            let fl = fmax(&logic, tech);
+            let fm = fmax(&mem, tech);
+            // Paper range: 676–699 MHz.
+            assert!((665.0..710.0).contains(&fl), "{tech} logic {fl}");
+            assert!((665.0..710.0).contains(&fm), "{tech} mem {fm}");
+        }
+    }
+
+    #[test]
+    fn memory_closes_faster_than_logic() {
+        let (logic, mem) = netlists();
+        for tech in [InterposerKind::Glass25D, InterposerKind::Silicon25D] {
+            assert!(fmax(&mem, tech) > fmax(&logic, tech), "{tech}");
+        }
+    }
+
+    #[test]
+    fn slack_sign_convention() {
+        assert!(slack_ns(710.0) > 0.0);
+        assert!(slack_ns(690.0) < 0.0);
+        assert!(slack_ns(700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmax_is_deterministic() {
+        let (logic, _) = netlists();
+        assert_eq!(
+            fmax(&logic, InterposerKind::Glass3D),
+            fmax(&logic, InterposerKind::Glass3D)
+        );
+    }
+}

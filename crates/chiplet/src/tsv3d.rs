@@ -1,0 +1,194 @@
+//! Silicon 3D bump/TSV region partitioning (Section V-C, Fig. 8).
+//!
+//! In the 4-tier TSV stack, two interconnect species coexist on each die:
+//! mini-TSVs for inter-tile (logic-to-logic) connections through the
+//! thinned substrate, and micro-bumps for intra-tile (logic-to-memory)
+//! connections. The memory die reserves a central rectangular region for
+//! the logic-to-logic TSV field, with the logic-to-memory micro-bumps
+//! forming a U-shaped ring around it; the logic die mirrors the same
+//! partition so the 3D interconnects align tier to tier.
+
+use serde::Serialize;
+use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::via::{ViaKind, ViaModel};
+
+/// The interconnect region plan of one Silicon 3D die.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Tsv3dPlan {
+    /// Die width, µm.
+    pub die_um: f64,
+    /// Central TSV field: (x0, y0, x1, y1), µm.
+    pub tsv_region: (f64, f64, f64, f64),
+    /// Inter-tile signals carried by mini-TSVs.
+    pub tsv_signals: usize,
+    /// Intra-tile signals carried by micro-bumps (U-shaped ring).
+    pub bump_signals: usize,
+    /// Mini-TSV pitch, µm.
+    pub tsv_pitch_um: f64,
+    /// Micro-bump pitch, µm.
+    pub bump_pitch_um: f64,
+    /// Positions of the TSV sites, µm.
+    pub tsv_sites: Vec<(f64, f64)>,
+    /// Positions of the micro-bump sites, µm.
+    pub bump_sites: Vec<(f64, f64)>,
+}
+
+impl Tsv3dPlan {
+    /// Plans the regions for a die of width `die_um` carrying
+    /// `tsv_signals` logic-to-logic and `bump_signals` logic-to-memory
+    /// connections.
+    ///
+    /// Mini-TSVs are 2 µm diameter on a 10 µm pitch (substrate thinned to
+    /// 20 µm); micro-bumps follow the technology's 40 µm pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die cannot fit both regions.
+    pub fn plan(die_um: f64, tsv_signals: usize, bump_signals: usize) -> Tsv3dPlan {
+        let spec = InterposerSpec::for_kind(InterposerKind::Silicon3D);
+        let tsv_pitch = 10.0;
+        let bump_pitch = spec.microbump_pitch_um;
+        // Central TSV field.
+        let tsv_cols = (tsv_signals as f64).sqrt().ceil() as usize;
+        let tsv_side = tsv_cols as f64 * tsv_pitch;
+        let c = die_um / 2.0;
+        let tsv_region = (
+            c - tsv_side / 2.0,
+            c - tsv_side / 2.0,
+            c + tsv_side / 2.0,
+            c + tsv_side / 2.0,
+        );
+        assert!(
+            tsv_side < die_um * 0.8,
+            "TSV field ({tsv_side} µm) does not fit die ({die_um} µm)"
+        );
+        let mut tsv_sites = Vec::with_capacity(tsv_signals);
+        'tsv: for row in 0..tsv_cols {
+            for col in 0..tsv_cols {
+                if tsv_sites.len() == tsv_signals {
+                    break 'tsv;
+                }
+                tsv_sites.push((
+                    tsv_region.0 + (col as f64 + 0.5) * tsv_pitch,
+                    tsv_region.1 + (row as f64 + 0.5) * tsv_pitch,
+                ));
+            }
+        }
+        // U-shaped micro-bump ring around the centre: walk the full bump
+        // grid and keep sites outside the TSV keepout (left, right and
+        // bottom arms — the top stays clear for power, hence the "U").
+        let grid = (die_um / bump_pitch).floor() as usize;
+        let keepout = (
+            tsv_region.0 - bump_pitch,
+            tsv_region.1 - bump_pitch,
+            tsv_region.2 + bump_pitch,
+            tsv_region.3 + bump_pitch,
+        );
+        let mut bump_sites = Vec::with_capacity(bump_signals);
+        'bump: for row in 0..grid {
+            for col in 0..grid {
+                if bump_sites.len() == bump_signals {
+                    break 'bump;
+                }
+                let x = (col as f64 + 0.5) * bump_pitch;
+                let y = (row as f64 + 0.5) * bump_pitch;
+                let in_keepout = x > keepout.0 && x < keepout.2 && y > keepout.1 && y < keepout.3;
+                let in_top_arm = y > die_um * 0.75 && x > keepout.0 && x < keepout.2;
+                if !in_keepout && !in_top_arm {
+                    bump_sites.push((x, y));
+                }
+            }
+        }
+        assert!(
+            bump_sites.len() == bump_signals,
+            "die too small for {bump_signals} micro-bumps (placed {})",
+            bump_sites.len()
+        );
+        Tsv3dPlan {
+            die_um,
+            tsv_region,
+            tsv_signals,
+            bump_signals,
+            tsv_pitch_um: tsv_pitch,
+            bump_pitch_um: bump_pitch,
+            tsv_sites,
+            bump_sites,
+        }
+    }
+
+    /// The paper's plan: 940 µm dies, 68 inter-tile signals through
+    /// mini-TSVs, 231 intra-tile signals through micro-bumps.
+    pub fn paper() -> Tsv3dPlan {
+        Tsv3dPlan::plan(940.0, 68, 231)
+    }
+
+    /// The mini-TSV electrical model used for these connections.
+    pub fn tsv_model(&self) -> ViaModel {
+        ViaModel::canonical(
+            ViaKind::MiniTsv,
+            &InterposerSpec::for_kind(InterposerKind::Silicon3D),
+        )
+    }
+
+    /// True if every TSV site of `other` aligns with this plan (tier
+    /// stacking requirement).
+    pub fn aligns_with(&self, other: &Tsv3dPlan) -> bool {
+        self.tsv_sites == other.tsv_sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_fits_the_die() {
+        let p = Tsv3dPlan::paper();
+        assert_eq!(p.tsv_sites.len(), 68);
+        assert_eq!(p.bump_sites.len(), 231);
+        for &(x, y) in p.tsv_sites.iter().chain(&p.bump_sites) {
+            assert!((0.0..=940.0).contains(&x));
+            assert!((0.0..=940.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn tsv_field_is_central() {
+        let p = Tsv3dPlan::paper();
+        let (x0, y0, x1, y1) = p.tsv_region;
+        let c = 940.0 / 2.0;
+        assert!((x0 + x1 - 2.0 * c).abs() < 1e-9);
+        assert!((y0 + y1 - 2.0 * c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bumps_avoid_the_tsv_keepout() {
+        let p = Tsv3dPlan::paper();
+        let (x0, y0, x1, y1) = p.tsv_region;
+        for &(x, y) in &p.bump_sites {
+            let inside = x > x0 && x < x1 && y > y0 && y < y1;
+            assert!(!inside, "bump at ({x}, {y}) inside the TSV field");
+        }
+    }
+
+    #[test]
+    fn logic_and_memory_plans_align() {
+        let a = Tsv3dPlan::paper();
+        let b = Tsv3dPlan::paper();
+        assert!(a.aligns_with(&b));
+    }
+
+    #[test]
+    fn tsv_model_is_the_mini_tsv() {
+        let p = Tsv3dPlan::paper();
+        let m = p.tsv_model();
+        assert_eq!(m.diameter_um, 2.0);
+        assert_eq!(m.height_um, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_tsv_field_panics() {
+        let _ = Tsv3dPlan::plan(100.0, 10_000, 10);
+    }
+}

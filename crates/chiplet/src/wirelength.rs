@@ -1,0 +1,165 @@
+//! Routed-wirelength model (Table III).
+//!
+//! Routed wirelength per chiplet follows the classic placement scaling law
+//! — average net length proportional to the die side — multiplied by a
+//! congestion detour factor that grows with utilisation. The detour term
+//! is what makes the *smaller* glass die carry *more* wire than the larger
+//! silicon die (Section V-D: "routing congestion in the smaller footprint
+//! of the glass interposer ... increases wirelength").
+
+use crate::footprint::FootprintPlan;
+use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
+use techlib::calib;
+use techlib::spec::{InterposerKind, Stacking};
+
+/// Congestion detour factor at placement utilisation `util`.
+///
+/// `detour(u) = 1 + K·u²` with K fitted once against Table III (see
+/// [`techlib::calib::DETOUR_UTIL_COEFF`]).
+pub fn detour_factor(util: f64) -> f64 {
+    1.0 + calib::DETOUR_UTIL_COEFF * util * util
+}
+
+/// Average routed net length, µm.
+pub fn average_net_length_um(
+    chiplet: &ChipletNetlist,
+    footprint: &FootprintPlan,
+    tech: InterposerKind,
+) -> f64 {
+    let frac = match chiplet.kind {
+        ChipletKind::Logic => calib::NET_LEN_FRAC_LOGIC,
+        ChipletKind::Memory => calib::NET_LEN_FRAC_MEM,
+    };
+    let spec = techlib::spec::InterposerSpec::for_kind(tech);
+    // TSV-3D dies route external I/O to internal TSV ports rather than
+    // top-layer pins, shortening nets (Section V-D).
+    let tsv_factor = if spec.stacking == Stacking::TsvStack {
+        calib::TSV3D_WL_FACTOR
+    } else {
+        1.0
+    };
+    let jitter = 1.0 + 0.01 * calib::design_jitter(&format!("{tech}-{}", chiplet.kind));
+    frac * footprint.width_um * detour_factor(footprint.utilization()) * tsv_factor * jitter
+}
+
+/// Total routed wirelength, metres.
+pub fn routed_wirelength_m(
+    chiplet: &ChipletNetlist,
+    footprint: &FootprintPlan,
+    tech: InterposerKind,
+) -> f64 {
+    average_net_length_um(chiplet, footprint, tech) * chiplet.internal_nets as f64 * 1e-6
+}
+
+/// Routed wire capacitance, F (wirelength × per-metre die wire cap).
+pub fn wire_capacitance_f(
+    chiplet: &ChipletNetlist,
+    footprint: &FootprintPlan,
+    tech: InterposerKind,
+) -> f64 {
+    routed_wirelength_m(chiplet, footprint, tech) * calib::DIE_WIRE_CAP_PF_PER_M * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bumpmap::BumpPlan;
+    use crate::footprint;
+    use netlist::chiplet_netlist::chipletize;
+    use netlist::openpiton::two_tile_openpiton;
+    use netlist::partition::hierarchical_l3_split;
+    use netlist::serdes::SerdesPlan;
+    use techlib::spec::InterposerSpec;
+
+    fn netlists() -> (ChipletNetlist, ChipletNetlist) {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        chipletize(&d, &p, &SerdesPlan::paper())
+    }
+
+    fn fp(chiplet: &ChipletNetlist, tech: InterposerKind, matched: Option<f64>) -> FootprintPlan {
+        let spec = InterposerSpec::for_kind(tech);
+        let bumps = BumpPlan::for_design(chiplet.signal_pins, chiplet.kind, &spec);
+        footprint::solve(chiplet, &bumps, &spec, matched)
+    }
+
+    #[test]
+    fn glass_logic_wl_matches_table3() {
+        let (logic, _) = netlists();
+        let f = fp(&logic, InterposerKind::Glass25D, None);
+        let wl = routed_wirelength_m(&logic, &f, InterposerKind::Glass25D);
+        // Paper: 5.03 m.
+        assert!((wl - 5.03).abs() / 5.03 < 0.07, "wl = {wl}");
+    }
+
+    #[test]
+    fn glass_logic_wl_exceeds_silicon_despite_smaller_die() {
+        let (logic, _) = netlists();
+        let fg = fp(&logic, InterposerKind::Glass25D, None);
+        let fs = fp(&logic, InterposerKind::Silicon25D, None);
+        let wg = routed_wirelength_m(&logic, &fg, InterposerKind::Glass25D);
+        let ws = routed_wirelength_m(&logic, &fs, InterposerKind::Silicon25D);
+        assert!(fg.width_um < fs.width_um);
+        assert!(wg > ws, "congestion detour must dominate: {wg} vs {ws}");
+    }
+
+    #[test]
+    fn silicon_3d_has_shortest_logic_wl() {
+        let (logic, _) = netlists();
+        let f3 = fp(&logic, InterposerKind::Silicon3D, None);
+        let w3 = routed_wirelength_m(&logic, &f3, InterposerKind::Silicon3D);
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let f = fp(&logic, tech, None);
+            let w = routed_wirelength_m(&logic, &f, tech);
+            assert!(w3 < w, "{tech}: {w3} vs {w}");
+        }
+        // Paper: 4.42 m.
+        assert!((w3 - 4.42).abs() / 4.42 < 0.07, "w3 = {w3}");
+    }
+
+    #[test]
+    fn apx_logic_wl_is_longest() {
+        let (logic, _) = netlists();
+        let wa = routed_wirelength_m(
+            &logic,
+            &fp(&logic, InterposerKind::Apx, None),
+            InterposerKind::Apx,
+        );
+        // Paper: 5.13 m, the longest.
+        assert!((wa - 5.13).abs() / 5.13 < 0.07, "wa = {wa}");
+    }
+
+    #[test]
+    fn memory_wl_matches_table3_scale() {
+        let (_, mem) = netlists();
+        let f = fp(&mem, InterposerKind::Glass25D, None);
+        let wl = routed_wirelength_m(&mem, &f, InterposerKind::Glass25D);
+        // Paper: 1.17 m.
+        assert!((wl - 1.17).abs() / 1.17 < 0.12, "wl = {wl}");
+    }
+
+    #[test]
+    fn detour_is_monotone_in_utilization() {
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let d = detour_factor(i as f64 / 10.0);
+            assert!(d > last);
+            last = d;
+        }
+        assert_eq!(detour_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn wire_capacitance_matches_table3() {
+        let (logic, _) = netlists();
+        let f = fp(&logic, InterposerKind::Glass25D, None);
+        let c = wire_capacitance_f(&logic, &f, InterposerKind::Glass25D) * 1e12;
+        // Paper: 696.24 pF.
+        assert!((c - 696.0).abs() / 696.0 < 0.08, "c = {c} pF");
+    }
+}

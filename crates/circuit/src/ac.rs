@@ -1,0 +1,228 @@
+//! AC (small-signal frequency-domain) analysis.
+//!
+//! Sources with [`Waveform::Dc`] waveforms act as phasor excitations of
+//! that magnitude (phase 0), and [`Waveform::Sine`] sources excite at
+//! their amplitude; all other waveforms are quiescent in AC. The
+//! PDN impedance profile of Fig. 15 is produced by injecting a 1 A
+//! [`Circuit::isource`] at the die node and sweeping `|V|`.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+use crate::mna::MnaLayout;
+use crate::netlist::{Circuit, Element, NodeId, Waveform};
+use crate::CircuitError;
+
+/// The AC solution at one frequency.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    layout: MnaLayout,
+    x: Vec<Complex64>,
+    /// The analysis frequency, Hz.
+    pub freq_hz: f64,
+}
+
+impl AcSolution {
+    /// Complex node voltage.
+    pub fn voltage(&self, n: NodeId) -> Complex64 {
+        match self.layout.node_index(n) {
+            Some(i) => self.x[i],
+            None => Complex64::ZERO,
+        }
+    }
+
+    /// Complex branch current of an element (inductor or V source).
+    pub fn branch_current(&self, element_index: usize) -> Option<Complex64> {
+        self.layout.branch_of_element[element_index].map(|b| self.x[self.layout.branch_index(b)])
+    }
+}
+
+/// Solves the circuit at a single frequency.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] for non-positive frequency
+/// and [`CircuitError::SingularMatrix`] for degenerate circuits.
+pub fn solve_at(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, CircuitError> {
+    if !(freq_hz > 0.0) || !freq_hz.is_finite() {
+        return Err(CircuitError::InvalidParameter { parameter: "freq_hz" });
+    }
+    let omega = 2.0 * std::f64::consts::PI * freq_hz;
+    let layout = MnaLayout::new(circuit);
+    let n = layout.dim();
+    let mut m = Matrix::<Complex64>::zeros(n);
+    let mut rhs = vec![Complex64::ZERO; n];
+
+    let stamp_adm = |m: &mut Matrix<Complex64>, a: NodeId, b: NodeId, y: Complex64, layout: &MnaLayout| {
+        if let Some(i) = layout.node_index(a) {
+            m.add(i, i, y);
+        }
+        if let Some(j) = layout.node_index(b) {
+            m.add(j, j, y);
+        }
+        if let (Some(i), Some(j)) = (layout.node_index(a), layout.node_index(b)) {
+            m.add(i, j, -y);
+            m.add(j, i, -y);
+        }
+    };
+
+    for (ei, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                stamp_adm(&mut m, *a, *b, Complex64::from_re(1.0 / ohms), &layout);
+            }
+            Element::Capacitor { a, b, farads } => {
+                stamp_adm(&mut m, *a, *b, Complex64::new(0.0, omega * farads), &layout);
+            }
+            Element::Inductor { a, b, henries } => {
+                // Branch: v_a - v_b - jωL·i = 0.
+                let br = layout.branch_of_element[ei].expect("inductor branch");
+                let row = layout.branch_index(br);
+                if let Some(i) = layout.node_index(*a) {
+                    m.add(row, i, Complex64::ONE);
+                    m.add(i, row, Complex64::ONE);
+                }
+                if let Some(j) = layout.node_index(*b) {
+                    m.add(row, j, -Complex64::ONE);
+                    m.add(j, row, -Complex64::ONE);
+                }
+                m.add(row, row, Complex64::new(0.0, -omega * henries));
+            }
+            Element::VSource { a, b, wave } => {
+                let br = layout.branch_of_element[ei].expect("vsource branch");
+                let row = layout.branch_index(br);
+                if let Some(i) = layout.node_index(*a) {
+                    m.add(row, i, Complex64::ONE);
+                    m.add(i, row, Complex64::ONE);
+                }
+                if let Some(j) = layout.node_index(*b) {
+                    m.add(row, j, -Complex64::ONE);
+                    m.add(j, row, -Complex64::ONE);
+                }
+                rhs[row] = Complex64::from_re(ac_magnitude(wave));
+            }
+            Element::ISource { a, b, wave } => {
+                let i = Complex64::from_re(ac_magnitude(wave));
+                if let Some(ia) = layout.node_index(*a) {
+                    rhs[ia] -= i;
+                }
+                if let Some(ib) = layout.node_index(*b) {
+                    rhs[ib] += i;
+                }
+            }
+        }
+    }
+
+    let x = crate::matrix::solve(m, &rhs)?;
+    Ok(AcSolution { layout, x, freq_hz })
+}
+
+fn ac_magnitude(wave: &Waveform) -> f64 {
+    match wave {
+        Waveform::Dc(v) => *v,
+        Waveform::Sine { amplitude, .. } => *amplitude,
+        _ => 0.0,
+    }
+}
+
+/// Sweeps `|V(node)|` over logarithmically spaced frequencies — the
+/// impedance profile when the exciting source is a 1 A current injection.
+///
+/// # Errors
+///
+/// Propagates solver errors; rejects empty or non-positive ranges.
+pub fn impedance_sweep(
+    circuit: &Circuit,
+    node: NodeId,
+    f_start: f64,
+    f_stop: f64,
+    points: usize,
+) -> Result<Vec<(f64, f64)>, CircuitError> {
+    if points < 2 || f_start <= 0.0 || f_stop <= f_start {
+        return Err(CircuitError::InvalidParameter { parameter: "sweep" });
+    }
+    let ratio = (f_stop / f_start).ln();
+    (0..points)
+        .map(|i| {
+            let f = f_start * (ratio * i as f64 / (points - 1) as f64).exp();
+            let sol = solve_at(circuit, f)?;
+            Ok((f, sol.voltage(node).abs()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_lowpass_response() {
+        // R = 1k, C = 1nF: f_3dB = 159 kHz.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(inp, Circuit::GND, Waveform::Dc(1.0));
+        c.resistor(inp, out, 1_000.0);
+        c.capacitor(out, Circuit::GND, 1e-9);
+        let f3 = 1.0 / (2.0 * std::f64::consts::PI * 1_000.0 * 1e-9);
+        let sol = solve_at(&c, f3).unwrap();
+        assert!((sol.voltage(out).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        // Deep stopband: ~-40 dB two decades up.
+        let sol = solve_at(&c, f3 * 100.0).unwrap();
+        assert!(sol.voltage(out).abs() < 0.011);
+    }
+
+    #[test]
+    fn series_lc_resonance() {
+        // 1 nH + 1 nF resonates at 159 MHz; impedance dips to ~0 there.
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        c.isource(Circuit::GND, n1, Waveform::Dc(1.0));
+        c.inductor(n1, n2, 1e-9);
+        c.capacitor(n2, Circuit::GND, 1e-9);
+        c.resistor(n1, Circuit::GND, 1e6); // keep DC path
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-9_f64 * 1e-9).sqrt());
+        let z_res = solve_at(&c, f0).unwrap().voltage(n1).abs();
+        let z_off = solve_at(&c, f0 * 10.0).unwrap().voltage(n1).abs();
+        assert!(z_res < 0.05, "resonance |Z| = {z_res}");
+        assert!(z_off > 1.0, "off-resonance |Z| = {z_off}");
+    }
+
+    #[test]
+    fn inductor_impedance_rises_with_f() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.isource(Circuit::GND, n, Waveform::Dc(1.0));
+        c.inductor(n, Circuit::GND, 1e-9);
+        let z1 = solve_at(&c, 1e6).unwrap().voltage(n).abs();
+        let z2 = solve_at(&c, 1e9).unwrap().voltage(n).abs();
+        assert!((z1 - 2.0 * std::f64::consts::PI * 1e6 * 1e-9).abs() / z1 < 1e-9);
+        assert!((z2 / z1 - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_is_log_spaced_and_monotone_freq() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.isource(Circuit::GND, n, Waveform::Dc(1.0));
+        c.resistor(n, Circuit::GND, 5.0);
+        let sweep = impedance_sweep(&c, n, 1e6, 1e9, 31).unwrap();
+        assert_eq!(sweep.len(), 31);
+        assert_eq!(sweep[0].0, 1e6);
+        assert!((sweep[30].0 - 1e9).abs() / 1e9 < 1e-12);
+        for w in sweep.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        // Pure resistor: flat 5 Ω.
+        for &(_, z) in &sweep {
+            assert!((z - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_sweep_rejected() {
+        let c = Circuit::new();
+        assert!(impedance_sweep(&c, Circuit::GND, 1e9, 1e6, 10).is_err());
+        assert!(solve_at(&c, -5.0).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal complex arithmetic for AC analysis and S-parameters.
+
+use serde::Serialize;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular parts.
+    pub fn new(re: f64, im: f64) -> Complex64 {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real value.
+    pub fn from_re(re: f64) -> Complex64 {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates from polar form (magnitude, angle in radians).
+    pub fn from_polar(mag: f64, angle: f64) -> Complex64 {
+        Complex64::new(mag * angle.cos(), mag * angle.sin())
+    }
+
+    /// Magnitude |z|.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase), radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex64 {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self` is zero.
+    pub fn recip(self) -> Complex64 {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "reciprocal of zero");
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(self) -> Complex64 {
+        Complex64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Complex exponential.
+    pub fn exp(self) -> Complex64 {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Complex hyperbolic cosine.
+    pub fn cosh(self) -> Complex64 {
+        (self.exp() + (-self).exp()) * Complex64::from_re(0.5)
+    }
+
+    /// Complex hyperbolic sine.
+    pub fn sinh(self) -> Complex64 {
+        (self.exp() - (-self).exp()) * Complex64::from_re(0.5)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Complex64 {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z * z.recip(), Complex64::ONE));
+        assert!(close(z / z, Complex64::ONE));
+        assert!(close(-(-z), z));
+    }
+
+    #[test]
+    fn abs_and_arg() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((Complex64::I.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, Complex64::from_re(-1.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for z in [
+            Complex64::new(2.0, 3.0),
+            Complex64::new(-1.0, 0.5),
+            Complex64::new(0.0, -2.0),
+        ] {
+            let s = z.sqrt();
+            assert!((s * s - z).abs() < 1e-10, "{z}");
+        }
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        let z = Complex64::new(0.0, std::f64::consts::PI);
+        assert!((z.exp() + Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosh_sinh_identity() {
+        let z = Complex64::new(0.3, 0.7);
+        let c = z.cosh();
+        let s = z.sinh();
+        assert!((c * c - s * s - Complex64::ONE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,198 @@
+//! DC operating-point analysis.
+//!
+//! Capacitors open, inductors short (modelled as 0 V branch constraints),
+//! sources at their `t = 0⁺` steady value — i.e. [`Waveform::at`] evaluated
+//! at `t = 0` for [`Waveform::Dc`] sources, which is what the PDN IR-drop
+//! analysis uses.
+
+use crate::matrix::Matrix;
+use crate::mna::MnaLayout;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::CircuitError;
+
+/// The DC solution.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    layout: MnaLayout,
+    x: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node, V.
+    pub fn voltage(&self, n: NodeId) -> f64 {
+        match self.layout.node_index(n) {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Branch current of element `element_index` (inductor or V source), A.
+    ///
+    /// Returns `None` for elements without a branch variable.
+    pub fn branch_current(&self, element_index: usize) -> Option<f64> {
+        self.layout.branch_of_element[element_index].map(|b| self.x[self.layout.branch_index(b)])
+    }
+}
+
+/// Solves the DC operating point.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularMatrix`] for floating subcircuits.
+pub fn solve(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
+    let layout = MnaLayout::new(circuit);
+    let n = layout.dim();
+    let mut a = Matrix::<f64>::zeros(n);
+    let mut rhs = vec![0.0; n];
+
+    for (ei, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                stamp_conductance(&mut a, &layout, *na, *nb, 1.0 / ohms);
+            }
+            Element::Capacitor { .. } => {} // open at DC
+            Element::Inductor { a: na, b: nb, .. } => {
+                // Short: v_a - v_b = 0 with a branch current.
+                let b = layout.branch_of_element[ei].expect("inductor has branch");
+                stamp_branch(&mut a, &layout, *na, *nb, b, 0.0);
+            }
+            Element::VSource { a: na, b: nb, wave } => {
+                let b = layout.branch_of_element[ei].expect("vsource has branch");
+                let row = layout.branch_index(b);
+                stamp_branch(&mut a, &layout, *na, *nb, b, 0.0);
+                rhs[row] = wave.at(0.0);
+            }
+            Element::ISource { a: na, b: nb, wave } => {
+                let i = wave.at(0.0);
+                if let Some(ia) = layout.node_index(*na) {
+                    rhs[ia] -= i;
+                }
+                if let Some(ib) = layout.node_index(*nb) {
+                    rhs[ib] += i;
+                }
+            }
+        }
+    }
+
+    let x = crate::matrix::solve(a, &rhs)?;
+    Ok(DcSolution { layout, x })
+}
+
+/// Stamps a conductance `g` between nodes.
+pub(crate) fn stamp_conductance(m: &mut Matrix<f64>, layout: &MnaLayout, a: NodeId, b: NodeId, g: f64) {
+    if let Some(i) = layout.node_index(a) {
+        m.add(i, i, g);
+    }
+    if let Some(j) = layout.node_index(b) {
+        m.add(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (layout.node_index(a), layout.node_index(b)) {
+        m.add(i, j, -g);
+        m.add(j, i, -g);
+    }
+}
+
+/// Stamps a branch (voltage source / inductor companion) with series
+/// "resistance" `r_eq`: row `v_a - v_b - r_eq·i = rhs` plus KCL coupling.
+pub(crate) fn stamp_branch(
+    m: &mut Matrix<f64>,
+    layout: &MnaLayout,
+    a: NodeId,
+    b: NodeId,
+    branch: usize,
+    r_eq: f64,
+) {
+    let row = layout.branch_index(branch);
+    if let Some(i) = layout.node_index(a) {
+        m.add(row, i, 1.0);
+        m.add(i, row, 1.0);
+    }
+    if let Some(j) = layout.node_index(b) {
+        m.add(row, j, -1.0);
+        m.add(j, row, -1.0);
+    }
+    if r_eq != 0.0 {
+        m.add(row, row, -r_eq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.vsource(top, Circuit::GND, Waveform::Dc(10.0));
+        c.resistor(top, mid, 1_000.0);
+        c.resistor(mid, Circuit::GND, 3_000.0);
+        let s = solve(&c).unwrap();
+        assert!((s.voltage(top) - 10.0).abs() < 1e-9);
+        assert!((s.voltage(mid) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_current_is_reported() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.vsource(top, Circuit::GND, Waveform::Dc(5.0));
+        c.resistor(top, Circuit::GND, 100.0);
+        let s = solve(&c).unwrap();
+        // 50 mA flows out of the source (through the branch a→b).
+        assert!((s.branch_current(0).unwrap().abs() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.0));
+        c.inductor(a, b, 1e-6);
+        c.resistor(b, Circuit::GND, 50.0);
+        let s = solve(&c).unwrap();
+        assert!((s.voltage(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.0));
+        c.resistor(a, b, 1_000.0);
+        c.capacitor(b, Circuit::GND, 1e-12);
+        // Need a bleed to avoid a floating node through the open cap.
+        c.resistor(b, Circuit::GND, 1e9);
+        let s = solve(&c).unwrap();
+        assert!((s.voltage(b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.isource(Circuit::GND, n, Waveform::Dc(0.01));
+        c.resistor(n, Circuit::GND, 200.0);
+        let s = solve(&c).unwrap();
+        assert!((s.voltage(n) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.0));
+        c.resistor(a, Circuit::GND, 100.0);
+        // b touches only a capacitor: floating at DC.
+        c.capacitor(b, Circuit::GND, 1e-12);
+        assert!(matches!(
+            solve(&c),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+}

@@ -1,0 +1,271 @@
+//! Dense LU factorisation with partial pivoting, generic over the scalar.
+//!
+//! MNA systems in this workspace are small (tens to a few hundred
+//! unknowns), so a dense solver is simpler and faster than a sparse one.
+//! The factorisation is reusable: transient analysis factors once and
+//! re-solves per step.
+
+use crate::complex::Complex64;
+use crate::CircuitError;
+
+/// Scalar types the solver works over.
+pub trait Scalar:
+    Copy
+    + Default
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude for pivot selection.
+    fn magnitude(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex64 {
+    fn zero() -> Complex64 {
+        Complex64::ZERO
+    }
+    fn one() -> Complex64 {
+        Complex64::ONE
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix<T> {
+        Matrix {
+            n,
+            data: vec![T::zero(); n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.n + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)` — the MNA stamp primitive.
+    pub fn add(&mut self, r: usize, c: usize, v: T) {
+        let i = r * self.n + c;
+        self.data[i] = self.data[i] + v;
+    }
+
+    /// Factors the matrix in place (Doolittle LU with partial pivoting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] if a pivot underflows.
+    pub fn lu(mut self) -> Result<Lu<T>, CircuitError> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot.
+            let mut p = k;
+            let mut best = self.get(k, k).magnitude();
+            for r in (k + 1)..n {
+                let m = self.get(r, k).magnitude();
+                if m > best {
+                    best = m;
+                    p = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(CircuitError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let a = self.get(k, c);
+                    let b = self.get(p, c);
+                    self.set(k, c, b);
+                    self.set(p, c, a);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                self.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = self.get(r, c) - factor * self.get(k, c);
+                    self.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu { m: self, perm })
+    }
+}
+
+/// A reusable LU factorisation.
+#[derive(Debug, Clone)]
+pub struct Lu<T> {
+    m: Matrix<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.m.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution (L has unit diagonal).
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc = acc - self.m.get(r, c) * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc = acc - self.m.get(r, c) * x[c];
+            }
+            x[r] = acc / self.m.get(r, r);
+        }
+        x
+    }
+}
+
+/// Convenience: solve `A x = b` in one call.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularMatrix`] if `a` is singular.
+pub fn solve<T: Scalar>(a: Matrix<T>, b: &[T]) -> Result<Vec<T>, CircuitError> {
+    Ok(a.lu()?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2_real() {
+        let mut a = Matrix::<f64>::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = solve(a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = Matrix::<f64>::zeros(2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = Matrix::<f64>::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(matches!(
+            solve(a, &[1.0, 2.0]),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // (1+i) x = 2i  =>  x = 2i/(1+i) = 1+i
+        let mut a = Matrix::<Complex64>::zeros(1);
+        a.set(0, 0, Complex64::new(1.0, 1.0));
+        let x = solve(a, &[Complex64::new(0.0, 2.0)]).unwrap();
+        assert!((x[0] - Complex64::new(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factorisation_is_reusable() {
+        let mut a = Matrix::<f64>::zeros(2);
+        a.set(0, 0, 4.0);
+        a.set(1, 1, 2.0);
+        let lu = a.lu().unwrap();
+        let x1 = lu.solve(&[4.0, 2.0]);
+        let x2 = lu.solve(&[8.0, 6.0]);
+        assert_eq!(x1, vec![1.0, 1.0]);
+        assert_eq!(x2, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn random_5x5_round_trip() {
+        // A·x recovered by solve must equal the original x.
+        let n = 5;
+        let mut a = Matrix::<f64>::zeros(n);
+        let mut seed = 1u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, next() + if r == c { 3.0 } else { 0.0 });
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        for (r, bi) in b.iter_mut().enumerate() {
+            for c in 0..n {
+                *bi += a.get(r, c) * x_true[c];
+            }
+        }
+        let x = solve(a, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Modified nodal analysis: unknown ordering and stamp helpers.
+//!
+//! Unknowns are ordered `[v1 .. v_{n-1}, i_b0 .. i_bm]`: node voltages for
+//! every node except ground, then one branch current per inductor and
+//! voltage source, in element order.
+
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// Index map from circuit entities to MNA unknowns.
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    /// Node-voltage unknowns (node count - 1).
+    pub node_vars: usize,
+    /// Branch-current unknowns.
+    pub branch_vars: usize,
+    /// For each element index, its branch variable index (if any).
+    pub branch_of_element: Vec<Option<usize>>,
+}
+
+impl MnaLayout {
+    /// Builds the layout for `circuit`.
+    pub fn new(circuit: &Circuit) -> MnaLayout {
+        let mut branch_of_element = Vec::with_capacity(circuit.elements().len());
+        let mut next_branch = 0usize;
+        for e in circuit.elements() {
+            match e {
+                Element::Inductor { .. } | Element::VSource { .. } => {
+                    branch_of_element.push(Some(next_branch));
+                    next_branch += 1;
+                }
+                _ => branch_of_element.push(None),
+            }
+        }
+        MnaLayout {
+            node_vars: circuit.node_count() - 1,
+            branch_vars: next_branch,
+            branch_of_element,
+        }
+    }
+
+    /// Total unknown count.
+    pub fn dim(&self) -> usize {
+        self.node_vars + self.branch_vars
+    }
+
+    /// MNA row/column of a node voltage, or `None` for ground.
+    pub fn node_index(&self, n: NodeId) -> Option<usize> {
+        if n.0 == 0 {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// MNA row/column of a branch current.
+    pub fn branch_index(&self, b: usize) -> usize {
+        self.node_vars + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn layout_counts() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.0));
+        c.resistor(a, b, 10.0);
+        c.inductor(b, Circuit::GND, 1e-9);
+        let l = MnaLayout::new(&c);
+        assert_eq!(l.node_vars, 2);
+        assert_eq!(l.branch_vars, 2);
+        assert_eq!(l.dim(), 4);
+        assert_eq!(l.node_index(Circuit::GND), None);
+        assert_eq!(l.node_index(a), Some(0));
+        assert_eq!(l.branch_of_element, vec![Some(0), None, Some(1)]);
+        assert_eq!(l.branch_index(1), 3);
+    }
+}

@@ -1,0 +1,395 @@
+//! Circuit description: nodes, linear elements, and source waveforms.
+
+use serde::Serialize;
+
+/// A circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct NodeId(pub usize);
+
+/// Time-domain source waveforms.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse.
+    Pulse {
+        /// Low level.
+        v0: f64,
+        /// High level.
+        v1: f64,
+        /// Delay before the first rising edge, s.
+        delay: f64,
+        /// Rise time, s.
+        rise: f64,
+        /// Fall time, s.
+        fall: f64,
+        /// High-level width, s.
+        width: f64,
+        /// Repetition period, s (`f64::INFINITY` for a one-shot step).
+        period: f64,
+    },
+    /// Piecewise-linear waveform as (time, value) breakpoints.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid: `offset + amplitude·sin(2πf·t)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency, Hz.
+        freq_hz: f64,
+    },
+    /// PRBS-7 bit stream with trapezoidal edges.
+    Prbs {
+        /// Low level.
+        v0: f64,
+        /// High level.
+        v1: f64,
+        /// Bit period, s.
+        bit: f64,
+        /// Edge (rise/fall) time, s.
+        edge: f64,
+        /// LFSR seed (nonzero, 7 bits used).
+        seed: u8,
+    },
+}
+
+impl Waveform {
+    /// A single step from 0 to `v` at `delay` with rise time `rise`.
+    pub fn step(v: f64, delay: f64, rise: f64) -> Waveform {
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: v,
+            delay,
+            rise,
+            fall: rise,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        }
+    }
+
+    /// A 50 %-duty clock at `freq` Hz swinging 0..`v`.
+    pub fn clock(v: f64, freq: f64, edge: f64) -> Waveform {
+        let period = 1.0 / freq;
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: v,
+            delay: 0.0,
+            rise: edge,
+            fall: edge,
+            width: period / 2.0 - edge,
+            period,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (t < 0 clamps to the t = 0
+    /// value).
+    pub fn at(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let tp = if period.is_finite() {
+                    (t - delay) % period
+                } else {
+                    t - delay
+                };
+                if tp < *rise {
+                    v0 + (v1 - v0) * tp / rise.max(1e-18)
+                } else if tp < rise + width {
+                    *v1
+                } else if tp < rise + width + fall {
+                    v1 - (v1 - v0) * (tp - rise - width) / fall.max(1e-18)
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * freq_hz * t).sin(),
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0).max(1e-18);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+            Waveform::Prbs {
+                v0,
+                v1,
+                bit,
+                edge,
+                seed,
+            } => {
+                let idx = (t / bit) as usize;
+                let frac = t - idx as f64 * bit;
+                let cur = if prbs7_bit(*seed, idx) { *v1 } else { *v0 };
+                let prev = if idx == 0 {
+                    *v0
+                } else if prbs7_bit(*seed, idx - 1) {
+                    *v1
+                } else {
+                    *v0
+                };
+                if frac < *edge {
+                    prev + (cur - prev) * frac / edge.max(1e-18)
+                } else {
+                    cur
+                }
+            }
+        }
+    }
+}
+
+/// The `idx`-th bit of the PRBS-7 sequence (x⁷ + x⁶ + 1) seeded with
+/// `seed` (only the low 7 bits are used; zero is mapped to 1).
+pub fn prbs7_bit(seed: u8, idx: usize) -> bool {
+    let mut state = (seed & 0x7f).max(1);
+    // Sequence repeats every 127 bits.
+    for _ in 0..(idx % 127) {
+        let new = ((state >> 6) ^ (state >> 5)) & 1;
+        state = ((state << 1) | new) & 0x7f;
+    }
+    state & 1 == 1
+}
+
+/// Linear circuit elements.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Element {
+    /// Resistor between two nodes, Ω.
+    Resistor { a: NodeId, b: NodeId, ohms: f64 },
+    /// Capacitor between two nodes, F.
+    Capacitor { a: NodeId, b: NodeId, farads: f64 },
+    /// Inductor between two nodes, H (adds an MNA branch current).
+    Inductor { a: NodeId, b: NodeId, henries: f64 },
+    /// Ideal voltage source `a`→`b` (adds an MNA branch current).
+    VSource { a: NodeId, b: NodeId, wave: Waveform },
+    /// Ideal current source pushing current into `b` (out of `a`).
+    ISource { a: NodeId, b: NodeId, wave: Waveform },
+}
+
+/// A circuit under construction.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Circuit {
+    node_count: usize,
+    names: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit (ground pre-allocated).
+    pub fn new() -> Circuit {
+        Circuit {
+            node_count: 1,
+            names: vec!["gnd".into()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a named node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        self.node_count += 1;
+        NodeId(self.node_count - 1)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// All elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Node name lookup.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive and finite.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        self.elements.push(Element::Resistor { a, b, ohms });
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive and finite.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) {
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
+        self.elements.push(Element::Capacitor { a, b, farads });
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not positive and finite.
+    pub fn inductor(&mut self, a: NodeId, b: NodeId, henries: f64) {
+        assert!(
+            henries > 0.0 && henries.is_finite(),
+            "inductance must be positive"
+        );
+        self.elements.push(Element::Inductor { a, b, henries });
+    }
+
+    /// Adds a voltage source (positive terminal `a`).
+    pub fn vsource(&mut self, a: NodeId, b: NodeId, wave: Waveform) {
+        self.elements.push(Element::VSource { a, b, wave });
+    }
+
+    /// Adds a current source (flows from `a` through the source into `b`).
+    pub fn isource(&mut self, a: NodeId, b: NodeId, wave: Waveform) {
+        self.elements.push(Element::ISource { a, b, wave });
+    }
+
+    /// Count of MNA branch variables (inductors + voltage sources).
+    pub fn branch_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Inductor { .. } | Element::VSource { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.8,
+            period: 2.0,
+        };
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(0.99), 0.0);
+        assert!((w.at(1.05) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.at(1.5), 1.0);
+        assert!((w.at(1.95) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.at(2.5), 0.0);
+        // Periodic repeat.
+        assert_eq!(w.at(3.5), 1.0);
+    }
+
+    #[test]
+    fn step_is_one_shot() {
+        let w = Waveform::step(0.9, 1e-9, 10e-12);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(2e-9), 0.9);
+        assert_eq!(w.at(1e-3), 0.9);
+    }
+
+    #[test]
+    fn pwl_interpolates() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)]);
+        assert_eq!(w.at(0.5), 1.0);
+        assert_eq!(w.at(2.0), 2.0);
+        assert_eq!(w.at(99.0), 2.0);
+    }
+
+    #[test]
+    fn prbs7_has_period_127_and_is_balanced() {
+        let ones: usize = (0..127).filter(|&i| prbs7_bit(0x5a, i)).count();
+        assert_eq!(ones, 64); // PRBS-7: 64 ones, 63 zeros
+        for i in 0..10 {
+            assert_eq!(prbs7_bit(0x5a, i), prbs7_bit(0x5a, i + 127));
+        }
+    }
+
+    #[test]
+    fn prbs_waveform_levels() {
+        let w = Waveform::Prbs {
+            v0: 0.0,
+            v1: 0.9,
+            bit: 1e-9,
+            edge: 50e-12,
+            seed: 3,
+        };
+        // Mid-bit samples are at a rail.
+        for i in 0..20 {
+            let v = w.at(i as f64 * 1e-9 + 0.5e-9);
+            assert!(v == 0.0 || v == 0.9, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sine_waveform_shape() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            freq_hz: 1e9,
+        };
+        assert!((w.at(0.0) - 1.0).abs() < 1e-12);
+        assert!((w.at(0.25e-9) - 1.5).abs() < 1e-9);
+        assert!((w.at(0.75e-9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_duty_cycle() {
+        let w = Waveform::clock(1.0, 1e9, 20e-12);
+        assert_eq!(w.at(0.25e-9), 1.0);
+        assert_eq!(w.at(0.75e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance")]
+    fn negative_resistor_panics() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.resistor(n, Circuit::GND, -5.0);
+    }
+
+    #[test]
+    fn branch_counting() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.0));
+        c.inductor(a, b, 1e-9);
+        c.resistor(b, Circuit::GND, 50.0);
+        assert_eq!(c.branch_count(), 2);
+        assert_eq!(c.node_count(), 3);
+    }
+}

@@ -1,0 +1,386 @@
+//! Transient analysis (trapezoidal integration).
+//!
+//! The circuits this workspace simulates are linear (behavioural drivers
+//! are Thevenin sources), so the MNA matrix with trapezoidal companion
+//! models is constant over time: it is factored once and re-solved per
+//! step — the property that makes 100k-step eye-diagram runs cheap.
+
+use crate::matrix::{Lu, Matrix};
+use crate::mna::MnaLayout;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::CircuitError;
+
+/// Transient run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TranConfig {
+    /// Stop time, s.
+    pub t_stop: f64,
+    /// Fixed time step, s.
+    pub dt: f64,
+}
+
+/// Transient results: time points and waveforms.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    layout: MnaLayout,
+    /// Time points, s.
+    pub times: Vec<f64>,
+    /// Per-unknown waveforms, indexed `[unknown][step]`.
+    waves: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// Voltage waveform of a node (ground returns a zero waveform).
+    pub fn voltage(&self, n: NodeId) -> Vec<f64> {
+        match self.layout.node_index(n) {
+            Some(i) => self.waves[i].clone(),
+            None => vec![0.0; self.times.len()],
+        }
+    }
+
+    /// Branch-current waveform of element `element_index` (inductor or
+    /// voltage source), if it has a branch variable.
+    pub fn branch_current(&self, element_index: usize) -> Option<Vec<f64>> {
+        self.layout.branch_of_element[element_index]
+            .map(|b| self.waves[self.layout.branch_index(b)].clone())
+    }
+}
+
+/// Runs the transient analysis.
+///
+/// # Errors
+///
+/// Rejects non-positive `dt`/`t_stop`; propagates singular-matrix errors.
+pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, CircuitError> {
+    if !(config.dt > 0.0) || !config.dt.is_finite() {
+        return Err(CircuitError::InvalidParameter { parameter: "dt" });
+    }
+    if !(config.t_stop > config.dt) {
+        return Err(CircuitError::InvalidParameter { parameter: "t_stop" });
+    }
+    let layout = MnaLayout::new(circuit);
+    let n = layout.dim();
+    let dt = config.dt;
+    let steps = (config.t_stop / dt).ceil() as usize;
+
+    // Build the constant system matrix.
+    let mut m = Matrix::<f64>::zeros(n);
+    for (ei, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                crate::dc::stamp_conductance(&mut m, &layout, *a, *b, 1.0 / ohms);
+            }
+            Element::Capacitor { a, b, farads } => {
+                crate::dc::stamp_conductance(&mut m, &layout, *a, *b, 2.0 * farads / dt);
+            }
+            Element::Inductor { a, b, henries } => {
+                let br = layout.branch_of_element[ei].expect("inductor branch");
+                crate::dc::stamp_branch(&mut m, &layout, *a, *b, br, 2.0 * henries / dt);
+            }
+            Element::VSource { a, b, .. } => {
+                let br = layout.branch_of_element[ei].expect("vsource branch");
+                crate::dc::stamp_branch(&mut m, &layout, *a, *b, br, 0.0);
+            }
+            Element::ISource { .. } => {}
+        }
+    }
+    let lu: Lu<f64> = m.lu()?;
+
+    // Element state for companion models.
+    #[derive(Clone, Copy)]
+    struct CapState {
+        v_prev: f64,
+        i_prev: f64,
+    }
+    #[derive(Clone, Copy)]
+    struct IndState {
+        v_prev: f64,
+        i_prev: f64,
+    }
+    let mut cap_state: Vec<CapState> = Vec::new();
+    let mut ind_state: Vec<IndState> = Vec::new();
+    for e in circuit.elements() {
+        match e {
+            Element::Capacitor { .. } => cap_state.push(CapState {
+                v_prev: 0.0,
+                i_prev: 0.0,
+            }),
+            Element::Inductor { .. } => ind_state.push(IndState {
+                v_prev: 0.0,
+                i_prev: 0.0,
+            }),
+            _ => {}
+        }
+    }
+
+    let mut waves: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); n];
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut x = vec![0.0; n];
+    // Record t = 0 state (all zeros: caps discharged, inductors relaxed).
+    times.push(0.0);
+    for (w, &xi) in waves.iter_mut().zip(&x) {
+        w.push(xi);
+    }
+
+    let node_v = |x: &[f64], node: NodeId, layout: &MnaLayout| -> f64 {
+        layout.node_index(node).map_or(0.0, |i| x[i])
+    };
+
+    for step in 1..=steps {
+        let t = step as f64 * dt;
+        let mut rhs = vec![0.0; n];
+        let mut ci = 0usize;
+        let mut li = 0usize;
+        for (ei, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Capacitor { a, b, farads } => {
+                    let st = cap_state[ci];
+                    ci += 1;
+                    let g = 2.0 * farads / dt;
+                    // Companion current source into node a.
+                    let ieq = g * st.v_prev + st.i_prev;
+                    if let Some(i) = layout.node_index(*a) {
+                        rhs[i] += ieq;
+                    }
+                    if let Some(j) = layout.node_index(*b) {
+                        rhs[j] -= ieq;
+                    }
+                }
+                Element::Inductor { .. } => {
+                    let st = ind_state[li];
+                    li += 1;
+                    let br = layout.branch_of_element[ei].expect("inductor branch");
+                    let henries = match e {
+                        Element::Inductor { henries, .. } => *henries,
+                        _ => unreachable!(),
+                    };
+                    let r_eq = 2.0 * henries / dt;
+                    rhs[layout.branch_index(br)] = -(r_eq * st.i_prev + st.v_prev);
+                }
+                Element::VSource { wave, .. } => {
+                    let br = layout.branch_of_element[ei].expect("vsource branch");
+                    rhs[layout.branch_index(br)] = wave.at(t);
+                }
+                Element::ISource { a, b, wave } => {
+                    let i = wave.at(t);
+                    if let Some(ia) = layout.node_index(*a) {
+                        rhs[ia] -= i;
+                    }
+                    if let Some(ib) = layout.node_index(*b) {
+                        rhs[ib] += i;
+                    }
+                }
+                Element::Resistor { .. } => {}
+            }
+        }
+        x = lu.solve(&rhs);
+
+        // Update companion states.
+        let mut ci = 0usize;
+        let mut li = 0usize;
+        for (ei, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Capacitor { a, b, farads } => {
+                    let g = 2.0 * farads / dt;
+                    let v = node_v(&x, *a, &layout) - node_v(&x, *b, &layout);
+                    let st = &mut cap_state[ci];
+                    ci += 1;
+                    let i_new = g * (v - st.v_prev) - st.i_prev;
+                    st.v_prev = v;
+                    st.i_prev = i_new;
+                }
+                Element::Inductor { a, b, .. } => {
+                    let br = layout.branch_of_element[ei].expect("inductor branch");
+                    let v = node_v(&x, *a, &layout) - node_v(&x, *b, &layout);
+                    let st = &mut ind_state[li];
+                    li += 1;
+                    st.v_prev = v;
+                    st.i_prev = x[layout.branch_index(br)];
+                }
+                _ => {}
+            }
+        }
+
+        times.push(t);
+        for (w, &xi) in waves.iter_mut().zip(&x) {
+            w.push(xi);
+        }
+    }
+
+    Ok(TranResult { layout, times, waves })
+}
+
+/// First time `wave` crosses `level` in the given direction at or after
+/// `after`, with linear interpolation. Returns `None` if it never does.
+pub fn cross_time(times: &[f64], wave: &[f64], level: f64, rising: bool, after: f64) -> Option<f64> {
+    for i in 1..wave.len() {
+        if times[i] < after {
+            continue;
+        }
+        let (a, b) = (wave[i - 1], wave[i]);
+        let crossed = if rising {
+            a < level && b >= level
+        } else {
+            a > level && b <= level
+        };
+        if crossed {
+            let frac = (level - a) / (b - a);
+            return Some(times[i - 1] + frac * (times[i] - times[i - 1]));
+        }
+    }
+    None
+}
+
+/// 50 %-to-50 % propagation delay between two waveforms swinging 0..`vdd`.
+pub fn delay_50(times: &[f64], input: &[f64], output: &[f64], vdd: f64) -> Option<f64> {
+    let t_in = cross_time(times, input, vdd / 2.0, true, 0.0)?;
+    let t_out = cross_time(times, output, vdd / 2.0, true, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// Average of `v(t) · i(t)` over the simulated interval, W.
+pub fn average_power(times: &[f64], v: &[f64], i: &[f64]) -> f64 {
+    if times.len() < 2 {
+        return 0.0;
+    }
+    let mut energy = 0.0;
+    for k in 1..times.len() {
+        let p0 = v[k - 1] * i[k - 1];
+        let p1 = v[k] * i[k];
+        energy += 0.5 * (p0 + p1) * (times[k] - times[k - 1]);
+    }
+    energy / (times[times.len() - 1] - times[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_step_time_constant() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(inp, Circuit::GND, Waveform::step(1.0, 0.0, 1e-12));
+        c.resistor(inp, out, 1_000.0);
+        c.capacitor(out, Circuit::GND, 1e-12); // τ = 1 ns
+        let r = simulate(&c, &TranConfig { t_stop: 5e-9, dt: 2e-12 }).unwrap();
+        let v = r.voltage(out);
+        // At t = τ the response is 1 - 1/e ≈ 0.632.
+        let idx = r.times.iter().position(|&t| t >= 1e-9).unwrap();
+        assert!((v[idx] - 0.632).abs() < 0.01, "v(τ) = {}", v[idx]);
+        assert!((v.last().unwrap() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn lc_oscillation_period() {
+        // Series RLC with tiny R: period 2π√(LC) = 6.28 ns for 1nH/1µF...
+        // use 10nH, 10pF → T = 1.987 ns.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::step(1.0, 0.0, 1e-12));
+        c.inductor(a, b, 10e-9);
+        c.capacitor(b, Circuit::GND, 10e-12);
+        c.resistor(b, Circuit::GND, 1e6);
+        let r = simulate(&c, &TranConfig { t_stop: 6e-9, dt: 1e-12 }).unwrap();
+        let v = r.voltage(b);
+        // Under-damped: output overshoots toward 2.0.
+        let peak = v.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 1.8, "peak = {peak}");
+        // First peak at half a period ≈ 0.99 ns.
+        let idx = v
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let t_peak = r.times[idx];
+        assert!((t_peak - 0.99e-9).abs() < 0.15e-9, "t_peak = {t_peak}");
+    }
+
+    #[test]
+    fn delay_measurement_on_rc() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(inp, Circuit::GND, Waveform::step(1.0, 0.5e-9, 1e-12));
+        c.resistor(inp, out, 1_000.0);
+        c.capacitor(out, Circuit::GND, 1e-12);
+        let r = simulate(&c, &TranConfig { t_stop: 8e-9, dt: 1e-12 }).unwrap();
+        let d = delay_50(&r.times, &r.voltage(inp), &r.voltage(out), 1.0).unwrap();
+        // RC step 50 % delay = τ ln 2 = 0.693 ns.
+        assert!((d - 0.693e-9).abs() < 0.02e-9, "d = {d}");
+    }
+
+    #[test]
+    fn average_power_of_resistor_load() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(a, Circuit::GND, Waveform::Dc(2.0));
+        c.resistor(a, Circuit::GND, 100.0);
+        let r = simulate(&c, &TranConfig { t_stop: 1e-9, dt: 1e-12 }).unwrap();
+        let i = r.branch_current(0).unwrap();
+        let v = r.voltage(a);
+        // Source delivers 40 mW (branch current flows a→b inside source).
+        let p = average_power(&r.times, &v, &i).abs();
+        assert!((p - 0.04).abs() < 0.002, "p = {p}");
+    }
+
+    #[test]
+    fn transient_sine_matches_ac_analysis() {
+        // Physics crosscheck: drive the RC low-pass with a sine at its
+        // corner frequency; the steady-state transient amplitude must
+        // match the AC solution (1/√2) within integration error.
+        let f3 = 1.0 / (2.0 * std::f64::consts::PI * 1_000.0 * 1e-9);
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(
+            inp,
+            Circuit::GND,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                freq_hz: f3,
+            },
+        );
+        c.resistor(inp, out, 1_000.0);
+        c.capacitor(out, Circuit::GND, 1e-9);
+        let period = 1.0 / f3;
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 12.0 * period,
+                dt: period / 400.0,
+            },
+        )
+        .unwrap();
+        // Amplitude over the last two periods.
+        let v = r.voltage(out);
+        let tail = &v[v.len() - 800..];
+        let amp = tail.iter().cloned().fold(0.0f64, f64::max);
+        let ac = crate::ac::solve_at(&c, f3).unwrap().voltage(out).abs();
+        assert!((amp - ac).abs() / ac < 0.01, "tran {amp} vs ac {ac}");
+        assert!((ac - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let c = Circuit::new();
+        assert!(simulate(&c, &TranConfig { t_stop: 1e-9, dt: 0.0 }).is_err());
+        assert!(simulate(&c, &TranConfig { t_stop: 0.0, dt: 1e-12 }).is_err());
+    }
+
+    #[test]
+    fn cross_time_interpolates() {
+        let times = [0.0, 1.0, 2.0];
+        let wave = [0.0, 1.0, 0.0];
+        let t = cross_time(&times, &wave, 0.5, true, 0.0).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        let t = cross_time(&times, &wave, 0.5, false, 0.0).unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+        assert!(cross_time(&times, &wave, 2.0, true, 0.0).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Command-line front-end for the co-design flow.
+//!
+//! ```sh
+//! codesign glass3d            # human-readable study summary
+//! codesign silicon25d --json  # full study as JSON
+//! codesign --all              # one-line summary per technology
+//! ```
+
+use codesign::flow::{run_all, run_tech};
+use codesign::table5::MonitorLengths;
+use techlib::spec::InterposerKind;
+
+fn parse_tech(name: &str) -> Option<InterposerKind> {
+    match name.to_ascii_lowercase().replace(['-', '_', '.'], "").as_str() {
+        "glass25d" | "glass2d5" => Some(InterposerKind::Glass25D),
+        "glass3d" | "55d" => Some(InterposerKind::Glass3D),
+        "silicon25d" | "si25d" | "cowos" => Some(InterposerKind::Silicon25D),
+        "silicon3d" | "si3d" => Some(InterposerKind::Silicon3D),
+        "shinko" => Some(InterposerKind::Shinko),
+        "apx" => Some(InterposerKind::Apx),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: codesign <glass25d|glass3d|silicon25d|silicon3d|shinko|apx> [--json]");
+    eprintln!("       codesign --all");
+    std::process::exit(2);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--all" {
+        println!(
+            "{:<14}{:>10}{:>12}{:>10}{:>10}{:>10}",
+            "tech", "area mm²", "P_sys mW", "Fmax MHz", "logic °C", "mem °C"
+        );
+        for s in run_all(MonitorLengths::Routed)? {
+            let area = s.routing.as_ref().map_or(0.88, |r| r.area_mm2);
+            println!(
+                "{:<14}{:>10.2}{:>12.1}{:>10.0}{:>10.1}{:>10.1}",
+                s.tech.label(),
+                area,
+                s.fullchip.total_power_mw,
+                s.fullchip.system_fmax_mhz,
+                s.thermal.logic_peak_c,
+                s.thermal.mem_peak_c
+            );
+        }
+        return Ok(());
+    }
+    let Some(tech) = parse_tech(&args[0]) else {
+        usage();
+    };
+    let study = run_tech(tech)?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&study)?);
+    } else {
+        println!("=== {} study ===", tech.label());
+        println!(
+            "logic chiplet : {:.2} mm² @ {:.1}% util, {:.0} MHz, {:.2} mW",
+            study.logic.footprint.area_mm2(),
+            study.logic.utilization * 100.0,
+            study.logic.fmax_mhz,
+            study.logic.total_power_mw()
+        );
+        println!(
+            "memory chiplet: {:.2} mm² @ {:.1}% util, {:.0} MHz, {:.2} mW",
+            study.memory.footprint.area_mm2(),
+            study.memory.utilization * 100.0,
+            study.memory.fmax_mhz,
+            study.memory.total_power_mw()
+        );
+        if let Some(r) = &study.routing {
+            println!(
+                "interposer    : {} + {} layers, {:.1} mm wire, {:.2} mm²",
+                r.signal_layers_used, r.pg_layers, r.total_wl_mm, r.area_mm2
+            );
+        } else {
+            println!("interposer    : none (direct 3D stack)");
+        }
+        println!(
+            "links         : L2M {:.2} ps / {:.1} µW, L2L {:.2} ps / {:.1} µW",
+            study.links.l2m.interconnect_delay_ps,
+            study.links.l2m.total_power_uw(),
+            study.links.l2l.interconnect_delay_ps,
+            study.links.l2l.total_power_uw()
+        );
+        println!(
+            "full chip     : {:.1} mW, {:.0} MHz pipelined / {:.0} MHz non-pipelined",
+            study.fullchip.total_power_mw,
+            study.fullchip.system_fmax_mhz,
+            study.fullchip.nonpipelined_fmax_mhz
+        );
+        println!(
+            "thermal       : logic {:.1} °C, memory {:.1} °C",
+            study.thermal.logic_peak_c, study.thermal.mem_peak_c
+        );
+    }
+    Ok(())
+}

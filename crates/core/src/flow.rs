@@ -1,0 +1,115 @@
+//! One-call end-to-end study per technology.
+
+use crate::fullchip::{fullchip, FullChipReport};
+use crate::table5::{row, MonitorLengths, Table5Row};
+use crate::FlowError;
+use chiplet::report::ChipletReport;
+use interposer::report::cached_layout;
+use interposer::stats::RoutingStats;
+use netlist::serdes::SerdesPlan;
+use serde::Serialize;
+use techlib::spec::{InterposerKind, Stacking};
+use thermal::report::{analyze_tech, ThermalReport};
+
+/// Everything the study produces for one technology.
+#[derive(Debug, Clone, Serialize)]
+pub struct TechStudy {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Logic-chiplet physical design (Table III).
+    pub logic: ChipletReport,
+    /// Memory-chiplet physical design (Table III).
+    pub memory: ChipletReport,
+    /// Interposer routing statistics (Table IV), if the technology has a
+    /// routed interposer.
+    pub routing: Option<RoutingStats>,
+    /// Worst-net link analysis (Table V).
+    pub links: Table5Row,
+    /// Full-chip roll-up (Table IV power row, Section VII-H timing).
+    pub fullchip: FullChipReport,
+    /// Thermal peaks (Fig. 17).
+    pub thermal: ThermalReport,
+}
+
+/// Runs the complete co-design flow for `tech` using our own routed
+/// layouts as the monitored nets.
+///
+/// # Errors
+///
+/// Propagates netlist, routing and simulation failures.
+pub fn run_tech(tech: InterposerKind) -> Result<TechStudy, FlowError> {
+    run_tech_with(tech, MonitorLengths::Routed)
+}
+
+/// Runs the flow with an explicit monitored-net mode.
+///
+/// # Errors
+///
+/// Propagates netlist, routing and simulation failures.
+pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechStudy, FlowError> {
+    let design = netlist::openpiton::two_tile_openpiton();
+    let split = netlist::partition::hierarchical_l3_split(&design)?;
+    let (logic_nl, mem_nl) =
+        netlist::chiplet_netlist::chipletize(&design, &split, &SerdesPlan::paper());
+    let (logic, memory) = chiplet::report::analyze_pair(&logic_nl, &mem_nl, tech);
+    let spec = techlib::spec::InterposerSpec::for_kind(tech);
+    let routing = if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
+        None
+    } else {
+        Some(cached_layout(tech)?.stats.clone())
+    };
+    let links = row(tech, mode)?;
+    let fullchip = fullchip(tech, mode)?;
+    let thermal = analyze_tech(tech);
+    Ok(TechStudy {
+        tech,
+        logic,
+        memory,
+        routing,
+        links,
+        fullchip,
+        thermal,
+    })
+}
+
+/// Runs the study for all six packaged technologies.
+///
+/// # Errors
+///
+/// Propagates per-technology failures.
+pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+    InterposerKind::PACKAGED
+        .iter()
+        .map(|&tech| run_tech_with(tech, mode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glass_3d_study_is_complete() {
+        let s = run_tech(InterposerKind::Glass3D).unwrap();
+        assert_eq!(s.tech, InterposerKind::Glass3D);
+        assert!(s.routing.is_some());
+        assert!(s.fullchip.total_power_mw > 300.0);
+        assert!(s.thermal.mem_peak_c > s.thermal.logic_peak_c);
+        assert_eq!(s.logic.footprint_mm, s.memory.footprint_mm);
+    }
+
+    #[test]
+    fn silicon_3d_study_has_no_interposer() {
+        let s = run_tech(InterposerKind::Silicon3D).unwrap();
+        assert!(s.routing.is_none());
+        assert!(s.links.l2m.interconnect_delay_ps < 2.0);
+    }
+
+    #[test]
+    fn study_serializes_to_json() {
+        let s = run_tech(InterposerKind::Glass3D).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("Glass3D"));
+        assert!(json.len() > 1000);
+    }
+}

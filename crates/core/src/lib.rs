@@ -1,0 +1,91 @@
+//! End-to-end chiplet/interposer co-design flow (Fig. 4 of the paper).
+//!
+//! This crate is the facade over the whole study. It wires together:
+//!
+//! 1. [`netlist`] — the two-tile OpenPiton-like design, hierarchical
+//!    partitioning and SerDes insertion;
+//! 2. [`chiplet`] — bump planning, footprints, placement, timing, power
+//!    (Tables II/III);
+//! 3. [`interposer`] — die placement, routing, PDN (Table IV);
+//! 4. [`si`] — link delay/power and eye diagrams (Tables V/VI, Fig. 14);
+//! 5. [`pi`] — PDN impedance, IR drop, settling (Fig. 15, Table IV);
+//! 6. [`thermal`] — steady-state temperatures (Figs. 16–18);
+//!
+//! and produces the full-chip roll-ups ([`fullchip`]), the headline
+//! cross-technology comparison ([`compare`]) and printable tables
+//! ([`tables`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! let study = codesign::flow::run_tech(techlib::spec::InterposerKind::Glass3D)?;
+//! println!("system power: {:.1} mW", study.fullchip.total_power_mw);
+//! # Ok::<(), codesign::FlowError>(())
+//! ```
+
+pub mod compare;
+pub mod cost;
+pub mod flow;
+pub mod fullchip;
+pub mod sensitivity;
+pub mod table5;
+pub mod tables;
+
+pub use flow::{run_tech, TechStudy};
+pub use fullchip::FullChipReport;
+
+/// Errors produced by the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Netlist construction or partitioning failed.
+    Netlist(netlist::NetlistError),
+    /// Interposer routing failed.
+    Route(interposer::RouteError),
+    /// Circuit simulation failed.
+    Circuit(circuit::CircuitError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowError::Route(e) => write!(f, "routing: {e}"),
+            FlowError::Circuit(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<netlist::NetlistError> for FlowError {
+    fn from(e: netlist::NetlistError) -> FlowError {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<interposer::RouteError> for FlowError {
+    fn from(e: interposer::RouteError) -> FlowError {
+        FlowError::Route(e)
+    }
+}
+
+impl From<circuit::CircuitError> for FlowError {
+    fn from(e: circuit::CircuitError) -> FlowError {
+        FlowError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_convert_and_display() {
+        let e: FlowError = netlist::NetlistError::EmptySide.into();
+        assert!(!e.to_string().is_empty());
+        let e: FlowError = interposer::RouteError::Unroutable { net: 1 }.into();
+        assert!(e.to_string().contains("net 1"));
+        let e: FlowError = circuit::CircuitError::InvalidParameter { parameter: "dt" }.into();
+        assert!(e.to_string().contains("dt"));
+    }
+}

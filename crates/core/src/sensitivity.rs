@@ -1,0 +1,125 @@
+//! Sensitivity analysis — the "optimization opportunities" the paper's
+//! conclusion points at, quantified by sweeping one technology parameter
+//! at a time around the glass design point.
+
+use chiplet::bumpmap::BumpPlan;
+use interposer::grid::RoutingGrid;
+use interposer::router::base_blockage;
+use netlist::chiplet_netlist::chipletize;
+use netlist::openpiton::two_tile_openpiton;
+use netlist::partition::hierarchical_l3_split;
+use netlist::serdes::SerdesPlan;
+use serde::Serialize;
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// The responding metric's value.
+    pub y: f64,
+}
+
+/// Glass logic-die width (µm) versus micro-bump pitch (µm).
+///
+/// Shows where the die flips from bump-limited to cell-area-limited —
+/// the pitch below which further bump scaling stops paying.
+pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Vec<SweepPoint> {
+    let design = two_tile_openpiton();
+    let split = hierarchical_l3_split(&design).expect("openpiton splits");
+    let (logic, _) = chipletize(&design, &split, &SerdesPlan::paper());
+    pitches_um
+        .iter()
+        .map(|&pitch| {
+            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            spec.microbump_pitch_um = pitch;
+            let bumps = BumpPlan::for_design(logic.signal_pins, logic.kind, &spec);
+            let fp = chiplet::footprint::solve(&logic, &bumps, &spec, None);
+            SweepPoint {
+                x: pitch,
+                y: fp.width_um,
+            }
+        })
+        .collect()
+}
+
+/// Glass interconnect Elmore delay at the AIB's 10 mm maximum reach
+/// (ps) versus RDL metal
+/// thickness (µm), holding the glass stack's 2:1 thickness-to-spacing
+/// aspect ratio (scaling thickness at fixed spacing would trade the R
+/// win for a lateral-coupling C penalty). Thicker copper buys delay —
+/// the glass technology's core electrical advantage (Table VI).
+pub fn delay_vs_metal_thickness(thicknesses_um: &[f64]) -> Vec<SweepPoint> {
+    thicknesses_um
+        .iter()
+        .map(|&t| {
+            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            spec.metal_thickness_um = t;
+            spec.min_wire_space_um = t / 2.0;
+            let line = si::rlgc::extract_line(&spec, 10e-3);
+            SweepPoint {
+                x: t,
+                y: line.elmore_delay(47.4, 55e-15) * 1e12,
+            }
+        })
+        .collect()
+}
+
+/// Fraction of glass routing gcell-layers blocked before any signal is
+/// routed, versus via diameter (µm). The 22 µm via is the root cause of
+/// the glass detour effect; this sweep shows how much smaller vias would
+/// relieve it.
+pub fn blockage_vs_via_size(via_sizes_um: &[f64]) -> Vec<SweepPoint> {
+    let placement = interposer::diemap::place_dies(InterposerKind::Glass25D);
+    via_sizes_um
+        .iter()
+        .map(|&v| {
+            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            spec.via_size_um = v;
+            let grid = RoutingGrid::new(placement.footprint_um, &spec).expect("grid");
+            let base = base_blockage(&placement, &grid);
+            let blocked = base.iter().filter(|&&u| u >= grid.capacity).count();
+            SweepPoint {
+                x: v,
+                y: blocked as f64 / base.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_shrinks_with_pitch_until_cell_limited() {
+        let points = footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0]);
+        // Monotone non-decreasing in pitch.
+        for w in points.windows(2) {
+            assert!(w[1].y >= w[0].y, "{points:?}");
+        }
+        // At tiny pitch the cell-area limit takes over: width saturates.
+        let tiny = footprint_vs_bump_pitch(&[5.0, 10.0]);
+        assert_eq!(tiny[0].y, tiny[1].y, "cell-limited floor");
+    }
+
+    #[test]
+    fn thicker_metal_is_faster() {
+        let points = delay_vs_metal_thickness(&[1.0, 2.0, 4.0, 8.0]);
+        for w in points.windows(2) {
+            assert!(w[1].y < w[0].y, "{points:?}");
+        }
+    }
+
+    #[test]
+    fn smaller_vias_unblock_the_grid() {
+        let points = blockage_vs_via_size(&[4.0, 10.0, 22.0, 30.0]);
+        for w in points.windows(2) {
+            assert!(w[1].y >= w[0].y, "{points:?}");
+        }
+        // The paper's 22 µm point blocks a meaningful fraction.
+        let at22 = points.iter().find(|p| p.x == 22.0).unwrap();
+        assert!(at22.y > 0.01, "{}", at22.y);
+    }
+}

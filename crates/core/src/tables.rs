@@ -1,0 +1,218 @@
+//! Text renderers for the paper's tables.
+//!
+//! Each function regenerates one table as formatted text; the bench
+//! binaries print these next to the paper's values (EXPERIMENTS.md).
+
+use crate::flow::TechStudy;
+use crate::table5::Table5Row;
+use crate::FlowError;
+use std::fmt::Write as _;
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+/// Table I — interposer specifications (inputs).
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22}{:>12}{:>12}{:>12}{:>10}{:>10}",
+        "Table I", "Glass", "Silicon", "Shinko", "APX", ""
+    );
+    let g = InterposerSpec::for_kind(InterposerKind::Glass25D);
+    let s = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+    let sh = InterposerSpec::for_kind(InterposerKind::Shinko);
+    let a = InterposerSpec::for_kind(InterposerKind::Apx);
+    let row = |label: &str, f: &dyn Fn(&InterposerSpec) -> String| {
+        format!(
+            "{:<22}{:>12}{:>12}{:>12}{:>10}\n",
+            label,
+            f(&g),
+            f(&s),
+            f(&sh),
+            f(&a)
+        )
+    };
+    out.push_str(&row("# metal layers", &|x| x.signal_metal_layers.to_string()));
+    out.push_str(&row("metal thickness", &|x| format!("{}µm", x.metal_thickness_um)));
+    out.push_str(&row("dielectric thick.", &|x| format!("{}µm", x.dielectric_thickness_um)));
+    out.push_str(&row("dielectric const.", &|x| format!("{}", x.dielectric_constant)));
+    out.push_str(&row("min wire W/S", &|x| {
+        format!("{}/{}µm", x.min_wire_width_um, x.min_wire_space_um)
+    }));
+    out.push_str(&row("via size", &|x| format!("{}µm", x.via_size_um)));
+    out.push_str(&row("bump size", &|x| format!("{}µm", x.bump_size_um)));
+    out.push_str(&row("µbump pitch", &|x| format!("{}µm", x.microbump_pitch_um)));
+    out
+}
+
+/// Table II — bump usage and chiplet areas.
+pub fn table2(studies: &[TechStudy]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>10}{:>10}{:>10}",
+        "Table II", "chip", "signal", "P/G", "total", "width mm", "area mm²", "ratio"
+    );
+    let glass_logic_area = studies
+        .iter()
+        .find(|s| s.tech == InterposerKind::Glass25D)
+        .map(|s| s.logic.footprint.area_mm2())
+        .unwrap_or(1.0);
+    for s in studies {
+        for (label, r) in [("logic", &s.logic), ("mem", &s.memory)] {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>8}{:>8}{:>8}{:>8}{:>10.2}{:>10.2}{:>10.2}",
+                s.tech.label(),
+                label,
+                r.bumps.signal,
+                r.bumps.pg,
+                r.bumps.total(),
+                r.footprint_mm,
+                r.footprint.area_mm2(),
+                r.footprint.area_mm2() / glass_logic_area,
+            );
+        }
+    }
+    out
+}
+
+/// Table III — chiplet PPA.
+pub fn table3(studies: &[TechStudy]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>7}{:>8}{:>9}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}",
+        "Table III", "chip", "Fmax", "FP mm", "util%", "WL m", "total mW", "int mW", "sw mW", "leak mW"
+    );
+    for s in studies {
+        for (label, r) in [("logic", &s.logic), ("mem", &s.memory)] {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>7}{:>8.0}{:>9.2}{:>8.1}{:>8.2}{:>9.2}{:>9.2}{:>9.2}{:>9.2}",
+                s.tech.label(),
+                label,
+                r.fmax_mhz,
+                r.footprint_mm,
+                r.utilization * 100.0,
+                r.wirelength_m,
+                r.total_power_mw(),
+                r.power.internal_w * 1e3,
+                r.power.switching_w * 1e3,
+                r.power.leakage_w * 1e3,
+            );
+        }
+    }
+    out
+}
+
+/// Table IV — interposer design results.
+pub fn table4(studies: &[TechStudy]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>9}{:>10}{:>9}{:>9}{:>9}{:>8}{:>11}{:>10}",
+        "Table IV", "layers", "WL mm", "min", "avg", "max", "vias", "area mm²", "P_sys mW"
+    );
+    for s in studies {
+        match &s.routing {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:>6}+{:<2}{:>10.1}{:>9.2}{:>9.2}{:>9.2}{:>8}{:>11.2}{:>10.1}",
+                    s.tech.label(),
+                    r.signal_layers_used,
+                    r.pg_layers,
+                    r.total_wl_mm,
+                    r.min_wl_mm,
+                    r.avg_wl_mm,
+                    r.max_wl_mm,
+                    r.signal_vias + r.stacked_vias,
+                    r.area_mm2,
+                    s.fullchip.total_power_mw,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:>9}{:>10}{:>9}{:>9}{:>9}{:>8}{:>11.2}{:>10.1}",
+                    s.tech.label(),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    0.88,
+                    s.fullchip.total_power_mw,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Table V — worst-net link delay and power.
+pub fn table5_text(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>9}{:>10}{:>12}{:>12}{:>12}{:>12}",
+        "Table V", "link", "WL µm", "drv ps", "wire ps", "drv µW", "wire µW"
+    );
+    for r in rows {
+        for (label, l) in [("L2M", &r.l2m), ("L2L", &r.l2l)] {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>9}{:>10.0}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
+                r.tech.label(),
+                label,
+                l.length_um,
+                l.driver_delay_ps,
+                l.interconnect_delay_ps,
+                l.driver_power_uw,
+                l.interconnect_power_uw,
+            );
+        }
+    }
+    out
+}
+
+/// Table VI — fixed-length material comparison.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn table6_text() -> Result<String, FlowError> {
+    let rows = si::material_study::table6()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14}{:>12}{:>12}",
+        "Table VI", "delay ps", "power µW"
+    );
+    for r in rows {
+        let _ = writeln!(out, "{:<14}{:>12.2}{:>12.2}", r.tech.label(), r.delay_ps, r.power_uw);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_columns() {
+        let t = table1();
+        assert!(t.contains("µbump pitch"));
+        assert!(t.contains("35µm"));
+        assert!(t.contains("50µm"));
+        assert!(t.lines().count() >= 8);
+    }
+
+    #[test]
+    fn table6_renders() {
+        let t = table6_text().unwrap();
+        assert!(t.contains("Glass 2.5D"));
+        assert!(t.contains("APX"));
+    }
+}

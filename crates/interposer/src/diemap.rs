@@ -1,0 +1,450 @@
+//! Die placement and global net list (Section VI-A, Fig. 10).
+//!
+//! The two-tile system has four chiplets. On 2.5D interposers they sit in
+//! a 2×2 arrangement — logic dies in the left column (vertically adjacent,
+//! since they carry the inter-tile link), memory dies in the right column,
+//! each beside its tile's logic die. On Glass 3D each memory die is
+//! embedded directly underneath its logic die, and the two stacks sit side
+//! by side.
+
+use chiplet::bumpmap::{paper_plan, BumpPlan};
+use netlist::chiplet_netlist::ChipletKind;
+use netlist::openpiton::INTRA_TILE_CUT;
+use netlist::serdes::SerdesPlan;
+use serde::Serialize;
+use techlib::spec::{InterposerKind, Stacking};
+
+/// One placed die on (or in) the interposer.
+#[derive(Debug, Clone, Serialize)]
+pub struct DieSite {
+    /// Which tile the die belongs to (0 or 1).
+    pub tile: usize,
+    /// Logic or memory.
+    pub kind: ChipletKind,
+    /// Lower-left corner, µm.
+    pub origin_um: (f64, f64),
+    /// Die width (square), µm.
+    pub width_um: f64,
+    /// True if the die is embedded in a substrate cavity (Glass 3D mem).
+    pub embedded: bool,
+    /// The die's bump plan (local coordinates).
+    pub bumps: BumpPlan,
+    /// Signal-index → bump-signal-index permutation. The SerDes/AIB
+    /// macros cluster the inter-tile interface at the die edge facing the
+    /// partner logic die (Fig. 7), so those signals are remapped to
+    /// edge-nearest bumps; everything else keeps the pattern order.
+    pub signal_map: Vec<usize>,
+}
+
+impl DieSite {
+    /// Global coordinates of signal bump `i`, µm.
+    pub fn signal_position(&self, i: usize) -> Option<(f64, f64)> {
+        let mapped = self.signal_map.get(i).copied().unwrap_or(i);
+        self.bumps
+            .signal_position(mapped)
+            .map(|(x, y)| (self.origin_um.0 + x, self.origin_um.1 + y))
+    }
+}
+
+/// Which die edge the inter-tile interface clusters toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edge {
+    Top,
+    Bottom,
+    Left,
+    Right,
+}
+
+/// Remaps the logic die's inter-tile signals (indices 231..299) onto the
+/// 68 signal bumps nearest `edge`, ordered along the edge so partner dies
+/// pair up without crisscrossing. Intra-tile signals keep the remaining
+/// bumps in pattern order.
+fn edge_cluster_map(bumps: &BumpPlan, intra: usize, inter: usize, edge: Edge) -> Vec<usize> {
+    let total = intra + inter;
+    let mut sig_pos: Vec<(usize, f64, f64)> = (0..total)
+        .filter_map(|i| bumps.signal_position(i).map(|(x, y)| (i, x, y)))
+        .collect();
+    // Distance from the chosen edge (smaller = closer).
+    let key = |&(_, x, y): &(usize, f64, f64)| -> f64 {
+        match edge {
+            Edge::Top => -y,
+            Edge::Bottom => y,
+            Edge::Left => x,
+            Edge::Right => -x,
+        }
+    };
+    sig_pos.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite"));
+    let mut edge_bumps: Vec<(usize, f64, f64)> = sig_pos[..inter].to_vec();
+    // Order along the edge for rank matching between partner dies.
+    edge_bumps.sort_by(|a, b| {
+        let along = |p: &(usize, f64, f64)| match edge {
+            Edge::Top | Edge::Bottom => p.1,
+            Edge::Left | Edge::Right => p.2,
+        };
+        along(a).partial_cmp(&along(b)).expect("finite")
+    });
+    let mut rest: Vec<usize> = sig_pos[inter..].iter().map(|&(i, _, _)| i).collect();
+    rest.sort_unstable();
+    let mut map = vec![0usize; total];
+    map[..intra].copy_from_slice(&rest);
+    for (j, &(b, _, _)) in edge_bumps.iter().enumerate() {
+        map[intra + j] = b;
+    }
+    map
+}
+
+/// How a net physically connects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NetClass {
+    /// Logic-to-memory within a tile, routed laterally on the RDL.
+    IntraTileLateral,
+    /// Logic-to-memory within a tile, as a vertical stacked-via column
+    /// (Glass 3D embedding).
+    IntraTileStackedVia,
+    /// Logic-to-logic between tiles (serialised link).
+    InterTile,
+}
+
+/// One global net to route.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetSpec {
+    /// Net index.
+    pub id: usize,
+    /// Connection class.
+    pub class: NetClass,
+    /// Source (die index into [`DiePlacement::dies`], signal index).
+    pub from: (usize, usize),
+    /// Target (die index, signal index).
+    pub to: (usize, usize),
+}
+
+/// The full die placement for one technology.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiePlacement {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Interposer outline, µm.
+    pub footprint_um: (f64, f64),
+    /// Placed dies: [logic0, mem0, logic1, mem1].
+    pub dies: Vec<DieSite>,
+    /// All signal nets.
+    pub nets: Vec<NetSpec>,
+}
+
+impl DiePlacement {
+    /// Interposer area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.footprint_um.0 * self.footprint_um.1 / 1e6
+    }
+
+    /// Manhattan distance between the endpoints of `net`, µm (lateral
+    /// nets; zero for stacked-via columns).
+    pub fn net_manhattan_um(&self, net: &NetSpec) -> f64 {
+        let a = self.dies[net.from.0]
+            .signal_position(net.from.1)
+            .expect("valid source bump");
+        let b = self.dies[net.to.0]
+            .signal_position(net.to.1)
+            .expect("valid target bump");
+        (a.0 - b.0).abs() + (a.1 - b.1).abs()
+    }
+}
+
+/// Interposer edge margins (x, y) per side, µm — the C4/TGV escape ring,
+/// back-solved from the Table IV footprints.
+pub fn edge_margins_um(tech: InterposerKind) -> (f64, f64) {
+    match tech {
+        InterposerKind::Glass25D => (255.0, 230.0),
+        InterposerKind::Glass3D => (50.0, 100.0),
+        InterposerKind::Silicon25D => (170.0, 110.0),
+        InterposerKind::Shinko => (320.0, 260.0),
+        InterposerKind::Apx => (450.0, 125.0),
+        InterposerKind::Silicon3D | InterposerKind::Monolithic2D => (0.0, 0.0),
+    }
+}
+
+/// Builds the die placement for `tech` using the paper's chiplet bump
+/// plans and footprints.
+///
+/// # Panics
+///
+/// Panics for [`InterposerKind::Silicon3D`] and
+/// [`InterposerKind::Monolithic2D`], which have no interposer — check
+/// [`techlib::spec::InterposerSpec::for_kind`] first or use
+/// [`crate::report::place_and_route`], which returns an error instead.
+pub fn place_dies(tech: InterposerKind) -> DiePlacement {
+    let spec = techlib::spec::InterposerSpec::for_kind(tech);
+    assert!(
+        !matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic),
+        "{tech} has no routed interposer"
+    );
+    let logic_bumps = paper_plan(ChipletKind::Logic, tech);
+    let mem_bumps = paper_plan(ChipletKind::Memory, tech);
+    let w_logic = logic_width(tech);
+    let w_mem = mem_width(tech);
+    let spacing = spec.die_to_die_spacing_um;
+    let (mx, my) = edge_margins_um(tech);
+
+    let mut dies = Vec::with_capacity(4);
+    let footprint;
+    if spec.stacking == Stacking::Embedded {
+        // Two logic-over-memory stacks, side by side (Fig. 10a).
+        for tile in 0..2 {
+            let x = mx + tile as f64 * (w_logic + spacing);
+            let y = my;
+            dies.push(DieSite {
+                tile,
+                kind: ChipletKind::Logic,
+                origin_um: (x, y),
+                width_um: w_logic,
+                embedded: false,
+                bumps: logic_bumps.clone(),
+                signal_map: (0..logic_bumps.signal).collect(),
+            });
+            dies.push(DieSite {
+                tile,
+                kind: ChipletKind::Memory,
+                origin_um: (x, y),
+                width_um: w_logic, // matched footprint
+                embedded: true,
+                bumps: mem_bumps.clone(),
+                signal_map: (0..mem_bumps.signal).collect(),
+            });
+        }
+        footprint = (
+            2.0 * mx + 2.0 * w_logic + spacing,
+            2.0 * my + w_logic,
+        );
+    } else {
+        // 2×2: logic column on the left, memory column on the right.
+        for tile in 0..2 {
+            let y = my + tile as f64 * (w_logic + spacing);
+            dies.push(DieSite {
+                tile,
+                kind: ChipletKind::Logic,
+                origin_um: (mx, y),
+                width_um: w_logic,
+                embedded: false,
+                bumps: logic_bumps.clone(),
+                signal_map: (0..logic_bumps.signal).collect(),
+            });
+            dies.push(DieSite {
+                tile,
+                kind: ChipletKind::Memory,
+                origin_um: (mx + w_logic + spacing, y),
+                width_um: w_mem,
+                embedded: false,
+                bumps: mem_bumps.clone(),
+                signal_map: (0..mem_bumps.signal).collect(),
+            });
+        }
+        footprint = (
+            2.0 * mx + w_logic + spacing + w_mem,
+            2.0 * my + 2.0 * w_logic + spacing,
+        );
+    }
+
+    // Cluster the serialised inter-tile interface at the facing edges.
+    let serdes = SerdesPlan::paper();
+    for (i, die) in dies.iter_mut().enumerate() {
+        if die.kind != ChipletKind::Logic {
+            continue;
+        }
+        let edge = if spec.stacking == Stacking::Embedded {
+            // Stacks sit side by side in x.
+            if die.tile == 0 { Edge::Right } else { Edge::Left }
+        } else {
+            // Logic dies sit in a column: tile 0 below tile 1.
+            if die.tile == 0 { Edge::Top } else { Edge::Bottom }
+        };
+        debug_assert_eq!(i % 2, 0, "logic dies at even indices");
+        die.signal_map = edge_cluster_map(&die.bumps, INTRA_TILE_CUT, serdes.wires_after, edge);
+    }
+
+    let nets = build_nets(tech);
+    DiePlacement {
+        tech,
+        footprint_um: footprint,
+        dies,
+        nets,
+    }
+}
+
+/// Logic die width per technology (Table II / III).
+fn logic_width(tech: InterposerKind) -> f64 {
+    match tech {
+        InterposerKind::Glass25D | InterposerKind::Glass3D => 820.0,
+        InterposerKind::Silicon25D | InterposerKind::Silicon3D | InterposerKind::Shinko => 940.0,
+        InterposerKind::Apx => 1150.0,
+        InterposerKind::Monolithic2D => 1600.0,
+    }
+}
+
+/// Memory die width per technology (Table II / III).
+fn mem_width(tech: InterposerKind) -> f64 {
+    match tech {
+        InterposerKind::Glass25D => 775.0,
+        InterposerKind::Glass3D => 820.0,
+        InterposerKind::Silicon25D | InterposerKind::Shinko => 820.0,
+        InterposerKind::Silicon3D => 940.0,
+        InterposerKind::Apx => 1000.0,
+        InterposerKind::Monolithic2D => 0.0,
+    }
+}
+
+/// Builds the 530-net global net list: per tile, 231 logic↔memory signals;
+/// between tiles, 68 serialised logic↔logic signals. The logic die's
+/// signal indices place the intra-tile cut first (0..231) and the
+/// serialised inter-tile interface after it (231..299).
+fn build_nets(tech: InterposerKind) -> Vec<NetSpec> {
+    let serdes = SerdesPlan::paper();
+    let embedded = techlib::spec::InterposerSpec::for_kind(tech).stacking == Stacking::Embedded;
+    let mut nets = Vec::new();
+    let mut id = 0;
+    // Die indices: [logic0 = 0, mem0 = 1, logic1 = 2, mem1 = 3].
+    for tile in 0..2 {
+        let logic_die = tile * 2;
+        let mem_die = tile * 2 + 1;
+        for sig in 0..INTRA_TILE_CUT {
+            nets.push(NetSpec {
+                id,
+                class: if embedded {
+                    NetClass::IntraTileStackedVia
+                } else {
+                    NetClass::IntraTileLateral
+                },
+                from: (logic_die, sig),
+                to: (mem_die, sig),
+            });
+            id += 1;
+        }
+    }
+    for sig in 0..serdes.wires_after {
+        nets.push(NetSpec {
+            id,
+            class: NetClass::InterTile,
+            from: (0, INTRA_TILE_CUT + sig),
+            to: (2, INTRA_TILE_CUT + sig),
+        });
+        id += 1;
+    }
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glass_25d_footprint_matches_table4() {
+        let p = place_dies(InterposerKind::Glass25D);
+        assert!((p.footprint_um.0 - 2200.0).abs() < 20.0, "{:?}", p.footprint_um);
+        assert!((p.footprint_um.1 - 2200.0).abs() < 20.0);
+        assert!((p.area_mm2() - 4.84).abs() < 0.15);
+    }
+
+    #[test]
+    fn glass_3d_footprint_matches_table4() {
+        let p = place_dies(InterposerKind::Glass3D);
+        assert!((p.footprint_um.0 - 1840.0).abs() < 5.0);
+        assert!((p.footprint_um.1 - 1020.0).abs() < 5.0);
+        assert!((p.area_mm2() - 1.87).abs() < 0.05);
+    }
+
+    #[test]
+    fn all_interposer_footprints_ordering() {
+        let area = |k| place_dies(k).area_mm2();
+        let g3 = area(InterposerKind::Glass3D);
+        let g25 = area(InterposerKind::Glass25D);
+        let si = area(InterposerKind::Silicon25D);
+        let sh = area(InterposerKind::Shinko);
+        let apx = area(InterposerKind::Apx);
+        // Table IV: Glass 3D 1.87 < Glass 2.5D = Silicon 4.84 < Shinko 6.25
+        // < APX 8.64.
+        assert!(g3 < g25);
+        assert!((g25 - si).abs() < 0.3);
+        assert!(si < sh && sh < apx);
+        assert!((apx - 8.64).abs() < 0.3, "apx = {apx}");
+    }
+
+    #[test]
+    fn net_count_is_530() {
+        let p = place_dies(InterposerKind::Silicon25D);
+        assert_eq!(p.nets.len(), 2 * 231 + 68);
+    }
+
+    #[test]
+    fn glass_3d_intra_nets_are_stacked_vias() {
+        let p = place_dies(InterposerKind::Glass3D);
+        let stacked = p
+            .nets
+            .iter()
+            .filter(|n| n.class == NetClass::IntraTileStackedVia)
+            .count();
+        let lateral = p
+            .nets
+            .iter()
+            .filter(|n| n.class == NetClass::InterTile)
+            .count();
+        assert_eq!(stacked, 462);
+        assert_eq!(lateral, 68);
+    }
+
+    #[test]
+    fn embedded_dies_share_xy_with_their_logic_die() {
+        let p = place_dies(InterposerKind::Glass3D);
+        assert_eq!(p.dies[0].origin_um, p.dies[1].origin_um);
+        assert!(p.dies[1].embedded);
+        assert!(!p.dies[0].embedded);
+    }
+
+    #[test]
+    fn dies_do_not_overlap_in_2p5d() {
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let p = place_dies(tech);
+            for (i, a) in p.dies.iter().enumerate() {
+                for b in p.dies.iter().skip(i + 1) {
+                    let sep_x = a.origin_um.0 + a.width_um <= b.origin_um.0
+                        || b.origin_um.0 + b.width_um <= a.origin_um.0;
+                    let sep_y = a.origin_um.1 + a.width_um <= b.origin_um.1
+                        || b.origin_um.1 + b.width_um <= a.origin_um.1;
+                    assert!(sep_x || sep_y, "{tech}: dies overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dies_fit_inside_the_footprint() {
+        for tech in InterposerKind::INTERPOSER_BASED {
+            let p = place_dies(tech);
+            for d in &p.dies {
+                assert!(d.origin_um.0 >= 0.0 && d.origin_um.1 >= 0.0, "{tech}");
+                assert!(d.origin_um.0 + d.width_um <= p.footprint_um.0 + 1e-9, "{tech}");
+                assert!(d.origin_um.1 + d.width_um <= p.footprint_um.1 + 1e-9, "{tech}");
+            }
+        }
+    }
+
+    #[test]
+    fn net_endpoints_resolve_to_bumps() {
+        let p = place_dies(InterposerKind::Shinko);
+        for net in &p.nets {
+            assert!(p.dies[net.from.0].signal_position(net.from.1).is_some());
+            assert!(p.dies[net.to.0].signal_position(net.to.1).is_some());
+            let d = p.net_manhattan_um(net);
+            assert!(d > 0.0 && d < 10_000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no routed interposer")]
+    fn silicon_3d_has_no_placement() {
+        let _ = place_dies(InterposerKind::Silicon3D);
+    }
+}

@@ -1,0 +1,90 @@
+//! Interposer place and route (Section VI, Table IV).
+//!
+//! Given the four chiplets of the two-tile design (two logic, two memory),
+//! this crate performs what Siemens Xpedition does in the paper:
+//!
+//! * [`diemap`] — die placement per technology: side-by-side 2×2 for the
+//!   2.5D interposers (Fig. 10b), vertically stacked pairs for Glass 3D
+//!   (Fig. 10a), plus the package footprint and the global net list
+//!   (530 signal nets: 2 × 231 intra-tile + 68 inter-tile).
+//! * [`grid`] — the coarse gcell routing grid with per-layer preferred
+//!   directions, track capacities from the technology's wire pitch, and
+//!   optional 45° moves for organic interposers.
+//! * [`router`] — a PathFinder-style congestion-negotiated A* router with
+//!   rip-up-and-reroute.
+//! * [`pdn`] — power-plane generation and P/G via (TGV/TSV/PTH) counting.
+//! * [`report`] — one-call [`report::place_and_route`] producing Table IV
+//!   routing statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use interposer::report::place_and_route;
+//! use techlib::spec::InterposerKind;
+//!
+//! let layout = place_and_route(InterposerKind::Glass3D)?;
+//! // Glass 3D routes only the 68 inter-tile nets laterally; the
+//! // 462 intra-tile connections are stacked-via columns.
+//! assert_eq!(layout.routed_nets.len(), 68);
+//! assert!(layout.stats.total_wl_mm < 100.0);
+//! # Ok::<(), interposer::RouteError>(())
+//! ```
+
+pub mod congestion;
+pub mod diemap;
+pub mod drc;
+pub mod grid;
+pub mod pdn;
+pub mod report;
+pub mod router;
+pub mod stats;
+pub mod svg;
+
+pub use diemap::{DiePlacement, DieSite, NetSpec};
+pub use report::InterposerLayout;
+pub use stats::RoutingStats;
+
+/// Errors produced by interposer placement and routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// A net could not be routed within the iteration budget.
+    Unroutable {
+        /// Net index that failed.
+        net: usize,
+    },
+    /// The requested technology has no routed interposer (Silicon 3D,
+    /// monolithic baseline).
+    NoInterposer(techlib::spec::InterposerKind),
+    /// Grid construction failed (zero dimensions).
+    BadGrid {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unroutable { net } => write!(f, "net {net} is unroutable"),
+            RouteError::NoInterposer(kind) => {
+                write!(f, "{kind} has no routed interposer")
+            }
+            RouteError::BadGrid { reason } => write!(f, "bad routing grid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!RouteError::Unroutable { net: 5 }.to_string().is_empty());
+        assert!(!RouteError::NoInterposer(techlib::spec::InterposerKind::Silicon3D)
+            .to_string()
+            .is_empty());
+    }
+}

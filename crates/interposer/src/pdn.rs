@@ -1,0 +1,167 @@
+//! Power-delivery-network plane generation (Section VI-B, Fig. 11).
+//!
+//! Every interposer gets two dedicated plane layers (power directly above
+//! ground). External power enters through technology-specific vertical
+//! interconnects: TGVs through the glass core, TSVs through the silicon
+//! interposer to C4 bumps, and plated through-holes through organic cores.
+
+use serde::Serialize;
+use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
+use techlib::via::{ViaKind, ViaModel};
+
+/// The P/G vertical-interconnect species per technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PgViaKind {
+    /// Through-glass via.
+    Tgv,
+    /// Through-silicon via.
+    Tsv,
+    /// Plated through-hole (organic laminate).
+    Pth,
+}
+
+/// The generated PDN of one interposer.
+#[derive(Debug, Clone, Serialize)]
+pub struct PdnPlan {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Dedicated plane layers (always 2: PWR + GND).
+    pub plane_layers: usize,
+    /// Plane area, mm² (the interposer footprint).
+    pub plane_area_mm2: f64,
+    /// Power-entry via species.
+    pub via_kind: PgViaKind,
+    /// Power-entry via count (split evenly between power and ground).
+    pub via_count: usize,
+    /// Electrical model of one power-entry via.
+    pub via_model: ViaModel,
+}
+
+impl PdnPlan {
+    /// Generates the PDN for an interposer of `footprint_um` on `tech`.
+    ///
+    /// TGVs ring the glass interposer's periphery on a 120 µm pitch;
+    /// silicon TSVs form an area array on a 200 µm grid under the plane;
+    /// organic PTHs sit on a 300 µm grid.
+    pub fn generate(tech: InterposerKind, footprint_um: (f64, f64)) -> PdnPlan {
+        let spec = InterposerSpec::for_kind(tech);
+        let (via_kind, count) = match tech {
+            InterposerKind::Glass25D | InterposerKind::Glass3D => {
+                let perimeter = 2.0 * (footprint_um.0 + footprint_um.1);
+                (PgViaKind::Tgv, (perimeter / 120.0).floor() as usize)
+            }
+            InterposerKind::Silicon25D | InterposerKind::Silicon3D => {
+                let nx = (footprint_um.0 / 200.0).floor().max(1.0);
+                let ny = (footprint_um.1 / 200.0).floor().max(1.0);
+                (PgViaKind::Tsv, (nx * ny) as usize)
+            }
+            _ => {
+                let nx = (footprint_um.0 / 300.0).floor().max(1.0);
+                let ny = (footprint_um.1 / 300.0).floor().max(1.0);
+                (PgViaKind::Pth, (nx * ny) as usize)
+            }
+        };
+        let via_model = match via_kind {
+            PgViaKind::Tgv => ViaModel::canonical(ViaKind::Tgv, &spec),
+            PgViaKind::Tsv => ViaModel::canonical(ViaKind::Tsv, &spec),
+            // PTH: model as a fat, tall barrel through the organic core.
+            PgViaKind::Pth => ViaModel::from_geometry(
+                ViaKind::Tgv,
+                100.0,
+                spec.core_thickness_um.max(300.0),
+                300.0,
+                spec.core_material().rel_permittivity,
+            ),
+        };
+        PdnPlan {
+            tech,
+            plane_layers: 2,
+            plane_area_mm2: footprint_um.0 * footprint_um.1 / 1e6,
+            via_kind,
+            via_count: count.max(4),
+            via_model,
+        }
+    }
+
+    /// Plane-pair capacitance, F: parallel plates over the P/G dielectric.
+    pub fn plane_pair_capacitance_f(&self) -> f64 {
+        let spec = InterposerSpec::for_kind(self.tech);
+        let eps = spec.dielectric_constant * techlib::units::EPSILON_0;
+        eps * self.plane_area_mm2 * 1e-6 / (spec.dielectric_thickness_um * 1e-6)
+    }
+
+    /// Plane sheet resistance of one plane, Ω/sq.
+    pub fn plane_sheet_resistance(&self) -> f64 {
+        let spec = InterposerSpec::for_kind(self.tech);
+        techlib::material::COPPER.sheet_resistance_ohm_sq(spec.metal_thickness_um)
+    }
+
+    /// Distance from the external supply to the chiplet bumps through the
+    /// PDN, µm — the dominant term in the supply loop inductance. Glass 3D
+    /// connects the embedded die directly at the RDL; everything else
+    /// crosses its core and build-up stack.
+    pub fn supply_path_length_um(&self) -> f64 {
+        let spec = InterposerSpec::for_kind(self.tech);
+        let stack = techlib::stackup::Stackup::from_spec(&spec).expect("valid stackup");
+        match spec.stacking {
+            // Embedded memory die sits at the RDL: supply enters through
+            // TGVs but reaches the dies after only the thin build-up.
+            Stacking::Embedded => stack.total_thickness_um() - spec.core_thickness_um,
+            _ => stack.total_thickness_um(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn via_species_match_technology() {
+        assert_eq!(
+            PdnPlan::generate(InterposerKind::Glass25D, (2200.0, 2200.0)).via_kind,
+            PgViaKind::Tgv
+        );
+        assert_eq!(
+            PdnPlan::generate(InterposerKind::Silicon25D, (2200.0, 2200.0)).via_kind,
+            PgViaKind::Tsv
+        );
+        assert_eq!(
+            PdnPlan::generate(InterposerKind::Apx, (3200.0, 2700.0)).via_kind,
+            PgViaKind::Pth
+        );
+    }
+
+    #[test]
+    fn plane_capacitance_scales_with_area_over_thickness() {
+        let glass = PdnPlan::generate(InterposerKind::Glass25D, (2200.0, 2200.0));
+        let si = PdnPlan::generate(InterposerKind::Silicon25D, (2200.0, 2200.0));
+        // Same area; silicon's 1 µm dielectric vs glass 15 µm => ~17x C.
+        let ratio = si.plane_pair_capacitance_f() / glass.plane_pair_capacitance_f();
+        assert!(ratio > 10.0 && ratio < 25.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn glass_3d_supply_path_is_shortest() {
+        let g3 = PdnPlan::generate(InterposerKind::Glass3D, (1840.0, 1020.0));
+        let g25 = PdnPlan::generate(InterposerKind::Glass25D, (2200.0, 2200.0));
+        let sh = PdnPlan::generate(InterposerKind::Shinko, (2500.0, 2500.0));
+        assert!(g3.supply_path_length_um() < g25.supply_path_length_um());
+        assert!(g25.supply_path_length_um() < sh.supply_path_length_um());
+    }
+
+    #[test]
+    fn via_counts_are_reasonable() {
+        let g = PdnPlan::generate(InterposerKind::Glass25D, (2200.0, 2200.0));
+        assert!((50..120).contains(&g.via_count), "{}", g.via_count);
+        let s = PdnPlan::generate(InterposerKind::Silicon25D, (2200.0, 2200.0));
+        assert!((80..160).contains(&s.via_count), "{}", s.via_count);
+    }
+
+    #[test]
+    fn thicker_glass_metal_lowers_sheet_resistance() {
+        let g = PdnPlan::generate(InterposerKind::Glass25D, (2200.0, 2200.0));
+        let s = PdnPlan::generate(InterposerKind::Silicon25D, (2200.0, 2200.0));
+        assert!(g.plane_sheet_resistance() < s.plane_sheet_resistance() / 3.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! One-call interposer place-and-route.
+
+use crate::diemap::{self, DiePlacement, NetClass};
+use crate::grid::RoutingGrid;
+use crate::pdn::PdnPlan;
+use crate::router::{self, RoutedNet};
+use crate::stats::RoutingStats;
+use crate::RouteError;
+use serde::Serialize;
+use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
+
+/// The complete interposer layout for one technology.
+#[derive(Debug, Clone, Serialize)]
+pub struct InterposerLayout {
+    /// Die placement and global nets.
+    pub placement: DiePlacement,
+    /// Routed lateral nets.
+    pub routed_nets: Vec<RoutedNet>,
+    /// Table IV statistics.
+    pub stats: RoutingStats,
+    /// Power delivery network.
+    pub pdn: PdnPlan,
+}
+
+impl InterposerLayout {
+    /// The routed length of the worst (longest) net of `class`, µm.
+    /// Stacked-via classes return the via-column height instead.
+    pub fn worst_net_um(&self, class: NetClass) -> f64 {
+        if class == NetClass::IntraTileStackedVia {
+            let spec = InterposerSpec::for_kind(self.placement.tech);
+            let (_, _, _, len) = techlib::via::stacked_via_column(&spec, 3);
+            return len;
+        }
+        self.routed_nets
+            .iter()
+            .filter(|n| self.placement.nets[n.id].class == class)
+            .map(|n| n.length_um)
+            .fold(0.0, f64::max)
+    }
+
+    /// Average routed length of nets of `class`, µm.
+    pub fn average_net_um(&self, class: NetClass) -> f64 {
+        let lens: Vec<f64> = self
+            .routed_nets
+            .iter()
+            .filter(|n| self.placement.nets[n.id].class == class)
+            .map(|n| n.length_um)
+            .collect();
+        if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<f64>() / lens.len() as f64
+        }
+    }
+}
+
+/// Returns a process-wide cached layout for `tech`, computing it on first
+/// use. Placement and routing are deterministic, so sharing the result is
+/// safe; downstream analyses (SI, PI, full-chip roll-ups, benches) reuse
+/// these instead of re-routing.
+///
+/// # Errors
+///
+/// Same as [`place_and_route`].
+pub fn cached_layout(tech: InterposerKind) -> Result<&'static InterposerLayout, RouteError> {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<InterposerKind, &'static InterposerLayout>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    let mut map = cache.lock().expect("cache lock");
+    if let Some(&layout) = map.get(&tech) {
+        return Ok(layout);
+    }
+    let layout: &'static InterposerLayout = Box::leak(Box::new(place_and_route(tech)?));
+    map.insert(tech, layout);
+    Ok(layout)
+}
+
+/// Places the four chiplets and routes every lateral net for `tech`.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NoInterposer`] for Silicon 3D and the monolithic
+/// baseline, and routing errors from the router.
+pub fn place_and_route(tech: InterposerKind) -> Result<InterposerLayout, RouteError> {
+    let spec = InterposerSpec::for_kind(tech);
+    if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
+        return Err(RouteError::NoInterposer(tech));
+    }
+    let placement = diemap::place_dies(tech);
+    let grid = RoutingGrid::new(placement.footprint_um, &spec)
+        .map_err(|reason| RouteError::BadGrid { reason })?;
+    let routed = router::route_all(&placement, &grid)?;
+    let stats = RoutingStats::from_routing(&placement, &routed);
+    let pdn = PdnPlan::generate(tech, placement.footprint_um);
+    Ok(InterposerLayout {
+        placement,
+        routed_nets: routed,
+        stats,
+        pdn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_interposers_route() {
+        for tech in InterposerKind::INTERPOSER_BASED {
+            let layout = cached_layout(tech).unwrap();
+            assert!(!layout.routed_nets.is_empty(), "{tech}");
+            assert!(layout.stats.total_wl_mm > 0.0, "{tech}");
+        }
+    }
+
+    #[test]
+    fn silicon_3d_is_rejected() {
+        assert!(matches!(
+            place_and_route(InterposerKind::Silicon3D),
+            Err(RouteError::NoInterposer(_))
+        ));
+    }
+
+    #[test]
+    fn worst_net_lengths_have_paper_ordering() {
+        // Table V wirelengths: Glass 3D L2L 582 µm worst; Glass 2.5D L2M
+        // 5,980 µm worst; Silicon 2.5D L2M 1,952 µm.
+        let g3 = cached_layout(InterposerKind::Glass3D).unwrap();
+        let g25 = cached_layout(InterposerKind::Glass25D).unwrap();
+        let si = cached_layout(InterposerKind::Silicon25D).unwrap();
+        let g3_l2l = g3.worst_net_um(NetClass::InterTile);
+        let g3_l2m = g3.worst_net_um(NetClass::IntraTileStackedVia);
+        let g25_l2m = g25.worst_net_um(NetClass::IntraTileLateral);
+        let si_l2m = si.worst_net_um(NetClass::IntraTileLateral);
+        assert!(g3_l2m < 100.0, "stacked via column: {g3_l2m}");
+        assert!(g3_l2l < g25_l2m, "{g3_l2l} vs {g25_l2m}");
+        assert!(si_l2m < g25_l2m, "{si_l2m} vs {g25_l2m}");
+    }
+
+    #[test]
+    fn doc_example_works() {
+        let layout = cached_layout(InterposerKind::Glass3D).unwrap();
+        assert_eq!(layout.routed_nets.len(), 68);
+        assert!(layout.stats.total_wl_mm < 100.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! PathFinder-style congestion-negotiated A* routing.
+//!
+//! Every lateral net is routed by A* over the gcell grid; gcell usage is
+//! tracked per layer, and rip-up-and-reroute iterations raise history
+//! costs on over-subscribed gcells until the solution fits (or the
+//! iteration budget is spent). Layers carry a small cost bias so routing
+//! stays low in the stack unless congestion pushes it up — which is what
+//! makes the "metal layers used" statistic of Table IV emerge from track
+//! supply rather than being an input.
+
+use crate::diemap::{DiePlacement, NetClass};
+use crate::grid::RoutingGrid;
+use crate::RouteError;
+use serde::Serialize;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Cost of a via between adjacent layers, in µm-equivalent wirelength.
+pub const VIA_COST_UM: f64 = 30.0;
+/// Penalty multiplier for non-preferred-direction moves.
+pub const NONPREF_PENALTY: f64 = 1.5;
+/// Present-congestion penalty per unit overflow, µm-equivalent.
+pub const PRESENT_PENALTY_UM: f64 = 200.0;
+/// History increment per overflowed gcell per iteration, µm-equivalent.
+pub const HISTORY_INC_UM: f64 = 60.0;
+/// Rip-up-and-reroute iterations.
+pub const MAX_ITERATIONS: usize = 3;
+
+/// One routed net.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoutedNet {
+    /// Net id (index into the placement's net list).
+    pub id: usize,
+    /// Lateral wirelength, µm.
+    pub length_um: f64,
+    /// Via count (layer changes plus the two bump microvias).
+    pub vias: usize,
+    /// Highest signal layer touched (0-based).
+    pub max_layer: usize,
+    /// Path as (x, y, layer) gcell steps.
+    pub path: Vec<(usize, usize, usize)>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    f: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pre-seeds gcell usage with the blockage that exists before any signal
+/// is routed: every bump pad occupies the top layer at its gcell, and
+/// every P/G bump's stacked via (down to the power planes below the
+/// routing stack) blocks all signal layers. On glass, one 22 µm via
+/// consumes more than an entire gcell-layer of 4 µm-pitch tracks — the
+/// physical cause of the serpentine escapes and long worst-case nets of
+/// Table IV.
+pub fn base_blockage(placement: &DiePlacement, grid: &RoutingGrid) -> Vec<f64> {
+    let mut usage = vec![0.0; grid.node_count()];
+    for die in &placement.dies {
+        for bump in &die.bumps.bumps {
+            let (gx, gy) = grid.gcell_of(die.origin_um.0 + bump.x_um, die.origin_um.1 + bump.y_um);
+            // Pad on the top routing layer.
+            usage[grid.index(gx, gy, 0)] += grid.pad_block_tracks;
+            if !matches!(bump.role, chiplet::bumpmap::BumpRole::Signal(_)) {
+                // P/G stacked via through every signal layer below.
+                for l in 1..grid.layers {
+                    usage[grid.index(gx, gy, l)] += grid.via_block_tracks;
+                }
+            }
+        }
+    }
+    usage
+}
+
+/// Routes all lateral nets of `placement` on `grid`.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Unroutable`] if a net has no path at all (should
+/// not happen on a connected grid).
+pub fn route_all(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+) -> Result<Vec<RoutedNet>, RouteError> {
+    let base = base_blockage(placement, grid);
+    let mut usage: Vec<f64> = base.clone();
+    let mut history: Vec<f64> = vec![0.0; grid.node_count()];
+
+    // Lateral nets only, longest first (hardest nets claim resources
+    // first; PathFinder history resolves the rest).
+    let mut order: Vec<&crate::diemap::NetSpec> = placement
+        .nets
+        .iter()
+        .filter(|n| n.class != NetClass::IntraTileStackedVia)
+        .collect();
+    order.sort_by(|a, b| {
+        placement
+            .net_manhattan_um(b)
+            .partial_cmp(&placement.net_manhattan_um(a))
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+
+    let mut routed: Vec<RoutedNet> = Vec::new();
+    for iteration in 0..MAX_ITERATIONS {
+        usage.copy_from_slice(&base);
+        routed.clear();
+        for net in &order {
+            let r = route_one(placement, grid, net, &usage, &history)
+                .ok_or(RouteError::Unroutable { net: net.id })?;
+            for w in r.path.windows(2) {
+                let (x0, y0, l0) = w[0];
+                let (x1, y1, l1) = w[1];
+                if l0 != l1 {
+                    // Vias consume track area on both layers.
+                    usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
+                    usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
+                } else {
+                    usage[grid.index(x1, y1, l1)] += 1.0;
+                }
+            }
+            routed.push(r);
+        }
+        // Bump history where wire demand (beyond the fixed blockage)
+        // exceeds capacity.
+        let mut overflowed = false;
+        for i in 0..usage.len() {
+            if usage[i] > grid.capacity && usage[i] > base[i] {
+                history[i] += HISTORY_INC_UM * (usage[i] - grid.capacity).min(10.0);
+                overflowed = true;
+            }
+        }
+        if !overflowed || iteration == MAX_ITERATIONS - 1 {
+            break;
+        }
+    }
+    routed.sort_by_key(|r| r.id);
+    Ok(routed)
+}
+
+fn route_one(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    net: &crate::diemap::NetSpec,
+    usage: &[f64],
+    history: &[f64],
+) -> Option<RoutedNet> {
+    let s = placement.dies[net.from.0].signal_position(net.from.1)?;
+    let t = placement.dies[net.to.0].signal_position(net.to.1)?;
+    let (sx, sy) = grid.gcell_of(s.0, s.1);
+    let (tx, ty) = grid.gcell_of(t.0, t.1);
+    let start = grid.index(sx, sy, 0);
+    let goal = grid.index(tx, ty, 0);
+
+    let n = grid.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<u32> = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[start] = 0.0;
+    heap.push(HeapItem { f: 0.0, node: start });
+
+    let h = |x: usize, y: usize| -> f64 {
+        let dx = (x as f64 - tx as f64).abs();
+        let dy = (y as f64 - ty as f64).abs();
+        if grid.diagonal {
+            (dx.max(dy) + (std::f64::consts::SQRT_2 - 1.0) * dx.min(dy)) * grid.gcell_um
+        } else {
+            (dx + dy) * grid.gcell_um
+        }
+    };
+
+    let congestion = |node: usize| -> f64 {
+        let over = (usage[node] + 1.0 - grid.capacity).max(0.0);
+        history[node] + PRESENT_PENALTY_UM * over
+    };
+
+    while let Some(HeapItem { f: _, node }) = heap.pop() {
+        if node == goal {
+            break;
+        }
+        let layer = node / (grid.rows * grid.cols);
+        let rem = node % (grid.rows * grid.cols);
+        let y = rem / grid.cols;
+        let x = rem % grid.cols;
+        let d = dist[node];
+
+        let mut try_move = |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
+            if nx < 0
+                || ny < 0
+                || nl < 0
+                || nx >= grid.cols as i64
+                || ny >= grid.rows as i64
+                || nl >= grid.layers as i64
+            {
+                return;
+            }
+            let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
+            let ni = grid.index(nx, ny, nl);
+            // Small upper-layer bias keeps routing low when uncongested.
+            let nd = d + step + congestion(ni) + nl as f64 * 0.5;
+            if nd < dist[ni] {
+                dist[ni] = nd;
+                prev[ni] = node as u32;
+                heap.push(HeapItem {
+                    f: nd + h(nx, ny),
+                    node: ni,
+                });
+            }
+        };
+
+        let hp = grid.horizontal_preferred(layer);
+        let hx = if hp { 1.0 } else { NONPREF_PENALTY };
+        let hy = if hp { NONPREF_PENALTY } else { 1.0 };
+        let g = grid.gcell_um;
+        try_move(x as i64 + 1, y as i64, layer as i64, g * hx, &mut heap);
+        try_move(x as i64 - 1, y as i64, layer as i64, g * hx, &mut heap);
+        try_move(x as i64, y as i64 + 1, layer as i64, g * hy, &mut heap);
+        try_move(x as i64, y as i64 - 1, layer as i64, g * hy, &mut heap);
+        if grid.diagonal {
+            let gd = g * std::f64::consts::SQRT_2;
+            try_move(x as i64 + 1, y as i64 + 1, layer as i64, gd, &mut heap);
+            try_move(x as i64 + 1, y as i64 - 1, layer as i64, gd, &mut heap);
+            try_move(x as i64 - 1, y as i64 + 1, layer as i64, gd, &mut heap);
+            try_move(x as i64 - 1, y as i64 - 1, layer as i64, gd, &mut heap);
+        }
+        try_move(x as i64, y as i64, layer as i64 + 1, VIA_COST_UM, &mut heap);
+        try_move(x as i64, y as i64, layer as i64 - 1, VIA_COST_UM, &mut heap);
+    }
+
+    if dist[goal].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut path = Vec::new();
+    let mut cur = goal;
+    loop {
+        let layer = cur / (grid.rows * grid.cols);
+        let rem = cur % (grid.rows * grid.cols);
+        path.push((rem % grid.cols, rem / grid.cols, layer));
+        if cur == start {
+            break;
+        }
+        cur = prev[cur] as usize;
+    }
+    path.reverse();
+
+    let mut length = 0.0;
+    let mut vias = 2; // bump microvia at each end
+    let mut max_layer = 0;
+    for w in path.windows(2) {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            vias += 1;
+        } else {
+            let dx = (x1 as f64 - x0 as f64).abs();
+            let dy = (y1 as f64 - y0 as f64).abs();
+            length += (dx + dy).max(dx.hypot(dy).min(dx + dy)) * grid.gcell_um;
+        }
+        max_layer = max_layer.max(l1).max(l0);
+    }
+    // Diagonal steps measured euclidean.
+    if grid.diagonal {
+        length = 0.0;
+        for w in path.windows(2) {
+            let (x0, y0, l0) = w[0];
+            let (x1, y1, l1) = w[1];
+            if l0 == l1 {
+                let dx = (x1 as f64 - x0 as f64) * grid.gcell_um;
+                let dy = (y1 as f64 - y0 as f64) * grid.gcell_um;
+                length += dx.hypot(dy);
+            }
+        }
+    }
+
+    Some(RoutedNet {
+        id: net.id,
+        length_um: length,
+        vias,
+        max_layer,
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diemap::place_dies;
+    use techlib::spec::{InterposerKind, InterposerSpec};
+
+    fn route(tech: InterposerKind) -> (DiePlacement, Vec<RoutedNet>) {
+        let l = crate::report::cached_layout(tech).unwrap();
+        (l.placement.clone(), l.routed_nets.clone())
+    }
+
+    #[test]
+    fn silicon_routes_all_530_nets() {
+        let (p, r) = route(InterposerKind::Silicon25D);
+        assert_eq!(r.len(), p.nets.len());
+        for net in &r {
+            assert!(net.length_um > 0.0);
+            assert!(net.vias >= 2);
+        }
+    }
+
+    #[test]
+    fn glass_3d_routes_only_intertile_nets() {
+        let (_, r) = route(InterposerKind::Glass3D);
+        assert_eq!(r.len(), 68);
+    }
+
+    #[test]
+    fn routed_length_at_least_manhattan() {
+        let (p, r) = route(InterposerKind::Silicon25D);
+        for net in &r {
+            let spec = &p.nets[net.id];
+            let manhattan = p.net_manhattan_um(spec);
+            // Gcell quantisation allows ~2 gcells of slack.
+            assert!(
+                net.length_um + 2.0 * 20.0 >= manhattan * 0.8,
+                "net {} routed {} vs manhattan {manhattan}",
+                net.id,
+                net.length_um
+            );
+        }
+    }
+
+    #[test]
+    fn glass_uses_more_layers_than_silicon() {
+        // 5 tracks/gcell/layer vs 25: glass must spill upward.
+        let (_, rg) = route(InterposerKind::Glass25D);
+        let (_, rs) = route(InterposerKind::Silicon25D);
+        let max_g = rg.iter().map(|n| n.max_layer).max().unwrap();
+        let max_s = rs.iter().map(|n| n.max_layer).max().unwrap();
+        assert!(max_g > max_s, "glass {max_g} vs silicon {max_s}");
+    }
+
+    #[test]
+    fn diagonal_shortens_organic_routes() {
+        let (ps, rs) = route(InterposerKind::Shinko);
+        let total: f64 = rs.iter().map(|n| n.length_um).sum();
+        let manhattan: f64 = ps
+            .nets
+            .iter()
+            .filter(|n| n.class != crate::diemap::NetClass::IntraTileStackedVia)
+            .map(|n| ps.net_manhattan_um(n))
+            .sum();
+        // Diagonal routing beats pure Manhattan lower bound × detour.
+        assert!(total < manhattan * 1.3, "total {total} vs manhattan {manhattan}");
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (_, a) = route(InterposerKind::Glass25D);
+        let (_, b) = route(InterposerKind::Glass25D);
+        let ta: f64 = a.iter().map(|n| n.length_um).sum();
+        let tb: f64 = b.iter().map(|n| n.length_um).sum();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn no_gcell_exceeds_capacity_after_negotiation_on_silicon() {
+        let p = place_dies(InterposerKind::Silicon25D);
+        let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let r = route_all(&p, &grid).unwrap();
+        // Wire demand alone (pads and P/G stacks are fixed blockage the
+        // router cannot avoid at its own endpoints) must fit the tracks.
+        let mut usage = vec![0.0; grid.node_count()];
+        for net in &r {
+            for w in net.path.windows(2) {
+                let (x0, y0, l0) = w[0];
+                let (x1, y1, l1) = w[1];
+                if l0 != l1 {
+                    usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
+                    usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
+                } else {
+                    usage[grid.index(x1, y1, l1)] += 1.0;
+                }
+            }
+        }
+        let overflow = usage.iter().filter(|&&u| u > grid.capacity).count();
+        assert_eq!(overflow, 0, "silicon has 25 tracks/gcell: no overflow");
+    }
+
+    fn micro_placement() -> DiePlacement {
+        // Two 4-signal dies, 100 µm apart, on a tiny synthetic package.
+        use chiplet::bumpmap::BumpPlan;
+        use netlist::chiplet_netlist::ChipletKind;
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let bumps = BumpPlan::with_counts(4, 2, &spec);
+        let mk = |tile: usize, x: f64| crate::diemap::DieSite {
+            tile,
+            kind: ChipletKind::Logic,
+            origin_um: (x, 50.0),
+            width_um: bumps.bump_limited_width_um(),
+            embedded: false,
+            bumps: bumps.clone(),
+            signal_map: (0..4).collect(),
+        };
+        let nets = (0..4)
+            .map(|i| crate::diemap::NetSpec {
+                id: i,
+                class: crate::diemap::NetClass::IntraTileLateral,
+                from: (0, i),
+                to: (1, i),
+            })
+            .collect();
+        DiePlacement {
+            tech: InterposerKind::Glass25D,
+            footprint_um: (600.0, 300.0),
+            dies: vec![mk(0, 50.0), mk(1, 350.0)],
+            nets,
+        }
+    }
+
+    #[test]
+    fn micro_placement_routes_every_net() {
+        let p = micro_placement();
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let routed = route_all(&p, &grid).unwrap();
+        assert_eq!(routed.len(), 4);
+        for net in &routed {
+            // Dies are ~300 µm apart: every route crosses the gap.
+            assert!(net.length_um >= 200.0, "net {}: {}", net.id, net.length_um);
+            assert!(net.vias >= 2);
+        }
+    }
+
+    #[test]
+    fn coincident_endpoints_route_to_zero_length() {
+        // A net whose endpoints share a gcell must not panic and must
+        // report zero lateral wire (bump vias only).
+        let mut p = micro_placement();
+        p.nets = vec![crate::diemap::NetSpec {
+            id: 0,
+            class: crate::diemap::NetClass::IntraTileLateral,
+            from: (0, 0),
+            to: (0, 0),
+        }];
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let routed = route_all(&p, &grid).unwrap();
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0].length_um, 0.0);
+        assert_eq!(routed[0].vias, 2);
+    }
+
+    #[test]
+    fn glass_blockage_saturates_pad_gcells() {
+        let p = place_dies(InterposerKind::Glass25D);
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let base = base_blockage(&p, &grid);
+        // 22 µm vias on a 4 µm pitch: one pad exceeds a gcell-layer.
+        assert!(grid.via_block_tracks > grid.capacity);
+        let blocked = base.iter().filter(|&&u| u >= grid.capacity).count();
+        assert!(blocked > 500, "blocked gcells = {blocked}");
+    }
+
+    #[test]
+    fn glass_worst_net_detours_beyond_silicon() {
+        // The Table IV / Table V effect: glass escapes serpentine around
+        // blocked gcells, so its worst L2M net is much longer than
+        // silicon's on the same die placement.
+        let (pg, rg) = route(InterposerKind::Glass25D);
+        let (ps, rs) = route(InterposerKind::Silicon25D);
+        let worst = |p: &DiePlacement, r: &[RoutedNet]| -> f64 {
+            r.iter()
+                .filter(|n| {
+                    p.nets[n.id].class == crate::diemap::NetClass::IntraTileLateral
+                })
+                .map(|n| n.length_um)
+                .fold(0.0, f64::max)
+        };
+        assert!(
+            worst(&pg, &rg) > worst(&ps, &rs),
+            "glass {} vs silicon {}",
+            worst(&pg, &rg),
+            worst(&ps, &rs)
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-chiplet netlist summaries handed to the physical-design crates.
+//!
+//! After partitioning and SerDes insertion, each chiplet is characterised
+//! by its cell population, its external signal pin count, and an internal
+//! net count — everything the footprint solver, placer, timing and power
+//! models consume.
+
+use crate::design::Design;
+use crate::partition::Partition;
+use crate::serdes::SerdesPlan;
+use serde::Serialize;
+use techlib::cells::CellClass;
+
+/// Which chiplet of a tile this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ChipletKind {
+    /// Core + FPU + CCX + L1/L2 + NoC router (+ SerDes).
+    Logic,
+    /// L3 cache + interface logic.
+    Memory,
+}
+
+impl ChipletKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChipletKind::Logic => "logic",
+            ChipletKind::Memory => "mem",
+        }
+    }
+}
+
+impl std::fmt::Display for ChipletKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The synthesised netlist of one chiplet.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChipletNetlist {
+    /// Logic or memory.
+    pub kind: ChipletKind,
+    /// Absolute cell counts per class (includes SerDes cells for logic).
+    pub cells: Vec<(CellClass, usize)>,
+    /// External signal pins (excludes P/G): intra-tile cut for memory,
+    /// intra-tile cut + serialised inter-tile wires for logic.
+    pub signal_pins: usize,
+    /// Internal signal nets (≈ one net per cell output).
+    pub internal_nets: usize,
+}
+
+impl ChipletNetlist {
+    /// Total cell count.
+    pub fn total_cells(&self) -> usize {
+        self.cells.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Cells of one class.
+    pub fn cells_of(&self, class: CellClass) -> usize {
+        self.cells
+            .iter()
+            .find(|&&(c, _)| c == class)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+/// Builds the logic and memory chiplet netlists of one tile from the
+/// hierarchical partition and the SerDes plan.
+///
+/// The logic chiplet carries the serialised inter-tile interface (the NoC
+/// router lives there), so its pin count is `cut + wires_after` — the
+/// paper's 231 + 68 = 299. The memory chiplet exposes the 231-signal cut.
+pub fn chipletize(design: &Design, partition: &Partition, serdes: &SerdesPlan) -> (ChipletNetlist, ChipletNetlist) {
+    let mut logic_cells = design.cell_population(&partition.logic);
+    // SerDes shift registers are combinational+sequential cells on the
+    // logic chiplet; fold them into the population.
+    let serdes_cells = serdes.added_cells;
+    match logic_cells
+        .iter_mut()
+        .find(|(c, _)| *c == CellClass::Serdes)
+    {
+        Some((_, n)) => *n += serdes_cells,
+        None => logic_cells.push((CellClass::Serdes, serdes_cells)),
+    }
+    let logic_total: usize = logic_cells.iter().map(|&(_, n)| n).sum();
+    let mem_cells = design.cell_population(&partition.memory);
+    let mem_total: usize = mem_cells.iter().map(|&(_, n)| n).sum();
+
+    let logic = ChipletNetlist {
+        kind: ChipletKind::Logic,
+        cells: logic_cells,
+        signal_pins: partition.cut_width() + serdes.wires_after,
+        internal_nets: logic_total,
+    };
+    let memory = ChipletNetlist {
+        kind: ChipletKind::Memory,
+        cells: mem_cells,
+        signal_pins: partition.cut_width(),
+        internal_nets: mem_total,
+    };
+    (logic, memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openpiton::two_tile_openpiton;
+    use crate::partition::hierarchical_l3_split;
+
+    fn build() -> (ChipletNetlist, ChipletNetlist) {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        chipletize(&d, &p, &SerdesPlan::paper())
+    }
+
+    #[test]
+    fn signal_pins_match_table2() {
+        let (logic, mem) = build();
+        assert_eq!(logic.signal_pins, 299);
+        assert_eq!(mem.signal_pins, 231);
+    }
+
+    #[test]
+    fn cell_totals_match_table3() {
+        let (logic, mem) = build();
+        // 166,343 module cells + 1,152 SerDes cells = Table III's 167,495.
+        assert_eq!(logic.total_cells(), 167_495);
+        assert_eq!(mem.total_cells(), 37_091);
+    }
+
+    #[test]
+    fn memory_is_sram_dominated() {
+        let (_, mem) = build();
+        let sram = mem.cells_of(CellClass::SramMacro);
+        assert!(sram as f64 > 0.8 * mem.total_cells() as f64);
+    }
+
+    #[test]
+    fn logic_has_serdes_cells() {
+        let (logic, _) = build();
+        assert!(logic.cells_of(CellClass::Serdes) > 0);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(ChipletKind::Logic.to_string(), "logic");
+        assert_eq!(ChipletKind::Memory.to_string(), "mem");
+    }
+}

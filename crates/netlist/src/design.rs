@@ -1,0 +1,222 @@
+//! Module-level hierarchical netlist.
+//!
+//! The co-design flow operates on synthesis *statistics*, not gate-level
+//! connectivity: each module carries a cell population (count + class mix),
+//! and modules are connected by weighted edges (signal bundle widths). This
+//! is exactly the granularity the paper's chipletization step works at.
+
+use crate::NetlistError;
+use serde::Serialize;
+use techlib::cells::CellClass;
+
+/// Index of a module within a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct ModuleId(pub usize);
+
+/// A leaf module with a synthesised cell population.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Module {
+    /// Instance name, e.g. `"tile0.core"`.
+    pub name: String,
+    /// Total placeable cells after synthesis.
+    pub cell_count: usize,
+    /// Fractional cell class mix (fractions should sum to ~1).
+    pub mix: Vec<(CellClass, f64)>,
+    /// Which OpenPiton tile the module belongs to (0 or 1).
+    pub tile: usize,
+}
+
+/// A weighted connection between two modules (a signal bundle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Edge {
+    /// Source module.
+    pub from: ModuleId,
+    /// Destination module.
+    pub to: ModuleId,
+    /// Number of signal wires in the bundle.
+    pub width: usize,
+}
+
+/// A flat list of modules plus their weighted connectivity.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Design {
+    name: String,
+    modules: Vec<Module>,
+    edges: Vec<Edge>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Design {
+        Design {
+            name: name.into(),
+            modules: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a module and returns its id.
+    pub fn add_module(&mut self, module: Module) -> ModuleId {
+        self.modules.push(module);
+        ModuleId(self.modules.len() - 1)
+    }
+
+    /// Adds a weighted edge between two existing modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DanglingEdge`] if either endpoint does not
+    /// exist.
+    pub fn add_edge(&mut self, from: ModuleId, to: ModuleId, width: usize) -> Result<(), NetlistError> {
+        for id in [from, to] {
+            if id.0 >= self.modules.len() {
+                return Err(NetlistError::DanglingEdge { module: id.0 });
+            }
+        }
+        self.edges.push(Edge { from, to, width });
+        Ok(())
+    }
+
+    /// All modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Module by id.
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.0]
+    }
+
+    /// Finds a module id by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownModule`] if absent.
+    pub fn find(&self, name: &str) -> Result<ModuleId, NetlistError> {
+        self.modules
+            .iter()
+            .position(|m| m.name == name)
+            .map(ModuleId)
+            .ok_or_else(|| NetlistError::UnknownModule(name.to_string()))
+    }
+
+    /// Total cell count across all modules.
+    pub fn total_cells(&self) -> usize {
+        self.modules.iter().map(|m| m.cell_count).sum()
+    }
+
+    /// Sum of edge widths incident to `id` (its port count).
+    pub fn port_width(&self, id: ModuleId) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.from == id || e.to == id)
+            .map(|e| e.width)
+            .sum()
+    }
+
+    /// Absolute per-class cell counts of a set of modules.
+    pub fn cell_population(&self, ids: &[ModuleId]) -> Vec<(CellClass, usize)> {
+        let mut acc: Vec<(CellClass, f64)> = Vec::new();
+        for &id in ids {
+            let m = &self.modules[id.0];
+            for &(class, frac) in &m.mix {
+                match acc.iter_mut().find(|(c, _)| *c == class) {
+                    Some((_, n)) => *n += frac * m.cell_count as f64,
+                    None => acc.push((class, frac * m.cell_count as f64)),
+                }
+            }
+        }
+        // Round, preserving the exact total.
+        let total: usize = ids.iter().map(|&id| self.modules[id.0].cell_count).sum();
+        let mut out: Vec<(CellClass, usize)> =
+            acc.iter().map(|&(c, n)| (c, n.floor() as usize)).collect();
+        let assigned: usize = out.iter().map(|&(_, n)| n).sum();
+        if let Some(first) = out.first_mut() {
+            first.1 += total.saturating_sub(assigned);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Design {
+        let mut d = Design::new("sample");
+        let a = d.add_module(Module {
+            name: "a".into(),
+            cell_count: 100,
+            mix: vec![(CellClass::Combinational, 1.0)],
+            tile: 0,
+        });
+        let b = d.add_module(Module {
+            name: "b".into(),
+            cell_count: 50,
+            mix: vec![(CellClass::Sequential, 1.0)],
+            tile: 0,
+        });
+        d.add_edge(a, b, 32).unwrap();
+        d
+    }
+
+    #[test]
+    fn add_and_find_modules() {
+        let d = sample();
+        assert_eq!(d.find("a").unwrap(), ModuleId(0));
+        assert_eq!(d.find("b").unwrap(), ModuleId(1));
+        assert!(matches!(d.find("zz"), Err(NetlistError::UnknownModule(_))));
+        assert_eq!(d.total_cells(), 150);
+    }
+
+    #[test]
+    fn dangling_edge_rejected() {
+        let mut d = sample();
+        let err = d.add_edge(ModuleId(0), ModuleId(9), 1).unwrap_err();
+        assert_eq!(err, NetlistError::DanglingEdge { module: 9 });
+    }
+
+    #[test]
+    fn port_width_sums_incident_edges() {
+        let mut d = sample();
+        let a = d.find("a").unwrap();
+        let b = d.find("b").unwrap();
+        d.add_edge(b, a, 8).unwrap();
+        assert_eq!(d.port_width(a), 40);
+        assert_eq!(d.port_width(b), 40);
+    }
+
+    #[test]
+    fn population_preserves_total() {
+        let d = sample();
+        let pop = d.cell_population(&[ModuleId(0), ModuleId(1)]);
+        assert_eq!(pop.iter().map(|&(_, n)| n).sum::<usize>(), 150);
+    }
+
+    #[test]
+    fn population_mixes_classes() {
+        let mut d = Design::new("mix");
+        let a = d.add_module(Module {
+            name: "a".into(),
+            cell_count: 10,
+            mix: vec![
+                (CellClass::Combinational, 0.5),
+                (CellClass::Sequential, 0.5),
+            ],
+            tile: 0,
+        });
+        let pop = d.cell_population(&[a]);
+        assert_eq!(pop.len(), 2);
+        assert_eq!(pop.iter().map(|&(_, n)| n).sum::<usize>(), 10);
+    }
+}

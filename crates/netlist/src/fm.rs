@@ -1,0 +1,415 @@
+//! Fiduccia–Mattheyses two-way min-cut partitioning.
+//!
+//! This implements the "flattening partitioning" branch of the co-design
+//! flow (Fig. 4): the design is exploded into a cluster-level graph and a
+//! gain-driven FM heuristic searches for a low-cut, balanced bipartition.
+//! The paper's study uses the hierarchical branch; FM is provided both as
+//! the alternative flow and as a check that the L3 grouping is (near-)
+//! minimum-cut.
+
+use crate::design::Design;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A flat weighted graph for partitioning.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterGraph {
+    /// Vertex weights (cell counts).
+    pub weights: Vec<f64>,
+    /// Adjacency: for each vertex, (neighbour, edge weight) pairs. Each
+    /// undirected edge appears in both endpoint lists.
+    pub adj: Vec<Vec<(usize, f64)>>,
+    /// Human-readable labels (module provenance).
+    pub labels: Vec<String>,
+}
+
+impl ClusterGraph {
+    /// Creates an empty graph.
+    pub fn new() -> ClusterGraph {
+        ClusterGraph::default()
+    }
+
+    /// Adds a vertex, returning its index.
+    pub fn add_vertex(&mut self, weight: f64, label: impl Into<String>) -> usize {
+        self.weights.push(weight);
+        self.adj.push(Vec::new());
+        self.labels.push(label.into());
+        self.weights.len() - 1
+    }
+
+    /// Adds an undirected weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: usize, b: usize, w: f64) {
+        assert!(a < self.weights.len() && b < self.weights.len(), "vertex out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.adj[a].push((b, w));
+        self.adj[b].push((a, w));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Cut weight of a bipartition given by `side[v] ∈ {false, true}`.
+    pub fn cut(&self, side: &[bool]) -> f64 {
+        let mut c = 0.0;
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            for &(u, w) in nbrs {
+                if u > v && side[u] != side[v] {
+                    c += w;
+                }
+            }
+        }
+        c
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// Result of an FM run.
+#[derive(Debug, Clone)]
+pub struct FmResult {
+    /// Final side assignment (false = side A, true = side B).
+    pub side: Vec<bool>,
+    /// Final cut weight.
+    pub cut: f64,
+    /// Number of improvement passes executed.
+    pub passes: usize,
+}
+
+/// Configuration for [`fm_bipartition`].
+#[derive(Debug, Clone)]
+pub struct FmConfig {
+    /// Minimum fraction of total vertex weight allowed on the lighter side.
+    pub min_balance: f64,
+    /// Maximum FM passes.
+    pub max_passes: usize,
+    /// RNG seed for the initial random assignment.
+    pub seed: u64,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig {
+            min_balance: 0.15,
+            max_passes: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// Runs Fiduccia–Mattheyses refinement from a random balanced start.
+///
+/// Classic single-vertex-move FM: each pass computes move gains, then
+/// greedily moves the best unlocked vertex (respecting the balance bound),
+/// locking it; the best prefix of the move sequence is committed. Passes
+/// repeat until a pass yields no improvement or `max_passes` is hit.
+pub fn fm_bipartition(graph: &ClusterGraph, config: &FmConfig) -> FmResult {
+    assert!(!graph.is_empty(), "cannot partition an empty graph");
+    let n = graph.len();
+    let total = graph.total_weight();
+    let min_side = config.min_balance * total;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Random initial assignment near 50/50 by weight.
+    let mut side: Vec<bool> = vec![false; n];
+    let mut w_b = 0.0;
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for &v in &order {
+        if w_b < total / 2.0 {
+            side[v] = true;
+            w_b += graph.weights[v];
+        }
+    }
+
+    let mut best_cut = graph.cut(&side);
+    let mut passes = 0;
+
+    for _ in 0..config.max_passes {
+        passes += 1;
+        // Gains: moving v to the other side changes cut by (internal -
+        // external) = -gain.
+        let mut gain: Vec<f64> = vec![0.0; n];
+        for v in 0..n {
+            for &(u, w) in &graph.adj[v] {
+                if side[u] != side[v] {
+                    gain[v] += w;
+                } else {
+                    gain[v] -= w;
+                }
+            }
+        }
+        let mut locked = vec![false; n];
+        let mut weight_b: f64 = (0..n).filter(|&v| side[v]).map(|v| graph.weights[v]).sum();
+        let mut cur_cut = graph.cut(&side);
+        // Move log: (vertex, cut after move).
+        let mut log: Vec<(usize, f64)> = Vec::with_capacity(n);
+
+        for _ in 0..n {
+            // Pick the best unlocked, balance-legal move.
+            let mut best: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if locked[v] {
+                    continue;
+                }
+                let (wa, wb) = if side[v] {
+                    (total - weight_b + graph.weights[v], weight_b - graph.weights[v])
+                } else {
+                    (total - weight_b - graph.weights[v], weight_b + graph.weights[v])
+                };
+                if wa < min_side || wb < min_side {
+                    continue;
+                }
+                if best.map_or(true, |(_, g)| gain[v] > g) {
+                    best = Some((v, gain[v]));
+                }
+            }
+            let Some((v, g)) = best else { break };
+            // Apply the move.
+            if side[v] {
+                weight_b -= graph.weights[v];
+            } else {
+                weight_b += graph.weights[v];
+            }
+            side[v] = !side[v];
+            locked[v] = true;
+            cur_cut -= g;
+            log.push((v, cur_cut));
+            // Update neighbour gains.
+            for &(u, w) in &graph.adj[v] {
+                if locked[u] {
+                    continue;
+                }
+                if side[u] == side[v] {
+                    // u was external to v, now internal.
+                    gain[u] -= 2.0 * w;
+                } else {
+                    gain[u] += 2.0 * w;
+                }
+            }
+            gain[v] = -gain[v];
+        }
+
+        // Commit the best prefix.
+        let best_prefix = log
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite cuts"))
+            .map(|(i, &(_, c))| (i, c));
+        match best_prefix {
+            Some((i, c)) if c < best_cut - 1e-9 => {
+                // Roll back moves after the best prefix.
+                for &(v, _) in log.iter().skip(i + 1) {
+                    side[v] = !side[v];
+                }
+                best_cut = c;
+            }
+            _ => {
+                // No improvement: roll back the whole pass.
+                for &(v, _) in &log {
+                    side[v] = !side[v];
+                }
+                break;
+            }
+        }
+    }
+
+    FmResult {
+        cut: graph.cut(&side),
+        side,
+        passes,
+    }
+}
+
+/// Runs [`fm_bipartition`] from `starts` different random initial
+/// assignments and returns the best result — the standard remedy for FM's
+/// sensitivity to its starting point.
+pub fn fm_multistart(graph: &ClusterGraph, config: &FmConfig, starts: usize) -> FmResult {
+    assert!(starts > 0, "need at least one start");
+    (0..starts)
+        .map(|i| {
+            let cfg = FmConfig {
+                seed: config.seed.wrapping_add(i as u64 * 0x9e37_79b9),
+                ..config.clone()
+            };
+            fm_bipartition(graph, &cfg)
+        })
+        .min_by(|a, b| a.cut.partial_cmp(&b.cut).expect("finite cuts"))
+        .expect("at least one start")
+}
+
+/// Explodes a module-level [`Design`] into a cluster graph.
+///
+/// Each module becomes `ceil(cells / cluster_cells)` clusters joined in a
+/// heavily weighted chain plus random intra-module shortcuts (so FM keeps
+/// modules together unless splitting truly pays), and each inter-module
+/// bundle is split across randomly chosen cluster pairs.
+pub fn explode(design: &Design, cluster_cells: usize, seed: u64) -> ClusterGraph {
+    assert!(cluster_cells > 0, "cluster size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ClusterGraph::new();
+    // Cluster index ranges per module.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(design.modules().len());
+    for m in design.modules() {
+        let k = m.cell_count.div_ceil(cluster_cells).max(1);
+        let start = g.len();
+        let per = m.cell_count as f64 / k as f64;
+        for i in 0..k {
+            g.add_vertex(per, format!("{}#{}", m.name, i));
+        }
+        // Chain + shortcuts keep module clusters cohesive. Weight is high
+        // relative to any inter-module bundle.
+        let intra_w = 2_000.0;
+        for i in 1..k {
+            g.add_edge(start + i - 1, start + i, intra_w);
+        }
+        for _ in 0..k / 2 {
+            let a = start + rng.gen_range(0..k);
+            let b = start + rng.gen_range(0..k);
+            if a != b {
+                g.add_edge(a, b, intra_w / 2.0);
+            }
+        }
+        ranges.push((start, k));
+    }
+    for e in design.edges() {
+        let (sa, ka) = ranges[e.from.0];
+        let (sb, kb) = ranges[e.to.0];
+        // Split the bundle over up to 4 cluster pairs.
+        let parts = 4.min(e.width).max(1);
+        let per = e.width as f64 / parts as f64;
+        for _ in 0..parts {
+            let a = sa + rng.gen_range(0..ka);
+            let b = sb + rng.gen_range(0..kb);
+            g.add_edge(a, b, per);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openpiton::two_tile_openpiton;
+
+    fn tile0_graph() -> (ClusterGraph, f64) {
+        let d = two_tile_openpiton();
+        // Single-tile subgraph: keep only tile0 modules.
+        let mut sub = crate::design::Design::new("tile0");
+        let mut map = std::collections::HashMap::new();
+        for (i, m) in d.modules().iter().enumerate() {
+            if m.tile == 0 {
+                let id = sub.add_module(m.clone());
+                map.insert(i, id);
+            }
+        }
+        for e in d.edges() {
+            if let (Some(&a), Some(&b)) = (map.get(&e.from.0), map.get(&e.to.0)) {
+                sub.add_edge(a, b, e.width).unwrap();
+            }
+        }
+        let g = explode(&sub, 4000, 42);
+        (g, 231.0)
+    }
+
+    #[test]
+    fn fm_finds_the_l3_cut_on_tile0() {
+        let (g, expected) = tile0_graph();
+        let result = fm_multistart(&g, &FmConfig::default(), 16);
+        // Multi-start FM must land at (or beat) the hierarchical 231 cut;
+        // it cannot do better than the best module boundary without
+        // splitting modules, which the heavy intra-module edges prevent.
+        assert!(
+            result.cut <= expected + 1e-6,
+            "cut {} vs expected {}",
+            result.cut,
+            expected
+        );
+        assert!(result.cut >= 100.0, "cut {} suspiciously low", result.cut);
+    }
+
+    #[test]
+    fn fm_respects_balance() {
+        let (g, _) = tile0_graph();
+        let cfg = FmConfig {
+            min_balance: 0.15,
+            ..FmConfig::default()
+        };
+        let result = fm_bipartition(&g, &cfg);
+        let total = g.total_weight();
+        let w_b: f64 = (0..g.len())
+            .filter(|&v| result.side[v])
+            .map(|v| g.weights[v])
+            .sum();
+        assert!(w_b >= 0.15 * total - 4001.0, "side B weight {w_b}");
+        assert!(total - w_b >= 0.15 * total - 4001.0);
+    }
+
+    #[test]
+    fn fm_is_deterministic() {
+        let (g, _) = tile0_graph();
+        let a = fm_bipartition(&g, &FmConfig::default());
+        let b = fm_bipartition(&g, &FmConfig::default());
+        assert_eq!(a.side, b.side);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn fm_never_worsens_the_initial_cut() {
+        for seed in 0..5 {
+            let (g, _) = tile0_graph();
+            let cfg = FmConfig {
+                seed,
+                max_passes: 0, // passes=0 means the initial random cut stands
+                ..FmConfig::default()
+            };
+            let initial = fm_bipartition(&g, &cfg).cut;
+            let cfg = FmConfig {
+                seed,
+                ..FmConfig::default()
+            };
+            let refined = fm_bipartition(&g, &cfg).cut;
+            assert!(refined <= initial + 1e-9, "{refined} > {initial}");
+        }
+    }
+
+    #[test]
+    fn cut_of_uniform_side_is_zero() {
+        let mut g = ClusterGraph::new();
+        let a = g.add_vertex(1.0, "a");
+        let b = g.add_vertex(1.0, "b");
+        g.add_edge(a, b, 5.0);
+        assert_eq!(g.cut(&[false, false]), 0.0);
+        assert_eq!(g.cut(&[false, true]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = ClusterGraph::new();
+        let a = g.add_vertex(1.0, "a");
+        g.add_edge(a, a, 1.0);
+    }
+
+    #[test]
+    fn explode_conserves_cell_weight() {
+        let d = two_tile_openpiton();
+        let g = explode(&d, 4000, 1);
+        assert!((g.total_weight() - d.total_cells() as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Hierarchical netlist model and chipletization for the co-design flow.
+//!
+//! The paper starts from the OpenPiton RISC-V architecture, generates a
+//! two-tile RTL, and partitions each tile into a *logic* chiplet and a
+//! *memory* chiplet. This crate provides:
+//!
+//! * [`design`] — a module-level hierarchical netlist (modules, weighted
+//!   connectivity, cell populations).
+//! * [`openpiton`] — a generator for the two-tile OpenPiton-like benchmark,
+//!   calibrated to the paper's chiplet statistics (167,495 logic cells and
+//!   37,091 memory cells per tile; 231 intra-tile and 6×64+20 inter-tile
+//!   signals).
+//! * [`partition`] — the hierarchical (module-grouping) partitioner used by
+//!   the paper's main flow, with cut-size accounting.
+//! * [`fm`] — a Fiduccia–Mattheyses min-cut partitioner implementing the
+//!   flow's alternative "flattened" branch (Fig. 4).
+//! * [`serdes`] — SerDes insertion reducing the 404 inter-tile wires to 68
+//!   serial signals at a cost of 8 extra cycles.
+//! * [`chiplet_netlist`] — the per-chiplet netlist summaries that feed the
+//!   physical-design crates.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::openpiton::two_tile_openpiton;
+//! use netlist::partition::hierarchical_l3_split;
+//!
+//! let design = two_tile_openpiton();
+//! let split = hierarchical_l3_split(&design)?;
+//! assert_eq!(split.cut_width(), 231); // intra-tile logic<->memory signals
+//! # Ok::<(), netlist::NetlistError>(())
+//! ```
+
+pub mod chiplet_netlist;
+pub mod design;
+pub mod fm;
+pub mod openpiton;
+pub mod partition;
+pub mod serdes;
+
+pub use chiplet_netlist::{ChipletKind, ChipletNetlist};
+pub use design::{Design, Edge, Module, ModuleId};
+pub use partition::Partition;
+
+/// Errors produced by netlist construction and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A module name was not found in the design.
+    UnknownModule(String),
+    /// A partition left one side empty.
+    EmptySide,
+    /// An edge referenced a module id out of range.
+    DanglingEdge {
+        /// The offending module id.
+        module: usize,
+    },
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::UnknownModule(name) => write!(f, "unknown module {name:?}"),
+            NetlistError::EmptySide => write!(f, "partition leaves one side empty"),
+            NetlistError::DanglingEdge { module } => {
+                write!(f, "edge references missing module index {module}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(!NetlistError::EmptySide.to_string().is_empty());
+        assert!(!NetlistError::UnknownModule("x".into()).to_string().is_empty());
+        assert!(!NetlistError::DanglingEdge { module: 3 }.to_string().is_empty());
+    }
+}

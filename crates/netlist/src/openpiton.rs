@@ -1,0 +1,214 @@
+//! Generator for the two-tile OpenPiton-like benchmark (Fig. 3).
+//!
+//! Each tile contains computational modules (core, FPU, CCX crossbar),
+//! memory modules (L1/L2/L3 caches) and a NoC router. Cell counts are
+//! calibrated so the logic-chiplet group totals 167,495 cells and the
+//! memory-chiplet group (L3 + interface) totals 37,091 cells per tile, the
+//! post-PnR populations of Table III. Connectivity widths reproduce the
+//! paper's interface statistics: 231 signals between the L3 group and the
+//! rest of the tile, and six 64-bit buses plus 20 control signals between
+//! the two tiles' NoC routers.
+
+use crate::design::{Design, Module, ModuleId};
+use techlib::cells::CellClass;
+
+/// Inter-tile bus structure: six 64-bit NoC buses plus 20 control wires.
+pub const INTER_TILE_BUSES: usize = 6;
+/// Width of each inter-tile NoC bus.
+pub const INTER_TILE_BUS_WIDTH: usize = 64;
+/// Inter-tile sideband control signals.
+pub const INTER_TILE_CTRL: usize = 20;
+/// Total unserialised inter-tile wires (6 × 64 + 20 = 404).
+pub const INTER_TILE_WIRES: usize = INTER_TILE_BUSES * INTER_TILE_BUS_WIDTH + INTER_TILE_CTRL;
+/// Intra-tile signals crossing the logic/memory chiplet boundary.
+pub const INTRA_TILE_CUT: usize = 231;
+
+/// Leaf modules of one tile, in generation order.
+pub const TILE_MODULES: [&str; 8] = [
+    "core", "fpu", "ccx", "l1", "l2", "noc", "l3_intf", "l3",
+];
+
+/// Cell counts per leaf module.
+///
+/// Logic group (core..noc): 90,000 + 25,000 + 12,000 + 15,000 + 18,000 +
+/// 6,343 = 166,343 (+1,152 SerDes cells inserted later = 167,495).
+/// Memory group (l3_intf + l3): 5,091 + 32,000 = 37,091.
+pub fn module_cells(name: &str) -> usize {
+    match name {
+        "core" => 90_000,
+        "fpu" => 25_000,
+        "ccx" => 12_000,
+        "l1" => 15_000,
+        "l2" => 18_000,
+        "noc" => 6_343,
+        "l3_intf" => 5_091,
+        "l3" => 32_000,
+        _ => 0,
+    }
+}
+
+fn module_mix(name: &str) -> Vec<(CellClass, f64)> {
+    match name {
+        // L1/L2 are small caches built largely from synthesised arrays in
+        // this 28nm flow; a thin SRAM-macro fraction models the tag/data
+        // compiler blocks.
+        "l1" | "l2" => vec![
+            (CellClass::Combinational, 0.95),
+            (CellClass::Sequential, 0.05),
+        ],
+        "l3" => vec![
+            (CellClass::SramMacro, 0.95),
+            (CellClass::Combinational, 0.04),
+            (CellClass::Sequential, 0.01),
+        ],
+        "l3_intf" => vec![
+            (CellClass::SramMacro, 0.37),
+            (CellClass::Combinational, 0.48),
+            (CellClass::Sequential, 0.15),
+        ],
+        // Datapath/control logic.
+        _ => vec![
+            (CellClass::Combinational, 0.82),
+            (CellClass::Sequential, 0.18),
+        ],
+    }
+}
+
+fn tile_edges(d: &mut Design, ids: &[(String, ModuleId)], tile: usize) {
+    let find = |name: &str| -> ModuleId {
+        ids.iter()
+            .find(|(n, _)| n == &format!("tile{tile}.{name}"))
+            .expect("module exists")
+            .1
+    };
+    // Intra-tile connectivity (widths chosen to model the OpenPiton
+    // micro-architecture; only the L2<->L3 cut of 231 is load-bearing).
+    let pairs: [(&str, &str, usize); 7] = [
+        ("core", "l1", 256),
+        ("core", "fpu", 128),
+        ("core", "ccx", 144),
+        ("l1", "ccx", 96),
+        ("ccx", "l2", 320),
+        ("l2", "noc", 128),
+        ("l3_intf", "l3", 512),
+    ];
+    for (a, b, w) in pairs {
+        d.add_edge(find(a), find(b), w).expect("modules exist");
+    }
+    // The logic<->memory chiplet boundary: L2 to the L3 interface.
+    d.add_edge(find("l2"), find("l3_intf"), INTRA_TILE_CUT)
+        .expect("modules exist");
+}
+
+/// Builds the two-tile OpenPiton-like design used throughout the study.
+pub fn two_tile_openpiton() -> Design {
+    let mut d = Design::new("openpiton-2tile");
+    let mut ids: Vec<(String, ModuleId)> = Vec::new();
+    for tile in 0..2 {
+        for name in TILE_MODULES {
+            let full = format!("tile{tile}.{name}");
+            let id = d.add_module(Module {
+                name: full.clone(),
+                cell_count: module_cells(name),
+                mix: module_mix(name),
+                tile,
+            });
+            ids.push((full, id));
+        }
+    }
+    for tile in 0..2 {
+        tile_edges(&mut d, &ids, tile);
+    }
+    // Inter-tile NoC link: 6 × 64-bit buses + 20 control signals.
+    let noc0 = d.find("tile0.noc").expect("exists");
+    let noc1 = d.find("tile1.noc").expect("exists");
+    for _ in 0..INTER_TILE_BUSES {
+        d.add_edge(noc0, noc1, INTER_TILE_BUS_WIDTH).expect("ok");
+    }
+    d.add_edge(noc0, noc1, INTER_TILE_CTRL).expect("ok");
+    d
+}
+
+/// Module ids of the memory-chiplet group (L3 + interface) of `tile`.
+pub fn memory_group(design: &Design, tile: usize) -> Vec<ModuleId> {
+    ["l3_intf", "l3"]
+        .iter()
+        .map(|name| design.find(&format!("tile{tile}.{name}")).expect("exists"))
+        .collect()
+}
+
+/// Module ids of the logic-chiplet group of `tile`.
+pub fn logic_group(design: &Design, tile: usize) -> Vec<ModuleId> {
+    ["core", "fpu", "ccx", "l1", "l2", "noc"]
+        .iter()
+        .map(|name| design.find(&format!("tile{tile}.{name}")).expect("exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_tile_wire_count_matches_paper() {
+        assert_eq!(INTER_TILE_WIRES, 404);
+    }
+
+    #[test]
+    fn cell_totals_match_table3() {
+        let d = two_tile_openpiton();
+        let logic: usize = logic_group(&d, 0)
+            .iter()
+            .map(|&id| d.module(id).cell_count)
+            .sum();
+        let mem: usize = memory_group(&d, 0)
+            .iter()
+            .map(|&id| d.module(id).cell_count)
+            .sum();
+        assert_eq!(logic, 166_343);
+        assert_eq!(mem, 37_091);
+        assert_eq!(d.total_cells(), 2 * (166_343 + 37_091));
+    }
+
+    #[test]
+    fn both_tiles_are_symmetric() {
+        let d = two_tile_openpiton();
+        for name in TILE_MODULES {
+            let a = d.find(&format!("tile0.{name}")).unwrap();
+            let b = d.find(&format!("tile1.{name}")).unwrap();
+            assert_eq!(d.module(a).cell_count, d.module(b).cell_count);
+        }
+    }
+
+    #[test]
+    fn l2_to_l3_cut_is_231() {
+        let d = two_tile_openpiton();
+        let l2 = d.find("tile0.l2").unwrap();
+        let intf = d.find("tile0.l3_intf").unwrap();
+        let w: usize = d
+            .edges()
+            .iter()
+            .filter(|e| {
+                (e.from == l2 && e.to == intf) || (e.from == intf && e.to == l2)
+            })
+            .map(|e| e.width)
+            .sum();
+        assert_eq!(w, INTRA_TILE_CUT);
+    }
+
+    #[test]
+    fn noc_routers_carry_the_intertile_link() {
+        let d = two_tile_openpiton();
+        let noc0 = d.find("tile0.noc").unwrap();
+        let noc1 = d.find("tile1.noc").unwrap();
+        let w: usize = d
+            .edges()
+            .iter()
+            .filter(|e| {
+                (e.from == noc0 && e.to == noc1) || (e.from == noc1 && e.to == noc0)
+            })
+            .map(|e| e.width)
+            .sum();
+        assert_eq!(w, INTER_TILE_WIRES);
+    }
+}

@@ -1,0 +1,291 @@
+//! Hierarchical (module-grouping) partitioning — the flow's main branch.
+//!
+//! The paper aggregates the L3 cache and its interfacing logic into the
+//! memory chiplet and keeps everything else in the logic chiplet, per tile,
+//! minimising the cut under the bump-pitch constraint.
+
+use crate::design::{Design, ModuleId};
+use crate::openpiton;
+use crate::NetlistError;
+use serde::Serialize;
+
+/// A two-way assignment of a tile's modules to logic/memory chiplets.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Partition {
+    /// Which tile this partition covers.
+    pub tile: usize,
+    /// Modules in the logic chiplet.
+    pub logic: Vec<ModuleId>,
+    /// Modules in the memory chiplet.
+    pub memory: Vec<ModuleId>,
+    /// Signal wires crossing the boundary.
+    cut_width: usize,
+    /// Cells on the logic side.
+    logic_cells: usize,
+    /// Cells on the memory side.
+    memory_cells: usize,
+}
+
+impl Partition {
+    /// Builds a partition of `tile` from explicit module groups, computing
+    /// the cut from the design's edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::EmptySide`] if either group is empty.
+    pub fn from_groups(
+        design: &Design,
+        tile: usize,
+        logic: Vec<ModuleId>,
+        memory: Vec<ModuleId>,
+    ) -> Result<Partition, NetlistError> {
+        if logic.is_empty() || memory.is_empty() {
+            return Err(NetlistError::EmptySide);
+        }
+        let cut_width = cut_between(design, &logic, &memory);
+        let logic_cells = logic.iter().map(|&id| design.module(id).cell_count).sum();
+        let memory_cells = memory.iter().map(|&id| design.module(id).cell_count).sum();
+        Ok(Partition {
+            tile,
+            logic,
+            memory,
+            cut_width,
+            logic_cells,
+            memory_cells,
+        })
+    }
+
+    /// Signal wires crossing the logic/memory boundary.
+    pub fn cut_width(&self) -> usize {
+        self.cut_width
+    }
+
+    /// Cells on the logic side.
+    pub fn logic_cells(&self) -> usize {
+        self.logic_cells
+    }
+
+    /// Cells on the memory side.
+    pub fn memory_cells(&self) -> usize {
+        self.memory_cells
+    }
+
+    /// Cell-count balance ratio (smaller side / larger side).
+    pub fn balance(&self) -> f64 {
+        let (a, b) = (self.logic_cells as f64, self.memory_cells as f64);
+        a.min(b) / a.max(b)
+    }
+}
+
+/// Sum of edge widths with one endpoint in `a` and the other in `b`.
+pub fn cut_between(design: &Design, a: &[ModuleId], b: &[ModuleId]) -> usize {
+    design
+        .edges()
+        .iter()
+        .filter(|e| {
+            (a.contains(&e.from) && b.contains(&e.to))
+                || (b.contains(&e.from) && a.contains(&e.to))
+        })
+        .map(|e| e.width)
+        .sum()
+}
+
+/// The paper's hierarchical partition of tile 0: memory chiplet = L3 +
+/// interface logic; logic chiplet = everything else.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the expected OpenPiton modules are absent.
+pub fn hierarchical_l3_split(design: &Design) -> Result<Partition, NetlistError> {
+    hierarchical_l3_split_of_tile(design, 0)
+}
+
+/// Same as [`hierarchical_l3_split`] for an explicit tile index.
+pub fn hierarchical_l3_split_of_tile(
+    design: &Design,
+    tile: usize,
+) -> Result<Partition, NetlistError> {
+    let logic = openpiton::logic_group(design, tile);
+    let memory = openpiton::memory_group(design, tile);
+    Partition::from_groups(design, tile, logic, memory)
+}
+
+/// Exhaustively evaluates every contiguous "cache-boundary" grouping and
+/// returns the module set whose cut is minimal, demonstrating that the
+/// paper's L3 split is the minimum-cut hierarchical choice.
+///
+/// Candidate memory groups considered: {l3}, {l3, l3_intf},
+/// {l3, l3_intf, l2}, {l3, l3_intf, l2, l1}.
+pub fn best_hierarchical_split(design: &Design, tile: usize) -> Result<Partition, NetlistError> {
+    let name = |n: &str| design.find(&format!("tile{tile}.{n}"));
+    let candidates: [&[&str]; 4] = [
+        &["l3"],
+        &["l3", "l3_intf"],
+        &["l3", "l3_intf", "l2"],
+        &["l3", "l3_intf", "l2", "l1"],
+    ];
+    let mut best: Option<Partition> = None;
+    for group in candidates {
+        let memory: Vec<ModuleId> = group
+            .iter()
+            .map(|n| name(n))
+            .collect::<Result<_, _>>()?;
+        let logic: Vec<ModuleId> = openpiton::TILE_MODULES
+            .iter()
+            .filter(|n| !group.contains(n))
+            .map(|n| name(n))
+            .collect::<Result<_, _>>()?;
+        let p = Partition::from_groups(design, tile, logic, memory)?;
+        if best.as_ref().map_or(true, |b| p.cut_width() < b.cut_width()) {
+            best = Some(p);
+        }
+    }
+    best.ok_or(NetlistError::EmptySide)
+}
+
+/// The "flattening partitioning" branch of Fig. 4: explode the tile into
+/// a cluster graph, run multi-start FM, and lift the result back to a
+/// module-level partition (a module lands on the side holding the
+/// majority of its cluster weight).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::EmptySide`] if FM degenerates (it cannot on a
+/// connected tile graph with a balanced start).
+pub fn flattened_fm_split(design: &Design, tile: usize, seed: u64) -> Result<Partition, NetlistError> {
+    use crate::fm::{explode, fm_multistart, FmConfig};
+    // Build the single-tile subgraph.
+    let mut sub = Design::new(format!("tile{tile}"));
+    let mut map = std::collections::HashMap::new();
+    for (i, m) in design.modules().iter().enumerate() {
+        if m.tile == tile {
+            let id = sub.add_module(m.clone());
+            map.insert(ModuleId(i), id);
+        }
+    }
+    for e in design.edges() {
+        if let (Some(&a), Some(&b)) = (map.get(&e.from), map.get(&e.to)) {
+            sub.add_edge(a, b, e.width)?;
+        }
+    }
+    let graph = explode(&sub, 4_000, seed);
+    let cfg = FmConfig { seed, ..FmConfig::default() };
+    let result = fm_multistart(&graph, &cfg, 16);
+
+    // Majority vote per module using the cluster labels "module#k".
+    let mut logic = Vec::new();
+    let mut memory = Vec::new();
+    // Determine which side holds the L3 cache (that side is "memory").
+    let l3_name = format!("tile{tile}.l3#");
+    let l3_side = graph
+        .labels
+        .iter()
+        .position(|l| l.starts_with(&l3_name))
+        .map(|i| result.side[i])
+        .unwrap_or(true);
+    for (mi, m) in sub.modules().iter().enumerate() {
+        let prefix = format!("{}#", m.name);
+        let mut weight_on_mem = 0.0;
+        let mut total = 0.0;
+        for (ci, label) in graph.labels.iter().enumerate() {
+            if label.starts_with(&prefix) {
+                total += graph.weights[ci];
+                if result.side[ci] == l3_side {
+                    weight_on_mem += graph.weights[ci];
+                }
+            }
+        }
+        // Map back to the original design's module id.
+        let orig = map
+            .iter()
+            .find(|&(_, &v)| v == ModuleId(mi))
+            .map(|(&k, _)| k)
+            .expect("module mapped");
+        if weight_on_mem > total / 2.0 {
+            memory.push(orig);
+        } else {
+            logic.push(orig);
+        }
+    }
+    Partition::from_groups(design, tile, logic, memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openpiton::two_tile_openpiton;
+
+    #[test]
+    fn l3_split_cut_is_231() {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        assert_eq!(p.cut_width(), 231);
+        assert_eq!(p.logic_cells(), 166_343);
+        assert_eq!(p.memory_cells(), 37_091);
+    }
+
+    #[test]
+    fn both_tiles_split_identically() {
+        let d = two_tile_openpiton();
+        let p0 = hierarchical_l3_split_of_tile(&d, 0).unwrap();
+        let p1 = hierarchical_l3_split_of_tile(&d, 1).unwrap();
+        assert_eq!(p0.cut_width(), p1.cut_width());
+        assert_eq!(p0.logic_cells(), p1.logic_cells());
+    }
+
+    #[test]
+    fn paper_split_is_the_minimum_cut_choice() {
+        let d = two_tile_openpiton();
+        let best = best_hierarchical_split(&d, 0).unwrap();
+        // {l3, l3_intf} has cut 231; {l3} alone cuts the 512-wide L3
+        // interface bus; moving L2 over cuts CCX(320)+NoC(128) = 448.
+        assert_eq!(best.cut_width(), 231);
+        assert_eq!(best.memory.len(), 2);
+    }
+
+    #[test]
+    fn empty_side_is_rejected() {
+        let d = two_tile_openpiton();
+        let all: Vec<ModuleId> = (0..d.modules().len()).map(ModuleId).collect();
+        assert!(matches!(
+            Partition::from_groups(&d, 0, all, vec![]),
+            Err(NetlistError::EmptySide)
+        ));
+    }
+
+    #[test]
+    fn balance_is_between_zero_and_one() {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        assert!(p.balance() > 0.0 && p.balance() <= 1.0);
+    }
+
+    #[test]
+    fn flattened_fm_branch_recovers_the_hierarchical_split() {
+        // Fig. 4's two chipletization branches converge: FM on the
+        // exploded tile finds the same 231-wide L3 boundary.
+        let d = two_tile_openpiton();
+        let fm = flattened_fm_split(&d, 0, 7).unwrap();
+        let hier = hierarchical_l3_split(&d).unwrap();
+        assert_eq!(fm.cut_width(), hier.cut_width());
+        assert_eq!(fm.memory_cells(), hier.memory_cells());
+    }
+
+    #[test]
+    fn flattened_fm_works_on_both_tiles() {
+        let d = two_tile_openpiton();
+        let p0 = flattened_fm_split(&d, 0, 3).unwrap();
+        let p1 = flattened_fm_split(&d, 1, 3).unwrap();
+        assert_eq!(p0.cut_width(), p1.cut_width());
+    }
+
+    #[test]
+    fn cut_is_symmetric() {
+        let d = two_tile_openpiton();
+        let p = hierarchical_l3_split(&d).unwrap();
+        assert_eq!(
+            cut_between(&d, &p.logic, &p.memory),
+            cut_between(&d, &p.memory, &p.logic)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! SerDes insertion on the inter-tile link (Section IV-A).
+//!
+//! The raw inter-tile connection is six 64-bit buses plus 20 control
+//! signals (404 wires) — far more than the micro-bump budget allows. The
+//! flow inserts an 8:1 serialiser per bus, reducing each 64-bit parallel
+//! interface to an 8-bit serial one while leaving control signals
+//! untouched, at a cost of 8 extra cycles per inter-tile transfer.
+
+use crate::openpiton::{INTER_TILE_BUSES, INTER_TILE_BUS_WIDTH, INTER_TILE_CTRL};
+use serde::Serialize;
+
+/// Serialisation ratio used by the flow (64-bit → 8-bit).
+pub const SERDES_RATIO: usize = 8;
+
+/// Result of inserting SerDes on the inter-tile link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SerdesPlan {
+    /// Wires before serialisation.
+    pub wires_before: usize,
+    /// Wires after serialisation (serial buses + control).
+    pub wires_after: usize,
+    /// Extra latency per transfer, clock cycles.
+    pub added_cycles: usize,
+    /// Serialiser/deserialiser cells added per chiplet.
+    pub added_cells: usize,
+}
+
+impl SerdesPlan {
+    /// Builds the plan for `buses` buses of `bus_width` bits plus `ctrl`
+    /// control wires at `ratio`:1 serialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero or does not divide `bus_width`.
+    pub fn new(buses: usize, bus_width: usize, ctrl: usize, ratio: usize) -> SerdesPlan {
+        assert!(ratio > 0, "serialisation ratio must be positive");
+        assert_eq!(bus_width % ratio, 0, "ratio must divide the bus width");
+        let serial_width = bus_width / ratio;
+        SerdesPlan {
+            wires_before: buses * bus_width + ctrl,
+            wires_after: buses * serial_width + ctrl,
+            added_cycles: ratio,
+            // Shift registers on both ends: ~2 flops + mux per serialised
+            // bit, per direction.
+            added_cells: buses * bus_width * 3,
+        }
+    }
+
+    /// The paper's plan: 6 × 64-bit buses + 20 control at 8:1.
+    pub fn paper() -> SerdesPlan {
+        SerdesPlan::new(
+            INTER_TILE_BUSES,
+            INTER_TILE_BUS_WIDTH,
+            INTER_TILE_CTRL,
+            SERDES_RATIO,
+        )
+    }
+
+    /// Wire-count reduction factor.
+    pub fn reduction(&self) -> f64 {
+        self.wires_before as f64 / self.wires_after as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_matches_section_4a() {
+        let p = SerdesPlan::paper();
+        assert_eq!(p.wires_before, 404);
+        assert_eq!(p.wires_after, 68);
+        assert_eq!(p.added_cycles, 8);
+    }
+
+    #[test]
+    fn reduction_factor() {
+        let p = SerdesPlan::paper();
+        assert!((p.reduction() - 404.0 / 68.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_serialisation_is_identity() {
+        let p = SerdesPlan::new(6, 64, 20, 1);
+        assert_eq!(p.wires_before, p.wires_after);
+        assert_eq!(p.added_cycles, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_dividing_ratio_panics() {
+        let _ = SerdesPlan::new(6, 64, 20, 7);
+    }
+}

@@ -1,0 +1,129 @@
+//! Material-impact study at fixed wirelength (Table VI).
+//!
+//! A 400 µm logic-to-logic line plus a pair of build-up vias is simulated
+//! on every interposer technology. With length fixed, the comparison
+//! isolates the material/geometry effects: APX's thick wide copper wins,
+//! silicon's thin narrow wires lose, and glass lands mid-pack with a
+//! slight penalty over Shinko from its larger (22 µm) vias.
+
+use crate::link::{simulate_link, ChannelKind, LinkReport};
+use circuit::CircuitError;
+use serde::Serialize;
+use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::via::{ViaKind, ViaModel};
+
+/// Fixed line length of the study, µm.
+pub const STUDY_LENGTH_UM: f64 = 400.0;
+
+/// One Table VI row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MaterialRow {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Propagation delay over line + via pair, ps.
+    pub delay_ps: f64,
+    /// Power over line + via pair, µW.
+    pub power_uw: f64,
+}
+
+/// Runs the fixed-length study for one technology.
+///
+/// The via pair is added analytically on top of the line simulation: each
+/// via contributes its RC to the delay (Elmore) and its capacitance to the
+/// switched energy.
+///
+/// # Errors
+///
+/// Propagates transient-simulation failures.
+pub fn material_row(tech: InterposerKind) -> Result<MaterialRow, CircuitError> {
+    let spec = InterposerSpec::for_kind(tech);
+    let line: LinkReport = simulate_link(&ChannelKind::RdlTrace {
+        tech,
+        length_um: STUDY_LENGTH_UM,
+    })?;
+    let via = ViaModel::canonical(ViaKind::Microvia, &spec);
+    let rout = techlib::iodriver::IoDriver::aib().output_impedance_ohm;
+    let via_delay_ps = 0.693 * (rout + via.resistance_ohm) * (2.0 * via.capacitance_f) * 1e12;
+    let toggle = 0.5 * techlib::calib::DATA_RATE_BPS * techlib::calib::TABLE5_LINK_ACTIVITY;
+    let via_power_uw =
+        2.0 * via.capacitance_f * techlib::calib::VDD * techlib::calib::VDD * toggle * 1e6;
+    Ok(MaterialRow {
+        tech,
+        delay_ps: line.interconnect_delay_ps + via_delay_ps,
+        power_uw: line.interconnect_power_uw + via_power_uw,
+    })
+}
+
+/// Runs the whole Table VI (all five interposer technologies).
+///
+/// # Errors
+///
+/// Propagates per-row failures.
+pub fn table6() -> Result<Vec<MaterialRow>, CircuitError> {
+    [
+        InterposerKind::Glass25D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ]
+    .iter()
+    .map(|&tech| material_row(tech))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tech: InterposerKind) -> MaterialRow {
+        material_row(tech).unwrap()
+    }
+
+    #[test]
+    fn silicon_has_highest_delay_and_power() {
+        // Section VII-F: "the silicon interposer exhibits the highest
+        // delay and power due to narrower wires".
+        let si = row(InterposerKind::Silicon25D);
+        for other in [
+            InterposerKind::Glass25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let o = row(other);
+            assert!(si.delay_ps > o.delay_ps, "{other}: {} vs {}", si.delay_ps, o.delay_ps);
+            assert!(si.power_uw > o.power_uw, "{other}");
+        }
+    }
+
+    #[test]
+    fn apx_has_lowest_delay() {
+        // Section VII-F: "APX interposer shows the lowest delay and power
+        // due to thicker metal lines".
+        let apx = row(InterposerKind::Apx);
+        for other in [
+            InterposerKind::Glass25D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+        ] {
+            assert!(apx.delay_ps < row(other).delay_ps, "{other}");
+        }
+    }
+
+    #[test]
+    fn glass_trails_shinko_slightly() {
+        // Section VII-F: similar line widths, but the glass via is larger,
+        // so glass carries marginally higher delay and power.
+        let glass = row(InterposerKind::Glass25D);
+        let shinko = row(InterposerKind::Shinko);
+        assert!(glass.delay_ps >= shinko.delay_ps * 0.95, "{} vs {}", glass.delay_ps, shinko.delay_ps);
+    }
+
+    #[test]
+    fn table6_has_four_rows() {
+        let rows = table6().unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in rows {
+            assert!(r.delay_ps > 0.0 && r.power_uw > 0.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Analytic RLGC extraction for interposer traces.
+//!
+//! R comes from the copper cross-section (with a skin-effect correction at
+//! the analysis frequency), C from the parallel-plate + fringe + lateral
+//! model of [`techlib::spec::InterposerSpec::wire_capacitance_per_m`],
+//! L from the effective permittivity so that `L·C = εr_eff / c₀²` (which
+//! guarantees a physical propagation velocity), and G from the dielectric
+//! loss tangent at the data rate.
+
+use circuit::tline::{CoupledTriple, RlgcLine};
+use techlib::spec::InterposerSpec;
+use techlib::units::{C_0, EPSILON_0};
+
+/// Effective relative permittivity of an RDL microstrip (field partly in
+/// the dielectric, partly in air/overmold above).
+pub fn effective_permittivity(spec: &InterposerSpec) -> f64 {
+    0.5 * (spec.dielectric_constant + 1.0) + 0.1 * spec.dielectric_constant
+}
+
+/// Skin-effect-corrected series resistance, Ω/m, at frequency `f_hz`.
+pub fn resistance_per_m(spec: &InterposerSpec, f_hz: f64) -> f64 {
+    let rho = techlib::material::COPPER.resistivity_ohm_m;
+    let w = spec.min_wire_width_um * 1e-6;
+    let t = spec.metal_thickness_um * 1e-6;
+    // Skin depth at f.
+    let delta = (rho / (std::f64::consts::PI * f_hz * techlib::units::MU_0)).sqrt();
+    let t_eff = t.min(2.0 * delta);
+    let w_eff = w.min(w.min(2.0 * delta) + t_eff); // thin lines barely affected
+    rho / (w_eff * t_eff)
+}
+
+/// Dielectric shunt conductance, S/m, at frequency `f_hz`
+/// (`G = ω·C·tanδ`).
+pub fn conductance_per_m(spec: &InterposerSpec, f_hz: f64) -> f64 {
+    2.0 * std::f64::consts::PI * f_hz * spec.wire_capacitance_per_m() * spec.loss_tangent
+}
+
+/// Victim-to-one-neighbour mutual capacitance, F/m, at minimum spacing.
+pub fn mutual_capacitance_per_m(spec: &InterposerSpec) -> f64 {
+    let eps = spec.dielectric_constant * EPSILON_0;
+    let t = spec.metal_thickness_um;
+    let s = spec.min_wire_space_um;
+    eps * (t / s) * 0.6 + 0.3 * eps
+}
+
+/// Extracts the single-line RLGC model for a trace of `length_m` metres on
+/// technology `spec`, evaluated at the study's 0.7 Gbps fundamental.
+pub fn extract_line(spec: &InterposerSpec, length_m: f64) -> RlgcLine {
+    let f = techlib::calib::DATA_RATE_BPS; // fundamental of the bit stream
+    let c = spec.wire_capacitance_per_m();
+    let er_eff = effective_permittivity(spec);
+    let l = er_eff / (C_0 * C_0 * c);
+    RlgcLine {
+        r_per_m: resistance_per_m(spec, f),
+        l_per_m: l,
+        g_per_m: conductance_per_m(spec, f),
+        c_per_m: c,
+        length_m,
+    }
+}
+
+/// Extracts the coupled victim + two-aggressor model for the crosstalk
+/// decks of Fig. 14.
+pub fn extract_coupled(spec: &InterposerSpec, length_m: f64) -> CoupledTriple {
+    CoupledTriple {
+        line: extract_line(spec, length_m),
+        cm_per_m: mutual_capacitance_per_m(spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use techlib::spec::InterposerKind;
+
+    fn spec(k: InterposerKind) -> InterposerSpec {
+        InterposerSpec::for_kind(k)
+    }
+
+    #[test]
+    fn propagation_velocity_is_physical() {
+        for k in InterposerKind::PACKAGED {
+            let s = spec(k);
+            if s.signal_metal_layers == 0 {
+                continue;
+            }
+            let line = extract_line(&s, 1e-3);
+            let v = 1.0 / (line.l_per_m * line.c_per_m).sqrt();
+            assert!(v < C_0, "{k}: v = {v}");
+            assert!(v > C_0 / 3.0, "{k}: v = {v}");
+        }
+    }
+
+    #[test]
+    fn silicon_has_highest_r_and_c_per_m() {
+        let si = extract_line(&spec(InterposerKind::Silicon25D), 1e-3);
+        let gl = extract_line(&spec(InterposerKind::Glass25D), 1e-3);
+        let apx = extract_line(&spec(InterposerKind::Apx), 1e-3);
+        assert!(si.r_per_m > 10.0 * gl.r_per_m);
+        assert!(si.c_per_m > gl.c_per_m);
+        assert!(apx.r_per_m < gl.r_per_m, "thick wide APX copper");
+    }
+
+    #[test]
+    fn skin_effect_raises_r_at_high_frequency() {
+        let s = spec(InterposerKind::Glass25D);
+        let r_dc = resistance_per_m(&s, 1e3);
+        let r_10g = resistance_per_m(&s, 10e9);
+        assert!(r_10g >= r_dc, "{r_10g} vs {r_dc}");
+    }
+
+    #[test]
+    fn mutual_cap_fraction_is_spacing_driven() {
+        // APX's 6 µm spacing gives proportionally less coupling than
+        // glass's 2 µm (Section VII-C: APX "reduces crosstalk").
+        let gl = spec(InterposerKind::Glass25D);
+        let apx = spec(InterposerKind::Apx);
+        let frac = |s: &InterposerSpec| {
+            mutual_capacitance_per_m(s) / s.wire_capacitance_per_m()
+        };
+        assert!(frac(&apx) < frac(&gl), "{} vs {}", frac(&apx), frac(&gl));
+    }
+
+    #[test]
+    fn conductance_scales_with_loss_tangent() {
+        let gl = conductance_per_m(&spec(InterposerKind::Glass25D), 1e9);
+        let apx = conductance_per_m(&spec(InterposerKind::Apx), 1e9);
+        assert!(gl > 0.0 && apx > 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Channel S-parameters (the Fig. 13 HFSS→ADS hand-off, reproduced).
+//!
+//! Each technology's worst-class channel is composed as a cascade of ABCD
+//! two-ports — TX bump, line (or via column / TSV pair), RX bump — swept
+//! in frequency, with Touchstone export for interoperability with any
+//! RF tool.
+
+use crate::link::ChannelKind;
+use crate::rlgc;
+use circuit::complex::Complex64;
+use circuit::twoport::{cascade_all, Abcd};
+use serde::Serialize;
+use techlib::bump::BumpModel;
+use techlib::spec::InterposerSpec;
+use techlib::via::{stacked_via_column, ViaKind, ViaModel};
+
+/// An S-parameter sweep of one channel.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelSweep {
+    /// The channel description.
+    pub channel: ChannelKind,
+    /// (frequency Hz, |S21| dB) points.
+    pub insertion_loss_db: Vec<(f64, f64)>,
+    /// (frequency Hz, |S11| dB) points.
+    pub return_loss_db: Vec<(f64, f64)>,
+}
+
+/// Builds the ABCD network of `channel` at `freq_hz`.
+pub fn channel_abcd(channel: &ChannelKind, freq_hz: f64) -> Abcd {
+    let omega = 2.0 * std::f64::consts::PI * freq_hz;
+    let spec = InterposerSpec::for_kind(channel.tech());
+    let bump = BumpModel::microbump(&spec);
+    let bump_port = |b: &BumpModel| -> Abcd {
+        Abcd::shunt(Complex64::new(0.0, omega * b.capacitance_f))
+            .cascade(Abcd::series(Complex64::new(
+                b.resistance_ohm,
+                omega * b.inductance_h,
+            )))
+    };
+    let body = match channel {
+        ChannelKind::RdlTrace { tech, length_um } => {
+            let line = rlgc::extract_line(&InterposerSpec::for_kind(*tech), length_um * 1e-6);
+            Abcd::line(&line, freq_hz)
+        }
+        ChannelKind::StackedViaColumn { levels } => {
+            let (r, c, l, _) = stacked_via_column(&spec, *levels);
+            Abcd::series(Complex64::new(r, omega * l))
+                .cascade(Abcd::shunt(Complex64::new(0.0, omega * c)))
+        }
+        ChannelKind::MicroBump => {
+            let b = BumpModel::microbump(&spec);
+            Abcd::series(Complex64::new(b.resistance_ohm, omega * b.inductance_h))
+                .cascade(Abcd::shunt(Complex64::new(0.0, omega * b.capacitance_f)))
+        }
+        ChannelKind::BackToBackTsv => {
+            let tsv = ViaModel::canonical(ViaKind::MiniTsv, &spec);
+            let one = Abcd::series(Complex64::new(tsv.resistance_ohm, omega * tsv.inductance_h))
+                .cascade(Abcd::shunt(Complex64::new(0.0, omega * tsv.capacitance_f)));
+            one.cascade(one)
+        }
+    };
+    cascade_all(&[bump_port(&bump), body, bump_port(&bump)])
+}
+
+/// Sweeps the channel from `f_start` to `f_stop` (log-spaced).
+///
+/// # Panics
+///
+/// Panics if the range is empty or non-positive.
+pub fn sweep(channel: &ChannelKind, f_start: f64, f_stop: f64, points: usize) -> ChannelSweep {
+    assert!(points >= 2 && f_start > 0.0 && f_stop > f_start, "bad sweep");
+    let ratio = (f_stop / f_start).ln();
+    let mut il = Vec::with_capacity(points);
+    let mut rl = Vec::with_capacity(points);
+    for i in 0..points {
+        let f = f_start * (ratio * i as f64 / (points - 1) as f64).exp();
+        let net = channel_abcd(channel, f);
+        let (s11, _, s21, _) = net.to_s(50.0);
+        il.push((f, 20.0 * s21.abs().log10()));
+        rl.push((f, 20.0 * s11.abs().max(1e-12).log10()));
+    }
+    ChannelSweep {
+        channel: channel.clone(),
+        insertion_loss_db: il,
+        return_loss_db: rl,
+    }
+}
+
+/// Insertion loss at the 0.7 Gbps Nyquist frequency (0.35 GHz), dB.
+pub fn nyquist_loss_db(channel: &ChannelKind) -> f64 {
+    let net = channel_abcd(channel, 0.35e9);
+    net.s21_db(50.0)
+}
+
+/// Touchstone export of the channel over the sweep range.
+pub fn touchstone(channel: &ChannelKind, f_start: f64, f_stop: f64, points: usize) -> String {
+    assert!(points >= 2 && f_start > 0.0 && f_stop > f_start, "bad sweep");
+    let ratio = (f_stop / f_start).ln();
+    let pts: Vec<(f64, Abcd)> = (0..points)
+        .map(|i| {
+            let f = f_start * (ratio * i as f64 / (points - 1) as f64).exp();
+            (f, channel_abcd(channel, f))
+        })
+        .collect();
+    circuit::twoport::to_touchstone(&pts, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use techlib::spec::InterposerKind;
+
+    #[test]
+    fn short_channels_are_nearly_transparent() {
+        // Table V's vertical links barely attenuate at Nyquist.
+        for ch in [
+            ChannelKind::MicroBump,
+            ChannelKind::BackToBackTsv,
+            ChannelKind::StackedViaColumn { levels: 3 },
+        ] {
+            let loss = nyquist_loss_db(&ch);
+            assert!(loss > -0.5, "{ch:?}: {loss} dB");
+        }
+    }
+
+    #[test]
+    fn long_silicon_trace_is_lossiest() {
+        let si = nyquist_loss_db(&ChannelKind::RdlTrace {
+            tech: InterposerKind::Silicon25D,
+            length_um: 2_000.0,
+        });
+        let glass = nyquist_loss_db(&ChannelKind::RdlTrace {
+            tech: InterposerKind::Glass25D,
+            length_um: 2_000.0,
+        });
+        assert!(si < glass, "{si} vs {glass}");
+    }
+
+    #[test]
+    fn insertion_loss_grows_with_frequency() {
+        let sweep = sweep(
+            &ChannelKind::RdlTrace {
+                tech: InterposerKind::Shinko,
+                length_um: 3_700.0,
+            },
+            1e8,
+            2e10,
+            21,
+        );
+        let first = sweep.insertion_loss_db.first().unwrap().1;
+        let last = sweep.insertion_loss_db.last().unwrap().1;
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn touchstone_format_is_wellformed() {
+        let ts = touchstone(
+            &ChannelKind::RdlTrace {
+                tech: InterposerKind::Glass25D,
+                length_um: 5_980.0,
+            },
+            1e8,
+            1e10,
+            11,
+        );
+        assert!(ts.contains("# Hz S RI R 50"));
+        // Header comment + option line + 11 data rows.
+        assert_eq!(ts.lines().count(), 13);
+        let cols = ts.lines().last().unwrap().split_whitespace().count();
+        assert_eq!(cols, 9, "freq + 8 S-parameter numbers");
+    }
+}

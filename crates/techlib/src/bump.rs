@@ -1,0 +1,124 @@
+//! Micro-bump and C4 bump parasitic models.
+//!
+//! Micro-bumps connect chiplets to the interposer RDL (and tiers to each
+//! other in Silicon 3D); C4 bumps connect the interposer to the package.
+//! Both are modelled as short solder cylinders: small series R and L, pad
+//! capacitance to the neighbouring return.
+
+use crate::material::SOLDER;
+use crate::spec::InterposerSpec;
+use crate::units::{EPSILON_0, MU_0};
+use serde::{Deserialize, Serialize};
+
+/// Parasitics of a single bump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BumpModel {
+    /// Bump diameter, µm.
+    pub diameter_um: f64,
+    /// Bump height (standoff), µm.
+    pub height_um: f64,
+    /// Array pitch, µm.
+    pub pitch_um: f64,
+    /// Series resistance, Ω.
+    pub resistance_ohm: f64,
+    /// Pad + bump capacitance, F.
+    pub capacitance_f: f64,
+    /// Partial self-inductance, H.
+    pub inductance_h: f64,
+}
+
+impl BumpModel {
+    /// Builds a bump model from geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive.
+    pub fn from_geometry(diameter_um: f64, height_um: f64, pitch_um: f64) -> BumpModel {
+        assert!(diameter_um > 0.0, "bump diameter must be positive");
+        assert!(height_um > 0.0, "bump height must be positive");
+        assert!(pitch_um > 0.0, "bump pitch must be positive");
+        let r = diameter_um * 1e-6 / 2.0;
+        let h = height_um * 1e-6;
+        let resistance_ohm = SOLDER.resistivity_ohm_m * h / (std::f64::consts::PI * r * r);
+        // Pad-to-pad fringing through underfill (εr ≈ 3.6), plus pad plate.
+        let pad_area = std::f64::consts::PI * r * r * 4.0; // pad ≈ 2x bump dia
+        let capacitance_f = 3.6 * EPSILON_0 * pad_area / (pitch_um * 1e-6 * 0.5) + 2e-15;
+        let inductance_h =
+            MU_0 / (2.0 * std::f64::consts::PI) * h * ((2.0 * h / r).ln() + 0.5).max(0.1);
+        BumpModel {
+            diameter_um,
+            height_um,
+            pitch_um,
+            resistance_ohm,
+            capacitance_f,
+            inductance_h,
+        }
+    }
+
+    /// The micro-bump of technology `spec` (diameter/pitch from Table I,
+    /// standoff ≈ 0.75 × diameter after reflow).
+    pub fn microbump(spec: &InterposerSpec) -> BumpModel {
+        BumpModel::from_geometry(
+            spec.bump_size_um,
+            spec.bump_size_um * 0.75,
+            spec.microbump_pitch_um,
+        )
+    }
+
+    /// The C4 bump used between interposer and package (100 µm dia, 200 µm
+    /// pitch — standard flip-chip class).
+    pub fn c4() -> BumpModel {
+        BumpModel::from_geometry(100.0, 75.0, 200.0)
+    }
+
+    /// Parasitics of `n` bumps in parallel (P/G bump fields).
+    pub fn parallel(&self, n: usize) -> BumpModel {
+        assert!(n > 0, "need at least one bump");
+        let nf = n as f64;
+        BumpModel {
+            resistance_ohm: self.resistance_ohm / nf,
+            inductance_h: self.inductance_h / nf,
+            capacitance_f: self.capacitance_f * nf,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InterposerKind, InterposerSpec};
+
+    #[test]
+    fn microbump_parasitics_are_tiny() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let b = BumpModel::microbump(&spec);
+        assert!(b.resistance_ohm < 0.1);
+        assert!(b.inductance_h < 50e-12);
+        assert!(b.capacitance_f < 100e-15);
+    }
+
+    #[test]
+    fn c4_is_bigger_than_microbump() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+        let ub = BumpModel::microbump(&spec);
+        let c4 = BumpModel::c4();
+        assert!(c4.inductance_h > ub.inductance_h);
+        assert!(c4.resistance_ohm < ub.resistance_ohm); // fatter plug
+    }
+
+    #[test]
+    fn parallel_field_reduces_l_and_r() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let one = BumpModel::microbump(&spec);
+        let field = one.parallel(165); // glass logic P/G bump count
+        assert!(field.inductance_h < one.inductance_h / 100.0);
+        assert!(field.resistance_ohm < one.resistance_ohm / 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch")]
+    fn invalid_pitch_panics() {
+        let _ = BumpModel::from_geometry(20.0, 15.0, 0.0);
+    }
+}

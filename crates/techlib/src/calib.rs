@@ -1,0 +1,254 @@
+//! Calibration constants with provenance.
+//!
+//! The paper's absolute numbers come from a commercial 28nm PDK and
+//! commercial EDA tools. Our substrate is a from-scratch simulator, so a
+//! small set of constants is calibrated *once* against the paper's reported
+//! tables and then held fixed for every experiment. Each constant records
+//! where it comes from. Nothing here is tuned per-experiment.
+
+use crate::spec::InterposerKind;
+
+/// Supply voltage of the 28nm chiplets, V (Section VII-E).
+pub const VDD: f64 = 0.9;
+
+/// Target clock frequency for all chiplets, Hz (Section V-D).
+pub const TARGET_FREQ_HZ: f64 = 700e6;
+
+/// Inter-chiplet data rate, bit/s (Section VII-A: 0.7 Gbps).
+pub const DATA_RATE_BPS: f64 = 0.7e9;
+
+/// Average placed-cell area of the *logic* chiplet, µm²/cell.
+///
+/// Provenance: Table II/III — Glass 2.5D logic footprint 0.82×0.82 mm at
+/// 64.20 % utilisation over 167,495 cells → 431,680 µm² / 167,495.
+pub const LOGIC_CELL_AREA_UM2: f64 = 2.5773;
+
+/// Average placed-cell area of the *memory* chiplet, µm²/cell.
+///
+/// Provenance: Silicon 2.5D memory 0.82×0.82 mm at 73.65 % over 37,090
+/// cells (SRAM-macro dominated).
+pub const MEM_CELL_AREA_UM2: f64 = 13.352;
+
+/// Maximum placement utilisation the footprint solver allows for a
+/// memory-class chiplet before growing the die.
+///
+/// Provenance: Glass 2.5D memory closes at 83.54 % (Table III) — the flow's
+/// practical ceiling for an SRAM-dominated block.
+pub const MEM_UTIL_CAP: f64 = 0.835;
+
+/// Maximum placement utilisation for a logic-class chiplet.
+///
+/// Provenance: highest observed logic utilisation is 64.2 %; the flow keeps
+/// a small margin for routability.
+pub const LOGIC_UTIL_CAP: f64 = 0.65;
+
+/// Average input pin capacitance per cell, fF.
+///
+/// Provenance: Table III — Glass 2.5D logic pin capacitance 395.11 pF over
+/// 167,495 cells.
+pub const PIN_CAP_PER_CELL_FF: f64 = 2.359;
+
+/// On-die routed wire capacitance per metre, pF/m.
+///
+/// Provenance: Table III — Glass 2.5D logic wire capacitance 696.24 pF over
+/// 5.03 m of routed wire.
+pub const DIE_WIRE_CAP_PF_PER_M: f64 = 138.4;
+
+/// Average switching activity of logic-chiplet nets.
+///
+/// Provenance: back-solved from Table III switching power
+/// (67.67 mW = α·C·V²·f with C = 1091 pF, V = 0.9 V, f = 700 MHz).
+pub const LOGIC_ACTIVITY: f64 = 0.109;
+
+/// Average switching activity of memory-chiplet nets (read/write bursts).
+///
+/// Provenance: back-solved from Table III memory switching power.
+pub const MEM_ACTIVITY: f64 = 0.133;
+
+/// Internal (short-circuit + clock-tree) energy per cell per cycle, fJ.
+///
+/// Provenance: Table III internal power 67.83 mW / (700 MHz × 167,495
+/// cells) for logic; memory uses [`MEM_INTERNAL_FJ_PER_CELL`].
+pub const LOGIC_INTERNAL_FJ_PER_CELL: f64 = 0.5786;
+
+/// Internal energy per memory-chiplet cell per cycle, fJ.
+pub const MEM_INTERNAL_FJ_PER_CELL: f64 = 1.002;
+
+/// Leakage per cell, nW (28nm HVT-dominated mix, both chiplets).
+///
+/// Provenance: Table III leakage 6.85 mW / 167,495 cells ≈ 1.55 mW / 37,091.
+pub const LEAKAGE_NW_PER_CELL: f64 = 41.0;
+
+/// AIB I/O macro area charged per signal bump, µm².
+///
+/// Provenance: Table III — AIB area 22,507 µm² / 299 logic signals =
+/// 17,388 µm² / 231 memory signals = 75.27 µm² per signal.
+pub const AIB_AREA_PER_SIGNAL_UM2: f64 = 75.27;
+
+/// Average toggle activity of inter-chiplet links (for AIB average power).
+///
+/// Provenance: Table III AIB power ≈ 0.54 mW over 299 drivers whose
+/// full-rate power is ≈ 26.3 µW (Table V).
+pub const LINK_ACTIVITY: f64 = 0.07;
+
+/// Activity used for interconnect power when reproducing Table V
+/// (continuous 0101 pattern at the data rate, as in the paper's HSPICE
+/// deck: one transition per cycle ⇒ effective α = 0.6 after accounting for
+/// incomplete rail-to-rail swing on long lines).
+pub const TABLE5_LINK_ACTIVITY: f64 = 0.6;
+
+/// Routed-wirelength detour coefficient: detour(u) = 1 + K·u².
+///
+/// Provenance: fitted to the Glass-2.5D-vs-Silicon-2.5D logic wirelength
+/// ratio of Table III (5.03 m vs 4.89 m despite the smaller glass die) —
+/// the congestion effect Section V-D describes.
+pub const DETOUR_UTIL_COEFF: f64 = 1.35;
+
+/// Average net length as a fraction of `sqrt(die area) × detour`:
+/// logic chiplets.
+///
+/// Provenance: Glass 2.5D logic — 5.03 m / 167,495 nets = 30.0 µm average
+/// with die 820 µm, detour(0.642) = 1.556.
+pub const NET_LEN_FRAC_LOGIC: f64 = 0.0235;
+
+/// Same for memory chiplets (macro-dominated, shorter point-to-point nets).
+pub const NET_LEN_FRAC_MEM: f64 = 0.0207;
+
+/// Wirelength factor for TSV-3D chiplets whose external I/O leaves through
+/// TSV ports placed inside the die instead of top-layer pins.
+///
+/// Provenance: Table III — Silicon 3D logic 4.42 m vs Silicon 2.5D 4.89 m
+/// on the same footprint.
+pub const TSV3D_WL_FACTOR: f64 = 0.92;
+
+/// Base combinational-path delay of the logic chiplet at the 700 MHz
+/// target, ns (logic depth × gate delay at nominal corner). The wire term
+/// and per-design jitter sit on top. Calibrated so Glass 2.5D logic closes
+/// at ≈686 MHz (Table III).
+pub const BASE_PATH_DELAY_LOGIC_NS: f64 = 1.398;
+
+/// Base path delay of the memory chiplet (shorter paths through the SRAM
+/// macros), ns. Calibrated so memory chiplets close at ≈697–699 MHz.
+pub const BASE_PATH_DELAY_MEM_NS: f64 = 1.369;
+
+/// Wire-delay contribution to the critical path per metre of average net
+/// length scaled by die congestion, ns·per(µm of avg net length)·1e-3.
+pub const PATH_WIRE_DELAY_COEFF: f64 = 2.0e-3;
+
+/// Package-edge margin (C4/TGV escape ring) per side, µm, per technology.
+///
+/// Provenance: Table IV footprints back-solved against die placements.
+pub fn package_edge_margin_um(kind: InterposerKind) -> f64 {
+    match kind {
+        InterposerKind::Glass25D => 255.0,
+        InterposerKind::Glass3D => 50.0,
+        InterposerKind::Silicon25D => 170.0,
+        InterposerKind::Silicon3D => 0.0,
+        InterposerKind::Shinko => 320.0,
+        InterposerKind::Apx => 325.0,
+        InterposerKind::Monolithic2D => 0.0,
+    }
+}
+
+/// Chiplet-edge bump-field keepout per side, µm, per technology.
+///
+/// Provenance: Table II footprints back-solved from bump counts and pitch
+/// (e.g. Glass logic: 22 columns × 35 µm + 2 × 25 µm = 820 µm).
+pub fn bump_field_margin_um(kind: InterposerKind) -> f64 {
+    match kind {
+        InterposerKind::Glass25D | InterposerKind::Glass3D => 25.0,
+        InterposerKind::Silicon25D | InterposerKind::Silicon3D => 30.0,
+        InterposerKind::Shinko => 30.0,
+        InterposerKind::Apx => 25.0,
+        InterposerKind::Monolithic2D => 0.0,
+    }
+}
+
+/// P/G bump counts the paper's flow produced (Table II). The generative
+/// rule (`ceil(signal/2)`, Section VI-A) matches APX exactly; the other
+/// designs fill spare array sites with extra P/G — a tool artifact we
+/// record rather than re-derive.
+pub fn paper_pg_bumps(kind: InterposerKind, is_logic: bool) -> usize {
+    if is_logic {
+        match kind {
+            InterposerKind::Apx => 150,
+            _ => 165,
+        }
+    } else {
+        match kind {
+            InterposerKind::Glass25D => 131,
+            InterposerKind::Glass3D => 121,
+            InterposerKind::Silicon25D => 130,
+            InterposerKind::Silicon3D => 165,
+            InterposerKind::Shinko => 130,
+            InterposerKind::Apx => 116,
+            InterposerKind::Monolithic2D => 0,
+        }
+    }
+}
+
+/// Deterministic per-design jitter in `[-1, 1]`, used to model tool noise
+/// (place-and-route outcomes vary run to run; the paper's per-design
+/// deltas of <2 % are not physical). Keyed on a stable hash of the label.
+pub fn design_jitter(label: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Map to [-1, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = design_jitter("glass-logic");
+        let b = design_jitter("glass-logic");
+        assert_eq!(a, b);
+        for label in ["a", "b", "silicon-mem", "apx-logic", ""] {
+            let j = design_jitter(label);
+            assert!((-1.0..=1.0).contains(&j), "{label}: {j}");
+        }
+    }
+
+    #[test]
+    fn jitter_differs_across_labels() {
+        assert_ne!(design_jitter("glass-logic"), design_jitter("apx-logic"));
+    }
+
+    #[test]
+    fn switching_power_calibration_reproduces_table3() {
+        // α·C·V²·f with the calibrated constants must land on 67.67 mW.
+        let c_total = 395.11e-12 + 696.24e-12;
+        let p = LOGIC_ACTIVITY * c_total * VDD * VDD * TARGET_FREQ_HZ;
+        assert!((p - 67.67e-3).abs() / 67.67e-3 < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn cell_area_calibration_reproduces_utilization() {
+        // Silicon 2.5D logic: 167,495 cells on 0.94 mm square → 48.7 %.
+        let util = 167_495.0 * LOGIC_CELL_AREA_UM2 / (940.0 * 940.0);
+        assert!((util - 0.487).abs() < 0.005, "util = {util}");
+        // Silicon 3D memory: 37,090 cells on 0.94 mm square → 56.05 %.
+        let util = 37_090.0 * MEM_CELL_AREA_UM2 / (940.0 * 940.0);
+        assert!((util - 0.5605).abs() < 0.005, "util = {util}");
+    }
+
+    #[test]
+    fn aib_area_calibration_reproduces_table3() {
+        assert!((299.0 * AIB_AREA_PER_SIGNAL_UM2 - 22_507.0).abs() < 10.0);
+        assert!((231.0 * AIB_AREA_PER_SIGNAL_UM2 - 17_388.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn pg_bump_table_matches_paper() {
+        assert_eq!(paper_pg_bumps(InterposerKind::Glass25D, true), 165);
+        assert_eq!(paper_pg_bumps(InterposerKind::Apx, true), 150);
+        assert_eq!(paper_pg_bumps(InterposerKind::Silicon3D, false), 165);
+        assert_eq!(paper_pg_bumps(InterposerKind::Apx, false), 116);
+    }
+}

@@ -1,0 +1,233 @@
+//! TSMC-28nm-like standard-cell population model.
+//!
+//! The flow never needs individual cell timing arcs — it needs *population
+//! statistics*: how much area, pin capacitance, leakage and internal energy
+//! a netlist of N cells of a given class carries. Those statistics are
+//! calibrated against the paper's Table III (see [`crate::calib`]).
+
+use crate::calib;
+use serde::{Deserialize, Serialize};
+
+/// Broad classes of placeable cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Combinational standard cells (NAND/NOR/AOI/...).
+    Combinational,
+    /// Sequential cells (flops, latches, clock gates).
+    Sequential,
+    /// SRAM bit-cell-array macros, amortised per "cell" unit.
+    SramMacro,
+    /// Inter-chiplet AIB I/O driver macro.
+    IoDriver,
+    /// Serialiser/deserialiser block cells.
+    Serdes,
+}
+
+/// Per-class population statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Placement area per cell, µm².
+    pub area_um2: f64,
+    /// Average input pin capacitance per cell, fF.
+    pub pin_cap_ff: f64,
+    /// Leakage per cell, nW.
+    pub leakage_nw: f64,
+    /// Internal energy per cell per clock cycle (activity-weighted), fJ.
+    pub internal_fj_per_cycle: f64,
+}
+
+/// The 28nm-like library: class statistics calibrated to Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    vdd: f64,
+}
+
+impl CellLibrary {
+    /// The calibrated 28nm-class library used throughout the study.
+    pub fn tsmc28_like() -> CellLibrary {
+        CellLibrary {
+            name: "tsmc28-like".into(),
+            vdd: calib::VDD,
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nominal supply voltage, V.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Population statistics for a cell class.
+    ///
+    /// Logic-chiplet mixes are dominated by [`CellClass::Combinational`] and
+    /// [`CellClass::Sequential`]; the memory chiplet by
+    /// [`CellClass::SramMacro`] units.
+    pub fn stats(&self, class: CellClass) -> CellStats {
+        match class {
+            CellClass::Combinational => CellStats {
+                area_um2: 2.0,
+                pin_cap_ff: 2.1,
+                leakage_nw: 32.0,
+                internal_fj_per_cycle: 0.42,
+            },
+            CellClass::Sequential => CellStats {
+                area_um2: 4.5,
+                pin_cap_ff: 3.2,
+                leakage_nw: 71.0,
+                internal_fj_per_cycle: 1.30,
+            },
+            CellClass::SramMacro => CellStats {
+                area_um2: 14.5,
+                pin_cap_ff: 2.2,
+                leakage_nw: 42.0,
+                internal_fj_per_cycle: 1.05,
+            },
+            CellClass::IoDriver => CellStats {
+                area_um2: calib::AIB_AREA_PER_SIGNAL_UM2,
+                pin_cap_ff: 12.0,
+                leakage_nw: 120.0,
+                internal_fj_per_cycle: 2.5,
+            },
+            CellClass::Serdes => CellStats {
+                area_um2: 3.0,
+                pin_cap_ff: 2.4,
+                leakage_nw: 45.0,
+                internal_fj_per_cycle: 0.8,
+            },
+        }
+    }
+
+    /// Aggregate area of a population, µm².
+    pub fn population_area_um2(&self, counts: &[(CellClass, usize)]) -> f64 {
+        counts
+            .iter()
+            .map(|&(c, n)| self.stats(c).area_um2 * n as f64)
+            .sum()
+    }
+
+    /// Aggregate pin capacitance of a population, F.
+    pub fn population_pin_cap_f(&self, counts: &[(CellClass, usize)]) -> f64 {
+        counts
+            .iter()
+            .map(|&(c, n)| self.stats(c).pin_cap_ff * 1e-15 * n as f64)
+            .sum()
+    }
+
+    /// Aggregate leakage of a population, W.
+    pub fn population_leakage_w(&self, counts: &[(CellClass, usize)]) -> f64 {
+        counts
+            .iter()
+            .map(|&(c, n)| self.stats(c).leakage_nw * 1e-9 * n as f64)
+            .sum()
+    }
+
+    /// Aggregate internal power at clock frequency `f_hz`, W.
+    pub fn population_internal_w(&self, counts: &[(CellClass, usize)], f_hz: f64) -> f64 {
+        counts
+            .iter()
+            .map(|&(c, n)| self.stats(c).internal_fj_per_cycle * 1e-15 * f_hz * n as f64)
+            .sum()
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::tsmc28_like()
+    }
+}
+
+/// The paper's logic-chiplet class mix (fractions of the cell count).
+///
+/// Chosen so the population averages reproduce the calibrated per-cell
+/// constants of [`crate::calib`]: ~80 % combinational, ~20 % flops.
+pub const LOGIC_MIX: [(CellClass, f64); 2] = [
+    (CellClass::Combinational, 0.80),
+    (CellClass::Sequential, 0.20),
+];
+
+/// The paper's memory-chiplet class mix: SRAM-macro dominated with control
+/// logic around it.
+pub const MEM_MIX: [(CellClass, f64); 3] = [
+    (CellClass::SramMacro, 0.87),
+    (CellClass::Combinational, 0.10),
+    (CellClass::Sequential, 0.03),
+];
+
+/// Expands a fractional mix over a total cell count into absolute counts,
+/// assigning rounding remainder to the first class.
+pub fn expand_mix(mix: &[(CellClass, f64)], total: usize) -> Vec<(CellClass, usize)> {
+    let mut out: Vec<(CellClass, usize)> = mix
+        .iter()
+        .map(|&(c, f)| (c, (f * total as f64).floor() as usize))
+        .collect();
+    let assigned: usize = out.iter().map(|&(_, n)| n).sum();
+    if let Some(first) = out.first_mut() {
+        first.1 += total - assigned;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_mix_reproduces_calibrated_averages() {
+        let lib = CellLibrary::tsmc28_like();
+        let counts = expand_mix(&LOGIC_MIX, 167_495);
+        let total: usize = counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 167_495);
+
+        let area = lib.population_area_um2(&counts) / total as f64;
+        assert!(
+            (area - calib::LOGIC_CELL_AREA_UM2).abs() / calib::LOGIC_CELL_AREA_UM2 < 0.05,
+            "avg area {area}"
+        );
+        let pin = lib.population_pin_cap_f(&counts) / total as f64 * 1e15;
+        assert!(
+            (pin - calib::PIN_CAP_PER_CELL_FF).abs() / calib::PIN_CAP_PER_CELL_FF < 0.05,
+            "avg pin {pin}"
+        );
+        let leak = lib.population_leakage_w(&counts) / total as f64 * 1e9;
+        assert!(
+            (leak - calib::LEAKAGE_NW_PER_CELL).abs() / calib::LEAKAGE_NW_PER_CELL < 0.05,
+            "avg leak {leak}"
+        );
+    }
+
+    #[test]
+    fn mem_mix_reproduces_calibrated_averages() {
+        let lib = CellLibrary::tsmc28_like();
+        let counts = expand_mix(&MEM_MIX, 37_091);
+        let area = lib.population_area_um2(&counts) / 37_091.0;
+        assert!(
+            (area - calib::MEM_CELL_AREA_UM2).abs() / calib::MEM_CELL_AREA_UM2 < 0.05,
+            "avg area {area}"
+        );
+        let internal = lib.population_internal_w(&counts, calib::TARGET_FREQ_HZ) / 37_091.0 * 1e9;
+        let expect = calib::MEM_INTERNAL_FJ_PER_CELL * 1e-15 * calib::TARGET_FREQ_HZ * 1e9;
+        assert!(
+            (internal - expect).abs() / expect < 0.15,
+            "internal {internal} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn expand_mix_conserves_total() {
+        for total in [0usize, 1, 7, 1000, 37_091] {
+            let counts = expand_mix(&MEM_MIX, total);
+            assert_eq!(counts.iter().map(|&(_, n)| n).sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn default_is_tsmc28_like() {
+        assert_eq!(CellLibrary::default().name(), "tsmc28-like");
+        assert_eq!(CellLibrary::default().vdd(), 0.9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Intel-AIB-style inter-chiplet I/O driver model (Fig. 6 of the paper).
+//!
+//! The driver is a pipelined transmitter/receiver pair supporting DDR (the
+//! study clocks data on the rising edge only). The transmitter is sized
+//! 128X with a 47.4 Ω output impedance, the receiver 16X; both are
+//! synthesised in the 28nm library and support lines up to 10 mm.
+
+use crate::bump::BumpModel;
+use crate::calib;
+use serde::{Deserialize, Serialize};
+
+/// Electrical model of the AIB transmitter/receiver pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoDriver {
+    /// Transmitter drive strength (multiples of the unit inverter).
+    pub tx_strength: u32,
+    /// Receiver strength.
+    pub rx_strength: u32,
+    /// Transmitter output impedance, Ω.
+    pub output_impedance_ohm: f64,
+    /// Combined TX+RX intrinsic delay (no external load), ps.
+    pub intrinsic_delay_ps: f64,
+    /// Receiver input capacitance including the chiplet pad, F.
+    pub rx_input_cap_f: f64,
+    /// TX+RX internal energy per transmitted bit, J.
+    pub energy_per_bit_j: f64,
+    /// Layout width × height, µm.
+    pub layout_um: (f64, f64),
+    /// Maximum supported line length, mm.
+    pub max_line_mm: f64,
+}
+
+impl IoDriver {
+    /// The AIB driver used by every design in the study.
+    ///
+    /// Calibration: Table V reports a TX+RX delay of ≈39.5 ps and driver
+    /// power of ≈26.3–26.9 µW at 0.7 Gbps; the small per-design spread
+    /// comes from the micro-bump load, which [`IoDriver::delay_ps`] adds.
+    pub fn aib() -> IoDriver {
+        IoDriver {
+            tx_strength: 128,
+            rx_strength: 16,
+            output_impedance_ohm: 47.4,
+            intrinsic_delay_ps: 38.5,
+            rx_input_cap_f: 55e-15,
+            energy_per_bit_j: 37.5e-15,
+            layout_um: (9.9, 9.4),
+            max_line_mm: 10.0,
+        }
+    }
+
+    /// Layout area, µm².
+    pub fn layout_area_um2(&self) -> f64 {
+        self.layout_um.0 * self.layout_um.1
+    }
+
+    /// TX+RX delay including the local micro-bump load at each end, ps.
+    pub fn delay_ps(&self, bump: &BumpModel) -> f64 {
+        // The output stage charges both bump pads through Rout.
+        self.intrinsic_delay_ps
+            + self.output_impedance_ohm * (2.0 * bump.capacitance_f) * 1e12
+    }
+
+    /// Average TX+RX power at data rate `rate_bps` and toggle activity
+    /// `alpha`, W.
+    pub fn average_power_w(&self, rate_bps: f64, alpha: f64) -> f64 {
+        self.energy_per_bit_j * rate_bps * alpha
+    }
+
+    /// Full-activity driver power at the study's 0.7 Gbps data rate, W.
+    pub fn full_rate_power_w(&self) -> f64 {
+        self.average_power_w(calib::DATA_RATE_BPS, 1.0)
+    }
+}
+
+impl Default for IoDriver {
+    fn default() -> Self {
+        IoDriver::aib()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InterposerKind, InterposerSpec};
+
+    #[test]
+    fn aib_matches_paper_geometry() {
+        let d = IoDriver::aib();
+        assert_eq!(d.tx_strength, 128);
+        assert_eq!(d.rx_strength, 16);
+        assert!((d.output_impedance_ohm - 47.4).abs() < 1e-9);
+        assert!((d.layout_area_um2() - 93.06).abs() < 0.01);
+    }
+
+    #[test]
+    fn delay_lands_near_table5() {
+        // Glass designs: 39.47 ps; silicon-pitch designs: 39.79 ps.
+        let d = IoDriver::aib();
+        let glass = BumpModel::microbump(&InterposerSpec::for_kind(InterposerKind::Glass25D));
+        let si = BumpModel::microbump(&InterposerSpec::for_kind(InterposerKind::Silicon25D));
+        let dg = d.delay_ps(&glass);
+        let ds = d.delay_ps(&si);
+        assert!((38.5..=41.0).contains(&dg), "glass delay {dg}");
+        assert!(ds > dg, "bigger silicon bump loads the driver more");
+    }
+
+    #[test]
+    fn full_rate_power_lands_near_table5() {
+        let p = IoDriver::aib().full_rate_power_w() * 1e6;
+        assert!((24.0..=29.0).contains(&p), "power {p} µW");
+    }
+
+    #[test]
+    fn average_power_scales_with_activity() {
+        let d = IoDriver::aib();
+        let full = d.average_power_w(0.7e9, 1.0);
+        let idle = d.average_power_w(0.7e9, 0.0);
+        assert_eq!(idle, 0.0);
+        assert!((d.average_power_w(0.7e9, 0.5) - full / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bulk material constants used across the electrical and thermal models.
+//!
+//! Values are standard handbook numbers; the glass entries follow the ENA1
+//! panel glass the paper's fab (Georgia Tech PRC) uses.
+
+use serde::Serialize;
+
+/// Electrical and thermal properties of a bulk material.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Material {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Electrical resistivity, Ω·m. `f64::INFINITY` for ideal insulators.
+    pub resistivity_ohm_m: f64,
+    /// Relative permittivity (dielectric constant).
+    pub rel_permittivity: f64,
+    /// Dielectric loss tangent at ~1 GHz.
+    pub loss_tangent: f64,
+    /// Thermal conductivity, W/(m·K).
+    pub thermal_conductivity_w_mk: f64,
+    /// Coefficient of thermal expansion, ppm/K.
+    pub cte_ppm_k: f64,
+}
+
+impl Material {
+    /// Sheet resistance of a film of this material, Ω/sq.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness_um` is not positive.
+    pub fn sheet_resistance_ohm_sq(&self, thickness_um: f64) -> f64 {
+        assert!(thickness_um > 0.0, "film thickness must be positive");
+        self.resistivity_ohm_m / (thickness_um * 1e-6)
+    }
+
+    /// True if the material conducts (finite, small resistivity).
+    pub fn is_conductor(&self) -> bool {
+        self.resistivity_ohm_m < 1e-2
+    }
+}
+
+/// Electrodeposited copper (RDL metallisation).
+pub const COPPER: Material = Material {
+    name: "copper",
+    resistivity_ohm_m: 1.72e-8,
+    rel_permittivity: 1.0,
+    loss_tangent: 0.0,
+    thermal_conductivity_w_mk: 400.0,
+    cte_ppm_k: 17.0,
+};
+
+/// ENA1 alkali-free panel glass (core of the glass interposer).
+///
+/// Glass is the thermal bottleneck of the 5.5D stack: k ≈ 1.1 W/(m·K),
+/// two orders of magnitude below silicon.
+pub const GLASS_ENA1: Material = Material {
+    name: "ENA1 glass",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 5.3,
+    loss_tangent: 0.004,
+    thermal_conductivity_w_mk: 1.1,
+    cte_ppm_k: 3.8,
+};
+
+/// Bulk silicon (interposer core and die substrate).
+///
+/// Moderately conductive (10 Ω·cm), which is what makes silicon interposers
+/// lossy; excellent heat spreader.
+pub const SILICON: Material = Material {
+    name: "silicon",
+    resistivity_ohm_m: 0.1,
+    rel_permittivity: 11.9,
+    loss_tangent: 0.015,
+    thermal_conductivity_w_mk: 148.0,
+    cte_ppm_k: 2.6,
+};
+
+/// Thermal SiO2 / PECVD oxide (silicon interposer inter-layer dielectric).
+pub const SILICON_DIOXIDE: Material = Material {
+    name: "SiO2",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.9,
+    loss_tangent: 0.001,
+    thermal_conductivity_w_mk: 1.4,
+    cte_ppm_k: 0.5,
+};
+
+/// Glass-interposer RDL polymer dielectric (dry-film build-up, dk 3.3).
+pub const GLASS_RDL_POLYMER: Material = Material {
+    name: "RDL polymer",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.3,
+    loss_tangent: 0.004,
+    thermal_conductivity_w_mk: 0.25,
+    cte_ppm_k: 30.0,
+};
+
+/// Shinko i-THOP-style organic thin-film build-up dielectric (dk 3.5).
+pub const ORGANIC_SHINKO: Material = Material {
+    name: "Shinko build-up",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.5,
+    loss_tangent: 0.006,
+    thermal_conductivity_w_mk: 0.3,
+    cte_ppm_k: 25.0,
+};
+
+/// APX conventional organic build-up dielectric (dk 3.1).
+pub const ORGANIC_APX: Material = Material {
+    name: "APX build-up",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.1,
+    loss_tangent: 0.008,
+    thermal_conductivity_w_mk: 0.3,
+    cte_ppm_k: 28.0,
+};
+
+/// Organic package core laminate (for thermal modelling of organic parts).
+pub const ORGANIC_CORE: Material = Material {
+    name: "organic core",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 4.2,
+    loss_tangent: 0.01,
+    thermal_conductivity_w_mk: 0.35,
+    cte_ppm_k: 15.0,
+};
+
+/// SAC305-like solder (micro-bumps, C4 bumps).
+pub const SOLDER: Material = Material {
+    name: "solder",
+    resistivity_ohm_m: 1.3e-7,
+    rel_permittivity: 1.0,
+    loss_tangent: 0.0,
+    thermal_conductivity_w_mk: 58.0,
+    cte_ppm_k: 23.0,
+};
+
+/// Die-attach film fixing embedded dies in blind glass cavities (10 µm).
+pub const DIE_ATTACH_FILM: Material = Material {
+    name: "die-attach film",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.4,
+    loss_tangent: 0.01,
+    thermal_conductivity_w_mk: 0.4,
+    cte_ppm_k: 60.0,
+};
+
+/// Capillary underfill between die and interposer.
+pub const UNDERFILL: Material = Material {
+    name: "underfill",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 3.6,
+    loss_tangent: 0.01,
+    thermal_conductivity_w_mk: 0.5,
+    cte_ppm_k: 30.0,
+};
+
+/// Still air (top-side ambient in the thermal model).
+pub const AIR: Material = Material {
+    name: "air",
+    resistivity_ohm_m: f64::INFINITY,
+    rel_permittivity: 1.0,
+    loss_tangent: 0.0,
+    thermal_conductivity_w_mk: 0.026,
+    cte_ppm_k: 0.0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_sheet_resistance_is_sane() {
+        // 4 µm glass RDL copper: ~4.3 mΩ/sq.
+        let rs = COPPER.sheet_resistance_ohm_sq(4.0);
+        assert!((rs - 0.0043).abs() < 0.0005, "rs = {rs}");
+        // 1 µm silicon-interposer copper is 4x worse.
+        assert!(COPPER.sheet_resistance_ohm_sq(1.0) > 3.9 * rs);
+    }
+
+    #[test]
+    #[should_panic(expected = "thickness")]
+    fn zero_thickness_film_panics() {
+        let _ = COPPER.sheet_resistance_ohm_sq(0.0);
+    }
+
+    #[test]
+    fn conductors_vs_insulators() {
+        assert!(COPPER.is_conductor());
+        assert!(SOLDER.is_conductor());
+        assert!(!GLASS_ENA1.is_conductor());
+        assert!(!ORGANIC_APX.is_conductor());
+        // Doped silicon bulk is resistive but not a wiring conductor.
+        assert!(!SILICON.is_conductor());
+    }
+
+    #[test]
+    fn thermal_ordering_matches_physics() {
+        // Silicon spreads heat; glass traps it. This ordering is the root
+        // cause of the paper's Fig. 17/18 results.
+        assert!(SILICON.thermal_conductivity_w_mk > 100.0 * GLASS_ENA1.thermal_conductivity_w_mk);
+        assert!(GLASS_ENA1.thermal_conductivity_w_mk > ORGANIC_CORE.thermal_conductivity_w_mk);
+    }
+}

@@ -1,0 +1,407 @@
+//! Interposer design rules (Table I of the paper) for all six technologies.
+
+use crate::material::{
+    self, Material, GLASS_ENA1, GLASS_RDL_POLYMER, ORGANIC_APX, ORGANIC_SHINKO, SILICON,
+    SILICON_DIOXIDE,
+};
+use serde::{Deserialize, Serialize};
+
+/// The six packaging technologies compared in the paper, plus the 2D
+/// monolithic baseline of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterposerKind {
+    /// Glass interposer, chiplets side-by-side on the surface.
+    Glass25D,
+    /// "5.5D" glass interposer: memory dies embedded in glass cavities
+    /// directly underneath the flip-chip logic dies.
+    Glass3D,
+    /// CoWoS-style silicon interposer (chiplets side-by-side, TSVs to C4).
+    Silicon25D,
+    /// TSV-based 4-tier 3D stacking (no interposer; mini-TSVs + micro-bumps).
+    Silicon3D,
+    /// Shinko i-THOP organic interposer with thin-film fine-line layers.
+    Shinko,
+    /// Advanced Packaging X conventional organic interposer.
+    Apx,
+    /// Single-die 2D monolithic baseline (no packaging interconnect).
+    Monolithic2D,
+}
+
+impl InterposerKind {
+    /// All technologies that involve a package-level design (everything but
+    /// the monolithic baseline).
+    pub const PACKAGED: [InterposerKind; 6] = [
+        InterposerKind::Glass25D,
+        InterposerKind::Glass3D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Silicon3D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ];
+
+    /// Technologies that use a routed passive interposer (excludes
+    /// Silicon 3D, which stacks dies directly, and the monolithic baseline).
+    pub const INTERPOSER_BASED: [InterposerKind; 5] = [
+        InterposerKind::Glass25D,
+        InterposerKind::Glass3D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ];
+
+    /// Short display label matching the paper's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterposerKind::Glass25D => "Glass 2.5D",
+            InterposerKind::Glass3D => "Glass 3D",
+            InterposerKind::Silicon25D => "Silicon 2.5D",
+            InterposerKind::Silicon3D => "Silicon 3D",
+            InterposerKind::Shinko => "Shinko",
+            InterposerKind::Apx => "APX",
+            InterposerKind::Monolithic2D => "2D Monolithic",
+        }
+    }
+}
+
+impl std::fmt::Display for InterposerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How chiplets are arranged on / in the package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stacking {
+    /// Chiplets side-by-side on the interposer surface (2.5D).
+    SideBySide,
+    /// Memory dies embedded in substrate cavities under the logic dies
+    /// (the paper's "5.5D" glass configuration).
+    Embedded,
+    /// Dies stacked vertically with TSVs (Silicon 3D, 4 tiers).
+    TsvStack,
+    /// Single die, no package-level interconnect.
+    Monolithic,
+}
+
+/// Preferred routing geometry on the interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingStyle {
+    /// Rectilinear routing (glass, silicon manufacturing guidelines).
+    Manhattan,
+    /// 45° diagonal routing (organic interposers, to cope with wide
+    /// wire/space under the bump field).
+    Diagonal,
+}
+
+/// Design rules for one packaging technology — the contents of Table I.
+///
+/// All lengths are micrometres.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterposerSpec {
+    /// Which technology this spec describes.
+    pub kind: InterposerKind,
+    /// Metal layers available for signal routing (excludes the two
+    /// dedicated P/G plane layers the flow adds).
+    pub signal_metal_layers: usize,
+    /// RDL metal thickness, µm.
+    pub metal_thickness_um: f64,
+    /// Inter-layer dielectric thickness, µm.
+    pub dielectric_thickness_um: f64,
+    /// Relative permittivity of the routing dielectric.
+    pub dielectric_constant: f64,
+    /// Dielectric loss tangent.
+    pub loss_tangent: f64,
+    /// Minimum wire width, µm.
+    pub min_wire_width_um: f64,
+    /// Minimum wire spacing, µm.
+    pub min_wire_space_um: f64,
+    /// RDL via diameter, µm.
+    pub via_size_um: f64,
+    /// Micro-bump diameter, µm.
+    pub bump_size_um: f64,
+    /// Minimum die-to-die spacing, µm.
+    pub die_to_die_spacing_um: f64,
+    /// Micro-bump pitch, µm.
+    pub microbump_pitch_um: f64,
+    /// Stacking configuration this technology enables.
+    pub stacking: Stacking,
+    /// Routing geometry used on this technology.
+    pub routing_style: RoutingStyle,
+    /// Substrate core thickness, µm (glass panel 155, Si interposer 100,
+    /// organic core 400; thinned to 20 µm per tier for Silicon 3D).
+    pub core_thickness_um: f64,
+}
+
+impl InterposerSpec {
+    /// Returns the Table I design rules for `kind`.
+    pub fn for_kind(kind: InterposerKind) -> InterposerSpec {
+        match kind {
+            InterposerKind::Glass25D => InterposerSpec {
+                kind,
+                signal_metal_layers: 7,
+                metal_thickness_um: 4.0,
+                dielectric_thickness_um: 15.0,
+                dielectric_constant: 3.3,
+                loss_tangent: 0.004,
+                min_wire_width_um: 2.0,
+                min_wire_space_um: 2.0,
+                via_size_um: 22.0,
+                bump_size_um: 16.0,
+                die_to_die_spacing_um: 100.0,
+                microbump_pitch_um: 35.0,
+                stacking: Stacking::SideBySide,
+                routing_style: RoutingStyle::Manhattan,
+                core_thickness_um: 155.0,
+            },
+            InterposerKind::Glass3D => InterposerSpec {
+                kind,
+                signal_metal_layers: 3,
+                metal_thickness_um: 4.0,
+                dielectric_thickness_um: 15.0,
+                dielectric_constant: 3.3,
+                loss_tangent: 0.004,
+                min_wire_width_um: 2.0,
+                min_wire_space_um: 2.0,
+                via_size_um: 22.0,
+                bump_size_um: 16.0,
+                die_to_die_spacing_um: 100.0,
+                microbump_pitch_um: 35.0,
+                stacking: Stacking::Embedded,
+                routing_style: RoutingStyle::Manhattan,
+                core_thickness_um: 155.0,
+            },
+            InterposerKind::Silicon25D => InterposerSpec {
+                kind,
+                signal_metal_layers: 4,
+                metal_thickness_um: 1.0,
+                dielectric_thickness_um: 1.0,
+                dielectric_constant: 3.9,
+                loss_tangent: 0.001,
+                min_wire_width_um: 0.4,
+                min_wire_space_um: 0.4,
+                via_size_um: 0.7,
+                bump_size_um: 20.0,
+                die_to_die_spacing_um: 100.0,
+                microbump_pitch_um: 40.0,
+                stacking: Stacking::SideBySide,
+                routing_style: RoutingStyle::Manhattan,
+                core_thickness_um: 100.0,
+            },
+            InterposerKind::Silicon3D => InterposerSpec {
+                kind,
+                signal_metal_layers: 4,
+                metal_thickness_um: 1.0,
+                dielectric_thickness_um: 1.0,
+                dielectric_constant: 3.9,
+                loss_tangent: 0.001,
+                min_wire_width_um: 0.4,
+                min_wire_space_um: 0.4,
+                via_size_um: 0.7,
+                bump_size_um: 20.0,
+                die_to_die_spacing_um: 100.0,
+                microbump_pitch_um: 40.0,
+                stacking: Stacking::TsvStack,
+                routing_style: RoutingStyle::Manhattan,
+                // Substrate thinned to 20 µm per tier for mini-TSVs.
+                core_thickness_um: 20.0,
+            },
+            InterposerKind::Shinko => InterposerSpec {
+                kind,
+                signal_metal_layers: 7,
+                metal_thickness_um: 2.0,
+                dielectric_thickness_um: 3.0,
+                dielectric_constant: 3.5,
+                loss_tangent: 0.006,
+                min_wire_width_um: 2.0,
+                min_wire_space_um: 2.0,
+                via_size_um: 10.0,
+                bump_size_um: 25.0,
+                // Table I reports N/A; the flow uses the glass default.
+                die_to_die_spacing_um: 100.0,
+                microbump_pitch_um: 40.0,
+                stacking: Stacking::SideBySide,
+                routing_style: RoutingStyle::Diagonal,
+                core_thickness_um: 400.0,
+            },
+            InterposerKind::Apx => InterposerSpec {
+                kind,
+                signal_metal_layers: 8,
+                metal_thickness_um: 6.0,
+                dielectric_thickness_um: 14.0,
+                dielectric_constant: 3.1,
+                loss_tangent: 0.008,
+                min_wire_width_um: 6.0,
+                min_wire_space_um: 6.0,
+                via_size_um: 32.0,
+                bump_size_um: 32.0,
+                die_to_die_spacing_um: 150.0,
+                microbump_pitch_um: 50.0,
+                stacking: Stacking::SideBySide,
+                routing_style: RoutingStyle::Diagonal,
+                core_thickness_um: 400.0,
+            },
+            InterposerKind::Monolithic2D => InterposerSpec {
+                kind,
+                signal_metal_layers: 0,
+                metal_thickness_um: 1.0,
+                dielectric_thickness_um: 1.0,
+                dielectric_constant: 3.9,
+                loss_tangent: 0.001,
+                min_wire_width_um: 0.4,
+                min_wire_space_um: 0.4,
+                via_size_um: 0.7,
+                bump_size_um: 0.0,
+                die_to_die_spacing_um: 0.0,
+                microbump_pitch_um: 0.0,
+                stacking: Stacking::Monolithic,
+                routing_style: RoutingStyle::Manhattan,
+                core_thickness_um: 750.0,
+            },
+        }
+    }
+
+    /// Routing track pitch (width + spacing), µm.
+    pub fn track_pitch_um(&self) -> f64 {
+        self.min_wire_width_um + self.min_wire_space_um
+    }
+
+    /// True for technologies that can embed dies in substrate cavities.
+    pub fn supports_embedding(&self) -> bool {
+        matches!(self.stacking, Stacking::Embedded)
+    }
+
+    /// The dielectric material of the routing layers.
+    pub fn routing_dielectric(&self) -> Material {
+        match self.kind {
+            InterposerKind::Glass25D | InterposerKind::Glass3D => GLASS_RDL_POLYMER,
+            InterposerKind::Silicon25D
+            | InterposerKind::Silicon3D
+            | InterposerKind::Monolithic2D => SILICON_DIOXIDE,
+            InterposerKind::Shinko => ORGANIC_SHINKO,
+            InterposerKind::Apx => ORGANIC_APX,
+        }
+    }
+
+    /// The substrate (core) material.
+    pub fn core_material(&self) -> Material {
+        match self.kind {
+            InterposerKind::Glass25D | InterposerKind::Glass3D => GLASS_ENA1,
+            InterposerKind::Silicon25D
+            | InterposerKind::Silicon3D
+            | InterposerKind::Monolithic2D => SILICON,
+            InterposerKind::Shinko | InterposerKind::Apx => material::ORGANIC_CORE,
+        }
+    }
+
+    /// Wire resistance per metre at minimum width, Ω/m (DC).
+    pub fn wire_resistance_per_m(&self) -> f64 {
+        let area_m2 = (self.min_wire_width_um * 1e-6) * (self.metal_thickness_um * 1e-6);
+        material::COPPER.resistivity_ohm_m / area_m2
+    }
+
+    /// Wire capacitance per metre at minimum width/space, F/m.
+    ///
+    /// Parallel-plate term to the plane below plus lateral coupling to both
+    /// neighbours at minimum spacing, with a fringe factor — the standard
+    /// first-order microstrip estimate used for RDL lines.
+    pub fn wire_capacitance_per_m(&self) -> f64 {
+        let eps = self.dielectric_constant * crate::units::EPSILON_0;
+        let w = self.min_wire_width_um;
+        let h = self.dielectric_thickness_um;
+        let t = self.metal_thickness_um;
+        let s = self.min_wire_space_um;
+        // Plate + fringe to the reference plane.
+        let c_plate = eps * (w / h + 1.1 * (t / h).powf(0.25) + 0.8);
+        // Lateral coupling to the two neighbours.
+        let c_lat = 2.0 * eps * (t / s) * 0.6;
+        c_plate + c_lat
+    }
+
+    /// Distributed RC delay constant, s/m² (Elmore: 0.5·R·C per length²).
+    pub fn rc_per_m2(&self) -> f64 {
+        0.5 * self.wire_resistance_per_m() * self.wire_capacitance_per_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_key_values() {
+        let g25 = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        assert_eq!(g25.signal_metal_layers, 7);
+        assert_eq!(g25.microbump_pitch_um, 35.0);
+        assert_eq!(g25.via_size_um, 22.0);
+
+        let g3 = InterposerSpec::for_kind(InterposerKind::Glass3D);
+        assert_eq!(g3.signal_metal_layers, 3);
+        assert!(g3.supports_embedding());
+
+        let si = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+        assert_eq!(si.min_wire_width_um, 0.4);
+        assert_eq!(si.microbump_pitch_um, 40.0);
+
+        let apx = InterposerSpec::for_kind(InterposerKind::Apx);
+        assert_eq!(apx.microbump_pitch_um, 50.0);
+        assert_eq!(apx.routing_style, RoutingStyle::Diagonal);
+    }
+
+    #[test]
+    fn glass_has_lowest_wire_resistance_of_fine_pitch_techs() {
+        let r_glass = InterposerSpec::for_kind(InterposerKind::Glass25D).wire_resistance_per_m();
+        let r_si = InterposerSpec::for_kind(InterposerKind::Silicon25D).wire_resistance_per_m();
+        let r_shinko = InterposerSpec::for_kind(InterposerKind::Shinko).wire_resistance_per_m();
+        // 4µm×2µm glass copper vs 1µm×0.4µm silicon copper: 20x.
+        assert!(r_si / r_glass > 15.0, "{r_si} vs {r_glass}");
+        assert!(r_shinko > r_glass);
+    }
+
+    #[test]
+    fn silicon_has_highest_rc_delay_per_length() {
+        // The root cause of Table VI: narrow thin silicon wires are slow.
+        let rc = |k| InterposerSpec::for_kind(k).rc_per_m2();
+        let si = rc(InterposerKind::Silicon25D);
+        let glass = rc(InterposerKind::Glass25D);
+        let shinko = rc(InterposerKind::Shinko);
+        let apx = rc(InterposerKind::Apx);
+        assert!(si > glass && si > shinko && si > apx);
+        assert!(apx < glass, "APX thick wide wires are fastest per mm");
+    }
+
+    #[test]
+    fn track_pitch() {
+        assert_eq!(
+            InterposerSpec::for_kind(InterposerKind::Glass25D).track_pitch_um(),
+            4.0
+        );
+        assert_eq!(
+            InterposerSpec::for_kind(InterposerKind::Apx).track_pitch_um(),
+            12.0
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = InterposerKind::PACKAGED.iter().map(|k| k.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn core_materials_match_kind() {
+        assert_eq!(
+            InterposerSpec::for_kind(InterposerKind::Glass3D)
+                .core_material()
+                .name,
+            "ENA1 glass"
+        );
+        assert_eq!(
+            InterposerSpec::for_kind(InterposerKind::Silicon25D)
+                .core_material()
+                .name,
+            "silicon"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Layer-by-layer interposer cross sections built from an [`InterposerSpec`].
+//!
+//! A stackup lists, from the die side (top) down to the board side (bottom):
+//! signal metal layers interleaved with dielectric, the two P/G plane layers
+//! the flow adds for power delivery, and the substrate core.
+
+use crate::material::Material;
+use crate::spec::{InterposerKind, InterposerSpec};
+use crate::TechError;
+use serde::Serialize;
+
+/// Role a layer plays in the stackup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LayerRole {
+    /// Signal routing metal.
+    Signal,
+    /// Power plane metal.
+    Power,
+    /// Ground plane metal.
+    Ground,
+    /// Inter-layer dielectric.
+    Dielectric,
+    /// Substrate core (glass panel, silicon wafer, organic laminate).
+    Core,
+}
+
+/// One physical layer of the cross section.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Layer {
+    /// Layer name, e.g. `"M1"`, `"PWR"`, `"core"`.
+    pub name: String,
+    /// Role of the layer.
+    pub role: LayerRole,
+    /// Material of the layer.
+    pub material: Material,
+    /// Thickness, µm.
+    pub thickness_um: f64,
+}
+
+/// A full interposer cross section, ordered top (die side) to bottom.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Stackup {
+    kind: InterposerKind,
+    layers: Vec<Layer>,
+}
+
+impl Stackup {
+    /// Builds the cross section used by the flow for `spec`:
+    /// `signal_metal_layers` routing metals (M1 topmost) interleaved with
+    /// dielectric, then the PWR/GND plane pair, then the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::EmptyStackup`] if the spec has no metal layers
+    /// and is not the monolithic baseline.
+    pub fn from_spec(spec: &InterposerSpec) -> Result<Stackup, TechError> {
+        if spec.signal_metal_layers == 0 && spec.kind != InterposerKind::Monolithic2D {
+            return Err(TechError::EmptyStackup);
+        }
+        let dielectric = spec.routing_dielectric();
+        let mut layers = Vec::new();
+        for i in 0..spec.signal_metal_layers {
+            layers.push(Layer {
+                name: format!("M{}", i + 1),
+                role: LayerRole::Signal,
+                material: crate::material::COPPER,
+                thickness_um: spec.metal_thickness_um,
+            });
+            layers.push(Layer {
+                name: format!("D{}", i + 1),
+                role: LayerRole::Dielectric,
+                material: dielectric.clone(),
+                thickness_um: spec.dielectric_thickness_um,
+            });
+        }
+        // PDN: power plane directly above ground plane (Section VI-B).
+        layers.push(Layer {
+            name: "PWR".into(),
+            role: LayerRole::Power,
+            material: crate::material::COPPER,
+            thickness_um: spec.metal_thickness_um,
+        });
+        layers.push(Layer {
+            name: "DPG".into(),
+            role: LayerRole::Dielectric,
+            material: dielectric.clone(),
+            thickness_um: spec.dielectric_thickness_um,
+        });
+        layers.push(Layer {
+            name: "GND".into(),
+            role: LayerRole::Ground,
+            material: crate::material::COPPER,
+            thickness_um: spec.metal_thickness_um,
+        });
+        layers.push(Layer {
+            name: "core".into(),
+            role: LayerRole::Core,
+            material: spec.core_material(),
+            thickness_um: spec.core_thickness_um,
+        });
+        Ok(Stackup {
+            kind: spec.kind,
+            layers,
+        })
+    }
+
+    /// Which technology this stackup belongs to.
+    pub fn kind(&self) -> InterposerKind {
+        self.kind
+    }
+
+    /// All layers, top to bottom.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of signal metal layers.
+    pub fn signal_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.role == LayerRole::Signal)
+            .count()
+    }
+
+    /// Total metal layer count (signal + P/G planes).
+    pub fn metal_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.role,
+                    LayerRole::Signal | LayerRole::Power | LayerRole::Ground
+                )
+            })
+            .count()
+    }
+
+    /// Total stack thickness, µm.
+    pub fn total_thickness_um(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness_um).sum()
+    }
+
+    /// Depth of the top of the named layer from the die surface, µm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::UnknownLayer`] if no layer has that name.
+    pub fn depth_of(&self, name: &str) -> Result<f64, TechError> {
+        let mut z = 0.0;
+        for layer in &self.layers {
+            if layer.name == name {
+                return Ok(z);
+            }
+            z += layer.thickness_um;
+        }
+        Err(TechError::UnknownLayer(name.to_string()))
+    }
+
+    /// Vertical distance a stacked via travels from the die pads down to
+    /// signal layer `m` (1-based), µm. This is the interconnect length of
+    /// the Glass 3D intra-tile "stacked via" connections.
+    pub fn via_depth_to_signal_um(&self, m: usize) -> Result<f64, TechError> {
+        self.depth_of(&format!("M{m}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(kind: InterposerKind) -> Stackup {
+        Stackup::from_spec(&InterposerSpec::for_kind(kind)).expect("valid stackup")
+    }
+
+    #[test]
+    fn glass_25d_has_seven_signal_plus_two_pg() {
+        let s = stack(InterposerKind::Glass25D);
+        assert_eq!(s.signal_layer_count(), 7);
+        assert_eq!(s.metal_layer_count(), 9);
+    }
+
+    #[test]
+    fn glass_3d_is_thinner_than_glass_25d() {
+        let t3 = stack(InterposerKind::Glass3D).total_thickness_um();
+        let t25 = stack(InterposerKind::Glass25D).total_thickness_um();
+        assert!(t3 < t25);
+    }
+
+    #[test]
+    fn depth_increases_with_layer_index() {
+        let s = stack(InterposerKind::Glass3D);
+        let d1 = s.via_depth_to_signal_um(1).unwrap();
+        let d3 = s.via_depth_to_signal_um(3).unwrap();
+        assert_eq!(d1, 0.0);
+        assert!(d3 > d1);
+    }
+
+    #[test]
+    fn glass_3d_embedded_die_depth_matches_paper_scale() {
+        // The paper's Glass 3D logic-to-memory link is ~65 µm of stacked
+        // vias (Table V). Depth to the ground plane (just above the cavity)
+        // should be in the tens of µm.
+        let s = stack(InterposerKind::Glass3D);
+        let d = s.depth_of("GND").unwrap();
+        assert!((40.0..=100.0).contains(&d), "depth = {d}");
+    }
+
+    #[test]
+    fn unknown_layer_is_an_error() {
+        let s = stack(InterposerKind::Shinko);
+        assert!(matches!(
+            s.depth_of("M99"),
+            Err(TechError::UnknownLayer(_))
+        ));
+    }
+
+    #[test]
+    fn monolithic_has_no_signal_layers_but_builds() {
+        let s = stack(InterposerKind::Monolithic2D);
+        assert_eq!(s.signal_layer_count(), 0);
+        assert_eq!(s.metal_layer_count(), 2); // P/G planes only
+    }
+
+    #[test]
+    fn pg_planes_are_adjacent() {
+        let s = stack(InterposerKind::Apx);
+        let layers = s.layers();
+        let pwr = layers.iter().position(|l| l.role == LayerRole::Power).unwrap();
+        let gnd = layers.iter().position(|l| l.role == LayerRole::Ground).unwrap();
+        // PWR, one dielectric, GND.
+        assert_eq!(gnd - pwr, 2);
+    }
+}

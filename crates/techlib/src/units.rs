@@ -1,0 +1,119 @@
+//! Length newtypes and physical constants.
+//!
+//! Geometry in this workspace is stored as `f64` micrometres in fields whose
+//! names carry a `_um` / `_mm` suffix. The [`Um`] and [`Mm`] newtypes are
+//! provided for public API boundaries where mixing the two scales would be an
+//! easy mistake (e.g. interposer footprints are quoted in mm, wire widths in
+//! µm).
+
+use serde::{Deserialize, Serialize};
+
+/// Vacuum permittivity, F/m.
+pub const EPSILON_0: f64 = 8.854_187_8128e-12;
+/// Vacuum permeability, H/m.
+pub const MU_0: f64 = 1.256_637_062_12e-6;
+/// Speed of light in vacuum, m/s.
+pub const C_0: f64 = 2.997_924_58e8;
+
+/// A length in micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Um(pub f64);
+
+/// A length in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Mm(pub f64);
+
+impl Um {
+    /// Converts to millimetres.
+    pub fn to_mm(self) -> Mm {
+        Mm(self.0 / 1e3)
+    }
+
+    /// Converts to metres.
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl Mm {
+    /// Converts to micrometres.
+    pub fn to_um(self) -> Um {
+        Um(self.0 * 1e3)
+    }
+
+    /// Converts to metres.
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+impl From<Um> for Mm {
+    fn from(v: Um) -> Mm {
+        v.to_mm()
+    }
+}
+
+impl From<Mm> for Um {
+    fn from(v: Mm) -> Um {
+        v.to_um()
+    }
+}
+
+impl std::ops::Add for Um {
+    type Output = Um;
+    fn add(self, rhs: Um) -> Um {
+        Um(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Um {
+    type Output = Um;
+    fn sub(self, rhs: Um) -> Um {
+        Um(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for Um {
+    type Output = Um;
+    fn mul(self, rhs: f64) -> Um {
+        Um(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for Um {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}µm", self.0)
+    }
+}
+
+impl std::fmt::Display for Mm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}mm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = Um(820.0);
+        assert!((Um::from(Mm::from(x)).0 - 820.0).abs() < 1e-9);
+        assert!((x.to_mm().0 - 0.82).abs() < 1e-12);
+        assert!((x.to_meters() - 820e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        assert_eq!((Um(10.0) + Um(5.0)).0, 15.0);
+        assert_eq!((Um(10.0) - Um(5.0)).0, 5.0);
+        assert_eq!((Um(10.0) * 2.0).0, 20.0);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Um(2.0).to_string(), "2µm");
+        assert_eq!(Mm(2.2).to_string(), "2.2mm");
+    }
+}

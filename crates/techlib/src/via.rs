@@ -1,0 +1,263 @@
+//! Analytic parasitic models for vertical interconnects.
+//!
+//! Covers the five via species the paper uses: RDL microvias, through-glass
+//! vias (TGV), standard through-silicon vias (TSV), the 2 µm "mini-TSVs" of
+//! the Silicon 3D design, and the stacked RDL vias that form the Glass 3D
+//! logic-to-memory links. Formulas are the standard closed forms used for
+//! first-order TSV modelling (resistive plug, coaxial capacitance through
+//! the liner/substrate, partial self-inductance of a cylindrical conductor).
+
+use crate::material::{COPPER, SILICON};
+use crate::spec::InterposerSpec;
+use crate::units::{EPSILON_0, MU_0};
+use serde::{Deserialize, Serialize};
+
+/// The vertical-interconnect species used across the six technologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViaKind {
+    /// Laser-drilled RDL microvia (1:1 aspect ratio).
+    Microvia,
+    /// Through-glass via crossing the glass core (power delivery, Glass).
+    Tgv,
+    /// Conventional through-silicon via (silicon interposer to C4).
+    Tsv,
+    /// 2 µm diameter / 10 µm pitch mini-TSV on 20 µm thinned substrate
+    /// (Silicon 3D inter-tile connections).
+    MiniTsv,
+    /// Stack of RDL vias forming a vertical column (Glass 3D intra-tile).
+    StackedRdlVia,
+}
+
+/// Geometry and extracted parasitics of a via.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViaModel {
+    /// Which species this is.
+    pub kind: ViaKind,
+    /// Barrel diameter, µm.
+    pub diameter_um: f64,
+    /// Height (length of the vertical run), µm.
+    pub height_um: f64,
+    /// Array pitch, µm (used for coupling and PDN via counts).
+    pub pitch_um: f64,
+    /// Series resistance, Ω.
+    pub resistance_ohm: f64,
+    /// Capacitance to the surrounding substrate/return, F.
+    pub capacitance_f: f64,
+    /// Partial self-inductance, H.
+    pub inductance_h: f64,
+}
+
+impl ViaModel {
+    /// Builds a via model from raw geometry.
+    ///
+    /// `rel_permittivity` is the permittivity of the medium the via couples
+    /// through (oxide liner + substrate for TSVs, polymer for microvias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive.
+    pub fn from_geometry(
+        kind: ViaKind,
+        diameter_um: f64,
+        height_um: f64,
+        pitch_um: f64,
+        rel_permittivity: f64,
+    ) -> ViaModel {
+        assert!(diameter_um > 0.0, "via diameter must be positive");
+        assert!(height_um > 0.0, "via height must be positive");
+        assert!(pitch_um > 0.0, "via pitch must be positive");
+        let r = diameter_um * 1e-6 / 2.0;
+        let h = height_um * 1e-6;
+        // Copper plug resistance.
+        let resistance_ohm = COPPER.resistivity_ohm_m * h / (std::f64::consts::PI * r * r);
+        // Coaxial capacitance to a return at the array pitch.
+        let outer = (pitch_um * 1e-6 / 2.0).max(r * 1.5);
+        let capacitance_f =
+            2.0 * std::f64::consts::PI * rel_permittivity * EPSILON_0 * h / (outer / r).ln();
+        // Partial self-inductance of a cylindrical conductor.
+        let inductance_h = MU_0 / (2.0 * std::f64::consts::PI)
+            * h
+            * ((2.0 * h / r).ln() - 0.75).max(0.1);
+        ViaModel {
+            kind,
+            diameter_um,
+            height_um,
+            pitch_um,
+            resistance_ohm,
+            capacitance_f,
+            inductance_h,
+        }
+    }
+
+    /// The canonical via of species `kind` for technology `spec`.
+    ///
+    /// Geometry follows the paper: microvias use the spec's via size with a
+    /// 1:1 aspect ratio; TGVs cross the glass core; TSVs cross the silicon
+    /// interposer; mini-TSVs are 2 µm / 10 µm pitch on a 20 µm substrate;
+    /// stacked RDL vias descend one dielectric layer per via.
+    pub fn canonical(kind: ViaKind, spec: &InterposerSpec) -> ViaModel {
+        match kind {
+            ViaKind::Microvia => ViaModel::from_geometry(
+                kind,
+                spec.via_size_um,
+                spec.dielectric_thickness_um.max(spec.via_size_um),
+                spec.via_size_um * 2.0,
+                spec.dielectric_constant,
+            ),
+            ViaKind::Tgv => ViaModel::from_geometry(
+                kind,
+                30.0,
+                spec.core_thickness_um,
+                120.0,
+                spec.core_material().rel_permittivity,
+            ),
+            ViaKind::Tsv => {
+                let mut m = ViaModel::from_geometry(
+                    kind,
+                    10.0,
+                    spec.core_thickness_um.max(50.0),
+                    40.0,
+                    SILICON.rel_permittivity,
+                );
+                // Lossy silicon substrate adds depletion/liner capacitance;
+                // the standard first-order correction scales C up ~1.5x.
+                m.capacitance_f *= 1.5;
+                m
+            }
+            ViaKind::MiniTsv => {
+                let mut m =
+                    ViaModel::from_geometry(kind, 2.0, 20.0, 10.0, SILICON.rel_permittivity);
+                m.capacitance_f *= 1.5;
+                m
+            }
+            ViaKind::StackedRdlVia => ViaModel::from_geometry(
+                kind,
+                spec.via_size_um,
+                spec.dielectric_thickness_um + spec.metal_thickness_um,
+                spec.microbump_pitch_um,
+                spec.dielectric_constant,
+            ),
+        }
+    }
+
+    /// Parasitics of `n` identical vias in parallel (PDN arrays).
+    pub fn parallel(&self, n: usize) -> ViaModel {
+        assert!(n > 0, "need at least one via");
+        let n = n as f64;
+        ViaModel {
+            resistance_ohm: self.resistance_ohm / n,
+            inductance_h: self.inductance_h / n,
+            capacitance_f: self.capacitance_f * n,
+            ..self.clone()
+        }
+    }
+}
+
+/// The Glass 3D logic-to-memory vertical link: a column of stacked RDL vias
+/// from the flip-chip die pads down to the embedded die pads.
+///
+/// Returns the cascade as (total R, total C, total L) plus the physical
+/// length in µm (the paper quotes ~65 µm).
+pub fn stacked_via_column(spec: &InterposerSpec, levels: usize) -> (f64, f64, f64, f64) {
+    let one = ViaModel::canonical(ViaKind::StackedRdlVia, spec);
+    let n = levels as f64;
+    (
+        one.resistance_ohm * n,
+        one.capacitance_f * n,
+        one.inductance_h * n,
+        one.height_um * n,
+    )
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Parasitic formulas are monotone in geometry: fatter plugs have
+        /// less resistance, taller barrels more of everything.
+        #[test]
+        fn geometry_monotonicity(d in 1.0f64..50.0, h in 5.0f64..400.0, k in 1.0f64..12.0) {
+            let base = ViaModel::from_geometry(ViaKind::Tsv, d, h, d * 4.0, k);
+            let fatter = ViaModel::from_geometry(ViaKind::Tsv, d * 1.5, h, d * 6.0, k);
+            let taller = ViaModel::from_geometry(ViaKind::Tsv, d, h * 1.5, d * 4.0, k);
+            prop_assert!(fatter.resistance_ohm < base.resistance_ohm);
+            prop_assert!(taller.resistance_ohm > base.resistance_ohm);
+            prop_assert!(taller.capacitance_f > base.capacitance_f);
+            prop_assert!(taller.inductance_h >= base.inductance_h);
+            prop_assert!(base.resistance_ohm.is_finite() && base.resistance_ohm > 0.0);
+        }
+
+        /// `parallel(n)` scales exactly.
+        #[test]
+        fn parallel_scaling(n in 1usize..200) {
+            let one = ViaModel::from_geometry(ViaKind::Tgv, 30.0, 150.0, 120.0, 5.3);
+            let many = one.parallel(n);
+            prop_assert!((many.resistance_ohm * n as f64 - one.resistance_ohm).abs() < 1e-12);
+            prop_assert!((many.capacitance_f - one.capacitance_f * n as f64).abs() < 1e-18);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InterposerKind, InterposerSpec};
+
+    fn spec(kind: InterposerKind) -> InterposerSpec {
+        InterposerSpec::for_kind(kind)
+    }
+
+    #[test]
+    fn mini_tsv_has_lower_parasitics_than_standard_tsv() {
+        let si = spec(InterposerKind::Silicon3D);
+        let mini = ViaModel::canonical(ViaKind::MiniTsv, &si);
+        let full = ViaModel::canonical(ViaKind::Tsv, &spec(InterposerKind::Silicon25D));
+        assert!(mini.capacitance_f < full.capacitance_f);
+        assert!(mini.inductance_h < full.inductance_h);
+    }
+
+    #[test]
+    fn tgv_resistance_is_small() {
+        let g = spec(InterposerKind::Glass25D);
+        let tgv = ViaModel::canonical(ViaKind::Tgv, &g);
+        // 30 µm copper plug over 155 µm: a few mΩ.
+        assert!(tgv.resistance_ohm < 0.02, "R = {}", tgv.resistance_ohm);
+    }
+
+    #[test]
+    fn stacked_column_length_matches_paper_scale() {
+        // Paper Table V: Glass 3D L2M interconnect is 65 µm (thickness).
+        let g = spec(InterposerKind::Glass3D);
+        let (_, _, _, len) = stacked_via_column(&g, 3);
+        assert!((40.0..=90.0).contains(&len), "len = {len}");
+    }
+
+    #[test]
+    fn parallel_scales_correctly() {
+        let g = spec(InterposerKind::Glass25D);
+        let one = ViaModel::canonical(ViaKind::Tgv, &g);
+        let four = one.parallel(4);
+        assert!((four.resistance_ohm - one.resistance_ohm / 4.0).abs() < 1e-12);
+        assert!((four.inductance_h - one.inductance_h / 4.0).abs() < 1e-18);
+        assert!((four.capacitance_f - one.capacitance_f * 4.0).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "diameter")]
+    fn zero_diameter_panics() {
+        let _ = ViaModel::from_geometry(ViaKind::Microvia, 0.0, 10.0, 20.0, 3.3);
+    }
+
+    #[test]
+    fn capacitance_grows_with_height() {
+        let a = ViaModel::from_geometry(ViaKind::Tsv, 10.0, 50.0, 40.0, 11.9);
+        let b = ViaModel::from_geometry(ViaKind::Tsv, 10.0, 100.0, 40.0, 11.9);
+        assert!(b.capacitance_f > a.capacitance_f);
+        assert!(b.resistance_ohm > a.resistance_ohm);
+        assert!(b.inductance_h > a.inductance_h);
+    }
+}

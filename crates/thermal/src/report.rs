@@ -1,0 +1,190 @@
+//! Per-technology thermal reports (Figs. 16–18).
+
+use crate::model::ThermalModel;
+use crate::solver::{solve, SolveConfig, TemperatureField};
+use serde::Serialize;
+use techlib::spec::InterposerKind;
+
+/// Peak chiplet and interposer temperatures for one assembly.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalReport {
+    /// Technology.
+    pub tech: InterposerKind,
+    /// Hottest logic-chiplet temperature, °C.
+    pub logic_peak_c: f64,
+    /// Hottest memory-chiplet temperature, °C.
+    pub mem_peak_c: f64,
+    /// Hotspot of the whole assembly, °C.
+    pub assembly_peak_c: f64,
+    /// Per-die peaks (label, °C).
+    pub per_die_c: Vec<(String, f64)>,
+}
+
+impl ThermalReport {
+    /// Builds the report from a solved field.
+    pub fn from_field(model: &ThermalModel, field: &TemperatureField) -> ThermalReport {
+        let mut per_die = Vec::new();
+        let mut logic_peak = f64::NEG_INFINITY;
+        let mut mem_peak = f64::NEG_INFINITY;
+        for die in &model.dies {
+            let t = field.peak_in(die.z_layer, die.x_range, die.y_range);
+            if die.is_logic {
+                logic_peak = logic_peak.max(t);
+            } else {
+                mem_peak = mem_peak.max(t);
+            }
+            per_die.push((die.label.clone(), t));
+        }
+        ThermalReport {
+            tech: model.tech,
+            logic_peak_c: logic_peak,
+            mem_peak_c: mem_peak,
+            assembly_peak_c: field.peak(),
+            per_die_c: per_die,
+        }
+    }
+}
+
+/// Solves and reports one technology (cached per process: the field is
+/// deterministic and the solve takes ~a second).
+pub fn analyze_tech(tech: InterposerKind) -> ThermalReport {
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<InterposerKind, ThermalReport>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    if let Some(r) = cache.lock().expect("cache lock").get(&tech) {
+        return r.clone();
+    }
+    let model = ThermalModel::for_tech(tech);
+    let field = solve(&model, &SolveConfig::default());
+    let report = ThermalReport::from_field(&model, &field);
+    cache
+        .lock()
+        .expect("cache lock")
+        .insert(tech, report.clone());
+    report
+}
+
+/// The full Fig. 17 family (all six packaged assemblies).
+pub fn figure17() -> Vec<ThermalReport> {
+    [
+        InterposerKind::Glass25D,
+        InterposerKind::Glass3D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Silicon3D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ]
+    .iter()
+    .map(|&t| analyze_tech(t))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AMBIENT_C;
+
+    #[test]
+    fn glass3d_memory_is_the_hottest_chiplet_of_the_study() {
+        // Fig. 17: embedded memory at 34 °C versus 22–23 °C elsewhere.
+        let g3 = analyze_tech(InterposerKind::Glass3D);
+        for other in [
+            InterposerKind::Glass25D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let r = analyze_tech(other);
+            assert!(
+                g3.mem_peak_c > r.mem_peak_c,
+                "{other}: {} vs {}",
+                g3.mem_peak_c,
+                r.mem_peak_c
+            );
+        }
+    }
+
+    #[test]
+    fn glass3d_temperatures_match_fig17_scale() {
+        let g3 = analyze_tech(InterposerKind::Glass3D);
+        // Paper: memory 34 °C, logic 27 °C at 20 °C-class ambient.
+        assert!(
+            (28.0..42.0).contains(&g3.mem_peak_c),
+            "mem = {}",
+            g3.mem_peak_c
+        );
+        assert!(
+            (23.0..33.0).contains(&g3.logic_peak_c),
+            "logic = {}",
+            g3.logic_peak_c
+        );
+        assert!(g3.mem_peak_c > g3.logic_peak_c + 2.0);
+    }
+
+    #[test]
+    fn logic_chiplets_sit_in_the_27_to_29_band() {
+        for tech in [
+            InterposerKind::Glass25D,
+            InterposerKind::Silicon25D,
+            InterposerKind::Shinko,
+            InterposerKind::Apx,
+        ] {
+            let r = analyze_tech(tech);
+            assert!(
+                (23.0..33.0).contains(&r.logic_peak_c),
+                "{tech}: logic = {}",
+                r.logic_peak_c
+            );
+            assert!(r.logic_peak_c > r.mem_peak_c, "{tech}");
+        }
+    }
+
+    #[test]
+    fn non_glass3d_memory_stays_cool() {
+        // Fig. 17: 22–23 °C for side-by-side memory chiplets.
+        for tech in [InterposerKind::Silicon25D, InterposerKind::Shinko] {
+            let r = analyze_tech(tech);
+            assert!(
+                (AMBIENT_C + 1.0..AMBIENT_C + 7.0).contains(&r.mem_peak_c),
+                "{tech}: mem = {}",
+                r.mem_peak_c
+            );
+        }
+    }
+
+    #[test]
+    fn si3d_stack_runs_hotter_than_si25d() {
+        // The conclusion's trade-off: Silicon 3D "suffers from higher
+        // thermal dissipation".
+        let s3 = analyze_tech(InterposerKind::Silicon3D);
+        let s25 = analyze_tech(InterposerKind::Silicon25D);
+        assert!(s3.assembly_peak_c > s25.assembly_peak_c);
+    }
+
+    #[test]
+    fn silicon_interposer_spreads_heat_best_among_25d() {
+        // Fig. 18: silicon's hotspots merge and flatten; glass traps heat
+        // under the chiplets.
+        let si = analyze_tech(InterposerKind::Silicon25D);
+        let gl = analyze_tech(InterposerKind::Glass25D);
+        assert!(si.assembly_peak_c < gl.assembly_peak_c);
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+    #[test]
+    fn print_all_temps() {
+        for r in figure17() {
+            eprintln!(
+                "{:<14} logic {:>6.2} mem {:>6.2} assembly {:>6.2}",
+                r.tech.label(),
+                r.logic_peak_c,
+                r.mem_peak_c,
+                r.assembly_peak_c
+            );
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Finite-volume steady-state conduction solver.
+//!
+//! Classic 7-point stencil with harmonic-mean inter-cell conductances,
+//! convection boundaries, and successive over-relaxation. Cell sizes are
+//! uniform in x/y and non-uniform in z.
+
+use crate::model::{ThermalModel, CELL_XY_M};
+use crate::AMBIENT_C;
+
+/// Fixed lateral "board spreading" conductance distributed over the
+/// bottom face, W/K — models heat escaping into the motherboard beyond
+/// the package shadow (so small packages are not starved of cooling).
+///
+/// Provenance: calibrated once so the Glass 3D logic die lands in the
+/// paper's 27 °C band while the embedded memory die stays trapped.
+pub const BOARD_SPREAD_W_PER_K: f64 = 0.005;
+
+/// Side-wall convection coefficient, W/(m²·K).
+pub const H_SIDE_W_M2K: f64 = 10.0;
+
+/// Convection/spreading boundary coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct Boundaries {
+    /// Top-side convection over non-die area, W/(m²·K).
+    pub h_top: f64,
+    /// Effective coefficient over exposed die backs, W/(m²·K) — the
+    /// enclosure/case path the paper's IcePak model provides. Calibrated
+    /// once so 2.5D logic chiplets land in the 27–29 °C band of Fig. 17.
+    pub h_top_die: f64,
+    /// Bottom-side effective coefficient (ball field + board), W/(m²·K).
+    pub h_bottom: f64,
+    /// Side-wall convection, W/(m²·K).
+    pub h_side: f64,
+    /// Fixed board-spreading conductance over the bottom face, W/K.
+    pub board_spread_w_per_k: f64,
+}
+
+impl Default for Boundaries {
+    fn default() -> Self {
+        Boundaries {
+            h_top: crate::H_TOP_W_M2K,
+            h_top_die: crate::H_TOP_DIE_W_M2K,
+            h_bottom: crate::H_BOTTOM_W_M2K,
+            h_side: H_SIDE_W_M2K,
+            board_spread_w_per_k: BOARD_SPREAD_W_PER_K,
+        }
+    }
+}
+
+impl Boundaries {
+    /// Boundaries for a given top-side air speed, m/s, using the flat-
+    /// plate forced-convection estimate h ≈ 5 + 30·√v (the paper's study
+    /// point is 0.1 m/s).
+    pub fn with_airspeed(v_m_s: f64) -> Boundaries {
+        let scale = (v_m_s.max(1e-3) / 0.1).sqrt();
+        Boundaries {
+            h_top: 5.0 + 30.0 * v_m_s.max(0.0).sqrt(),
+            h_top_die: crate::H_TOP_DIE_W_M2K * scale,
+            ..Boundaries::default()
+        }
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveConfig {
+    /// Over-relaxation factor (1.0 = Gauss-Seidel).
+    pub omega: f64,
+    /// Convergence threshold on the max per-sweep update, K.
+    pub tolerance_k: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            omega: 1.85,
+            tolerance_k: 1e-5,
+            max_iters: 20_000,
+        }
+    }
+}
+
+/// The temperature field, °C, indexed `[z][y*nx+x]`.
+#[derive(Debug, Clone)]
+pub struct TemperatureField {
+    /// Grid x size.
+    pub nx: usize,
+    /// Grid y size.
+    pub ny: usize,
+    /// Per-layer temperature maps.
+    pub layers: Vec<Vec<f64>>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl TemperatureField {
+    /// Peak temperature in a region of one layer, °C.
+    pub fn peak_in(&self, z: usize, x: (usize, usize), y: (usize, usize)) -> f64 {
+        let mut peak = f64::NEG_INFINITY;
+        for yy in y.0..y.1 {
+            for xx in x.0..x.1 {
+                peak = peak.max(self.layers[z][yy * self.nx + xx]);
+            }
+        }
+        peak
+    }
+
+    /// Global peak, °C.
+    pub fn peak(&self) -> f64 {
+        self.layers
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Solves the steady-state field of `model` with default boundaries.
+pub fn solve(model: &ThermalModel, config: &SolveConfig) -> TemperatureField {
+    solve_with_boundaries(model, config, &Boundaries::default())
+}
+
+/// Solves with explicit boundary coefficients (airflow studies).
+pub fn solve_with_boundaries(
+    model: &ThermalModel,
+    config: &SolveConfig,
+    bounds: &Boundaries,
+) -> TemperatureField {
+    let (nx, ny, nz) = (model.nx, model.ny, model.nz());
+    let a_xy = CELL_XY_M * CELL_XY_M;
+    let n_bottom = (nx * ny) as f64;
+
+    // Precompute conductances.
+    // Lateral G between (x,y,z) and (x+1,y,z): harmonic mean over dx.
+    let g_lat = |z: usize, i: usize, j: usize| -> f64 {
+        let k1 = model.k_xy[z][i];
+        let k2 = model.k_xy[z][j];
+        let area = model.dz_m[z] * CELL_XY_M;
+        area / (CELL_XY_M / (2.0 * k1) + CELL_XY_M / (2.0 * k2))
+    };
+    // Vertical G between layer z and z+1 at cell i.
+    let g_vert = |z: usize, i: usize| -> f64 {
+        let k1 = model.k_z[z][i];
+        let k2 = model.k_z[z + 1][i];
+        a_xy / (model.dz_m[z] / (2.0 * k1) + model.dz_m[z + 1] / (2.0 * k2))
+    };
+
+    let mut t: Vec<Vec<f64>> = (0..nz).map(|_| vec![AMBIENT_C; nx * ny]).collect();
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let mut max_delta: f64 = 0.0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = y * nx + x;
+                    let mut g_sum = 0.0;
+                    let mut flux = model.power[z][i];
+
+                    // Lateral neighbours (or side convection at walls).
+                    if x + 1 < nx {
+                        let g = g_lat(z, i, i + 1);
+                        g_sum += g;
+                        flux += g * t[z][i + 1];
+                    } else {
+                        let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+                    if x > 0 {
+                        let g = g_lat(z, i - 1, i);
+                        g_sum += g;
+                        flux += g * t[z][i - 1];
+                    } else {
+                        let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+                    if y + 1 < ny {
+                        let g = g_lat(z, i, i + nx);
+                        g_sum += g;
+                        flux += g * t[z][i + nx];
+                    } else {
+                        let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+                    if y > 0 {
+                        let g = g_lat(z, i - nx, i);
+                        g_sum += g;
+                        flux += g * t[z][i - nx];
+                    } else {
+                        let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+
+                    // Vertical neighbours / top+bottom boundaries.
+                    if z + 1 < nz {
+                        let g = g_vert(z, i);
+                        g_sum += g;
+                        flux += g * t[z + 1][i];
+                    } else {
+                        let h = if model.top_die_mask[i] {
+                            bounds.h_top_die
+                        } else {
+                            bounds.h_top
+                        };
+                        let g = h * a_xy;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+                    if z > 0 {
+                        let g = g_vert(z - 1, i);
+                        g_sum += g;
+                        flux += g * t[z - 1][i];
+                    } else {
+                        let g = bounds.h_bottom * a_xy + bounds.board_spread_w_per_k / n_bottom;
+                        g_sum += g;
+                        flux += g * AMBIENT_C;
+                    }
+
+                    let t_new = flux / g_sum;
+                    let t_relaxed = t[z][i] + config.omega * (t_new - t[z][i]);
+                    max_delta = max_delta.max((t_relaxed - t[z][i]).abs());
+                    t[z][i] = t_relaxed;
+                }
+            }
+        }
+        if max_delta < config.tolerance_k {
+            break;
+        }
+    }
+
+    TemperatureField {
+        nx,
+        ny,
+        layers: t,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use techlib::spec::InterposerKind;
+
+    #[test]
+    fn temperatures_exceed_ambient_everywhere_heat_flows() {
+        let model = ThermalModel::for_tech(InterposerKind::Silicon25D);
+        let field = solve(&model, &SolveConfig::default());
+        for layer in &field.layers {
+            for &t in layer {
+                assert!(t >= AMBIENT_C - 1e-6);
+            }
+        }
+        assert!(field.peak() > AMBIENT_C + 1.0);
+    }
+
+    #[test]
+    fn zero_power_gives_ambient() {
+        let mut model = ThermalModel::for_tech(InterposerKind::Silicon25D);
+        for p in &mut model.power {
+            p.iter_mut().for_each(|x| *x = 0.0);
+        }
+        let field = solve(&model, &SolveConfig::default());
+        assert!((field.peak() - AMBIENT_C).abs() < 1e-6);
+    }
+
+    #[test]
+    fn doubling_power_roughly_doubles_rise() {
+        let model = ThermalModel::for_tech(InterposerKind::Glass25D);
+        let base = solve(&model, &SolveConfig::default()).peak() - AMBIENT_C;
+        let mut doubled = model.clone();
+        for p in &mut doubled.power {
+            p.iter_mut().for_each(|x| *x *= 2.0);
+        }
+        let twice = solve(&doubled, &SolveConfig::default()).peak() - AMBIENT_C;
+        assert!((twice / base - 2.0).abs() < 1e-3, "{twice} vs {base}");
+    }
+
+    #[test]
+    fn hotspot_sits_on_a_die() {
+        let model = ThermalModel::for_tech(InterposerKind::Shinko);
+        let field = solve(&model, &SolveConfig::default());
+        let global = field.peak();
+        let on_dies = model
+            .dies
+            .iter()
+            .map(|d| field.peak_in(d.z_layer, d.x_range, d.y_range))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((global - on_dies).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_airflow_cools_the_assembly() {
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let still = solve_with_boundaries(
+            &model,
+            &SolveConfig::default(),
+            &Boundaries::with_airspeed(0.1),
+        )
+        .peak();
+        let breezy = solve_with_boundaries(
+            &model,
+            &SolveConfig::default(),
+            &Boundaries::with_airspeed(5.0),
+        )
+        .peak();
+        assert!(breezy < still, "{breezy} vs {still}");
+    }
+
+    #[test]
+    fn one_dimensional_slab_matches_hand_calculation() {
+        // Analytic validation: a single-column stack with adiabatic sides
+        // and top, power P injected at the top layer, cooled only through
+        // the bottom boundary. The exact rise is
+        // P · (Σ dz/(k·A) with half-cells at the ends + 1/(h_eff·A)).
+        use crate::model::{DieRegion, ThermalModel, CELL_XY_M};
+        let nx = 1;
+        let ny = 1;
+        let k = 10.0;
+        let dz = 100e-6;
+        let p_w = 0.01;
+        let layers = 4;
+        let model = ThermalModel {
+            tech: techlib::spec::InterposerKind::Silicon25D,
+            nx,
+            ny,
+            dz_m: vec![dz; layers],
+            k_xy: vec![vec![k]; layers],
+            k_z: vec![vec![k]; layers],
+            power: {
+                let mut p = vec![vec![0.0]; layers];
+                p[layers - 1][0] = p_w;
+                p
+            },
+            dies: vec![DieRegion {
+                label: "slab".into(),
+                is_logic: true,
+                z_layer: layers - 1,
+                x_range: (0, 1),
+                y_range: (0, 1),
+            }],
+            top_die_mask: vec![false],
+        };
+        let bounds = Boundaries {
+            h_top: 0.0,
+            h_top_die: 0.0,
+            h_side: 0.0,
+            h_bottom: 1_000.0,
+            board_spread_w_per_k: 0.0,
+        };
+        let field = solve_with_boundaries(&model, &SolveConfig::default(), &bounds);
+        let a = CELL_XY_M * CELL_XY_M;
+        // Centre-to-centre conduction: (layers-1) full cells, plus half a
+        // cell from the bottom centre to the boundary face.
+        let r_cond = ((layers - 1) as f64 * dz + dz / 2.0) / (k * a);
+        let r_conv = 1.0 / (1_000.0 * a);
+        let expect = AMBIENT_C + p_w * (r_cond + r_conv);
+        let got = field.layers[layers - 1][0];
+        assert!(
+            (got - expect).abs() / (expect - AMBIENT_C) < 0.01,
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn solver_converges_within_budget() {
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let field = solve(&model, &SolveConfig::default());
+        assert!(field.iterations < SolveConfig::default().max_iters);
+    }
+}

@@ -1,0 +1,79 @@
+//! SVG heat-map rendering of solved temperature fields (Fig. 18 views).
+
+use crate::solver::TemperatureField;
+use crate::AMBIENT_C;
+use std::fmt::Write as _;
+
+/// Maps a normalised value in [0, 1] onto a blue→red thermal palette.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let r = (255.0 * t.powf(0.7)) as u8;
+    let g = (150.0 * (1.0 - (2.0 * t - 1.0).abs())) as u8;
+    let b = (255.0 * (1.0 - t).powf(0.7)) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Renders one z-layer of the field as an SVG heat map.
+///
+/// `cell_px` is the pixel size of one thermal cell. The colour scale runs
+/// from ambient to the layer's own peak.
+pub fn render_layer(field: &TemperatureField, z: usize, cell_px: f64) -> String {
+    let layer = &field.layers[z];
+    let t_max = layer.iter().cloned().fold(AMBIENT_C + 0.1, f64::max);
+    let (nx, ny) = (field.nx, field.ny);
+    let (w, h) = (nx as f64 * cell_px, ny as f64 * cell_px);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.1} {h:.1}">"##
+    );
+    for y in 0..ny {
+        for x in 0..nx {
+            let t = layer[y * nx + x];
+            let norm = (t - AMBIENT_C) / (t_max - AMBIENT_C);
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.1}" y="{:.1}" width="{cell_px:.1}" height="{cell_px:.1}" fill="{}"/>"##,
+                x as f64 * cell_px,
+                y as f64 * cell_px,
+                heat_color(norm)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="4" y="14" font-size="12" fill="#fff">peak {t_max:.1}&#176;C</text>"##
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ThermalModel;
+    use crate::solver::{solve, SolveConfig};
+    use techlib::spec::InterposerKind;
+
+    #[test]
+    fn renders_a_heat_map() {
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let field = solve(&model, &SolveConfig::default());
+        let svg = render_layer(&field, model.nz() - 1, 4.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("peak"));
+        assert_eq!(
+            svg.matches("<rect").count(),
+            field.nx * field.ny,
+            "one rect per cell"
+        );
+    }
+
+    #[test]
+    fn palette_endpoints() {
+        assert_eq!(heat_color(0.0), "#0000ff");
+        assert_eq!(heat_color(1.0), "#ff0000");
+        // Midpoint is warm-green.
+        assert!(heat_color(0.5).len() == 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration beyond the paper's data points: what happens
+//! to the glass chiplet footprint and the link budget as the micro-bump
+//! pitch and line length scale — the "optimization opportunities" the
+//! paper's Section VIII points at.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use chiplet::bumpmap::BumpPlan;
+use chiplet::footprint;
+use netlist::chiplet_netlist::chipletize;
+use netlist::openpiton::two_tile_openpiton;
+use netlist::partition::hierarchical_l3_split;
+use netlist::serdes::SerdesPlan;
+use si::link::{simulate_link, ChannelKind};
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = two_tile_openpiton();
+    let split = hierarchical_l3_split(&design)?;
+    let (logic, _mem) = chipletize(&design, &split, &SerdesPlan::paper());
+
+    println!("--- Glass logic die width vs micro-bump pitch ---");
+    println!("{:>10}{:>12}{:>12}{:>10}", "pitch µm", "width µm", "area mm²", "limit");
+    for pitch in [20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0] {
+        let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        spec.microbump_pitch_um = pitch;
+        let bumps = BumpPlan::for_design(logic.signal_pins, logic.kind, &spec);
+        let fp = footprint::solve(&logic, &bumps, &spec, None);
+        println!(
+            "{:>10}{:>12.0}{:>12.3}{:>10}",
+            pitch,
+            fp.width_um,
+            fp.area_mm2(),
+            if fp.bump_limited_um >= fp.cell_limited_um { "bump" } else { "cells" }
+        );
+    }
+
+    println!("\n--- Glass link delay/power vs line length ---");
+    println!("{:>10}{:>12}{:>12}", "len µm", "delay ps", "power µW");
+    for len in [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+        let r = simulate_link(&ChannelKind::RdlTrace {
+            tech: InterposerKind::Glass25D,
+            length_um: len,
+        })?;
+        println!(
+            "{:>10}{:>12.2}{:>12.2}",
+            len, r.interconnect_delay_ps, r.interconnect_power_uw
+        );
+    }
+
+    println!("\n--- Serialisation ratio trade-off (inter-tile wires vs latency) ---");
+    println!("{:>8}{:>12}{:>14}", "ratio", "wires", "added cycles");
+    for ratio in [1usize, 2, 4, 8, 16, 32] {
+        let plan = SerdesPlan::new(6, 64, 20, ratio);
+        println!("{:>8}{:>12}{:>14}", ratio, plan.wires_after, plan.added_cycles);
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Data-rate stress sweep: the paper's channels at 0.7 Gbps and beyond.
+//!
+//! The study's eyes are nearly clean at the OpenPiton link rate; this
+//! sweep shows where each technology's channel actually runs out of
+//! bandwidth — an extension of the Fig. 14 analysis.
+//!
+//! ```sh
+//! cargo run --release --example stress_eye
+//! ```
+
+use si::eye::{lateral_eye, EyeConfig};
+use techlib::spec::InterposerKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let length_um = 2_000.0;
+    println!("eye width (fraction of UI) on a 2 mm lateral link, 50-ohm deck:");
+    print!("{:>12}", "rate Gb/s");
+    let techs = [
+        InterposerKind::Glass25D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ];
+    for t in techs {
+        print!("{:>14}", t.label());
+    }
+    println!();
+    for rate_gbps in [0.7, 2.0, 5.0, 10.0, 20.0] {
+        print!("{:>12.1}", rate_gbps);
+        for tech in techs {
+            let cfg = EyeConfig {
+                bits: 64,
+                data_rate_bps: rate_gbps * 1e9,
+                ..EyeConfig::paper_deck()
+            };
+            let eye = lateral_eye(tech, length_um, &cfg)?;
+            let ui_ns = 1.0 / rate_gbps;
+            print!("{:>14.2}", eye.width_ns / ui_ns);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! The paper's qualitative result shape, asserted end-to-end: who wins,
+//! by roughly what factor, and where the trade-offs fall. These are the
+//! claims a reproduction must preserve even when absolute numbers shift
+//! with the substrate.
+
+use codesign::compare::headline;
+use codesign::flow::run_all;
+use codesign::table5::MonitorLengths;
+use techlib::spec::InterposerKind;
+
+fn study(
+    studies: &[codesign::flow::TechStudy],
+    tech: InterposerKind,
+) -> &codesign::flow::TechStudy {
+    studies.iter().find(|s| s.tech == tech).expect("tech present")
+}
+
+#[test]
+fn abstract_headline_claims_hold() {
+    let h = headline().expect("headline computes");
+    assert!((2.0..3.2).contains(&h.area_reduction_x), "area {:.2}x (paper 2.6x)", h.area_reduction_x);
+    assert!(h.wirelength_reduction_x > 10.0, "wirelength {:.1}x (paper 21x)", h.wirelength_reduction_x);
+    assert!(h.power_reduction_frac > 0.03, "power {:.3} (paper 0.177)", h.power_reduction_frac);
+    assert!(h.si_improvement_frac > 0.0, "SI {:.3} (paper 0.647)", h.si_improvement_frac);
+    assert!(h.pi_improvement_x > 3.0, "PI {:.1}x (paper ~10x)", h.pi_improvement_x);
+    assert!(h.thermal_increase_frac > 0.1, "thermal {:.3} (paper ~0.35)", h.thermal_increase_frac);
+}
+
+#[test]
+fn table2_area_shape() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    // Glass chiplets smallest, APX largest, Silicon/Shinko in between.
+    let glass = study(&studies, InterposerKind::Glass25D).logic.footprint.area_mm2();
+    let si = study(&studies, InterposerKind::Silicon25D).logic.footprint.area_mm2();
+    let apx = study(&studies, InterposerKind::Apx).logic.footprint.area_mm2();
+    assert!(glass < si && si < apx);
+    assert!((si / glass - 1.31).abs() < 0.05, "{}", si / glass);
+    assert!((apx / glass - 1.97).abs() < 0.08, "{}", apx / glass);
+}
+
+#[test]
+fn table3_power_uniformity_and_si3d_advantage() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    // "Power consumption across all chiplets demonstrates uniformity":
+    // every logic chiplet within ±7 % of the glass one.
+    let reference = study(&studies, InterposerKind::Glass25D).logic.total_power_mw();
+    for s in &studies {
+        let p = s.logic.total_power_mw();
+        assert!((p - reference).abs() / reference < 0.07, "{}: {p}", s.tech);
+    }
+    // Silicon 3D is the lowest-power chiplet set (shortest wire).
+    let si3d = study(&studies, InterposerKind::Silicon3D);
+    for s in &studies {
+        assert!(si3d.logic.total_power_mw() <= s.logic.total_power_mw(), "{}", s.tech);
+        assert!(si3d.logic.wirelength_m <= s.logic.wirelength_m, "{}", s.tech);
+    }
+}
+
+#[test]
+fn table4_routing_shape() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    let g3 = study(&studies, InterposerKind::Glass3D).routing.clone().unwrap();
+    let g25 = study(&studies, InterposerKind::Glass25D).routing.clone().unwrap();
+    let si = study(&studies, InterposerKind::Silicon25D).routing.clone().unwrap();
+    let sh = study(&studies, InterposerKind::Shinko).routing.clone().unwrap();
+    let apx = study(&studies, InterposerKind::Apx).routing.clone().unwrap();
+
+    // Glass 3D: fewest layers, least wire, smallest area.
+    assert!(g3.metal_layers_used() <= si.metal_layers_used());
+    assert!(g3.total_wl_mm * 10.0 < si.total_wl_mm);
+    assert!(g3.area_mm2 < 0.5 * g25.area_mm2);
+    // Area ordering: glass 3D < glass 2.5D ≈ silicon < Shinko < APX.
+    assert!((g25.area_mm2 - si.area_mm2).abs() < 0.3);
+    assert!(si.area_mm2 < sh.area_mm2 && sh.area_mm2 < apx.area_mm2);
+    // Glass 2.5D carries more wire than silicon (congestion + Manhattan).
+    assert!(g25.total_wl_mm > si.total_wl_mm);
+    // APX has the most vias among laterally routed organic/glass designs
+    // is not asserted (paper: APX highest) — but silicon must have fewest.
+    assert!(si.signal_vias < g25.signal_vias);
+    assert!(si.signal_vias < apx.signal_vias);
+}
+
+#[test]
+fn table5_delay_shape() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    let d_l2m = |t| study(&studies, t).links.l2m.interconnect_delay_ps;
+    let d_l2l = |t| study(&studies, t).links.l2l.interconnect_delay_ps;
+    // L2M: Si3D < Glass3D < every lateral link; Si2.5D < APX.
+    assert!(d_l2m(InterposerKind::Silicon3D) < d_l2m(InterposerKind::Glass3D));
+    for lateral in [
+        InterposerKind::Glass25D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+    ] {
+        assert!(d_l2m(InterposerKind::Glass3D) < d_l2m(lateral), "{lateral}");
+    }
+    assert!(d_l2m(InterposerKind::Silicon25D) < d_l2m(InterposerKind::Apx));
+    // Glass's thick copper beats silicon per millimetre of wire (see
+    // EXPERIMENTS.md on the paper's absolute glass L2M figure).
+    let len_l2m = |t: InterposerKind| study(&studies, t).links.l2m.length_um;
+    assert!(
+        d_l2m(InterposerKind::Glass25D) / len_l2m(InterposerKind::Glass25D)
+            < d_l2m(InterposerKind::Silicon25D) / len_l2m(InterposerKind::Silicon25D)
+    );
+    // L2L: Si3D best; Glass 2.5D beats Silicon 2.5D.
+    assert!(d_l2l(InterposerKind::Silicon3D) < d_l2l(InterposerKind::Glass25D));
+    assert!(d_l2l(InterposerKind::Glass25D) < d_l2l(InterposerKind::Silicon25D));
+}
+
+#[test]
+fn fig17_thermal_shape() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    let g3 = study(&studies, InterposerKind::Glass3D);
+    // The embedded memory die is the hottest chiplet of the study...
+    for s in &studies {
+        if s.tech != InterposerKind::Glass3D && s.tech != InterposerKind::Silicon3D {
+            assert!(g3.thermal.mem_peak_c > s.thermal.mem_peak_c, "{}", s.tech);
+            // ...while logic chiplets stay in a common band.
+            assert!((s.thermal.logic_peak_c - g3.thermal.logic_peak_c).abs() < 8.0, "{}", s.tech);
+        }
+    }
+}
+
+#[test]
+fn conclusion_tradeoff_si3d_vs_glass3d() {
+    let studies = run_all(MonitorLengths::Paper).expect("flow completes");
+    let si3d = study(&studies, InterposerKind::Silicon3D);
+    let g3 = study(&studies, InterposerKind::Glass3D);
+    // "Silicon 3D offers better performance and power efficiency, but
+    // suffers from higher thermal dissipation."
+    assert!(si3d.fullchip.total_power_mw < g3.fullchip.total_power_mw);
+    assert!(si3d.links.l2m.interconnect_delay_ps < g3.links.l2m.interconnect_delay_ps);
+    assert!(si3d.thermal.assembly_peak_c > g3.thermal.logic_peak_c);
+}
+
+#[test]
+fn table6_material_ordering() {
+    // Section VII-F: APX lowest delay/power, Shinko second, glass third
+    // (via penalty), silicon highest.
+    let rows = si::material_study::table6().expect("table 6");
+    let get = |t: InterposerKind| rows.iter().find(|r| r.tech == t).expect("row");
+    let apx = get(InterposerKind::Apx);
+    let shinko = get(InterposerKind::Shinko);
+    let glass = get(InterposerKind::Glass25D);
+    let silicon = get(InterposerKind::Silicon25D);
+    assert!(apx.delay_ps < shinko.delay_ps);
+    assert!(shinko.delay_ps < glass.delay_ps);
+    assert!(glass.delay_ps < silicon.delay_ps);
+    assert!(silicon.power_uw > glass.power_uw);
+}
+
+#[test]
+fn fig14_eye_shape_with_the_paper_deck() {
+    // Glass 3D: widest and tallest eye; Silicon 2.5D lateral: worst.
+    use interposer::diemap::NetClass;
+    use interposer::report::cached_layout;
+    use si::eye::{lateral_eye, stacked_via_eye, EyeConfig};
+    let cfg = EyeConfig::paper_deck();
+    let g3 = stacked_via_eye(&cfg).expect("glass 3D eye");
+    let si_len = cached_layout(InterposerKind::Silicon25D)
+        .expect("layout")
+        .worst_net_um(NetClass::IntraTileLateral);
+    let si = lateral_eye(InterposerKind::Silicon25D, si_len, &cfg).expect("si eye");
+    assert!(g3.width_ns > si.width_ns, "{} vs {}", g3.width_ns, si.width_ns);
+    assert!(g3.height_v > 1.5 * si.height_v, "{} vs {}", g3.height_v, si.height_v);
+}
+
+#[test]
+fn cost_extension_shape() {
+    // Conclusion: glass is the cost-effective 3D option; silicon pays for
+    // CoWoS mm² and (in 3D) thinning.
+    let rows = codesign::cost::cost_all().expect("cost model");
+    let get = |t: InterposerKind| rows.iter().find(|r| r.tech == t).expect("row").total_rcu;
+    assert!(get(InterposerKind::Glass3D) < get(InterposerKind::Silicon3D));
+    assert!(get(InterposerKind::Glass3D) < get(InterposerKind::Glass25D));
+    assert!(get(InterposerKind::Silicon25D) > 2.0 * get(InterposerKind::Glass25D));
+}
