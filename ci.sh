@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format, lint. Run from the repo root.
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

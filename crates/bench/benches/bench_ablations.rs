@@ -45,7 +45,11 @@ fn ablate_aggressors(c: &mut Criterion) {
                     si::eye::lateral_eye(
                         InterposerKind::Glass25D,
                         2_000.0,
-                        &si::eye::EyeConfig { bits: 48, aggressors, ..si::eye::EyeConfig::default() },
+                        &si::eye::EyeConfig {
+                            bits: 48,
+                            aggressors,
+                            ..si::eye::EyeConfig::default()
+                        },
                     )
                     .expect("eye"),
                 )

@@ -48,7 +48,9 @@ fn bench_fig15(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(20));
     g.bench_function("glass3d_impedance_sweep", |b| {
         b.iter(|| {
-            black_box(pi::impedance::ImpedanceProfile::sweep(InterposerKind::Glass3D, 61).expect("sweep"))
+            black_box(
+                pi::impedance::ImpedanceProfile::sweep(InterposerKind::Glass3D, 61).expect("sweep"),
+            )
         })
     });
     g.bench_function("shinko_transient_settling", |b| {

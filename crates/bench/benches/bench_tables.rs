@@ -43,7 +43,13 @@ fn bench_table3(c: &mut Criterion) {
     let split = hierarchical_l3_split(&design).expect("split");
     let (logic, mem) = chipletize(&design, &split, &SerdesPlan::paper());
     c.bench_function("table3_chiplet_ppa", |b| {
-        b.iter(|| black_box(chiplet::report::analyze_pair(&logic, &mem, InterposerKind::Glass25D)))
+        b.iter(|| {
+            black_box(chiplet::report::analyze_pair(
+                &logic,
+                &mem,
+                InterposerKind::Glass25D,
+            ))
+        })
     });
 }
 
@@ -55,10 +61,16 @@ fn bench_table4(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(30));
     g.warm_up_time(std::time::Duration::from_secs(2));
     g.bench_function("glass3d_route", |b| {
-        b.iter(|| black_box(interposer::report::place_and_route(InterposerKind::Glass3D).expect("route")))
+        b.iter(|| {
+            black_box(interposer::report::place_and_route(InterposerKind::Glass3D).expect("route"))
+        })
     });
     g.bench_function("silicon25d_route", |b| {
-        b.iter(|| black_box(interposer::report::place_and_route(InterposerKind::Silicon25D).expect("route")))
+        b.iter(|| {
+            black_box(
+                interposer::report::place_and_route(InterposerKind::Silicon25D).expect("route"),
+            )
+        })
     });
     g.finish();
 }

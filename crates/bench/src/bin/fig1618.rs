@@ -3,9 +3,18 @@ use thermal::model::ThermalModel;
 use thermal::solver::{solve, SolveConfig};
 fn main() {
     bench::banner("Figs. 16-18 - thermal (paper: glass3D logic 27C / mem 34C; others logic 27-29C, mem 22-23C)");
-    println!("{:<14}{:>10}{:>10}{:>12}", "tech", "logic C", "mem C", "assembly C");
+    println!(
+        "{:<14}{:>10}{:>10}{:>12}",
+        "tech", "logic C", "mem C", "assembly C"
+    );
     for r in thermal::report::figure17() {
-        println!("{:<14}{:>10.1}{:>10.1}{:>12.1}", r.tech.label(), r.logic_peak_c, r.mem_peak_c, r.assembly_peak_c);
+        println!(
+            "{:<14}{:>10.1}{:>10.1}{:>12.1}",
+            r.tech.label(),
+            r.logic_peak_c,
+            r.mem_peak_c,
+            r.assembly_peak_c
+        );
     }
     // Fig. 18: interposer-level hotspot map of the glass 2.5D assembly
     // (coarse ASCII rendering of the die layer).

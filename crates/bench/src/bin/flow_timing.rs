@@ -1,0 +1,163 @@
+//! Times the six-technology study sequentially vs in parallel and writes
+//! `BENCH_flow.json` at the repository root.
+//!
+//! Because the flow memoizes shared artifacts (netlists, layouts, chiplet
+//! reports) per process, a fair cold comparison needs fresh processes:
+//! the binary re-executes itself once per mode. The sequential child is
+//! pinned to one worker (`CODESIGN_THREADS=1`) and calls
+//! [`codesign::flow::run_all_sequential`]; the parallel child uses the
+//! default worker count and calls [`codesign::flow::run_all`]. Each child
+//! also re-runs its flow warm to show what the artifact cache saves, and
+//! prints a hash of the serialized studies so the parent can verify the
+//! two modes produced byte-identical output.
+
+use codesign::table5::MonitorLengths;
+use std::io::Write as _;
+use std::time::Instant;
+
+const CHILD_ENV: &str = "FLOW_TIMING_CHILD";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn child(parallel: bool) {
+    let run = || {
+        if parallel {
+            codesign::flow::run_all(MonitorLengths::Routed)
+        } else {
+            codesign::flow::run_all_sequential(MonitorLengths::Routed)
+        }
+    };
+    let t0 = Instant::now();
+    let studies = run().expect("flow completes");
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let again = run().expect("warm flow completes");
+    let warm_s = t1.elapsed().as_secs_f64();
+    let json = serde_json::to_string(&studies).expect("studies serialize");
+    assert_eq!(
+        json,
+        serde_json::to_string(&again).expect("studies serialize"),
+        "warm re-run must reproduce the cold result"
+    );
+    println!(
+        "RESULT cold_s={cold_s:.3} warm_s={warm_s:.3} hash={:016x} studies={}",
+        fnv1a(json.as_bytes()),
+        studies.len()
+    );
+}
+
+struct ChildResult {
+    cold_s: f64,
+    warm_s: f64,
+    hash: String,
+}
+
+fn run_child(parallel: bool) -> ChildResult {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env(CHILD_ENV, if parallel { "par" } else { "seq" });
+    if !parallel {
+        cmd.env(techlib::par::THREADS_ENV, "1");
+    }
+    let out = cmd.output().expect("child runs");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .expect("child printed RESULT");
+    let field = |key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in {line}"))
+            .to_string()
+    };
+    ChildResult {
+        cold_s: field("cold_s").parse().expect("cold_s parses"),
+        warm_s: field("warm_s").parse().expect("warm_s parses"),
+        hash: field("hash"),
+    }
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child(std::env::var(CHILD_ENV).unwrap() == "par");
+        return;
+    }
+
+    let threads = techlib::par::thread_count();
+    println!("flow_timing: sequential (1 worker) vs parallel ({threads} workers)");
+    println!("running sequential child...");
+    let seq = run_child(false);
+    println!("  cold {:.3} s, warm {:.3} s", seq.cold_s, seq.warm_s);
+    println!("running parallel child...");
+    let par = run_child(true);
+    println!("  cold {:.3} s, warm {:.3} s", par.cold_s, par.warm_s);
+
+    assert_eq!(
+        seq.hash, par.hash,
+        "parallel run_all must serialize byte-identically to sequential"
+    );
+    println!("determinism: OK (serialized studies hash {})", seq.hash);
+    let speedup = seq.cold_s / par.cold_s;
+    println!("cold speedup: {speedup:.2}x");
+
+    let report = serde_json::Value::Object(vec![
+        ("workers".into(), serde_json::Value::from(threads)),
+        (
+            "sequential_cold_s".into(),
+            serde_json::Value::from(seq.cold_s),
+        ),
+        (
+            "sequential_warm_s".into(),
+            serde_json::Value::from(seq.warm_s),
+        ),
+        (
+            "parallel_cold_s".into(),
+            serde_json::Value::from(par.cold_s),
+        ),
+        (
+            "parallel_warm_s".into(),
+            serde_json::Value::from(par.warm_s),
+        ),
+        ("cold_speedup".into(), serde_json::Value::from(speedup)),
+        (
+            "outputs_byte_identical".into(),
+            serde_json::Value::from(seq.hash == par.hash),
+        ),
+        (
+            "studies_hash_fnv1a".into(),
+            serde_json::Value::from(seq.hash.clone()),
+        ),
+        (
+            "profile".into(),
+            serde_json::Value::from("release: lto=thin, codegen-units=1"),
+        ),
+        // Sequential cold time measured with the pre-LTO profile
+        // (lto=off, codegen-units=16), passed in by whoever ran that
+        // baseline build; null when not provided.
+        (
+            "no_lto_baseline_cold_s".into(),
+            std::env::var("FLOW_BASELINE_NO_LTO_S")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .map_or(serde_json::Value::Null, serde_json::Value::from),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
+    let mut f = std::fs::File::create(path).expect("BENCH_flow.json writable");
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    )
+    .expect("report written");
+    println!("wrote {path}");
+}

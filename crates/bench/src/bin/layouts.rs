@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tech in InterposerKind::INTERPOSER_BASED {
         let layout = cached_layout(tech)?;
         let svg = render(layout, &SvgOptions::default());
-        let name = format!("artifacts/layout_{}.svg", tech.label().replace([' ', '.'], "_"));
+        let name = format!(
+            "artifacts/layout_{}.svg",
+            tech.label().replace([' ', '.'], "_")
+        );
         std::fs::write(&name, svg)?;
         println!("wrote {name}");
     }
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let model = ThermalModel::for_tech(tech);
         let field = solve(&model, &SolveConfig::default());
         let svg = thermal::svg::render_layer(&field, model.nz() - 1, 4.0);
-        let name = format!("artifacts/thermal_{}.svg", tech.label().replace([' ', '.'], "_"));
+        let name = format!(
+            "artifacts/thermal_{}.svg",
+            tech.label().replace([' ', '.'], "_")
+        );
         std::fs::write(&name, svg)?;
         println!("wrote {name}");
     }

@@ -10,7 +10,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tech in InterposerKind::PACKAGED {
         let (l2m, l2l) = channels_for(tech, MonitorLengths::Paper)?;
         for (label, ch) in [("L2M", l2m), ("L2L", l2l)] {
-            println!("{:<14}{:>8}{:>14.4}", tech.label(), label, si::sparams::nyquist_loss_db(&ch));
+            println!(
+                "{:<14}{:>8}{:>14.4}",
+                tech.label(),
+                label,
+                si::sparams::nyquist_loss_db(&ch)
+            );
             let ts = si::sparams::touchstone(&ch, 1e7, 2e10, 101);
             let name = format!(
                 "artifacts/channel_{}_{label}.s2p",

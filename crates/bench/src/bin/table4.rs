@@ -4,11 +4,16 @@ fn main() {
     println!("{}", codesign::tables::table4(bench::studies()));
     println!("PDN impedance / IR drop / settling:");
     for tech in techlib::spec::InterposerKind::PACKAGED {
-        let z = pi::impedance::ImpedanceProfile::sweep(tech, 61).expect("sweep").peak_ohm();
+        let z = pi::impedance::ImpedanceProfile::sweep(tech, 61)
+            .expect("sweep")
+            .peak_ohm();
         let t = pi::transient::analyze(tech).expect("transient");
         println!(
             "  {:<14} peak {:>8.2} ohm   IR {:>6.1} mV   settle {:>5.2} us",
-            tech.label(), z, t.ir_drop_mv, t.settling_us
+            tech.label(),
+            z,
+            t.ir_drop_mv,
+            t.settling_us
         );
     }
 }

@@ -95,7 +95,7 @@ impl BumpPlan {
                 let role = if (want_pg && pg_left > 0) || sig_left == 0 {
                     pg_left -= 1;
                     // Alternate power and ground within the P/G budget.
-                    if pg_left % 2 == 0 {
+                    if pg_left.is_multiple_of(2) {
                         BumpRole::Power
                     } else {
                         BumpRole::Ground
@@ -105,7 +105,11 @@ impl BumpPlan {
                     sig_idx += 1;
                     BumpRole::Signal(sig_idx - 1)
                 };
-                bumps.push(Bump { x_um: x, y_um: y, role });
+                bumps.push(Bump {
+                    x_um: x,
+                    y_um: y,
+                    role,
+                });
             }
         }
         BumpPlan {
@@ -279,7 +283,11 @@ mod tests {
     fn pg_alternates_power_and_ground() {
         let p = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
         let power = p.bumps.iter().filter(|b| b.role == BumpRole::Power).count();
-        let ground = p.bumps.iter().filter(|b| b.role == BumpRole::Ground).count();
+        let ground = p
+            .bumps
+            .iter()
+            .filter(|b| b.role == BumpRole::Ground)
+            .count();
         assert!((power as i64 - ground as i64).abs() <= 1);
         assert_eq!(power + ground, p.pg);
     }

@@ -115,7 +115,11 @@ mod tests {
         assert_eq!(fp.width_um, 820.0);
         assert!(fp.bump_limited_um > fp.cell_limited_um);
         // Table III: 64.20 % utilisation.
-        assert!((fp.utilization() - 0.642).abs() < 0.02, "{}", fp.utilization());
+        assert!(
+            (fp.utilization() - 0.642).abs() < 0.02,
+            "{}",
+            fp.utilization()
+        );
     }
 
     #[test]

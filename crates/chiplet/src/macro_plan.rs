@@ -101,7 +101,7 @@ pub fn plan(bumps: &BumpPlan, die_um: f64) -> MacroPlan {
                     let mx = x as f64 * pitch_x + mw / 2.0;
                     let my = y as f64 * pitch_y + mh / 2.0;
                     let d = (mx - bump.x_um).abs() + (my - bump.y_um).abs();
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((x, y, d));
                     }
                 }
@@ -153,7 +153,11 @@ mod tests {
             "avg = {}",
             plan.average_net_um()
         );
-        assert!(plan.max_net_um() < 6.0 * bumps.pitch_um, "max = {}", plan.max_net_um());
+        assert!(
+            plan.max_net_um() < 6.0 * bumps.pitch_um,
+            "max = {}",
+            plan.max_net_um()
+        );
     }
 
     #[test]

@@ -155,10 +155,7 @@ pub fn sa_place(problem: &PlacementProblem, config: &SaConfig) -> Placement {
             Some(p) => p,
             None => {
                 let (r, c) = (i / side, i % side);
-                (
-                    (c as f64 + 0.5) * cell,
-                    (r as f64 + 0.5) * cell,
-                )
+                ((c as f64 + 0.5) * cell, (r as f64 + 0.5) * cell)
             }
         })
         .collect();
@@ -204,9 +201,15 @@ pub fn sa_place(problem: &PlacementProblem, config: &SaConfig) -> Placement {
             let range = t.max(cell / 2.0);
             let nx = (old.0 + rng.gen_range(-range..=range)).clamp(0.0, problem.die_um);
             let ny = (old.1 + rng.gen_range(-range..=range)).clamp(0.0, problem.die_um);
-            let before: f64 = member[v].iter().map(|&ni| net_hpwl(&problem.nets[ni], &pos)).sum();
+            let before: f64 = member[v]
+                .iter()
+                .map(|&ni| net_hpwl(&problem.nets[ni], &pos))
+                .sum();
             pos[v] = (nx, ny);
-            let after: f64 = member[v].iter().map(|&ni| net_hpwl(&problem.nets[ni], &pos)).sum();
+            let after: f64 = member[v]
+                .iter()
+                .map(|&ni| net_hpwl(&problem.nets[ni], &pos))
+                .sum();
             let delta = after - before;
             if delta > 0.0 && rng.gen::<f64>() >= (-delta / t).exp() {
                 pos[v] = old; // reject

@@ -99,7 +99,11 @@ mod tests {
         let p = breakdown(InterposerKind::Glass25D, true);
         // Paper: total 142.35 mW, internal 67.83, switching 67.67,
         // leakage 6.85.
-        assert!((p.total_w() * 1e3 - 142.35).abs() / 142.35 < 0.06, "{}", p.total_w() * 1e3);
+        assert!(
+            (p.total_w() * 1e3 - 142.35).abs() / 142.35 < 0.06,
+            "{}",
+            p.total_w() * 1e3
+        );
         assert!((p.internal_w * 1e3 - 67.83).abs() / 67.83 < 0.06);
         assert!((p.switching_w * 1e3 - 67.67).abs() / 67.67 < 0.08);
         assert!((p.leakage_w * 1e3 - 6.85).abs() / 6.85 < 0.08);
@@ -109,7 +113,11 @@ mod tests {
     fn glass_memory_power_matches_table3() {
         let p = breakdown(InterposerKind::Glass25D, false);
         // Paper: total 46.06 mW, internal 26.02, switching 18.49, leak 1.55.
-        assert!((p.total_w() * 1e3 - 46.06).abs() / 46.06 < 0.07, "{}", p.total_w() * 1e3);
+        assert!(
+            (p.total_w() * 1e3 - 46.06).abs() / 46.06 < 0.07,
+            "{}",
+            p.total_w() * 1e3
+        );
         assert!((p.leakage_w * 1e3 - 1.55).abs() / 1.55 < 0.05);
     }
 
@@ -118,8 +126,16 @@ mod tests {
         let pl = breakdown(InterposerKind::Glass25D, true);
         let pm = breakdown(InterposerKind::Glass25D, false);
         // Paper: 395.11 pF logic, ~81.5 pF memory.
-        assert!((pl.pin_cap_f * 1e12 - 395.0).abs() / 395.0 < 0.05, "{}", pl.pin_cap_f * 1e12);
-        assert!((pm.pin_cap_f * 1e12 - 81.5).abs() / 81.5 < 0.05, "{}", pm.pin_cap_f * 1e12);
+        assert!(
+            (pl.pin_cap_f * 1e12 - 395.0).abs() / 395.0 < 0.05,
+            "{}",
+            pl.pin_cap_f * 1e12
+        );
+        assert!(
+            (pm.pin_cap_f * 1e12 - 81.5).abs() / 81.5 < 0.05,
+            "{}",
+            pm.pin_cap_f * 1e12
+        );
     }
 
     #[test]

@@ -13,11 +13,7 @@ use techlib::calib;
 use techlib::spec::InterposerKind;
 
 /// Achieved maximum frequency, MHz.
-pub fn fmax_mhz(
-    chiplet: &ChipletNetlist,
-    footprint: &FootprintPlan,
-    tech: InterposerKind,
-) -> f64 {
+pub fn fmax_mhz(chiplet: &ChipletNetlist, footprint: &FootprintPlan, tech: InterposerKind) -> f64 {
     let base_ns = match chiplet.kind {
         ChipletKind::Logic => calib::BASE_PATH_DELAY_LOGIC_NS,
         ChipletKind::Memory => calib::BASE_PATH_DELAY_MEM_NS,

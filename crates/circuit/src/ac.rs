@@ -43,8 +43,10 @@ impl AcSolution {
 /// Returns [`CircuitError::InvalidParameter`] for non-positive frequency
 /// and [`CircuitError::SingularMatrix`] for degenerate circuits.
 pub fn solve_at(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, CircuitError> {
-    if !(freq_hz > 0.0) || !freq_hz.is_finite() {
-        return Err(CircuitError::InvalidParameter { parameter: "freq_hz" });
+    if freq_hz <= 0.0 || !freq_hz.is_finite() {
+        return Err(CircuitError::InvalidParameter {
+            parameter: "freq_hz",
+        });
     }
     let omega = 2.0 * std::f64::consts::PI * freq_hz;
     let layout = MnaLayout::new(circuit);
@@ -52,18 +54,19 @@ pub fn solve_at(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, CircuitEr
     let mut m = Matrix::<Complex64>::zeros(n);
     let mut rhs = vec![Complex64::ZERO; n];
 
-    let stamp_adm = |m: &mut Matrix<Complex64>, a: NodeId, b: NodeId, y: Complex64, layout: &MnaLayout| {
-        if let Some(i) = layout.node_index(a) {
-            m.add(i, i, y);
-        }
-        if let Some(j) = layout.node_index(b) {
-            m.add(j, j, y);
-        }
-        if let (Some(i), Some(j)) = (layout.node_index(a), layout.node_index(b)) {
-            m.add(i, j, -y);
-            m.add(j, i, -y);
-        }
-    };
+    let stamp_adm =
+        |m: &mut Matrix<Complex64>, a: NodeId, b: NodeId, y: Complex64, layout: &MnaLayout| {
+            if let Some(i) = layout.node_index(a) {
+                m.add(i, i, y);
+            }
+            if let Some(j) = layout.node_index(b) {
+                m.add(j, j, y);
+            }
+            if let (Some(i), Some(j)) = (layout.node_index(a), layout.node_index(b)) {
+                m.add(i, j, -y);
+                m.add(j, i, -y);
+            }
+        };
 
     for (ei, e) in circuit.elements().iter().enumerate() {
         match e {

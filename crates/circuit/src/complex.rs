@@ -144,6 +144,8 @@ impl Mul<f64> for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division by reciprocal is the intended formulation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

@@ -79,7 +79,13 @@ pub fn solve(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
 }
 
 /// Stamps a conductance `g` between nodes.
-pub(crate) fn stamp_conductance(m: &mut Matrix<f64>, layout: &MnaLayout, a: NodeId, b: NodeId, g: f64) {
+pub(crate) fn stamp_conductance(
+    m: &mut Matrix<f64>,
+    layout: &MnaLayout,
+    a: NodeId,
+    b: NodeId,
+    g: f64,
+) {
     if let Some(i) = layout.node_index(a) {
         m.add(i, i, g);
     }

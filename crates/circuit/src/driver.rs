@@ -53,7 +53,14 @@ mod tests {
         let drv = IoDriver::aib();
         add_tx(&mut c, &drv, pad, step_data(0.9, 10e-12));
         add_rx(&mut c, &drv, pad);
-        let r = simulate(&c, &TranConfig { t_stop: 1e-9, dt: 1e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 1e-9,
+                dt: 1e-12,
+            },
+        )
+        .unwrap();
         let v = r.voltage(pad);
         assert!((v.last().unwrap() - 0.9).abs() < 1e-3);
         // RC = 47.4 × 55 fF = 2.6 ps: essentially instant at this scale.
@@ -68,7 +75,14 @@ mod tests {
         let drv = IoDriver::aib();
         let src = add_tx(&mut c, &drv, pad, Waveform::Dc(0.9));
         c.resistor(pad, Circuit::GND, 47.4);
-        let r = simulate(&c, &TranConfig { t_stop: 0.1e-9, dt: 1e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 0.1e-9,
+                dt: 1e-12,
+            },
+        )
+        .unwrap();
         let i = r.branch_current(src).expect("vsource branch");
         // Divider: 0.9 V over 94.8 Ω ≈ 9.5 mA.
         assert!((i.last().unwrap().abs() - 0.0095).abs() < 0.0002);

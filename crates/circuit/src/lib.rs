@@ -96,7 +96,9 @@ mod tests {
     fn errors_display_and_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CircuitError>();
-        assert!(!CircuitError::SingularMatrix { pivot: 3 }.to_string().is_empty());
+        assert!(!CircuitError::SingularMatrix { pivot: 3 }
+            .to_string()
+            .is_empty());
         assert!(!CircuitError::InvalidParameter { parameter: "dt" }
             .to_string()
             .is_empty());

@@ -146,27 +146,42 @@ impl<T: Scalar> Lu<T> {
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x = vec![T::zero(); self.m.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer — the allocation-
+    /// free form the transient stepper uses once per time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` does not match the matrix
+    /// dimension.
+    pub fn solve_into(&self, b: &[T], x: &mut [T]) {
         let n = self.m.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
         // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&i| b[i]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         // Forward substitution (L has unit diagonal).
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc = acc - self.m.get(r, c) * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                acc = acc - self.m.get(r, c) * xc;
             }
             x[r] = acc;
         }
         // Back substitution.
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc = acc - self.m.get(r, c) * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+                acc = acc - self.m.get(r, c) * xc;
             }
             x[r] = acc / self.m.get(r, r);
         }
-        x
     }
 }
 
@@ -259,8 +274,8 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
         let mut b = vec![0.0; n];
         for (r, bi) in b.iter_mut().enumerate() {
-            for c in 0..n {
-                *bi += a.get(r, c) * x_true[c];
+            for (c, &xc) in x_true.iter().enumerate() {
+                *bi += a.get(r, c) * xc;
             }
         }
         let x = solve(a, &b).unwrap();

@@ -185,9 +185,17 @@ pub enum Element {
     /// Inductor between two nodes, H (adds an MNA branch current).
     Inductor { a: NodeId, b: NodeId, henries: f64 },
     /// Ideal voltage source `a`→`b` (adds an MNA branch current).
-    VSource { a: NodeId, b: NodeId, wave: Waveform },
+    VSource {
+        a: NodeId,
+        b: NodeId,
+        wave: Waveform,
+    },
     /// Ideal current source pushing current into `b` (out of `a`).
-    ISource { a: NodeId, b: NodeId, wave: Waveform },
+    ISource {
+        a: NodeId,
+        b: NodeId,
+        wave: Waveform,
+    },
 }
 
 /// A circuit under construction.
@@ -239,7 +247,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
     }
 
@@ -277,6 +288,39 @@ impl Circuit {
     /// Adds a current source (flows from `a` through the source into `b`).
     pub fn isource(&mut self, a: NodeId, b: NodeId, wave: Waveform) {
         self.elements.push(Element::ISource { a, b, wave });
+    }
+
+    /// Element indices of every independent source (voltage and current).
+    pub fn source_indices(&self) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::VSource { .. } | Element::ISource { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A copy of the circuit in which every independent source except the
+    /// element at `keep` drives a constant 0 V / 0 A.
+    ///
+    /// The element list — and therefore the MNA matrix — is unchanged (a
+    /// zeroed voltage source is a short, exactly what superposition
+    /// demands), so summing the responses of `single_source(s)` over all
+    /// of [`Self::source_indices`] reconstructs the full linear response.
+    pub fn single_source(&self, keep: usize) -> Circuit {
+        let mut c = self.clone();
+        for (i, e) in c.elements.iter_mut().enumerate() {
+            if i == keep {
+                continue;
+            }
+            match e {
+                Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                    *wave = Waveform::Dc(0.0);
+                }
+                _ => {}
+            }
+        }
+        c
     }
 
     /// Count of MNA branch variables (inductors + voltage sources).

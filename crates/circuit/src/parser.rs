@@ -106,7 +106,11 @@ pub fn parse(text: &str) -> Result<Deck, ParseError> {
         }
         let tokens: Vec<&str> = trimmed.split_whitespace().collect();
         let name = tokens[0];
-        let kind = name.chars().next().expect("non-empty token").to_ascii_uppercase();
+        let kind = name
+            .chars()
+            .next()
+            .expect("non-empty token")
+            .to_ascii_uppercase();
         let err = |reason: &str| ParseError {
             line,
             reason: reason.to_string(),
@@ -128,21 +132,21 @@ pub fn parse(text: &str) -> Result<Deck, ParseError> {
         match kind {
             'R' => {
                 let v = parse_value(tokens[3]).ok_or_else(|| err("bad resistance"))?;
-                if !(v > 0.0) {
+                if v.is_nan() || v <= 0.0 {
                     return Err(err("resistance must be positive"));
                 }
                 circuit.resistor(a, b, v);
             }
             'C' => {
                 let v = parse_value(tokens[3]).ok_or_else(|| err("bad capacitance"))?;
-                if !(v > 0.0) {
+                if v.is_nan() || v <= 0.0 {
                     return Err(err("capacitance must be positive"));
                 }
                 circuit.capacitor(a, b, v);
             }
             'L' => {
                 let v = parse_value(tokens[3]).ok_or_else(|| err("bad inductance"))?;
-                if !(v > 0.0) {
+                if v.is_nan() || v <= 0.0 {
                     return Err(err("inductance must be positive"));
                 }
                 circuit.inductor(a, b, v);
@@ -246,7 +250,14 @@ mod tests {
              C1 out 0 1p\n",
         )
         .unwrap();
-        let r = simulate(&deck.circuit, &TranConfig { t_stop: 10e-9, dt: 5e-12 }).unwrap();
+        let r = simulate(
+            &deck.circuit,
+            &TranConfig {
+                t_stop: 10e-9,
+                dt: 5e-12,
+            },
+        )
+        .unwrap();
         let out = deck.node("out").unwrap();
         let v = r.voltage(out);
         assert!((v.last().unwrap() - 0.9).abs() < 0.01);

@@ -93,7 +93,11 @@ impl RlgcLine {
                 circuit.resistor(prev, next, r_seg.max(1e-6));
             }
             // Shunt C (full at internal joints, half at the far end).
-            let c_here = if s == segments - 1 { c_seg / 2.0 } else { c_seg };
+            let c_here = if s == segments - 1 {
+                c_seg / 2.0
+            } else {
+                c_seg
+            };
             if c_here > 0.0 {
                 circuit.capacitor(next, Circuit::GND, c_here);
             }
@@ -146,9 +150,18 @@ impl CoupledTriple {
         let points = jv.len() + 2;
         let cm_each = cm_total / points as f64;
         if cm_each > 0.0 {
-            let v_pts: Vec<NodeId> = std::iter::once(vi).chain(jv.iter().copied()).chain(std::iter::once(vo)).collect();
-            let a1_pts: Vec<NodeId> = std::iter::once(a1i).chain(j1.iter().copied()).chain(std::iter::once(a1o)).collect();
-            let a2_pts: Vec<NodeId> = std::iter::once(a2i).chain(j2.iter().copied()).chain(std::iter::once(a2o)).collect();
+            let v_pts: Vec<NodeId> = std::iter::once(vi)
+                .chain(jv.iter().copied())
+                .chain(std::iter::once(vo))
+                .collect();
+            let a1_pts: Vec<NodeId> = std::iter::once(a1i)
+                .chain(j1.iter().copied())
+                .chain(std::iter::once(a1o))
+                .collect();
+            let a2_pts: Vec<NodeId> = std::iter::once(a2i)
+                .chain(j2.iter().copied())
+                .chain(std::iter::once(a2o))
+                .collect();
             for k in 0..points {
                 circuit.capacitor(v_pts[k], a1_pts[k], cm_each);
                 circuit.capacitor(v_pts[k], a2_pts[k], cm_each);
@@ -203,7 +216,14 @@ mod tests {
         c.resistor(src, inp, r_src);
         line.add_to_circuit(&mut c, inp, out, 10);
         c.capacitor(out, Circuit::GND, c_load);
-        let r = simulate(&c, &TranConfig { t_stop: 2e-9, dt: 0.5e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 2e-9,
+                dt: 0.5e-12,
+            },
+        )
+        .unwrap();
         let d = delay_50(&r.times, &r.voltage(src), &r.voltage(out), 0.9).unwrap();
         let elmore = line.elmore_delay(r_src, c_load);
         // Simulated delay within 40 % of the Elmore estimate.
@@ -229,7 +249,14 @@ mod tests {
             c.resistor(src, inp, 47.4);
             line.add_to_circuit(&mut c, inp, out, 10);
             c.capacitor(out, Circuit::GND, 55e-15);
-            let r = simulate(&c, &TranConfig { t_stop: 4e-9, dt: 1e-12 }).unwrap();
+            let r = simulate(
+                &c,
+                &TranConfig {
+                    t_stop: 4e-9,
+                    dt: 1e-12,
+                },
+            )
+            .unwrap();
             delays.push(delay_50(&r.times, &r.voltage(src), &r.voltage(out), 0.9).unwrap());
         }
         assert!(delays[0] < delays[1] && delays[1] < delays[2], "{delays:?}");
@@ -252,7 +279,14 @@ mod tests {
             c.resistor(src, *inp, 47.4);
             c.capacitor(*out, Circuit::GND, 55e-15);
         }
-        let r = simulate(&c, &TranConfig { t_stop: 1e-9, dt: 0.5e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 1e-9,
+                dt: 0.5e-12,
+            },
+        )
+        .unwrap();
         let v = r.voltage(nodes.victim.1);
         let peak = v.iter().cloned().fold(0.0f64, |m, x| m.max(x.abs()));
         assert!(peak > 0.01, "expected visible crosstalk, peak = {peak}");

@@ -52,11 +52,13 @@ impl TranResult {
 ///
 /// Rejects non-positive `dt`/`t_stop`; propagates singular-matrix errors.
 pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, CircuitError> {
-    if !(config.dt > 0.0) || !config.dt.is_finite() {
+    if config.dt <= 0.0 || !config.dt.is_finite() {
         return Err(CircuitError::InvalidParameter { parameter: "dt" });
     }
-    if !(config.t_stop > config.dt) {
-        return Err(CircuitError::InvalidParameter { parameter: "t_stop" });
+    if config.t_stop.is_nan() || config.t_stop <= config.dt {
+        return Err(CircuitError::InvalidParameter {
+            parameter: "t_stop",
+        });
     }
     let layout = MnaLayout::new(circuit);
     let n = layout.dim();
@@ -126,9 +128,11 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
         layout.node_index(node).map_or(0.0, |i| x[i])
     };
 
+    // One rhs buffer for the whole run; `solve_into` likewise reuses `x`.
+    let mut rhs = vec![0.0; n];
     for step in 1..=steps {
         let t = step as f64 * dt;
-        let mut rhs = vec![0.0; n];
+        rhs.fill(0.0);
         let mut ci = 0usize;
         let mut li = 0usize;
         for (ei, e) in circuit.elements().iter().enumerate() {
@@ -173,7 +177,7 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
                 Element::Resistor { .. } => {}
             }
         }
-        x = lu.solve(&rhs);
+        lu.solve_into(&rhs, &mut x);
 
         // Update companion states.
         let mut ci = 0usize;
@@ -207,12 +211,22 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
         }
     }
 
-    Ok(TranResult { layout, times, waves })
+    Ok(TranResult {
+        layout,
+        times,
+        waves,
+    })
 }
 
 /// First time `wave` crosses `level` in the given direction at or after
 /// `after`, with linear interpolation. Returns `None` if it never does.
-pub fn cross_time(times: &[f64], wave: &[f64], level: f64, rising: bool, after: f64) -> Option<f64> {
+pub fn cross_time(
+    times: &[f64],
+    wave: &[f64],
+    level: f64,
+    rising: bool,
+    after: f64,
+) -> Option<f64> {
     for i in 1..wave.len() {
         if times[i] < after {
             continue;
@@ -258,6 +272,39 @@ mod tests {
     use crate::netlist::Waveform;
 
     #[test]
+    fn superposition_of_single_source_decks_matches_joint_simulation() {
+        // Two sources driving a coupled RLC bridge: the sum of the
+        // per-source responses must equal the joint response (linearity),
+        // which is what lets the eye decks run one transient per source.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let mid = c.node("mid");
+        c.vsource(a, Circuit::GND, Waveform::step(1.0, 0.0, 50e-12));
+        c.vsource(b, Circuit::GND, Waveform::clock(0.8, 1e9, 40e-12));
+        c.resistor(a, mid, 100.0);
+        c.inductor(b, mid, 1e-9);
+        c.capacitor(mid, Circuit::GND, 2e-12);
+        c.resistor(mid, Circuit::GND, 500.0);
+        let cfg = TranConfig {
+            t_stop: 4e-9,
+            dt: 2e-12,
+        };
+        let joint = simulate(&c, &cfg).unwrap();
+        let vj = joint.voltage(mid);
+        let mut sum = vec![0.0; vj.len()];
+        for s in c.source_indices() {
+            let part = simulate(&c.single_source(s), &cfg).unwrap();
+            for (acc, v) in sum.iter_mut().zip(part.voltage(mid)) {
+                *acc += v;
+            }
+        }
+        for (k, (&a, &b)) in vj.iter().zip(&sum).enumerate() {
+            assert!((a - b).abs() < 1e-9, "step {k}: joint {a} vs sum {b}");
+        }
+    }
+
+    #[test]
     fn rc_step_time_constant() {
         let mut c = Circuit::new();
         let inp = c.node("in");
@@ -265,7 +312,14 @@ mod tests {
         c.vsource(inp, Circuit::GND, Waveform::step(1.0, 0.0, 1e-12));
         c.resistor(inp, out, 1_000.0);
         c.capacitor(out, Circuit::GND, 1e-12); // τ = 1 ns
-        let r = simulate(&c, &TranConfig { t_stop: 5e-9, dt: 2e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 5e-9,
+                dt: 2e-12,
+            },
+        )
+        .unwrap();
         let v = r.voltage(out);
         // At t = τ the response is 1 - 1/e ≈ 0.632.
         let idx = r.times.iter().position(|&t| t >= 1e-9).unwrap();
@@ -284,7 +338,14 @@ mod tests {
         c.inductor(a, b, 10e-9);
         c.capacitor(b, Circuit::GND, 10e-12);
         c.resistor(b, Circuit::GND, 1e6);
-        let r = simulate(&c, &TranConfig { t_stop: 6e-9, dt: 1e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 6e-9,
+                dt: 1e-12,
+            },
+        )
+        .unwrap();
         let v = r.voltage(b);
         // Under-damped: output overshoots toward 2.0.
         let peak = v.iter().cloned().fold(0.0, f64::max);
@@ -308,7 +369,14 @@ mod tests {
         c.vsource(inp, Circuit::GND, Waveform::step(1.0, 0.5e-9, 1e-12));
         c.resistor(inp, out, 1_000.0);
         c.capacitor(out, Circuit::GND, 1e-12);
-        let r = simulate(&c, &TranConfig { t_stop: 8e-9, dt: 1e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 8e-9,
+                dt: 1e-12,
+            },
+        )
+        .unwrap();
         let d = delay_50(&r.times, &r.voltage(inp), &r.voltage(out), 1.0).unwrap();
         // RC step 50 % delay = τ ln 2 = 0.693 ns.
         assert!((d - 0.693e-9).abs() < 0.02e-9, "d = {d}");
@@ -320,7 +388,14 @@ mod tests {
         let a = c.node("a");
         c.vsource(a, Circuit::GND, Waveform::Dc(2.0));
         c.resistor(a, Circuit::GND, 100.0);
-        let r = simulate(&c, &TranConfig { t_stop: 1e-9, dt: 1e-12 }).unwrap();
+        let r = simulate(
+            &c,
+            &TranConfig {
+                t_stop: 1e-9,
+                dt: 1e-12,
+            },
+        )
+        .unwrap();
         let i = r.branch_current(0).unwrap();
         let v = r.voltage(a);
         // Source delivers 40 mW (branch current flows a→b inside source).
@@ -369,8 +444,22 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let c = Circuit::new();
-        assert!(simulate(&c, &TranConfig { t_stop: 1e-9, dt: 0.0 }).is_err());
-        assert!(simulate(&c, &TranConfig { t_stop: 0.0, dt: 1e-12 }).is_err());
+        assert!(simulate(
+            &c,
+            &TranConfig {
+                t_stop: 1e-9,
+                dt: 0.0
+            }
+        )
+        .is_err());
+        assert!(simulate(
+            &c,
+            &TranConfig {
+                t_stop: 0.0,
+                dt: 1e-12
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Process-wide memoization of the flow's shared front-end artifacts.
+//!
+//! Every table, figure and bench entry point used to re-derive the same
+//! chain — OpenPiton netlist → hierarchical L3 split → chipletized
+//! netlists → per-technology chiplet reports — from scratch. This module
+//! computes each artifact exactly once per process (the same idea as
+//! [`interposer::report::cached_layout`]) and hands out `&'static`
+//! references, so `flow::run_tech`, `table5::row`, `fullchip::fullchip`
+//! and the bench binaries all share one copy.
+//!
+//! Concurrency: single artifacts use one `OnceLock` each; the per-tech
+//! report pairs use one cell per technology, so parallel studies for
+//! different technologies never serialize behind each other. Errors are
+//! memoized too (cheaply cloned), keeping retry behaviour deterministic.
+
+use crate::FlowError;
+use chiplet::report::ChipletReport;
+use netlist::chiplet_netlist::ChipletNetlist;
+use netlist::design::Design;
+use netlist::partition::Partition;
+use netlist::serdes::SerdesPlan;
+use std::sync::OnceLock;
+use techlib::spec::InterposerKind;
+
+/// The two-tile OpenPiton-like design (netlist front end input).
+pub fn design() -> &'static Design {
+    static DESIGN: OnceLock<Design> = OnceLock::new();
+    DESIGN.get_or_init(netlist::openpiton::two_tile_openpiton)
+}
+
+/// The hierarchical L3 split of [`design`].
+///
+/// # Errors
+///
+/// Memoized partitioning failure.
+pub fn split() -> Result<&'static Partition, FlowError> {
+    static SPLIT: OnceLock<Result<Partition, FlowError>> = OnceLock::new();
+    SPLIT
+        .get_or_init(|| {
+            netlist::partition::hierarchical_l3_split(design()).map_err(FlowError::from)
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+/// The chipletized (logic, memory) netlists with the paper's SerDes plan.
+///
+/// # Errors
+///
+/// Memoized partitioning failure.
+pub fn chiplet_netlists() -> Result<&'static (ChipletNetlist, ChipletNetlist), FlowError> {
+    static NETLISTS: OnceLock<Result<(ChipletNetlist, ChipletNetlist), FlowError>> =
+        OnceLock::new();
+    NETLISTS
+        .get_or_init(|| {
+            let split = split()?;
+            Ok(netlist::chiplet_netlist::chipletize(
+                design(),
+                split,
+                &SerdesPlan::paper(),
+            ))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+/// The per-technology (logic, memory) chiplet reports (Tables II/III).
+///
+/// One cache cell per technology: first calls for different technologies
+/// compute concurrently, repeat calls are lock-free reads.
+///
+/// # Errors
+///
+/// Memoized partitioning failure.
+pub fn chiplet_reports(
+    tech: InterposerKind,
+) -> Result<&'static (ChipletReport, ChipletReport), FlowError> {
+    static CELLS: [OnceLock<Result<(ChipletReport, ChipletReport), FlowError>>;
+        InterposerKind::COUNT] = [const { OnceLock::new() }; InterposerKind::COUNT];
+    CELLS[tech.index()]
+        .get_or_init(|| {
+            let (logic_nl, mem_nl) = chiplet_netlists()?;
+            Ok(chiplet::report::analyze_pair(logic_nl, mem_nl, tech))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_shared_by_address() {
+        // Two calls return the same &'static — the second is a cache hit.
+        assert!(std::ptr::eq(design(), design()));
+        assert!(std::ptr::eq(split().unwrap(), split().unwrap()));
+        assert!(std::ptr::eq(
+            chiplet_netlists().unwrap(),
+            chiplet_netlists().unwrap()
+        ));
+        let a = chiplet_reports(InterposerKind::Glass25D).unwrap();
+        let b = chiplet_reports(InterposerKind::Glass25D).unwrap();
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn cached_artifacts_match_a_fresh_derivation() {
+        let fresh_design = netlist::openpiton::two_tile_openpiton();
+        let fresh_split = netlist::partition::hierarchical_l3_split(&fresh_design).unwrap();
+        let (fresh_logic, fresh_mem) =
+            netlist::chiplet_netlist::chipletize(&fresh_design, &fresh_split, &SerdesPlan::paper());
+        let (logic_nl, mem_nl) = chiplet_netlists().unwrap();
+        assert_eq!(logic_nl.signal_pins, fresh_logic.signal_pins);
+        assert_eq!(mem_nl.signal_pins, fresh_mem.signal_pins);
+        let (logic, memory) = chiplet_reports(InterposerKind::Glass3D).unwrap();
+        let (fl, fm) =
+            chiplet::report::analyze_pair(&fresh_logic, &fresh_mem, InterposerKind::Glass3D);
+        assert_eq!(logic.footprint_mm, fl.footprint_mm);
+        assert_eq!(memory.fmax_mhz, fm.fmax_mhz);
+        assert_eq!(logic.wirelength_m, fl.wirelength_m);
+    }
+
+    #[test]
+    fn reports_cover_all_packaged_techs() {
+        for tech in InterposerKind::PACKAGED {
+            let (logic, memory) = chiplet_reports(tech).unwrap();
+            assert!(logic.fmax_mhz > 0.0, "{tech}");
+            assert!(memory.fmax_mhz > 0.0, "{tech}");
+        }
+    }
+}

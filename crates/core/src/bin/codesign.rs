@@ -11,7 +11,11 @@ use codesign::table5::MonitorLengths;
 use techlib::spec::InterposerKind;
 
 fn parse_tech(name: &str) -> Option<InterposerKind> {
-    match name.to_ascii_lowercase().replace(['-', '_', '.'], "").as_str() {
+    match name
+        .to_ascii_lowercase()
+        .replace(['-', '_', '.'], "")
+        .as_str()
+    {
         "glass25d" | "glass2d5" => Some(InterposerKind::Glass25D),
         "glass3d" | "55d" => Some(InterposerKind::Glass3D),
         "silicon25d" | "si25d" | "cowos" => Some(InterposerKind::Silicon25D),

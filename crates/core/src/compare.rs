@@ -50,8 +50,14 @@ pub fn headline() -> Result<Headline, FlowError> {
     let area_reduction_x = g25.stats.area_mm2 / g3.stats.area_mm2;
     let wirelength_reduction_x = si.stats.total_wl_mm / g3.stats.total_wl_mm;
 
-    let p_g3 = crate::fullchip::fullchip(InterposerKind::Glass3D, crate::table5::MonitorLengths::Paper)?;
-    let p_g25 = crate::fullchip::fullchip(InterposerKind::Glass25D, crate::table5::MonitorLengths::Paper)?;
+    let p_g3 = crate::fullchip::fullchip(
+        InterposerKind::Glass3D,
+        crate::table5::MonitorLengths::Paper,
+    )?;
+    let p_g25 = crate::fullchip::fullchip(
+        InterposerKind::Glass25D,
+        crate::table5::MonitorLengths::Paper,
+    )?;
     let power_reduction_frac = 1.0 - p_g3.total_power_mw / p_g25.total_power_mw;
 
     // The paper's eye decks drive a 50 Ω receiver (Section VII-A); the
@@ -92,9 +98,17 @@ mod tests {
     fn headline_directions_match_the_abstract() {
         let h = headline().unwrap();
         // 2.6× area.
-        assert!((2.0..3.2).contains(&h.area_reduction_x), "{}", h.area_reduction_x);
+        assert!(
+            (2.0..3.2).contains(&h.area_reduction_x),
+            "{}",
+            h.area_reduction_x
+        );
         // 21× wirelength.
-        assert!(h.wirelength_reduction_x > 10.0, "{}", h.wirelength_reduction_x);
+        assert!(
+            h.wirelength_reduction_x > 10.0,
+            "{}",
+            h.wirelength_reduction_x
+        );
         // Power reduction positive (paper: 17.72 %).
         assert!(h.power_reduction_frac > 0.03, "{}", h.power_reduction_frac);
         // SI improvement positive (paper: 64.7 %).

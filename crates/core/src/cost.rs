@@ -107,10 +107,8 @@ pub fn cost(tech: InterposerKind) -> Result<CostReport, interposer::RouteError> 
             bonding_per_die: 0.8,
         },
         Stacking::SideBySide => ProcessAdders {
-            through_vias: if matches!(
-                tech,
-                InterposerKind::Silicon25D | InterposerKind::Silicon3D
-            ) {
+            through_vias: if matches!(tech, InterposerKind::Silicon25D | InterposerKind::Silicon3D)
+            {
                 2.0 // TSV-middle on the silicon interposer
             } else {
                 0.8 // TGV / PTH

@@ -1,12 +1,11 @@
 //! One-call end-to-end study per technology.
 
-use crate::fullchip::{fullchip, FullChipReport};
+use crate::fullchip::{rollup, FullChipReport};
 use crate::table5::{row, MonitorLengths, Table5Row};
-use crate::FlowError;
+use crate::{artifacts, exec, FlowError};
 use chiplet::report::ChipletReport;
 use interposer::report::cached_layout;
 use interposer::stats::RoutingStats;
-use netlist::serdes::SerdesPlan;
 use serde::Serialize;
 use techlib::spec::{InterposerKind, Stacking};
 use thermal::report::{analyze_tech, ThermalReport};
@@ -47,24 +46,24 @@ pub fn run_tech(tech: InterposerKind) -> Result<TechStudy, FlowError> {
 ///
 /// Propagates netlist, routing and simulation failures.
 pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechStudy, FlowError> {
-    let design = netlist::openpiton::two_tile_openpiton();
-    let split = netlist::partition::hierarchical_l3_split(&design)?;
-    let (logic_nl, mem_nl) =
-        netlist::chiplet_netlist::chipletize(&design, &split, &SerdesPlan::paper());
-    let (logic, memory) = chiplet::report::analyze_pair(&logic_nl, &mem_nl, tech);
+    let (logic, memory) = artifacts::chiplet_reports(tech)?;
     let spec = techlib::spec::InterposerSpec::for_kind(tech);
     let routing = if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
         None
     } else {
         Some(cached_layout(tech)?.stats.clone())
     };
-    let links = row(tech, mode)?;
-    let fullchip = fullchip(tech, mode)?;
-    let thermal = analyze_tech(tech);
+    // The link transients and the thermal solve touch no shared state, so
+    // they overlap when a worker is free.
+    let (links, thermal) = exec::join(|| row(tech, mode), || analyze_tech(tech));
+    let links = links?;
+    // Roll up from the already-computed reports and links; the seed flow
+    // called `fullchip()` here, which re-simulated both links.
+    let fullchip = rollup(tech, logic, memory, &links);
     Ok(TechStudy {
         tech,
-        logic,
-        memory,
+        logic: logic.clone(),
+        memory: memory.clone(),
         routing,
         links,
         fullchip,
@@ -72,12 +71,28 @@ pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechS
     })
 }
 
-/// Runs the study for all six packaged technologies.
+/// Runs the study for all six packaged technologies, fanning the
+/// independent per-technology studies out across scoped threads
+/// ([`exec::try_ordered_map`]). Results are in `PACKAGED` order and
+/// byte-identical to [`run_all_sequential`] — every study is
+/// self-contained and all RNG is fixed-seed.
+///
+/// # Errors
+///
+/// Propagates per-technology failures (first failing technology in
+/// `PACKAGED` order, matching the sequential path).
+pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+    exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| run_tech_with(tech, mode))
+}
+
+/// Sequential reference implementation of [`run_all`] (same work, one
+/// technology at a time). Kept callable for benchmarking and for the
+/// determinism integration test.
 ///
 /// # Errors
 ///
 /// Propagates per-technology failures.
-pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+pub fn run_all_sequential(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
     InterposerKind::PACKAGED
         .iter()
         .map(|&tech| run_tech_with(tech, mode))

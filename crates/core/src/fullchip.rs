@@ -3,13 +3,13 @@
 //! The paper's total: `P = P_chiplet + P_intra-tile + P_inter-tile`, where
 //! each interconnect class is charged at its *worst monitored net's* link
 //! power (back-solved from Table IV: e.g. Glass 2.5D = 376.8 mW chiplets
-//! + 462 × 227.07 µW + 68 × 38.6 µW = 484.7 mW, matching the reported
-//! 484.84 mW). System frequency is set by the slowest chiplet in the
-//! pipelined mode, or by chiplet + off-chip delay in the non-pipelined
-//! mode.
+//! plus 462 × 227.07 µW plus 68 × 38.6 µW = 484.7 mW, matching the
+//! reported 484.84 mW). System frequency is set by the slowest chiplet in
+//! the pipelined mode, or by chiplet + off-chip delay in the
+//! non-pipelined mode.
 
 use crate::table5::{row, MonitorLengths, Table5Row};
-use crate::FlowError;
+use crate::{artifacts, FlowError};
 use chiplet::report::ChipletReport;
 use netlist::openpiton::INTRA_TILE_CUT;
 use netlist::serdes::SerdesPlan;
@@ -66,10 +66,7 @@ pub fn rollup(
     let inter_mw = serdes.wires_after as f64 * links.l2l.total_power_uw() / 1e3;
 
     let chiplet_fmax = logic.fmax_mhz.min(memory.fmax_mhz);
-    let worst_link_ps = links
-        .l2m
-        .total_delay_ps()
-        .max(links.l2l.total_delay_ps());
+    let worst_link_ps = links.l2m.total_delay_ps().max(links.l2l.total_delay_ps());
     let nonpipelined = 1e6 / (1e6 / chiplet_fmax + worst_link_ps / 1e6);
 
     FullChipReport {
@@ -100,13 +97,9 @@ pub fn monolithic_power_mw(logic: &ChipletReport, memory: &ChipletReport) -> f64
 ///
 /// Propagates netlist, routing and simulation failures.
 pub fn fullchip(tech: InterposerKind, mode: MonitorLengths) -> Result<FullChipReport, FlowError> {
-    let design = netlist::openpiton::two_tile_openpiton();
-    let split = netlist::partition::hierarchical_l3_split(&design)?;
-    let (logic_nl, mem_nl) =
-        netlist::chiplet_netlist::chipletize(&design, &split, &SerdesPlan::paper());
-    let (logic, memory) = chiplet::report::analyze_pair(&logic_nl, &mem_nl, tech);
+    let (logic, memory) = artifacts::chiplet_reports(tech)?;
     let links = row(tech, mode)?;
-    Ok(rollup(tech, &logic, &memory, &links))
+    Ok(rollup(tech, logic, memory, &links))
 }
 
 #[cfg(test)]
@@ -121,7 +114,11 @@ mod tests {
     fn chiplet_power_matches_table3_sum() {
         let r = report(InterposerKind::Glass25D);
         // 2 × (142.35 + 46.06) = 376.8 mW.
-        assert!((r.chiplet_power_mw - 376.8).abs() / 376.8 < 0.06, "{}", r.chiplet_power_mw);
+        assert!(
+            (r.chiplet_power_mw - 376.8).abs() / 376.8 < 0.06,
+            "{}",
+            r.chiplet_power_mw
+        );
     }
 
     #[test]
@@ -168,8 +165,7 @@ mod tests {
         let design = netlist::openpiton::two_tile_openpiton();
         let split = netlist::partition::hierarchical_l3_split(&design).unwrap();
         let (l, m) = netlist::chiplet_netlist::chipletize(&design, &split, &SerdesPlan::paper());
-        let (logic, memory) =
-            chiplet::report::analyze_pair(&l, &m, InterposerKind::Glass25D);
+        let (logic, memory) = chiplet::report::analyze_pair(&l, &m, InterposerKind::Glass25D);
         let mono = monolithic_power_mw(&logic, &memory);
         // Paper: 330.92 mW.
         assert!((mono - 330.9).abs() / 330.9 < 0.08, "{mono}");
@@ -179,7 +175,11 @@ mod tests {
     #[test]
     fn pipelined_frequency_is_the_slowest_chiplet() {
         let r = report(InterposerKind::Glass3D);
-        assert!((660.0..710.0).contains(&r.system_fmax_mhz), "{}", r.system_fmax_mhz);
+        assert!(
+            (660.0..710.0).contains(&r.system_fmax_mhz),
+            "{}",
+            r.system_fmax_mhz
+        );
         assert!(r.nonpipelined_fmax_mhz < r.system_fmax_mhz);
     }
 }

@@ -23,8 +23,10 @@
 //! # Ok::<(), codesign::FlowError>(())
 //! ```
 
+pub mod artifacts;
 pub mod compare;
 pub mod cost;
+pub mod exec;
 pub mod flow;
 pub mod fullchip;
 pub mod sensitivity;

@@ -60,9 +60,7 @@ pub fn channels_for(
         Stacking::Embedded => {
             let l2l_len = match mode {
                 MonitorLengths::Paper => paper_lengths(tech).expect("glass 3D in table").1,
-                MonitorLengths::Routed => {
-                    cached_layout(tech)?.worst_net_um(NetClass::InterTile)
-                }
+                MonitorLengths::Routed => cached_layout(tech)?.worst_net_um(NetClass::InterTile),
             };
             Ok((
                 ChannelKind::StackedViaColumn { levels: 3 },
@@ -94,9 +92,7 @@ pub fn channels_for(
                 },
             ))
         }
-        Stacking::Monolithic => Err(FlowError::Route(interposer::RouteError::NoInterposer(
-            tech,
-        ))),
+        Stacking::Monolithic => Err(FlowError::Route(interposer::RouteError::NoInterposer(tech))),
     }
 }
 
@@ -114,16 +110,16 @@ pub fn row(tech: InterposerKind, mode: MonitorLengths) -> Result<Table5Row, Flow
     })
 }
 
-/// Builds the whole Table V (all six packaged technologies).
+/// Builds the whole Table V (all six packaged technologies), simulating
+/// the independent per-technology rows in parallel; rows come back in
+/// `PACKAGED` order.
 ///
 /// # Errors
 ///
-/// Propagates per-row failures.
+/// Propagates per-row failures (first failing technology in `PACKAGED`
+/// order).
 pub fn table5(mode: MonitorLengths) -> Result<Vec<Table5Row>, FlowError> {
-    InterposerKind::PACKAGED
-        .iter()
-        .map(|&tech| row(tech, mode))
-        .collect()
+    crate::exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| row(tech, mode))
 }
 
 #[cfg(test)]

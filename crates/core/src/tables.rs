@@ -31,16 +31,26 @@ pub fn table1() -> String {
             f(&a)
         )
     };
-    out.push_str(&row("# metal layers", &|x| x.signal_metal_layers.to_string()));
-    out.push_str(&row("metal thickness", &|x| format!("{}µm", x.metal_thickness_um)));
-    out.push_str(&row("dielectric thick.", &|x| format!("{}µm", x.dielectric_thickness_um)));
-    out.push_str(&row("dielectric const.", &|x| format!("{}", x.dielectric_constant)));
+    out.push_str(&row("# metal layers", &|x| {
+        x.signal_metal_layers.to_string()
+    }));
+    out.push_str(&row("metal thickness", &|x| {
+        format!("{}µm", x.metal_thickness_um)
+    }));
+    out.push_str(&row("dielectric thick.", &|x| {
+        format!("{}µm", x.dielectric_thickness_um)
+    }));
+    out.push_str(&row("dielectric const.", &|x| {
+        format!("{}", x.dielectric_constant)
+    }));
     out.push_str(&row("min wire W/S", &|x| {
         format!("{}/{}µm", x.min_wire_width_um, x.min_wire_space_um)
     }));
     out.push_str(&row("via size", &|x| format!("{}µm", x.via_size_um)));
     out.push_str(&row("bump size", &|x| format!("{}µm", x.bump_size_um)));
-    out.push_str(&row("µbump pitch", &|x| format!("{}µm", x.microbump_pitch_um)));
+    out.push_str(&row("µbump pitch", &|x| {
+        format!("{}µm", x.microbump_pitch_um)
+    }));
     out
 }
 
@@ -82,7 +92,16 @@ pub fn table3(studies: &[TechStudy]) -> String {
     let _ = writeln!(
         out,
         "{:<14}{:>7}{:>8}{:>9}{:>8}{:>8}{:>9}{:>9}{:>9}{:>9}",
-        "Table III", "chip", "Fmax", "FP mm", "util%", "WL m", "total mW", "int mW", "sw mW", "leak mW"
+        "Table III",
+        "chip",
+        "Fmax",
+        "FP mm",
+        "util%",
+        "WL m",
+        "total mW",
+        "int mW",
+        "sw mW",
+        "leak mW"
     );
     for s in studies {
         for (label, r) in [("logic", &s.logic), ("mem", &s.memory)] {
@@ -191,7 +210,13 @@ pub fn table6_text() -> Result<String, FlowError> {
         "Table VI", "delay ps", "power µW"
     );
     for r in rows {
-        let _ = writeln!(out, "{:<14}{:>12.2}{:>12.2}", r.tech.label(), r.delay_ps, r.power_uw);
+        let _ = writeln!(
+            out,
+            "{:<14}{:>12.2}{:>12.2}",
+            r.tech.label(),
+            r.delay_ps,
+            r.power_uw
+        );
     }
     Ok(out)
 }

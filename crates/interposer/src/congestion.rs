@@ -68,10 +68,7 @@ pub fn analyze(layout: &InterposerLayout) -> CongestionMap {
             used.iter().sum::<f64>() / used.len() as f64 / grid.capacity
         };
         let peak = slice.iter().cloned().fold(0.0, f64::max) / grid.capacity;
-        let hot = slice
-            .iter()
-            .filter(|&&u| u > 0.8 * grid.capacity)
-            .count();
+        let hot = slice.iter().filter(|&&u| u > 0.8 * grid.capacity).count();
         layers.push(LayerCongestion {
             layer: l,
             mean_utilisation: mean,
@@ -139,7 +136,12 @@ mod tests {
         // gcells of any layer.
         let top = m.layers[0].hot_gcells;
         for l in &m.layers[1..] {
-            assert!(top >= l.hot_gcells, "layer {}: {} vs {top}", l.layer, l.hot_gcells);
+            assert!(
+                top >= l.hot_gcells,
+                "layer {}: {} vs {top}",
+                l.layer,
+                l.hot_gcells
+            );
         }
     }
 

@@ -186,8 +186,7 @@ pub fn place_dies(tech: InterposerKind) -> DiePlacement {
     let (mx, my) = edge_margins_um(tech);
 
     let mut dies = Vec::with_capacity(4);
-    let footprint;
-    if spec.stacking == Stacking::Embedded {
+    let footprint = if spec.stacking == Stacking::Embedded {
         // Two logic-over-memory stacks, side by side (Fig. 10a).
         for tile in 0..2 {
             let x = mx + tile as f64 * (w_logic + spacing);
@@ -211,10 +210,7 @@ pub fn place_dies(tech: InterposerKind) -> DiePlacement {
                 signal_map: (0..mem_bumps.signal).collect(),
             });
         }
-        footprint = (
-            2.0 * mx + 2.0 * w_logic + spacing,
-            2.0 * my + w_logic,
-        );
+        (2.0 * mx + 2.0 * w_logic + spacing, 2.0 * my + w_logic)
     } else {
         // 2×2: logic column on the left, memory column on the right.
         for tile in 0..2 {
@@ -238,11 +234,11 @@ pub fn place_dies(tech: InterposerKind) -> DiePlacement {
                 signal_map: (0..mem_bumps.signal).collect(),
             });
         }
-        footprint = (
+        (
             2.0 * mx + w_logic + spacing + w_mem,
             2.0 * my + 2.0 * w_logic + spacing,
-        );
-    }
+        )
+    };
 
     // Cluster the serialised inter-tile interface at the facing edges.
     let serdes = SerdesPlan::paper();
@@ -252,10 +248,18 @@ pub fn place_dies(tech: InterposerKind) -> DiePlacement {
         }
         let edge = if spec.stacking == Stacking::Embedded {
             // Stacks sit side by side in x.
-            if die.tile == 0 { Edge::Right } else { Edge::Left }
+            if die.tile == 0 {
+                Edge::Right
+            } else {
+                Edge::Left
+            }
         } else {
             // Logic dies sit in a column: tile 0 below tile 1.
-            if die.tile == 0 { Edge::Top } else { Edge::Bottom }
+            if die.tile == 0 {
+                Edge::Top
+            } else {
+                Edge::Bottom
+            }
         };
         debug_assert_eq!(i % 2, 0, "logic dies at even indices");
         die.signal_map = edge_cluster_map(&die.bumps, INTRA_TILE_CUT, serdes.wires_after, edge);
@@ -338,7 +342,11 @@ mod tests {
     #[test]
     fn glass_25d_footprint_matches_table4() {
         let p = place_dies(InterposerKind::Glass25D);
-        assert!((p.footprint_um.0 - 2200.0).abs() < 20.0, "{:?}", p.footprint_um);
+        assert!(
+            (p.footprint_um.0 - 2200.0).abs() < 20.0,
+            "{:?}",
+            p.footprint_um
+        );
         assert!((p.footprint_um.1 - 2200.0).abs() < 20.0);
         assert!((p.area_mm2() - 4.84).abs() < 0.15);
     }
@@ -425,8 +433,14 @@ mod tests {
             let p = place_dies(tech);
             for d in &p.dies {
                 assert!(d.origin_um.0 >= 0.0 && d.origin_um.1 >= 0.0, "{tech}");
-                assert!(d.origin_um.0 + d.width_um <= p.footprint_um.0 + 1e-9, "{tech}");
-                assert!(d.origin_um.1 + d.width_um <= p.footprint_um.1 + 1e-9, "{tech}");
+                assert!(
+                    d.origin_um.0 + d.width_um <= p.footprint_um.0 + 1e-9,
+                    "{tech}"
+                );
+                assert!(
+                    d.origin_um.1 + d.width_um <= p.footprint_um.1 + 1e-9,
+                    "{tech}"
+                );
             }
         }
     }

@@ -120,16 +120,22 @@ pub fn check(layout: &InterposerLayout) -> DrcReport {
             let dx = x0.abs_diff(x1);
             let dy = y0.abs_diff(y1);
             let dl = l0.abs_diff(l1);
-            let legal_lateral = dl == 0
-                && ((dx + dy == 1) || (grid.diagonal && dx == 1 && dy == 1));
+            let legal_lateral =
+                dl == 0 && ((dx + dy == 1) || (grid.diagonal && dx == 1 && dy == 1));
             let legal_via = dl == 1 && dx == 0 && dy == 0;
             if !(legal_lateral || legal_via) {
-                violations.push(Violation::IllegalStep { net: net.id, step: i });
+                violations.push(Violation::IllegalStep {
+                    net: net.id,
+                    step: i,
+                });
             }
         }
         for &(_, _, l) in &net.path {
             if l >= grid.layers {
-                violations.push(Violation::BadLayer { net: net.id, layer: l });
+                violations.push(Violation::BadLayer {
+                    net: net.id,
+                    layer: l,
+                });
             }
         }
     }
@@ -156,9 +162,8 @@ pub fn check(layout: &InterposerLayout) -> DrcReport {
             }
         }
     }
-    let via_pitch_cells = (grid.gcell_um / (2.0 * grid.via_block_tracks
-        * (grid.gcell_um / grid.capacity)))
-        .max(0.0);
+    let via_pitch_cells =
+        (grid.gcell_um / (2.0 * grid.via_block_tracks * (grid.gcell_um / grid.capacity))).max(0.0);
     let max_vias_per_gcell = (via_pitch_cells * via_pitch_cells).floor().max(1.0) as u32;
     let mut used_gcells = 0;
     for l in 0..grid.layers {
@@ -168,9 +173,9 @@ pub fn check(layout: &InterposerLayout) -> DrcReport {
                 if wires[i] > 0.0 || vias[i] > 0 {
                     used_gcells += 1;
                 }
-                let free_tracks = (grid.capacity - base[i]
-                    - vias[i] as f64 * grid.via_block_tracks * 0.5)
-                    .max(0.0);
+                let free_tracks =
+                    (grid.capacity - base[i] - vias[i] as f64 * grid.via_block_tracks * 0.5)
+                        .max(0.0);
                 let over_wire = wires[i] > free_tracks && base[i] < grid.capacity;
                 let over_via = vias[i] > max_vias_per_gcell;
                 if over_wire || over_via {
@@ -208,7 +213,10 @@ mod tests {
         for tech in InterposerKind::INTERPOSER_BASED {
             let layout = cached_layout(tech).unwrap();
             let report = check(layout);
-            assert!(report.connectivity_clean(), "{tech}: non-overflow violations");
+            assert!(
+                report.connectivity_clean(),
+                "{tech}: non-overflow violations"
+            );
             // Track-starved technologies keep a congestion residue after
             // the router's three negotiation rounds; bound it per class.
             let bound = match tech {
@@ -227,7 +235,11 @@ mod tests {
         }
         // The capacity-rich silicon interposer is fully clean.
         let report = check(cached_layout(InterposerKind::Silicon25D).unwrap());
-        assert!(report.is_clean(), "silicon: {:?}", report.violations.first());
+        assert!(
+            report.is_clean(),
+            "silicon: {:?}",
+            report.violations.first()
+        );
     }
 
     #[test]

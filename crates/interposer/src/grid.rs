@@ -40,7 +40,10 @@ impl RoutingGrid {
     /// # Errors
     ///
     /// Returns an error message if the footprint or spec is degenerate.
-    pub fn new(footprint_um: (f64, f64), spec: &InterposerSpec) -> Result<RoutingGrid, &'static str> {
+    pub fn new(
+        footprint_um: (f64, f64),
+        spec: &InterposerSpec,
+    ) -> Result<RoutingGrid, &'static str> {
         if footprint_um.0 <= 0.0 || footprint_um.1 <= 0.0 {
             return Err("footprint must be positive");
         }
@@ -80,7 +83,7 @@ impl RoutingGrid {
 
     /// True if `layer`'s preferred direction is horizontal.
     pub fn horizontal_preferred(&self, layer: usize) -> bool {
-        layer % 2 == 0
+        layer.is_multiple_of(2)
     }
 }
 

@@ -83,8 +83,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!RouteError::Unroutable { net: 5 }.to_string().is_empty());
-        assert!(!RouteError::NoInterposer(techlib::spec::InterposerKind::Silicon3D)
-            .to_string()
-            .is_empty());
+        assert!(
+            !RouteError::NoInterposer(techlib::spec::InterposerKind::Silicon3D)
+                .to_string()
+                .is_empty()
+        );
     }
 }

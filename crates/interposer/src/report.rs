@@ -59,21 +59,20 @@ impl InterposerLayout {
 /// safe; downstream analyses (SI, PI, full-chip roll-ups, benches) reuse
 /// these instead of re-routing.
 ///
+/// Each technology has its own cache cell, so concurrent first calls for
+/// *different* technologies place-and-route in parallel; concurrent calls
+/// for the *same* technology block until the one computation finishes.
+///
 /// # Errors
 ///
 /// Same as [`place_and_route`].
 pub fn cached_layout(tech: InterposerKind) -> Result<&'static InterposerLayout, RouteError> {
     use std::sync::OnceLock;
-    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<InterposerKind, &'static InterposerLayout>>> =
-        OnceLock::new();
-    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
-    let mut map = cache.lock().expect("cache lock");
-    if let Some(&layout) = map.get(&tech) {
-        return Ok(layout);
-    }
-    let layout: &'static InterposerLayout = Box::leak(Box::new(place_and_route(tech)?));
-    map.insert(tech, layout);
-    Ok(layout)
+    static CELLS: [OnceLock<Result<&'static InterposerLayout, RouteError>>; InterposerKind::COUNT] =
+        [const { OnceLock::new() }; InterposerKind::COUNT];
+    CELLS[tech.index()]
+        .get_or_init(|| place_and_route(tech).map(|layout| &*Box::leak(Box::new(layout))))
+        .clone()
 }
 
 /// Places the four chiplets and routes every lateral net for `tech`.

@@ -7,6 +7,21 @@
 //! stays low in the stack unless congestion pushes it up — which is what
 //! makes the "metal layers used" statistic of Table IV emerge from track
 //! supply rather than being an input.
+//!
+//! # Parallel routing
+//!
+//! With more than one worker ([`techlib::par::thread_count`]),
+//! [`route_all`] routes nets in *speculative batches*: every net of a
+//! batch runs A* concurrently against a usage snapshot taken at the
+//! batch boundary, recording the set of gcells whose congestion it
+//! examined (its *footprint*). Batch results are then committed strictly
+//! in net order; a speculative route is accepted only if no
+//! earlier-committed net of the same batch dirtied a gcell in its
+//! footprint, and is re-routed on the spot otherwise. A* is a
+//! deterministic function of the usage values it reads, so an accepted
+//! route is bit-identical to what the sequential pass would have
+//! produced — `route_all` returns byte-identical results for any worker
+//! count, only wall-clock changes.
 
 use crate::diemap::{DiePlacement, NetClass};
 use crate::grid::RoutingGrid;
@@ -25,6 +40,10 @@ pub const PRESENT_PENALTY_UM: f64 = 200.0;
 pub const HISTORY_INC_UM: f64 = 60.0;
 /// Rip-up-and-reroute iterations.
 pub const MAX_ITERATIONS: usize = 3;
+/// Speculatively routed nets per worker per batch. Larger batches expose
+/// more parallelism but raise the chance a footprint conflict forces a
+/// sequential re-route.
+pub const SPECULATIVE_BATCH_PER_WORKER: usize = 2;
 
 /// One routed net.
 #[derive(Debug, Clone, Serialize)]
@@ -91,7 +110,59 @@ pub fn base_blockage(placement: &DiePlacement, grid: &RoutingGrid) -> Vec<f64> {
     usage
 }
 
+/// The set of gcell nodes whose congestion a speculative A* run read.
+///
+/// Bitmap + insertion list: `mark` is O(1), and validation walks only the
+/// nodes actually touched rather than the whole grid.
+struct Footprint {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl Footprint {
+    fn new(nodes: usize) -> Footprint {
+        Footprint {
+            words: vec![0; nodes.div_ceil(64)],
+            touched: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, node: usize) {
+        let (w, b) = (node / 64, node % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.touched.push(node as u32);
+        }
+    }
+}
+
+/// Adds `net`'s path to the usage map, stamping every modified node with
+/// `epoch` so later speculative routes of the same batch can detect the
+/// conflict.
+fn commit(grid: &RoutingGrid, net: &RoutedNet, usage: &mut [f64], dirty: &mut [u32], epoch: u32) {
+    for w in net.path.windows(2) {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            // Vias consume track area on both layers.
+            let a = grid.index(x0, y0, l0);
+            let b = grid.index(x1, y1, l1);
+            usage[a] += grid.via_block_tracks;
+            usage[b] += grid.via_block_tracks;
+            dirty[a] = epoch;
+            dirty[b] = epoch;
+        } else {
+            let b = grid.index(x1, y1, l1);
+            usage[b] += 1.0;
+            dirty[b] = epoch;
+        }
+    }
+}
+
 /// Routes all lateral nets of `placement` on `grid`.
+///
+/// Uses [`techlib::par::thread_count`] workers; the result is
+/// byte-identical for every worker count (see the module docs).
 ///
 /// # Errors
 ///
@@ -100,6 +171,20 @@ pub fn base_blockage(placement: &DiePlacement, grid: &RoutingGrid) -> Vec<f64> {
 pub fn route_all(
     placement: &DiePlacement,
     grid: &RoutingGrid,
+) -> Result<Vec<RoutedNet>, RouteError> {
+    route_all_with_workers(placement, grid, techlib::par::thread_count())
+}
+
+/// [`route_all`] with an explicit worker count (for benchmarks and the
+/// parallel-equals-sequential tests).
+///
+/// # Errors
+///
+/// Returns [`RouteError::Unroutable`] if a net has no path at all.
+pub fn route_all_with_workers(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    workers: usize,
 ) -> Result<Vec<RoutedNet>, RouteError> {
     let base = base_blockage(placement, grid);
     let mut usage: Vec<f64> = base.clone();
@@ -120,25 +205,47 @@ pub fn route_all(
             .then_with(|| a.id.cmp(&b.id))
     });
 
+    // Epoch-stamped dirty map: `dirty[i] == epoch` means node `i`'s usage
+    // changed during the current batch. Bumping the epoch clears the map
+    // in O(1). Epoch 0 is reserved so the sequential path's commits never
+    // match a check.
+    let mut dirty: Vec<u32> = vec![0; grid.node_count()];
+    let mut epoch: u32 = 0;
+
     let mut routed: Vec<RoutedNet> = Vec::new();
     for iteration in 0..MAX_ITERATIONS {
         usage.copy_from_slice(&base);
         routed.clear();
-        for net in &order {
-            let r = route_one(placement, grid, net, &usage, &history)
-                .ok_or(RouteError::Unroutable { net: net.id })?;
-            for w in r.path.windows(2) {
-                let (x0, y0, l0) = w[0];
-                let (x1, y1, l1) = w[1];
-                if l0 != l1 {
-                    // Vias consume track area on both layers.
-                    usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
-                    usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
-                } else {
-                    usage[grid.index(x1, y1, l1)] += 1.0;
+        if workers <= 1 {
+            for net in &order {
+                let r = route_one(placement, grid, net, &usage, &history)
+                    .ok_or(RouteError::Unroutable { net: net.id })?;
+                commit(grid, &r, &mut usage, &mut dirty, 0);
+                routed.push(r);
+            }
+        } else {
+            for batch in order.chunks(workers * SPECULATIVE_BATCH_PER_WORKER) {
+                epoch += 1;
+                // Route the whole batch against the snapshot, recording
+                // which nodes each A* read congestion from.
+                let speculative = techlib::par::ordered_map_with(workers, batch, |net| {
+                    let mut fp = Footprint::new(grid.node_count());
+                    let r = route_traced(placement, grid, net, &usage, &history, Some(&mut fp));
+                    (r, fp)
+                });
+                // Commit in net order, validating each speculative route
+                // against the nodes dirtied by earlier commits.
+                for (net, (r, fp)) in batch.iter().zip(speculative) {
+                    let clean = fp.touched.iter().all(|&n| dirty[n as usize] != epoch);
+                    let r = match r {
+                        Some(r) if clean => r,
+                        _ => route_one(placement, grid, net, &usage, &history)
+                            .ok_or(RouteError::Unroutable { net: net.id })?,
+                    };
+                    commit(grid, &r, &mut usage, &mut dirty, epoch);
+                    routed.push(r);
                 }
             }
-            routed.push(r);
         }
         // Bump history where wire demand (beyond the fixed blockage)
         // exceeds capacity.
@@ -164,6 +271,17 @@ fn route_one(
     usage: &[f64],
     history: &[f64],
 ) -> Option<RoutedNet> {
+    route_traced(placement, grid, net, usage, history, None)
+}
+
+fn route_traced(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    net: &crate::diemap::NetSpec,
+    usage: &[f64],
+    history: &[f64],
+    mut footprint: Option<&mut Footprint>,
+) -> Option<RoutedNet> {
     let s = placement.dies[net.from.0].signal_position(net.from.1)?;
     let t = placement.dies[net.to.0].signal_position(net.to.1)?;
     let (sx, sy) = grid.gcell_of(s.0, s.1);
@@ -176,7 +294,10 @@ fn route_one(
     let mut prev: Vec<u32> = vec![u32::MAX; n];
     let mut heap = BinaryHeap::new();
     dist[start] = 0.0;
-    heap.push(HeapItem { f: 0.0, node: start });
+    heap.push(HeapItem {
+        f: 0.0,
+        node: start,
+    });
 
     let h = |x: usize, y: usize| -> f64 {
         let dx = (x as f64 - tx as f64).abs();
@@ -203,29 +324,36 @@ fn route_one(
         let x = rem % grid.cols;
         let d = dist[node];
 
-        let mut try_move = |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
-            if nx < 0
-                || ny < 0
-                || nl < 0
-                || nx >= grid.cols as i64
-                || ny >= grid.rows as i64
-                || nl >= grid.layers as i64
-            {
-                return;
-            }
-            let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
-            let ni = grid.index(nx, ny, nl);
-            // Small upper-layer bias keeps routing low when uncongested.
-            let nd = d + step + congestion(ni) + nl as f64 * 0.5;
-            if nd < dist[ni] {
-                dist[ni] = nd;
-                prev[ni] = node as u32;
-                heap.push(HeapItem {
-                    f: nd + h(nx, ny),
-                    node: ni,
-                });
-            }
-        };
+        let mut try_move =
+            |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
+                if nx < 0
+                    || ny < 0
+                    || nl < 0
+                    || nx >= grid.cols as i64
+                    || ny >= grid.rows as i64
+                    || nl >= grid.layers as i64
+                {
+                    return;
+                }
+                let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
+                let ni = grid.index(nx, ny, nl);
+                // Everything usage-dependent about this A* flows through the
+                // congestion read below, so the footprint is exactly the set
+                // of nodes passed to it.
+                if let Some(fp) = footprint.as_deref_mut() {
+                    fp.mark(ni);
+                }
+                // Small upper-layer bias keeps routing low when uncongested.
+                let nd = d + step + congestion(ni) + nl as f64 * 0.5;
+                if nd < dist[ni] {
+                    dist[ni] = nd;
+                    prev[ni] = node as u32;
+                    heap.push(HeapItem {
+                        f: nd + h(nx, ny),
+                        node: ni,
+                    });
+                }
+            };
 
         let hp = grid.horizontal_preferred(layer);
         let hx = if hp { 1.0 } else { NONPREF_PENALTY };
@@ -366,7 +494,10 @@ mod tests {
             .map(|n| ps.net_manhattan_um(n))
             .sum();
         // Diagonal routing beats pure Manhattan lower bound × detour.
-        assert!(total < manhattan * 1.3, "total {total} vs manhattan {manhattan}");
+        assert!(
+            total < manhattan * 1.3,
+            "total {total} vs manhattan {manhattan}"
+        );
     }
 
     #[test]
@@ -376,6 +507,40 @@ mod tests {
         let ta: f64 = a.iter().map(|n| n.length_um).sum();
         let tb: f64 = b.iter().map(|n| n.length_um).sum();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn speculative_batches_match_sequential_exactly() {
+        // The heart of the determinism guarantee: batched parallel
+        // routing must produce bit-identical paths to the one-net-at-a-
+        // time pass, including on a congested grid where speculative
+        // routes conflict and re-route.
+        let p = wide_micro_placement(16);
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let seq = route_all_with_workers(&p, &grid, 1).unwrap();
+        for workers in [2, 4, 7] {
+            let par = route_all_with_workers(&p, &grid, workers).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.path, b.path, "net {} ({} workers)", a.id, workers);
+                assert!(a.length_um == b.length_um && a.vias == b.vias);
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_batches_match_on_real_silicon_layout() {
+        let p = place_dies(InterposerKind::Silicon25D);
+        let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let seq = route_all_with_workers(&p, &grid, 1).unwrap();
+        let par = route_all_with_workers(&p, &grid, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.path, b.path, "net {}", a.id);
+        }
     }
 
     #[test]
@@ -404,11 +569,17 @@ mod tests {
     }
 
     fn micro_placement() -> DiePlacement {
-        // Two 4-signal dies, 100 µm apart, on a tiny synthetic package.
+        wide_micro_placement(4)
+    }
+
+    fn wide_micro_placement(signals: usize) -> DiePlacement {
+        // Two n-signal dies a few hundred µm apart on a tiny synthetic
+        // package; every net crosses the same gap, so batched routing
+        // sees real footprint conflicts.
         use chiplet::bumpmap::BumpPlan;
         use netlist::chiplet_netlist::ChipletKind;
         let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
-        let bumps = BumpPlan::with_counts(4, 2, &spec);
+        let bumps = BumpPlan::with_counts(signals, 2, &spec);
         let mk = |tile: usize, x: f64| crate::diemap::DieSite {
             tile,
             kind: ChipletKind::Logic,
@@ -416,9 +587,9 @@ mod tests {
             width_um: bumps.bump_limited_width_um(),
             embedded: false,
             bumps: bumps.clone(),
-            signal_map: (0..4).collect(),
+            signal_map: (0..signals).collect(),
         };
-        let nets = (0..4)
+        let nets = (0..signals)
             .map(|i| crate::diemap::NetSpec {
                 id: i,
                 class: crate::diemap::NetClass::IntraTileLateral,
@@ -488,9 +659,7 @@ mod tests {
         let (ps, rs) = route(InterposerKind::Silicon25D);
         let worst = |p: &DiePlacement, r: &[RoutedNet]| -> f64 {
             r.iter()
-                .filter(|n| {
-                    p.nets[n.id].class == crate::diemap::NetClass::IntraTileLateral
-                })
+                .filter(|n| p.nets[n.id].class == crate::diemap::NetClass::IntraTileLateral)
                 .map(|n| n.length_um)
                 .fold(0.0, f64::max)
         };

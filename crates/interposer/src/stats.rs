@@ -59,11 +59,7 @@ impl RoutingStats {
         let (_, _, _, _col_len) = stacked_via_column(&spec, levels);
         RoutingStats {
             tech: placement.tech,
-            signal_layers_used: routed
-                .iter()
-                .map(|n| n.max_layer + 1)
-                .max()
-                .unwrap_or(0),
+            signal_layers_used: routed.iter().map(|n| n.max_layer + 1).max().unwrap_or(0),
             pg_layers: 2,
             total_wl_mm: total,
             min_wl_mm: if min.is_finite() { min } else { 0.0 },

@@ -59,7 +59,11 @@ pub fn render(layout: &InterposerLayout, options: &SvgOptions) -> String {
         } else {
             "#b8d8b8"
         };
-        let dash = if die.embedded { r##" stroke-dasharray="4 3""## } else { "" };
+        let dash = if die.embedded {
+            r##" stroke-dasharray="4 3""##
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             r##"<rect x="{x:.2}" y="{y:.2}" width="{dw:.2}" height="{dw:.2}" fill="{fill}" fill-opacity="0.55" stroke="#333"{dash}/>"##

@@ -71,7 +71,11 @@ impl ChipletNetlist {
 /// The logic chiplet carries the serialised inter-tile interface (the NoC
 /// router lives there), so its pin count is `cut + wires_after` — the
 /// paper's 231 + 68 = 299. The memory chiplet exposes the 231-signal cut.
-pub fn chipletize(design: &Design, partition: &Partition, serdes: &SerdesPlan) -> (ChipletNetlist, ChipletNetlist) {
+pub fn chipletize(
+    design: &Design,
+    partition: &Partition,
+    serdes: &SerdesPlan,
+) -> (ChipletNetlist, ChipletNetlist) {
     let mut logic_cells = design.cell_population(&partition.logic);
     // SerDes shift registers are combinational+sequential cells on the
     // logic chiplet; fold them into the population.

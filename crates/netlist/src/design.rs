@@ -72,7 +72,12 @@ impl Design {
     ///
     /// Returns [`NetlistError::DanglingEdge`] if either endpoint does not
     /// exist.
-    pub fn add_edge(&mut self, from: ModuleId, to: ModuleId, width: usize) -> Result<(), NetlistError> {
+    pub fn add_edge(
+        &mut self,
+        from: ModuleId,
+        to: ModuleId,
+        width: usize,
+    ) -> Result<(), NetlistError> {
         for id in [from, to] {
             if id.0 >= self.modules.len() {
                 return Err(NetlistError::DanglingEdge { module: id.0 });

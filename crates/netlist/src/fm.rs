@@ -43,7 +43,10 @@ impl ClusterGraph {
     ///
     /// Panics if either endpoint is out of range or `a == b`.
     pub fn add_edge(&mut self, a: usize, b: usize, w: f64) {
-        assert!(a < self.weights.len() && b < self.weights.len(), "vertex out of range");
+        assert!(
+            a < self.weights.len() && b < self.weights.len(),
+            "vertex out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         self.adj[a].push((b, w));
         self.adj[b].push((a, w));
@@ -168,14 +171,20 @@ pub fn fm_bipartition(graph: &ClusterGraph, config: &FmConfig) -> FmResult {
                     continue;
                 }
                 let (wa, wb) = if side[v] {
-                    (total - weight_b + graph.weights[v], weight_b - graph.weights[v])
+                    (
+                        total - weight_b + graph.weights[v],
+                        weight_b - graph.weights[v],
+                    )
                 } else {
-                    (total - weight_b - graph.weights[v], weight_b + graph.weights[v])
+                    (
+                        total - weight_b - graph.weights[v],
+                        weight_b + graph.weights[v],
+                    )
                 };
                 if wa < min_side || wb < min_side {
                     continue;
                 }
-                if best.map_or(true, |(_, g)| gain[v] > g) {
+                if best.is_none_or(|(_, g)| gain[v] > g) {
                     best = Some((v, gain[v]));
                 }
             }

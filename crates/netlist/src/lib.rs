@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!NetlistError::EmptySide.to_string().is_empty());
-        assert!(!NetlistError::UnknownModule("x".into()).to_string().is_empty());
-        assert!(!NetlistError::DanglingEdge { module: 3 }.to_string().is_empty());
+        assert!(!NetlistError::UnknownModule("x".into())
+            .to_string()
+            .is_empty());
+        assert!(!NetlistError::DanglingEdge { module: 3 }
+            .to_string()
+            .is_empty());
     }
 }

@@ -24,9 +24,7 @@ pub const INTER_TILE_WIRES: usize = INTER_TILE_BUSES * INTER_TILE_BUS_WIDTH + IN
 pub const INTRA_TILE_CUT: usize = 231;
 
 /// Leaf modules of one tile, in generation order.
-pub const TILE_MODULES: [&str; 8] = [
-    "core", "fpu", "ccx", "l1", "l2", "noc", "l3_intf", "l3",
-];
+pub const TILE_MODULES: [&str; 8] = ["core", "fpu", "ccx", "l1", "l2", "noc", "l3_intf", "l3"];
 
 /// Cell counts per leaf module.
 ///
@@ -188,9 +186,7 @@ mod tests {
         let w: usize = d
             .edges()
             .iter()
-            .filter(|e| {
-                (e.from == l2 && e.to == intf) || (e.from == intf && e.to == l2)
-            })
+            .filter(|e| (e.from == l2 && e.to == intf) || (e.from == intf && e.to == l2))
             .map(|e| e.width)
             .sum();
         assert_eq!(w, INTRA_TILE_CUT);
@@ -204,9 +200,7 @@ mod tests {
         let w: usize = d
             .edges()
             .iter()
-            .filter(|e| {
-                (e.from == noc0 && e.to == noc1) || (e.from == noc1 && e.to == noc0)
-            })
+            .filter(|e| (e.from == noc0 && e.to == noc1) || (e.from == noc1 && e.to == noc0))
             .map(|e| e.width)
             .sum();
         assert_eq!(w, INTER_TILE_WIRES);

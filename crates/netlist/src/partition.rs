@@ -83,8 +83,7 @@ pub fn cut_between(design: &Design, a: &[ModuleId], b: &[ModuleId]) -> usize {
         .edges()
         .iter()
         .filter(|e| {
-            (a.contains(&e.from) && b.contains(&e.to))
-                || (b.contains(&e.from) && a.contains(&e.to))
+            (a.contains(&e.from) && b.contains(&e.to)) || (b.contains(&e.from) && a.contains(&e.to))
         })
         .map(|e| e.width)
         .sum()
@@ -126,17 +125,14 @@ pub fn best_hierarchical_split(design: &Design, tile: usize) -> Result<Partition
     ];
     let mut best: Option<Partition> = None;
     for group in candidates {
-        let memory: Vec<ModuleId> = group
-            .iter()
-            .map(|n| name(n))
-            .collect::<Result<_, _>>()?;
+        let memory: Vec<ModuleId> = group.iter().map(|n| name(n)).collect::<Result<_, _>>()?;
         let logic: Vec<ModuleId> = openpiton::TILE_MODULES
             .iter()
             .filter(|n| !group.contains(n))
             .map(|n| name(n))
             .collect::<Result<_, _>>()?;
         let p = Partition::from_groups(design, tile, logic, memory)?;
-        if best.as_ref().map_or(true, |b| p.cut_width() < b.cut_width()) {
+        if best.as_ref().is_none_or(|b| p.cut_width() < b.cut_width()) {
             best = Some(p);
         }
     }
@@ -152,7 +148,11 @@ pub fn best_hierarchical_split(design: &Design, tile: usize) -> Result<Partition
 ///
 /// Returns [`NetlistError::EmptySide`] if FM degenerates (it cannot on a
 /// connected tile graph with a balanced start).
-pub fn flattened_fm_split(design: &Design, tile: usize, seed: u64) -> Result<Partition, NetlistError> {
+pub fn flattened_fm_split(
+    design: &Design,
+    tile: usize,
+    seed: u64,
+) -> Result<Partition, NetlistError> {
     use crate::fm::{explode, fm_multistart, FmConfig};
     // Build the single-tile subgraph.
     let mut sub = Design::new(format!("tile{tile}"));
@@ -169,7 +169,10 @@ pub fn flattened_fm_split(design: &Design, tile: usize, seed: u64) -> Result<Par
         }
     }
     let graph = explode(&sub, 4_000, seed);
-    let cfg = FmConfig { seed, ..FmConfig::default() };
+    let cfg = FmConfig {
+        seed,
+        ..FmConfig::default()
+    };
     let result = fm_multistart(&graph, &cfg, 16);
 
     // Majority vote per module using the cluster labels "module#k".

@@ -101,8 +101,10 @@ mod tests {
         let g25 = peak(InterposerKind::Glass25D);
         let apx = peak(InterposerKind::Apx);
         let sh = peak(InterposerKind::Shinko);
-        assert!(g3 < si && si < g25 && g25 < apx && apx < sh,
-            "g3={g3:.2} si={si:.2} g25={g25:.2} apx={apx:.2} sh={sh:.2}");
+        assert!(
+            g3 < si && si < g25 && g25 < apx && apx < sh,
+            "g3={g3:.2} si={si:.2} g25={g25:.2} apx={apx:.2} sh={sh:.2}"
+        );
     }
 
     #[test]

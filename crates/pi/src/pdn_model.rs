@@ -104,7 +104,10 @@ impl PdnCircuit {
     ///
     /// Propagates routing errors when the interposer layout is needed and
     /// unavailable.
-    pub fn build(tech: InterposerKind, excitation: Excitation) -> Result<PdnCircuit, interposer::RouteError> {
+    pub fn build(
+        tech: InterposerKind,
+        excitation: Excitation,
+    ) -> Result<PdnCircuit, interposer::RouteError> {
         let spec = InterposerSpec::for_kind(tech);
         let plan = match tech {
             InterposerKind::Silicon3D => {
@@ -260,10 +263,21 @@ mod tests {
 
     #[test]
     fn escape_inductance_ordering_is_physical() {
-        assert!(escape_inductance_h(InterposerKind::Glass3D) < escape_inductance_h(InterposerKind::Silicon25D));
-        assert!(escape_inductance_h(InterposerKind::Silicon25D) < escape_inductance_h(InterposerKind::Glass25D));
-        assert!(escape_inductance_h(InterposerKind::Glass25D) < escape_inductance_h(InterposerKind::Apx));
-        assert!(escape_inductance_h(InterposerKind::Apx) < escape_inductance_h(InterposerKind::Shinko));
+        assert!(
+            escape_inductance_h(InterposerKind::Glass3D)
+                < escape_inductance_h(InterposerKind::Silicon25D)
+        );
+        assert!(
+            escape_inductance_h(InterposerKind::Silicon25D)
+                < escape_inductance_h(InterposerKind::Glass25D)
+        );
+        assert!(
+            escape_inductance_h(InterposerKind::Glass25D)
+                < escape_inductance_h(InterposerKind::Apx)
+        );
+        assert!(
+            escape_inductance_h(InterposerKind::Apx) < escape_inductance_h(InterposerKind::Shinko)
+        );
     }
 
     #[test]

@@ -118,7 +118,12 @@ mod tests {
         // vs 4 µm).
         let si = analyze(InterposerKind::Silicon25D).unwrap();
         let g25 = analyze(InterposerKind::Glass25D).unwrap();
-        assert!(si.ir_drop_mv > g25.ir_drop_mv, "{} vs {}", si.ir_drop_mv, g25.ir_drop_mv);
+        assert!(
+            si.ir_drop_mv > g25.ir_drop_mv,
+            "{} vs {}",
+            si.ir_drop_mv,
+            g25.ir_drop_mv
+        );
     }
 
     #[test]
@@ -126,7 +131,12 @@ mod tests {
         // Table IV: 3.7 µs for Glass 3D, 4.8–5.4 µs for the rest.
         let g3 = analyze(InterposerKind::Glass3D).unwrap();
         let sh = analyze(InterposerKind::Shinko).unwrap();
-        assert!(g3.settling_us <= sh.settling_us, "{} vs {}", g3.settling_us, sh.settling_us);
+        assert!(
+            g3.settling_us <= sh.settling_us,
+            "{} vs {}",
+            g3.settling_us,
+            sh.settling_us
+        );
         assert!((0.5..10.0).contains(&g3.settling_us), "{}", g3.settling_us);
     }
 

@@ -94,7 +94,15 @@ pub fn lateral_eye(
     }
     if config.aggressors {
         for (seed, (ain, aout)) in [(0x2du8, nodes.aggressor1), (0x47u8, nodes.aggressor2)] {
-            attach_ends(&mut c, &driver, &bump, ain, aout, seed, config.data_rate_bps);
+            attach_ends(
+                &mut c,
+                &driver,
+                &bump,
+                ain,
+                aout,
+                seed,
+                config.data_rate_bps,
+            );
         }
     } else {
         // Quiet terminations.
@@ -103,7 +111,13 @@ pub fn lateral_eye(
             c.resistor(aout, Circuit::GND, 50.0);
         }
     }
-    measure_eye(&c, vout_probe(&c, vout), config.bits, 11, config.data_rate_bps)
+    measure_eye(
+        &c,
+        vout_probe(&c, vout),
+        config.bits,
+        11,
+        config.data_rate_bps,
+    )
 }
 
 /// Simulates the Glass 3D vertical (stacked-via) eye: the victim column
@@ -125,7 +139,12 @@ pub fn stacked_via_eye(config: &EyeConfig) -> Result<EyeReport, CircuitError> {
         let mid = c.node(format!("mid{i}"));
         let out = c.node(format!("out{i}"));
         if i == 0 || config.aggressors {
-            add_tx(&mut c, &driver, pad, prbs_data(calib::VDD, config.data_rate_bps, seed));
+            add_tx(
+                &mut c,
+                &driver,
+                pad,
+                prbs_data(calib::VDD, config.data_rate_bps, seed),
+            );
         } else {
             c.resistor(pad, Circuit::GND, 50.0);
         }
@@ -179,15 +198,43 @@ fn measure_eye(
 ) -> Result<EyeReport, CircuitError> {
     let ui = 1.0 / rate_bps;
     let dt = 2e-12;
-    let result = simulate(
-        c,
-        &TranConfig {
-            t_stop: bits as f64 * ui,
-            dt,
-        },
-    )?;
-    let v = result.voltage(probe);
-    let times = &result.times;
+    let config = TranConfig {
+        t_stop: bits as f64 * ui,
+        dt,
+    };
+    // The decks are linear (Thevenin drivers, R/L/C channel), so the
+    // received waveform decomposes exactly by superposition: one
+    // transient per source with every other source zeroed — the same MNA
+    // matrix, so each run factors the identical system. The independent
+    // per-source runs fan out across workers; summing in fixed source
+    // order keeps the result identical for any worker count.
+    let sources = c.source_indices();
+    let (times, v) = if sources.len() <= 1 {
+        let result = simulate(c, &config)?;
+        let v = result.voltage(probe);
+        (result.times, v)
+    } else {
+        let per = techlib::par::ordered_map(&sources, |&s| {
+            simulate(&c.single_source(s), &config).map(|r| {
+                let v = r.voltage(probe);
+                (r.times, v)
+            })
+        });
+        let mut acc: Option<(Vec<f64>, Vec<f64>)> = None;
+        for trace in per {
+            let (t, w) = trace?;
+            match &mut acc {
+                None => acc = Some((t, w)),
+                Some((_, total)) => {
+                    for (a, b) in total.iter_mut().zip(&w) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+        acc.expect("at least one source")
+    };
+    let times = &times;
 
     // Fold into the UI, skipping the first 4 warm-up bits. For each
     // sample classify the *current* bit from the PRBS sequence; track the

@@ -103,13 +103,21 @@ const STEP_DELAY_S: f64 = 50e-12;
 /// Driver output edge time (see [`circuit::driver::step_data`]).
 const STEP_EDGE_S: f64 = 20e-12;
 
-fn build_deck(channel: Option<&ChannelKind>, tech: InterposerKind) -> (Circuit, usize, circuit::netlist::NodeId) {
+fn build_deck(
+    channel: Option<&ChannelKind>,
+    tech: InterposerKind,
+) -> (Circuit, usize, circuit::netlist::NodeId) {
     let spec = InterposerSpec::for_kind(tech);
     let driver = IoDriver::aib();
     let bump = BumpModel::microbump(&spec);
     let mut c = Circuit::new();
     let tx_pad = c.node("tx_pad");
-    let src = circuit::driver::add_tx(&mut c, &driver, tx_pad, circuit::driver::step_data(calib::VDD, STEP_DELAY_S));
+    let src = circuit::driver::add_tx(
+        &mut c,
+        &driver,
+        tx_pad,
+        circuit::driver::step_data(calib::VDD, STEP_DELAY_S),
+    );
     // TX bump: series L+R, shunt C.
     c.capacitor(tx_pad, Circuit::GND, bump.capacitance_f);
     let ch_in = c.node("ch_in");
@@ -168,7 +176,10 @@ fn build_deck(channel: Option<&ChannelKind>, tech: InterposerKind) -> (Circuit, 
     (c, src, rx_pad)
 }
 
-fn deck_t50_and_charge(channel: Option<&ChannelKind>, tech: InterposerKind) -> Result<(f64, f64), CircuitError> {
+fn deck_t50_and_charge(
+    channel: Option<&ChannelKind>,
+    tech: InterposerKind,
+) -> Result<(f64, f64), CircuitError> {
     let (c, src, rx) = build_deck(channel, tech);
     let result = simulate(
         &c,
@@ -255,8 +266,16 @@ mod tests {
         // Table V: micro-bump 0.29 ps, B2B TSV 1.53 ps.
         let ub = simulate_link(&ChannelKind::MicroBump).unwrap();
         let tsv = simulate_link(&ChannelKind::BackToBackTsv).unwrap();
-        assert!(ub.interconnect_delay_ps < 2.0, "{}", ub.interconnect_delay_ps);
-        assert!(tsv.interconnect_delay_ps < 5.0, "{}", tsv.interconnect_delay_ps);
+        assert!(
+            ub.interconnect_delay_ps < 2.0,
+            "{}",
+            ub.interconnect_delay_ps
+        );
+        assert!(
+            tsv.interconnect_delay_ps < 5.0,
+            "{}",
+            tsv.interconnect_delay_ps
+        );
         assert!(ub.interconnect_delay_ps < tsv.interconnect_delay_ps);
     }
 
@@ -265,7 +284,11 @@ mod tests {
         let col = simulate_link(&ChannelKind::StackedViaColumn { levels: 3 }).unwrap();
         let lateral = rdl(InterposerKind::Glass25D, 2_000.0);
         assert!(col.interconnect_delay_ps < lateral.interconnect_delay_ps);
-        assert!(col.interconnect_delay_ps < 3.0, "{}", col.interconnect_delay_ps);
+        assert!(
+            col.interconnect_delay_ps < 3.0,
+            "{}",
+            col.interconnect_delay_ps
+        );
     }
 
     #[test]

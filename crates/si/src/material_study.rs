@@ -90,7 +90,12 @@ mod tests {
             InterposerKind::Apx,
         ] {
             let o = row(other);
-            assert!(si.delay_ps > o.delay_ps, "{other}: {} vs {}", si.delay_ps, o.delay_ps);
+            assert!(
+                si.delay_ps > o.delay_ps,
+                "{other}: {} vs {}",
+                si.delay_ps,
+                o.delay_ps
+            );
             assert!(si.power_uw > o.power_uw, "{other}");
         }
     }
@@ -115,7 +120,12 @@ mod tests {
         // so glass carries marginally higher delay and power.
         let glass = row(InterposerKind::Glass25D);
         let shinko = row(InterposerKind::Shinko);
-        assert!(glass.delay_ps >= shinko.delay_ps * 0.95, "{} vs {}", glass.delay_ps, shinko.delay_ps);
+        assert!(
+            glass.delay_ps >= shinko.delay_ps * 0.95,
+            "{} vs {}",
+            glass.delay_ps,
+            shinko.delay_ps
+        );
     }
 
     #[test]

@@ -115,9 +115,7 @@ mod tests {
         // glass's 2 µm (Section VII-C: APX "reduces crosstalk").
         let gl = spec(InterposerKind::Glass25D);
         let apx = spec(InterposerKind::Apx);
-        let frac = |s: &InterposerSpec| {
-            mutual_capacitance_per_m(s) / s.wire_capacitance_per_m()
-        };
+        let frac = |s: &InterposerSpec| mutual_capacitance_per_m(s) / s.wire_capacitance_per_m();
         assert!(frac(&apx) < frac(&gl), "{} vs {}", frac(&apx), frac(&gl));
     }
 

@@ -31,11 +31,9 @@ pub fn channel_abcd(channel: &ChannelKind, freq_hz: f64) -> Abcd {
     let spec = InterposerSpec::for_kind(channel.tech());
     let bump = BumpModel::microbump(&spec);
     let bump_port = |b: &BumpModel| -> Abcd {
-        Abcd::shunt(Complex64::new(0.0, omega * b.capacitance_f))
-            .cascade(Abcd::series(Complex64::new(
-                b.resistance_ohm,
-                omega * b.inductance_h,
-            )))
+        Abcd::shunt(Complex64::new(0.0, omega * b.capacitance_f)).cascade(Abcd::series(
+            Complex64::new(b.resistance_ohm, omega * b.inductance_h),
+        ))
     };
     let body = match channel {
         ChannelKind::RdlTrace { tech, length_um } => {
@@ -68,7 +66,10 @@ pub fn channel_abcd(channel: &ChannelKind, freq_hz: f64) -> Abcd {
 ///
 /// Panics if the range is empty or non-positive.
 pub fn sweep(channel: &ChannelKind, f_start: f64, f_stop: f64, points: usize) -> ChannelSweep {
-    assert!(points >= 2 && f_start > 0.0 && f_stop > f_start, "bad sweep");
+    assert!(
+        points >= 2 && f_start > 0.0 && f_stop > f_start,
+        "bad sweep"
+    );
     let ratio = (f_stop / f_start).ln();
     let mut il = Vec::with_capacity(points);
     let mut rl = Vec::with_capacity(points);
@@ -94,7 +95,10 @@ pub fn nyquist_loss_db(channel: &ChannelKind) -> f64 {
 
 /// Touchstone export of the channel over the sweep range.
 pub fn touchstone(channel: &ChannelKind, f_start: f64, f_stop: f64, points: usize) -> String {
-    assert!(points >= 2 && f_start > 0.0 && f_stop > f_start, "bad sweep");
+    assert!(
+        points >= 2 && f_start > 0.0 && f_stop > f_start,
+        "bad sweep"
+    );
     let ratio = (f_stop / f_start).ln();
     let pts: Vec<(f64, Abcd)> = (0..points)
         .map(|i| {

@@ -57,8 +57,7 @@ impl IoDriver {
     /// TX+RX delay including the local micro-bump load at each end, ps.
     pub fn delay_ps(&self, bump: &BumpModel) -> f64 {
         // The output stage charges both bump pads through Rout.
-        self.intrinsic_delay_ps
-            + self.output_impedance_ohm * (2.0 * bump.capacitance_f) * 1e12
+        self.intrinsic_delay_ps + self.output_impedance_ohm * (2.0 * bump.capacitance_f) * 1e12
     }
 
     /// Average TX+RX power at data rate `rate_bps` and toggle activity

@@ -29,6 +29,7 @@ pub mod calib;
 pub mod cells;
 pub mod iodriver;
 pub mod material;
+pub mod par;
 pub mod reliability;
 pub mod spec;
 pub mod stackup;

@@ -195,6 +195,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the test
     fn thermal_ordering_matches_physics() {
         // Silicon spreads heat; glass traps it. This ordering is the root
         // cause of the paper's Fig. 17/18 results.

@@ -1,0 +1,183 @@
+//! Deterministic fork/join helpers shared by the whole workspace.
+//!
+//! Everything here is built on `std::thread::scope` — no external thread
+//! pool — and preserves **input order** in the output: `ordered_map`
+//! returns `f(items[0]), f(items[1]), …` regardless of which worker ran
+//! which item or how long each took. Combined with the workspace's
+//! fixed-seed RNGs, this is what makes the parallel flow byte-identical
+//! to the sequential one: parallelism is only ever applied across units
+//! that share no mutable state, and results are committed by index.
+//!
+//! Thread count comes from the `CODESIGN_THREADS` environment variable
+//! (default: available parallelism). Setting `CODESIGN_THREADS=1` forces
+//! every helper in this module onto the caller's thread, which is also
+//! the fallback for single-item inputs — so the sequential path is not a
+//! separate code path that could drift, it *is* the parallel path at
+//! width 1.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable controlling worker-thread count.
+pub const THREADS_ENV: &str = "CODESIGN_THREADS";
+
+/// The worker count used by the helpers in this module.
+///
+/// `CODESIGN_THREADS` wins when set (clamped to at least 1); otherwise
+/// [`std::thread::available_parallelism`], and 1 when even that is
+/// unavailable.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items`, in parallel, returning results
+/// in **input order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven task
+/// durations don't serialize the pool behind the slowest prefix. With one
+/// worker — or one item — this degenerates to a plain in-order loop on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn ordered_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    ordered_map_with(thread_count(), items, f)
+}
+
+/// [`ordered_map`] with an explicit worker count (mainly for tests and
+/// benchmarks comparing widths).
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn ordered_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Each worker claims indices from the shared cursor and writes only
+    // the slots it claimed, so the writes are disjoint; the scope joins
+    // all workers before the slots are read back.
+    struct Slots<U>(Vec<UnsafeCell<Option<U>>>);
+    unsafe impl<U: Send> Sync for Slots<U> {}
+    let mut slots = Slots(Vec::with_capacity(items.len()));
+    slots.0.resize_with(items.len(), || UnsafeCell::new(None));
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let slots = &slots;
+        let f = &f;
+        let cursor = &cursor;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                // SAFETY: index `i` came from `fetch_add`, so exactly one
+                // worker ever touches `slots.0[i]`.
+                unsafe { *slots.0[i].get() = Some(out) };
+            });
+        }
+    });
+    slots
+        .0
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index filled"))
+        .collect()
+}
+
+/// Runs two closures concurrently and returns both results as a tuple,
+/// in argument order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if thread_count() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: second branch panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn ordered_map_preserves_order_under_skew() {
+        // Make early items slow so later items finish first.
+        let items: Vec<usize> = (0..64).collect();
+        let out = ordered_map_with(8, &items, |&i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_map_runs_every_item_exactly_once() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let items: Vec<u32> = (0..101).collect();
+        let out = ordered_map_with(4, &items, |&i| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 101);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn width_one_matches_parallel() {
+        let items: Vec<i64> = (0..40).collect();
+        let seq = ordered_map_with(1, &items, |&i| i * i - 3);
+        let par = ordered_map_with(6, &items, |&i| i * i - 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u8> = vec![];
+        assert!(ordered_map_with(4, &empty, |&x| x).is_empty());
+        assert_eq!(ordered_map_with(4, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn join_returns_in_argument_order() {
+        let (a, b) = join(|| 1, || "two");
+        assert_eq!(a, 1);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

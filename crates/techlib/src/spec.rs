@@ -49,6 +49,23 @@ impl InterposerKind {
         InterposerKind::Apx,
     ];
 
+    /// Number of technology variants (for per-technology cache arrays).
+    pub const COUNT: usize = 7;
+
+    /// Stable dense index in `0..Self::COUNT`, used to key
+    /// per-technology caches without hashing.
+    pub fn index(self) -> usize {
+        match self {
+            InterposerKind::Glass25D => 0,
+            InterposerKind::Glass3D => 1,
+            InterposerKind::Silicon25D => 2,
+            InterposerKind::Silicon3D => 3,
+            InterposerKind::Shinko => 4,
+            InterposerKind::Apx => 5,
+            InterposerKind::Monolithic2D => 6,
+        }
+    }
+
     /// Short display label matching the paper's column headers.
     pub fn label(self) -> &'static str {
         match self {

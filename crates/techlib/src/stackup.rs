@@ -208,10 +208,7 @@ mod tests {
     #[test]
     fn unknown_layer_is_an_error() {
         let s = stack(InterposerKind::Shinko);
-        assert!(matches!(
-            s.depth_of("M99"),
-            Err(TechError::UnknownLayer(_))
-        ));
+        assert!(matches!(s.depth_of("M99"), Err(TechError::UnknownLayer(_))));
     }
 
     #[test]
@@ -225,8 +222,14 @@ mod tests {
     fn pg_planes_are_adjacent() {
         let s = stack(InterposerKind::Apx);
         let layers = s.layers();
-        let pwr = layers.iter().position(|l| l.role == LayerRole::Power).unwrap();
-        let gnd = layers.iter().position(|l| l.role == LayerRole::Ground).unwrap();
+        let pwr = layers
+            .iter()
+            .position(|l| l.role == LayerRole::Power)
+            .unwrap();
+        let gnd = layers
+            .iter()
+            .position(|l| l.role == LayerRole::Ground)
+            .unwrap();
         // PWR, one dielectric, GND.
         assert_eq!(gnd - pwr, 2);
     }

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Vacuum permittivity, F/m.
-pub const EPSILON_0: f64 = 8.854_187_8128e-12;
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
 /// Vacuum permeability, H/m.
 pub const MU_0: f64 = 1.256_637_062_12e-6;
 /// Speed of light in vacuum, m/s.

@@ -75,9 +75,8 @@ impl ViaModel {
         let capacitance_f =
             2.0 * std::f64::consts::PI * rel_permittivity * EPSILON_0 * h / (outer / r).ln();
         // Partial self-inductance of a cylindrical conductor.
-        let inductance_h = MU_0 / (2.0 * std::f64::consts::PI)
-            * h
-            * ((2.0 * h / r).ln() - 0.75).max(0.1);
+        let inductance_h =
+            MU_0 / (2.0 * std::f64::consts::PI) * h * ((2.0 * h / r).ln() - 0.75).max(0.1);
         ViaModel {
             kind,
             diameter_um,

@@ -22,9 +22,9 @@
 //! ```
 
 pub mod model;
-pub mod svg;
 pub mod report;
 pub mod solver;
+pub mod svg;
 
 pub use model::ThermalModel;
 pub use report::ThermalReport;

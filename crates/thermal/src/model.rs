@@ -103,7 +103,10 @@ impl ThermalModel {
 
 /// Die placements (µm) reused from the interposer study without pulling
 /// in the router: footprint and die origins per technology.
-fn placement_2p5d(tech: InterposerKind) -> ((f64, f64), Vec<(f64, f64, f64, bool, usize)>) {
+/// A die footprint on the floorplan: `(x_um, y_um, width_um, is_logic, tile)`.
+type DieRect = (f64, f64, f64, bool, usize);
+
+fn placement_2p5d(tech: InterposerKind) -> ((f64, f64), Vec<DieRect>) {
     // (footprint, [(x0, y0, width, is_logic, tile)])
     let (w_logic, w_mem, fp, mx, my, gap) = match tech {
         InterposerKind::Glass25D => (820.0, 775.0, (2200.0, 2200.0), 255.0, 230.0, 100.0),
@@ -134,7 +137,10 @@ fn grid_for(fp_um: (f64, f64)) -> (usize, usize) {
     )
 }
 
-fn blank(nx: usize, ny: usize, layers: &[LayerSpec]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>) {
+/// Per-layer conductivity/power fields: `(k_xy, k_z, power, dz)`.
+type LayerFields = (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<f64>);
+
+fn blank(nx: usize, ny: usize, layers: &[LayerSpec]) -> LayerFields {
     let k_xy = layers.iter().map(|l| vec![l.k_xy; nx * ny]).collect();
     let k_z = layers.iter().map(|l| vec![l.k_z; nx * ny]).collect();
     let power = layers.iter().map(|_| vec![0.0; nx * ny]).collect();
@@ -150,13 +156,7 @@ fn cells_of(range_um: (f64, f64), n: usize) -> (usize, usize) {
 
 /// Injects `total_w` into the die's voxels with a centre-weighted 8×8
 /// power map (hotspot factor 1.5 at the middle, as the paper's CTM uses).
-fn inject_power(
-    power: &mut [f64],
-    nx: usize,
-    x: (usize, usize),
-    y: (usize, usize),
-    total_w: f64,
-) {
+fn inject_power(power: &mut [f64], nx: usize, x: (usize, usize), y: (usize, usize), total_w: f64) {
     let (x0, x1) = x;
     let (y0, y1) = y;
     let w = (x1 - x0) as f64;
@@ -200,9 +200,17 @@ fn build_2p5d(tech: InterposerKind) -> ThermalModel {
     let (nx, ny) = grid_for(fp);
     let k_si = material::SILICON.thermal_conductivity_w_mk;
     let (core_k, core_kz, core_t) = match tech {
-        InterposerKind::Glass25D => (material::GLASS_ENA1.thermal_conductivity_w_mk, material::GLASS_ENA1.thermal_conductivity_w_mk, 155e-6),
+        InterposerKind::Glass25D => (
+            material::GLASS_ENA1.thermal_conductivity_w_mk,
+            material::GLASS_ENA1.thermal_conductivity_w_mk,
+            155e-6,
+        ),
         InterposerKind::Silicon25D => (k_si, k_si, 100e-6),
-        _ => (material::ORGANIC_CORE.thermal_conductivity_w_mk + 4.0, PTH_K_Z, 400e-6),
+        _ => (
+            material::ORGANIC_CORE.thermal_conductivity_w_mk + 4.0,
+            PTH_K_Z,
+            400e-6,
+        ),
     };
     let rdl_t: f64 = match tech {
         InterposerKind::Glass25D => 133e-6,
@@ -212,11 +220,31 @@ fn build_2p5d(tech: InterposerKind) -> ThermalModel {
     };
     // Bottom → top: core, RDL, bump/underfill, die body.
     let layers = [
-        LayerSpec { dz_m: core_t / 2.0, k_xy: core_k, k_z: core_kz },
-        LayerSpec { dz_m: core_t / 2.0, k_xy: core_k, k_z: core_kz },
-        LayerSpec { dz_m: rdl_t.max(10e-6), k_xy: K_RDL_XY, k_z: K_RDL_Z },
-        LayerSpec { dz_m: 20e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z },
-        LayerSpec { dz_m: 150e-6, k_xy: K_EMPTY, k_z: K_EMPTY },
+        LayerSpec {
+            dz_m: core_t / 2.0,
+            k_xy: core_k,
+            k_z: core_kz,
+        },
+        LayerSpec {
+            dz_m: core_t / 2.0,
+            k_xy: core_k,
+            k_z: core_kz,
+        },
+        LayerSpec {
+            dz_m: rdl_t.max(10e-6),
+            k_xy: K_RDL_XY,
+            k_z: K_RDL_Z,
+        },
+        LayerSpec {
+            dz_m: 20e-6,
+            k_xy: K_BUMP_XY,
+            k_z: K_BUMP_Z,
+        },
+        LayerSpec {
+            dz_m: 150e-6,
+            k_xy: K_EMPTY,
+            k_z: K_EMPTY,
+        },
     ];
     let (mut k_xy, mut k_z, mut power, dz) = blank(nx, ny, &layers);
     let die_layer = 4;
@@ -224,7 +252,7 @@ fn build_2p5d(tech: InterposerKind) -> ThermalModel {
     // Peripheral TGV/TSV ring on glass: boost vertical core conduction
     // outside the die shadow.
     if tech == InterposerKind::Glass25D {
-        for zi in 0..2 {
+        for layer_k_z in k_z.iter_mut().take(2) {
             for yy in 0..ny {
                 for xx in 0..nx {
                     let x_um = xx as f64 * CELL_XY_M * 1e6;
@@ -233,7 +261,7 @@ fn build_2p5d(tech: InterposerKind) -> ThermalModel {
                         x_um >= dx && x_um < dx + w && y_um >= dy && y_um < dy + w
                     });
                     if !under_die {
-                        k_z[zi][yy * nx + xx] = TGV_RING_K_Z;
+                        layer_k_z[yy * nx + xx] = TGV_RING_K_Z;
                     }
                 }
             }
@@ -268,7 +296,17 @@ fn build_2p5d(tech: InterposerKind) -> ThermalModel {
     }
 
     let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
-    ThermalModel { tech, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+    ThermalModel {
+        tech,
+        nx,
+        ny,
+        dz_m: dz,
+        k_xy,
+        k_z,
+        power,
+        dies,
+        top_die_mask,
+    }
 }
 
 fn build_glass3d() -> ThermalModel {
@@ -284,13 +322,41 @@ fn build_glass3d() -> ThermalModel {
     // thermal link to the RDL, and the reason it runs hot), the RDL, the
     // micro-bump field, and the flip-chip logic dies.
     let layers = [
-        LayerSpec { dz_m: 60e-6, k_xy: 0.1, k_z: K_BALL_AIR_Z },
-        LayerSpec { dz_m: 40e-6, k_xy: k_glass, k_z: k_glass },
-        LayerSpec { dz_m: 150e-6, k_xy: k_glass, k_z: k_glass },
-        LayerSpec { dz_m: 15e-6, k_xy: 0.3, k_z: K_CAVITY_IFACE_Z },
-        LayerSpec { dz_m: 60e-6, k_xy: K_RDL_XY, k_z: K_RDL_Z },
-        LayerSpec { dz_m: 20e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z },
-        LayerSpec { dz_m: 150e-6, k_xy: K_EMPTY, k_z: K_EMPTY },
+        LayerSpec {
+            dz_m: 60e-6,
+            k_xy: 0.1,
+            k_z: K_BALL_AIR_Z,
+        },
+        LayerSpec {
+            dz_m: 40e-6,
+            k_xy: k_glass,
+            k_z: k_glass,
+        },
+        LayerSpec {
+            dz_m: 150e-6,
+            k_xy: k_glass,
+            k_z: k_glass,
+        },
+        LayerSpec {
+            dz_m: 15e-6,
+            k_xy: 0.3,
+            k_z: K_CAVITY_IFACE_Z,
+        },
+        LayerSpec {
+            dz_m: 60e-6,
+            k_xy: K_RDL_XY,
+            k_z: K_RDL_Z,
+        },
+        LayerSpec {
+            dz_m: 20e-6,
+            k_xy: K_BUMP_XY,
+            k_z: K_BUMP_Z,
+        },
+        LayerSpec {
+            dz_m: 150e-6,
+            k_xy: K_EMPTY,
+            k_z: K_EMPTY,
+        },
     ];
     let (mut k_xy, mut k_z, mut power, dz) = blank(nx, ny, &layers);
     let ball_layer = 0;
@@ -342,9 +408,9 @@ fn build_glass3d() -> ThermalModel {
         for xx in 0..nx {
             let x_um = xx as f64 * CELL_XY_M * 1e6;
             let y_um = yy as f64 * CELL_XY_M * 1e6;
-            let in_stack = stacks.iter().any(|&(sx, sy, _)| {
-                x_um >= sx && x_um < sx + w && y_um >= sy && y_um < sy + w
-            });
+            let in_stack = stacks
+                .iter()
+                .any(|&(sx, sy, _)| x_um >= sx && x_um < sx + w && y_um >= sy && y_um < sy + w);
             if !in_stack {
                 for zi in [1usize, 2] {
                     if k_z[zi][yy * nx + xx] < TGV_RING_K_Z {
@@ -371,7 +437,17 @@ fn build_glass3d() -> ThermalModel {
     }
 
     let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
-    ThermalModel { tech: InterposerKind::Glass3D, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+    ThermalModel {
+        tech: InterposerKind::Glass3D,
+        nx,
+        ny,
+        dz_m: dz,
+        k_xy,
+        k_z,
+        power,
+        dies,
+        top_die_mask,
+    }
 }
 
 fn build_si3d() -> ThermalModel {
@@ -380,15 +456,32 @@ fn build_si3d() -> ThermalModel {
     let k_si = material::SILICON.thermal_conductivity_w_mk;
     // Bottom → top per Fig. 5: mem0, bond, logic0, bond, logic1, bond,
     // mem1 (all tiers thinned to 20 µm except the top die).
-    let die = |t: f64| LayerSpec { dz_m: t, k_xy: k_si, k_z: k_si };
-    let bond = LayerSpec { dz_m: 15e-6, k_xy: K_BUMP_XY, k_z: K_BUMP_Z };
+    let die = |t: f64| LayerSpec {
+        dz_m: t,
+        k_xy: k_si,
+        k_z: k_si,
+    };
+    let bond = LayerSpec {
+        dz_m: 15e-6,
+        k_xy: K_BUMP_XY,
+        k_z: K_BUMP_Z,
+    };
     let layers = [
         die(50e-6),
-        LayerSpec { dz_m: 15e-6, ..bond },
+        LayerSpec {
+            dz_m: 15e-6,
+            ..bond
+        },
         die(20e-6),
-        LayerSpec { dz_m: 15e-6, ..bond },
+        LayerSpec {
+            dz_m: 15e-6,
+            ..bond
+        },
         die(20e-6),
-        LayerSpec { dz_m: 15e-6, ..bond },
+        LayerSpec {
+            dz_m: 15e-6,
+            ..bond
+        },
         die(150e-6),
     ];
     let (k_xy, k_z, mut power, dz) = blank(nx, ny, &layers);
@@ -412,7 +505,17 @@ fn build_si3d() -> ThermalModel {
         });
     }
     let top_die_mask = ThermalModel::build_top_mask(nx, ny, dz.len(), &dies);
-    ThermalModel { tech: InterposerKind::Silicon3D, nx, ny, dz_m: dz, k_xy, k_z, power, dies, top_die_mask }
+    ThermalModel {
+        tech: InterposerKind::Silicon3D,
+        nx,
+        ny,
+        dz_m: dz,
+        k_xy,
+        k_z,
+        power,
+        dies,
+        top_die_mask,
+    }
 }
 
 #[cfg(test)]

@@ -3,9 +3,18 @@
 //! Classic 7-point stencil with harmonic-mean inter-cell conductances,
 //! convection boundaries, and successive over-relaxation. Cell sizes are
 //! uniform in x/y and non-uniform in z.
+//!
+//! Sweeps use **red-black ordering**: cells are two-coloured by
+//! `(x + y + z) % 2`, and each half-sweep updates one colour. Under the
+//! 7-point stencil every neighbour of a cell has the opposite colour, so
+//! all updates within a half-sweep are independent — rows can run on any
+//! number of workers ([`techlib::par::thread_count`]) and the arithmetic
+//! (and therefore the converged field) is bit-identical regardless of
+//! worker count or row order.
 
 use crate::model::{ThermalModel, CELL_XY_M};
 use crate::AMBIENT_C;
+use std::cell::UnsafeCell;
 
 /// Fixed lateral "board spreading" conductance distributed over the
 /// bottom face, W/K — models heat escaping into the motherboard beyond
@@ -128,6 +137,18 @@ pub fn solve_with_boundaries(
     config: &SolveConfig,
     bounds: &Boundaries,
 ) -> TemperatureField {
+    solve_with_workers(model, config, bounds, techlib::par::thread_count())
+}
+
+/// [`solve_with_boundaries`] with an explicit worker count (for the
+/// worker-invariance tests and benchmarks). The returned field is
+/// bit-identical for every `workers` value.
+pub fn solve_with_workers(
+    model: &ThermalModel,
+    config: &SolveConfig,
+    bounds: &Boundaries,
+    workers: usize,
+) -> TemperatureField {
     let (nx, ny, nz) = (model.nx, model.ny, model.nz());
     let a_xy = CELL_XY_M * CELL_XY_M;
     let n_bottom = (nx * ny) as f64;
@@ -147,14 +168,39 @@ pub fn solve_with_boundaries(
         a_xy / (model.dz_m[z] / (2.0 * k1) + model.dz_m[z + 1] / (2.0 * k2))
     };
 
-    let mut t: Vec<Vec<f64>> = (0..nz).map(|_| vec![AMBIENT_C; nx * ny]).collect();
+    // Temperature cells shared across row workers during a half-sweep.
+    //
+    // SAFETY (for both unsafe blocks below): a half-sweep writes only
+    // cells of the active colour, each `(z, y)` row appears exactly once
+    // in `rows` so every written cell belongs to exactly one task, and
+    // every read is either the task's own cell or an opposite-colour
+    // neighbour that no task writes during this half-sweep. The scope
+    // inside `ordered_map_with` joins all workers between half-sweeps.
+    struct SharedField(Vec<UnsafeCell<f64>>);
+    unsafe impl Sync for SharedField {}
+
+    let cells = nx * ny;
+    let field = SharedField(
+        (0..nz * cells)
+            .map(|_| UnsafeCell::new(AMBIENT_C))
+            .collect(),
+    );
+    let rows: Vec<(usize, usize)> = (0..nz).flat_map(|z| (0..ny).map(move |y| (z, y))).collect();
+
     let mut iterations = 0;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         let mut max_delta: f64 = 0.0;
-        for z in 0..nz {
-            for y in 0..ny {
-                for x in 0..nx {
+        for color in 0..2usize {
+            // Capture the Sync wrapper, not its inner Vec (edition-2021
+            // closures would otherwise capture `field.0` directly).
+            let field = &field;
+            let read = move |node: usize| unsafe { *field.0[node].get() };
+            let deltas = techlib::par::ordered_map_with(workers, &rows, |&(z, y)| {
+                let zoff = z * cells;
+                let mut row_delta: f64 = 0.0;
+                let mut x = (color + y + z) % 2;
+                while x < nx {
                     let i = y * nx + x;
                     let mut g_sum = 0.0;
                     let mut flux = model.power[z][i];
@@ -163,7 +209,7 @@ pub fn solve_with_boundaries(
                     if x + 1 < nx {
                         let g = g_lat(z, i, i + 1);
                         g_sum += g;
-                        flux += g * t[z][i + 1];
+                        flux += g * read(zoff + i + 1);
                     } else {
                         let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
                         g_sum += g;
@@ -172,7 +218,7 @@ pub fn solve_with_boundaries(
                     if x > 0 {
                         let g = g_lat(z, i - 1, i);
                         g_sum += g;
-                        flux += g * t[z][i - 1];
+                        flux += g * read(zoff + i - 1);
                     } else {
                         let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
                         g_sum += g;
@@ -181,7 +227,7 @@ pub fn solve_with_boundaries(
                     if y + 1 < ny {
                         let g = g_lat(z, i, i + nx);
                         g_sum += g;
-                        flux += g * t[z][i + nx];
+                        flux += g * read(zoff + i + nx);
                     } else {
                         let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
                         g_sum += g;
@@ -190,7 +236,7 @@ pub fn solve_with_boundaries(
                     if y > 0 {
                         let g = g_lat(z, i - nx, i);
                         g_sum += g;
-                        flux += g * t[z][i - nx];
+                        flux += g * read(zoff + i - nx);
                     } else {
                         let g = bounds.h_side * model.dz_m[z] * CELL_XY_M;
                         g_sum += g;
@@ -201,7 +247,7 @@ pub fn solve_with_boundaries(
                     if z + 1 < nz {
                         let g = g_vert(z, i);
                         g_sum += g;
-                        flux += g * t[z + 1][i];
+                        flux += g * read(zoff + cells + i);
                     } else {
                         let h = if model.top_die_mask[i] {
                             bounds.h_top_die
@@ -215,29 +261,37 @@ pub fn solve_with_boundaries(
                     if z > 0 {
                         let g = g_vert(z - 1, i);
                         g_sum += g;
-                        flux += g * t[z - 1][i];
+                        flux += g * read(zoff - cells + i);
                     } else {
                         let g = bounds.h_bottom * a_xy + bounds.board_spread_w_per_k / n_bottom;
                         g_sum += g;
                         flux += g * AMBIENT_C;
                     }
 
+                    let t_old = read(zoff + i);
                     let t_new = flux / g_sum;
-                    let t_relaxed = t[z][i] + config.omega * (t_new - t[z][i]);
-                    max_delta = max_delta.max((t_relaxed - t[z][i]).abs());
-                    t[z][i] = t_relaxed;
+                    let t_relaxed = t_old + config.omega * (t_new - t_old);
+                    row_delta = row_delta.max((t_relaxed - t_old).abs());
+                    unsafe { *field.0[zoff + i].get() = t_relaxed };
+                    x += 2;
                 }
-            }
+                row_delta
+            });
+            // f64::max is commutative and associative (no NaNs here), so
+            // the reduction is order-independent anyway; folding the
+            // ordered results keeps it visibly deterministic.
+            max_delta = deltas.into_iter().fold(max_delta, f64::max);
         }
         if max_delta < config.tolerance_k {
             break;
         }
     }
 
+    let flat: Vec<f64> = field.0.into_iter().map(UnsafeCell::into_inner).collect();
     TemperatureField {
         nx,
         ny,
-        layers: t,
+        layers: flat.chunks(cells).map(<[f64]>::to_vec).collect(),
         iterations,
     }
 }
@@ -372,5 +426,30 @@ mod tests {
         let model = ThermalModel::for_tech(InterposerKind::Glass3D);
         let field = solve(&model, &SolveConfig::default());
         assert!(field.iterations < SolveConfig::default().max_iters);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_a_single_bit() {
+        // Red-black half-sweeps are embarrassingly parallel, so the field
+        // must be bit-identical (not just close) for any worker count.
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let config = SolveConfig {
+            max_iters: 400,
+            ..SolveConfig::default()
+        };
+        let bounds = Boundaries::default();
+        let one = solve_with_workers(&model, &config, &bounds, 1);
+        for workers in [2, 5] {
+            let many = solve_with_workers(&model, &config, &bounds, workers);
+            assert_eq!(one.iterations, many.iterations);
+            for (a, b) in one.layers.iter().zip(&many.layers) {
+                for (ta, tb) in a.iter().zip(b) {
+                    assert!(
+                        ta.to_bits() == tb.to_bits(),
+                        "{ta} != {tb} ({workers} workers)"
+                    );
+                }
+            }
+        }
     }
 }

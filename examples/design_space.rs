@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (logic, _mem) = chipletize(&design, &split, &SerdesPlan::paper());
 
     println!("--- Glass logic die width vs micro-bump pitch ---");
-    println!("{:>10}{:>12}{:>12}{:>10}", "pitch µm", "width µm", "area mm²", "limit");
+    println!(
+        "{:>10}{:>12}{:>12}{:>10}",
+        "pitch µm", "width µm", "area mm²", "limit"
+    );
     for pitch in [20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0] {
         let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
         spec.microbump_pitch_um = pitch;
@@ -33,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pitch,
             fp.width_um,
             fp.area_mm2(),
-            if fp.bump_limited_um >= fp.cell_limited_um { "bump" } else { "cells" }
+            if fp.bump_limited_um >= fp.cell_limited_um {
+                "bump"
+            } else {
+                "cells"
+            }
         );
     }
 
@@ -54,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>8}{:>12}{:>14}", "ratio", "wires", "added cycles");
     for ratio in [1usize, 2, 4, 8, 16, 32] {
         let plan = SerdesPlan::new(6, 64, 20, ratio);
-        println!("{:>8}{:>12}{:>14}", ratio, plan.wires_after, plan.added_cycles);
+        println!(
+            "{:>8}{:>12}{:>14}",
+            ratio, plan.wires_after, plan.added_cycles
+        );
     }
     Ok(())
 }

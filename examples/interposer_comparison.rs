@@ -17,11 +17,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let headline = codesign::compare::headline()?;
     println!("Headline (abstract claims, measured):");
-    println!("  area reduction        {:.2}x   (paper: 2.6x)", headline.area_reduction_x);
-    println!("  wirelength reduction  {:.1}x   (paper: 21x)", headline.wirelength_reduction_x);
-    println!("  power reduction       {:.1}%   (paper: 17.72%)", headline.power_reduction_frac * 100.0);
-    println!("  SI improvement        {:.1}%   (paper: 64.7%)", headline.si_improvement_frac * 100.0);
-    println!("  PI improvement        {:.1}x   (paper: ~10x)", headline.pi_improvement_x);
-    println!("  thermal increase      {:.1}%   (paper: ~35%)", headline.thermal_increase_frac * 100.0);
+    println!(
+        "  area reduction        {:.2}x   (paper: 2.6x)",
+        headline.area_reduction_x
+    );
+    println!(
+        "  wirelength reduction  {:.1}x   (paper: 21x)",
+        headline.wirelength_reduction_x
+    );
+    println!(
+        "  power reduction       {:.1}%   (paper: 17.72%)",
+        headline.power_reduction_frac * 100.0
+    );
+    println!(
+        "  SI improvement        {:.1}%   (paper: 64.7%)",
+        headline.si_improvement_frac * 100.0
+    );
+    println!(
+        "  PI improvement        {:.1}x   (paper: ~10x)",
+        headline.pi_improvement_x
+    );
+    println!(
+        "  thermal increase      {:.1}%   (paper: ~35%)",
+        headline.thermal_increase_frac * 100.0
+    );
     Ok(())
 }

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         study.fullchip.intra_tile_power_mw,
         study.fullchip.inter_tile_power_mw
     );
-    println!("  system clock {:.0} MHz (pipelined)", study.fullchip.system_fmax_mhz);
+    println!(
+        "  system clock {:.0} MHz (pipelined)",
+        study.fullchip.system_fmax_mhz
+    );
 
     println!("\nThermal (Fig. 17):");
     println!(

@@ -21,9 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- Fig. 14: eye diagrams (0.7 Gbps PRBS-7, 2 aggressors) ---");
     let cfg = EyeConfig::default();
-    println!("{:<14}{:>8}{:>12}{:>12}", "tech", "link", "width ns", "height V");
+    println!(
+        "{:<14}{:>8}{:>12}{:>12}",
+        "tech", "link", "width ns", "height V"
+    );
     let g3 = stacked_via_eye(&cfg)?;
-    println!("{:<14}{:>8}{:>12.3}{:>12.3}", "Glass 3D", "L2M", g3.width_ns, g3.height_v);
+    println!(
+        "{:<14}{:>8}{:>12.3}{:>12.3}",
+        "Glass 3D", "L2M", g3.width_ns, g3.height_v
+    );
     for tech in [
         InterposerKind::Glass25D,
         InterposerKind::Silicon25D,
@@ -52,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let g3_l2l = cached_layout(InterposerKind::Glass3D)?.worst_net_um(NetClass::InterTile);
     let eye = lateral_eye(InterposerKind::Glass3D, g3_l2l, &cfg)?;
-    println!("{:<14}{:>8}{:>12.3}{:>12.3}", "Glass 3D", "L2L", eye.width_ns, eye.height_v);
+    println!(
+        "{:<14}{:>8}{:>12.3}{:>12.3}",
+        "Glass 3D", "L2L", eye.width_ns, eye.height_v
+    );
 
     println!("\n--- Table VI: 400 µm fixed-length material comparison ---");
     println!("{}", tables::table6_text()?);

@@ -128,5 +128,8 @@ fn rlgc_extraction_is_consistent_with_elmore_ordering() {
     let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
     let short = si::rlgc::extract_line(&spec, 1e-3).elmore_delay(47.4, 55e-15);
     let long = si::rlgc::extract_line(&spec, 2e-3).elmore_delay(47.4, 55e-15);
-    assert!(long > 2.0 * short * 0.9, "silicon is line-dominated: {short} vs {long}");
+    assert!(
+        long > 2.0 * short * 0.9,
+        "silicon is line-dominated: {short} vs {long}"
+    );
 }

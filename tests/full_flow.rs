@@ -11,13 +11,25 @@ fn all_six_technologies_complete_the_flow() {
     assert_eq!(studies.len(), 6);
     for s in &studies {
         // Chiplet results in plausible ranges.
-        assert!(s.logic.fmax_mhz > 600.0 && s.logic.fmax_mhz < 720.0, "{}", s.tech);
+        assert!(
+            s.logic.fmax_mhz > 600.0 && s.logic.fmax_mhz < 720.0,
+            "{}",
+            s.tech
+        );
         assert!(s.logic.total_power_mw() > 100.0 && s.logic.total_power_mw() < 200.0);
         assert!(s.memory.total_power_mw() > 30.0 && s.memory.total_power_mw() < 70.0);
         // Full chip adds interconnect on top of the chiplets.
-        assert!(s.fullchip.total_power_mw > s.fullchip.chiplet_power_mw, "{}", s.tech);
+        assert!(
+            s.fullchip.total_power_mw > s.fullchip.chiplet_power_mw,
+            "{}",
+            s.tech
+        );
         // Thermal above ambient.
-        assert!(s.thermal.logic_peak_c > 20.0 && s.thermal.logic_peak_c < 50.0, "{}", s.tech);
+        assert!(
+            s.thermal.logic_peak_c > 20.0 && s.thermal.logic_peak_c < 50.0,
+            "{}",
+            s.tech
+        );
     }
 }
 

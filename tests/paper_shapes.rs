@@ -12,27 +12,63 @@ fn study(
     studies: &[codesign::flow::TechStudy],
     tech: InterposerKind,
 ) -> &codesign::flow::TechStudy {
-    studies.iter().find(|s| s.tech == tech).expect("tech present")
+    studies
+        .iter()
+        .find(|s| s.tech == tech)
+        .expect("tech present")
 }
 
 #[test]
 fn abstract_headline_claims_hold() {
     let h = headline().expect("headline computes");
-    assert!((2.0..3.2).contains(&h.area_reduction_x), "area {:.2}x (paper 2.6x)", h.area_reduction_x);
-    assert!(h.wirelength_reduction_x > 10.0, "wirelength {:.1}x (paper 21x)", h.wirelength_reduction_x);
-    assert!(h.power_reduction_frac > 0.03, "power {:.3} (paper 0.177)", h.power_reduction_frac);
-    assert!(h.si_improvement_frac > 0.0, "SI {:.3} (paper 0.647)", h.si_improvement_frac);
-    assert!(h.pi_improvement_x > 3.0, "PI {:.1}x (paper ~10x)", h.pi_improvement_x);
-    assert!(h.thermal_increase_frac > 0.1, "thermal {:.3} (paper ~0.35)", h.thermal_increase_frac);
+    assert!(
+        (2.0..3.2).contains(&h.area_reduction_x),
+        "area {:.2}x (paper 2.6x)",
+        h.area_reduction_x
+    );
+    assert!(
+        h.wirelength_reduction_x > 10.0,
+        "wirelength {:.1}x (paper 21x)",
+        h.wirelength_reduction_x
+    );
+    assert!(
+        h.power_reduction_frac > 0.03,
+        "power {:.3} (paper 0.177)",
+        h.power_reduction_frac
+    );
+    assert!(
+        h.si_improvement_frac > 0.0,
+        "SI {:.3} (paper 0.647)",
+        h.si_improvement_frac
+    );
+    assert!(
+        h.pi_improvement_x > 3.0,
+        "PI {:.1}x (paper ~10x)",
+        h.pi_improvement_x
+    );
+    assert!(
+        h.thermal_increase_frac > 0.1,
+        "thermal {:.3} (paper ~0.35)",
+        h.thermal_increase_frac
+    );
 }
 
 #[test]
 fn table2_area_shape() {
     let studies = run_all(MonitorLengths::Paper).expect("flow completes");
     // Glass chiplets smallest, APX largest, Silicon/Shinko in between.
-    let glass = study(&studies, InterposerKind::Glass25D).logic.footprint.area_mm2();
-    let si = study(&studies, InterposerKind::Silicon25D).logic.footprint.area_mm2();
-    let apx = study(&studies, InterposerKind::Apx).logic.footprint.area_mm2();
+    let glass = study(&studies, InterposerKind::Glass25D)
+        .logic
+        .footprint
+        .area_mm2();
+    let si = study(&studies, InterposerKind::Silicon25D)
+        .logic
+        .footprint
+        .area_mm2();
+    let apx = study(&studies, InterposerKind::Apx)
+        .logic
+        .footprint
+        .area_mm2();
     assert!(glass < si && si < apx);
     assert!((si / glass - 1.31).abs() < 0.05, "{}", si / glass);
     assert!((apx / glass - 1.97).abs() < 0.08, "{}", apx / glass);
@@ -43,7 +79,9 @@ fn table3_power_uniformity_and_si3d_advantage() {
     let studies = run_all(MonitorLengths::Paper).expect("flow completes");
     // "Power consumption across all chiplets demonstrates uniformity":
     // every logic chiplet within ±7 % of the glass one.
-    let reference = study(&studies, InterposerKind::Glass25D).logic.total_power_mw();
+    let reference = study(&studies, InterposerKind::Glass25D)
+        .logic
+        .total_power_mw();
     for s in &studies {
         let p = s.logic.total_power_mw();
         assert!((p - reference).abs() / reference < 0.07, "{}: {p}", s.tech);
@@ -51,19 +89,42 @@ fn table3_power_uniformity_and_si3d_advantage() {
     // Silicon 3D is the lowest-power chiplet set (shortest wire).
     let si3d = study(&studies, InterposerKind::Silicon3D);
     for s in &studies {
-        assert!(si3d.logic.total_power_mw() <= s.logic.total_power_mw(), "{}", s.tech);
-        assert!(si3d.logic.wirelength_m <= s.logic.wirelength_m, "{}", s.tech);
+        assert!(
+            si3d.logic.total_power_mw() <= s.logic.total_power_mw(),
+            "{}",
+            s.tech
+        );
+        assert!(
+            si3d.logic.wirelength_m <= s.logic.wirelength_m,
+            "{}",
+            s.tech
+        );
     }
 }
 
 #[test]
 fn table4_routing_shape() {
     let studies = run_all(MonitorLengths::Paper).expect("flow completes");
-    let g3 = study(&studies, InterposerKind::Glass3D).routing.clone().unwrap();
-    let g25 = study(&studies, InterposerKind::Glass25D).routing.clone().unwrap();
-    let si = study(&studies, InterposerKind::Silicon25D).routing.clone().unwrap();
-    let sh = study(&studies, InterposerKind::Shinko).routing.clone().unwrap();
-    let apx = study(&studies, InterposerKind::Apx).routing.clone().unwrap();
+    let g3 = study(&studies, InterposerKind::Glass3D)
+        .routing
+        .clone()
+        .unwrap();
+    let g25 = study(&studies, InterposerKind::Glass25D)
+        .routing
+        .clone()
+        .unwrap();
+    let si = study(&studies, InterposerKind::Silicon25D)
+        .routing
+        .clone()
+        .unwrap();
+    let sh = study(&studies, InterposerKind::Shinko)
+        .routing
+        .clone()
+        .unwrap();
+    let apx = study(&studies, InterposerKind::Apx)
+        .routing
+        .clone()
+        .unwrap();
 
     // Glass 3D: fewest layers, least wire, smallest area.
     assert!(g3.metal_layers_used() <= si.metal_layers_used());
@@ -117,7 +178,11 @@ fn fig17_thermal_shape() {
         if s.tech != InterposerKind::Glass3D && s.tech != InterposerKind::Silicon3D {
             assert!(g3.thermal.mem_peak_c > s.thermal.mem_peak_c, "{}", s.tech);
             // ...while logic chiplets stay in a common band.
-            assert!((s.thermal.logic_peak_c - g3.thermal.logic_peak_c).abs() < 8.0, "{}", s.tech);
+            assert!(
+                (s.thermal.logic_peak_c - g3.thermal.logic_peak_c).abs() < 8.0,
+                "{}",
+                s.tech
+            );
         }
     }
 }
@@ -162,8 +227,18 @@ fn fig14_eye_shape_with_the_paper_deck() {
         .expect("layout")
         .worst_net_um(NetClass::IntraTileLateral);
     let si = lateral_eye(InterposerKind::Silicon25D, si_len, &cfg).expect("si eye");
-    assert!(g3.width_ns > si.width_ns, "{} vs {}", g3.width_ns, si.width_ns);
-    assert!(g3.height_v > 1.5 * si.height_v, "{} vs {}", g3.height_v, si.height_v);
+    assert!(
+        g3.width_ns > si.width_ns,
+        "{} vs {}",
+        g3.width_ns,
+        si.width_ns
+    );
+    assert!(
+        g3.height_v > 1.5 * si.height_v,
+        "{} vs {}",
+        g3.height_v,
+        si.height_v
+    );
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! Runner configuration and failure plumbing (subset of
+//! `proptest::test_runner`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Mirrors proptest's "reject" (treated as failure here, since the
+    /// workspace never filters inputs).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case RNG: seeded from the property name and the case
+/// index, so every run of the suite sees the same inputs.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}

@@ -1,0 +1,262 @@
+//! Distributions and uniform range sampling, matching rand 0.8's
+//! algorithms exactly for the types the workspace draws.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// The "natural" distribution for a type (subset of `rand::distributions::Standard`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign-bit test on a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8 `Standard` for f64: 53 random mantissa bits in [0, 1).
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+/// Types `gen_range` can produce. The sampling logic lives in the
+/// per-type impls below so each matches rand 0.8 bit-for-bit.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range types accepted by `gen_range` (subset of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// rand 0.8's widening-multiply rejection sampler over a 64-bit lane:
+/// uniform in `[0, range)`; `range == 0` means the full 2^64 span.
+#[inline]
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(range);
+        let lo = m as u64;
+        if lo <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Same sampler over a 32-bit lane — rand 0.8 draws one `u32` for
+/// integer types of 32 bits or fewer.
+#[inline]
+fn sample_u32_below<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(range);
+        let lo = m as u32;
+        if lo <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($lane:ident, $sampler:ident; $($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                let range = (high as $lane).wrapping_sub(low as $lane);
+                low.wrapping_add($sampler(rng, range) as $ty)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                let range = (high as $lane).wrapping_sub(low as $lane).wrapping_add(1);
+                low.wrapping_add($sampler(rng, range) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u64, sample_u64_below; usize, u64, i64);
+impl_sample_uniform_int!(u32, sample_u32_below; u32, i32, u16, i16, u8, i8);
+
+macro_rules! impl_sample_uniform_float {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr, $exp_bias:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                // rand 0.8 UniformFloat::sample_single.
+                let mut scale = high - low;
+                loop {
+                    let mantissa = <$uty>::from_bits_sample(rng) >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits((($exp_bias as $uty) << ($exp_bits)) | mantissa);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // FP edge case: shrink scale to the next representable
+                    // value and retry (matches upstream's behaviour of
+                    // tightening until the result lands inside the range).
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $ty,
+                high: $ty,
+            ) -> $ty {
+                // rand 0.8 UniformFloat::sample_single_inclusive.
+                let max_rand = <$ty>::from_bits(
+                    (($exp_bias as $uty) << ($exp_bits)) | (<$uty>::MAX >> $bits_to_discard),
+                ) - 1.0;
+                let mut scale = (high - low) / max_rand;
+                loop {
+                    let mantissa = <$uty>::from_bits_sample(rng) >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits((($exp_bias as $uty) << ($exp_bits)) | mantissa);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+
+/// Helper to draw the raw bits backing a float lane.
+trait FromBitsSample {
+    fn from_bits_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromBitsSample for u64 {
+    fn from_bits_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromBitsSample for u32 {
+    fn from_bits_sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl_sample_uniform_float!(f64, u64, 12, 52, 1023u64);
+impl_sample_uniform_float!(f32, u32, 9, 23, 127u32);
+
+#[cfg(test)]
+mod tests {
+
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_sampling_is_unbiased_over_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "biased counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_int_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match rng.gen_range(3usize..=5) {
+                3 => lo_seen = true,
+                5 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_ranges_cover_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for _ in 0..2000 {
+            let v = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < -0.9 && max > 0.9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no registry access, and the workspace's
+//! partitioner (`netlist::fm`) and placer (`chiplet::placement`) are
+//! calibrated against fixed seeds, so this stub is **bit-faithful** to
+//! rand 0.8 for the paths the workspace uses:
+//!
+//! * `StdRng` is the ChaCha12 generator (one 64-byte block at a time —
+//!   identical word stream to rand_chacha's four-block buffering because
+//!   every workspace consumer draws whole `u64`s, so reads never straddle
+//!   a block boundary at a different offset);
+//! * `SeedableRng::seed_from_u64` uses rand_core's PCG32 key expansion
+//!   (multiplier `6364136223846793005`, increment `11634580027462260723`);
+//! * integer `gen_range` uses the widening-multiply rejection method with
+//!   zone `(range << range.leading_zeros()).wrapping_sub(1)`;
+//! * float `gen_range` and `gen::<f64>()` use the 53-bit mantissa
+//!   construction.
+//!
+//! Only the types/ranges the workspace draws are implemented (`usize`,
+//! `u64`, `i64`, `f64`); unsupported types fail to compile rather than
+//! silently diverge from upstream sequences.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, SampleRange, SampleUniform, Standard};
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes (little-endian word order).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let len = rem.len();
+            rem.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with PCG32 exactly as
+    /// rand_core 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let len = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}

@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so this crate re-derives
+//! the subset of serde's data model the workspace actually uses: plain
+//! (non-generic) structs and enums with no `#[serde(...)]` attributes.
+//! Codegen targets the `Content` tree defined by the sibling `serde` stub;
+//! enums use serde's externally-tagged representation so JSON output
+//! matches upstream serde_json byte-for-byte for this workspace's types.
+//!
+//! No `syn`/`quote` are available offline either, so parsing walks the raw
+//! `proc_macro::TokenStream` directly. That is robust for the shapes this
+//! workspace contains (named/tuple/unit structs, enums of unit / tuple /
+//! struct variants, doc comments, `pub` visibility) and panics loudly on
+//! anything it does not understand rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed view of the deriving item.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), \
+                         ::serde::Serialize::to_content(&self.{})),",
+                        key_name(f),
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", pairs.join(""))
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(""))
+        }
+        ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| enum_arm(&item.name, v)).collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// One `match` arm serializing `variant` with serde's externally-tagged
+/// representation.
+fn enum_arm(enum_name: &str, v: &Variant) -> String {
+    let tag = key_name(&v.name);
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{}::{} => ::serde::Content::Str(::std::string::String::from(\"{}\")),",
+            enum_name, v.name, tag
+        ),
+        VariantFields::Tuple(1) => format!(
+            "{}::{}(__f0) => ::serde::Content::Map(::std::vec![(\
+                 ::std::string::String::from(\"{}\"), \
+                 ::serde::Serialize::to_content(__f0))]),",
+            enum_name, v.name, tag
+        ),
+        VariantFields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                .collect();
+            format!(
+                "{}::{}({}) => ::serde::Content::Map(::std::vec![(\
+                     ::std::string::String::from(\"{}\"), \
+                     ::serde::Content::Seq(::std::vec![{}]))]),",
+                enum_name,
+                v.name,
+                binders.join(","),
+                tag,
+                items.join("")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), \
+                         ::serde::Serialize::to_content({})),",
+                        key_name(f),
+                        f
+                    )
+                })
+                .collect();
+            format!(
+                "{}::{} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                     ::std::string::String::from(\"{}\"), \
+                     ::serde::Content::Map(::std::vec![{}]))]),",
+                enum_name,
+                v.name,
+                fields.join(","),
+                tag,
+                pairs.join("")
+            )
+        }
+    }
+}
+
+/// JSON key for an identifier: raw identifiers drop the `r#` prefix.
+fn key_name(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind_kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type {name})");
+        }
+    }
+    match kind_kw.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            },
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names of a `{ ... }` struct body, skipping attributes, visibility
+/// and the type tokens after each `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes / visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("serde_derive stub: expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+    fields
+}
+
+/// Consume type tokens until a top-level `,` (angle-bracket aware) or the
+/// end of the stream. The `,` itself is consumed.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth: i32 = 0;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct `( ... )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut tokens = body.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        count += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments) before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("serde_derive stub: expected variant name, got {tok:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_type_until_comma(&mut tokens);
+        variants.push(Variant {
+            name: vname.to_string(),
+            fields,
+        });
+    }
+    variants
+}
