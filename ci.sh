@@ -16,4 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Library crates must stay panic-free on data-dependent paths: no
+# unwrap/expect outside #[cfg(test)] (each crate carries a test-scoped
+# allow). Errors flow through the typed FlowError vocabulary instead.
+# --no-deps keeps the gate off the vendored path dependencies.
+echo "==> cargo clippy (panic-free library gate)"
+cargo clippy --no-deps -p circuit -p interposer -p thermal -p netlist -p chiplet -p pi -p si -- \
+    -D clippy::unwrap_used -D clippy::expect_used
+
 echo "CI OK"

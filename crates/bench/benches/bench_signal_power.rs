@@ -66,7 +66,8 @@ fn bench_thermal(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(15));
     g.bench_function("glass3d_solve", |b| {
         b.iter(|| {
-            let model = thermal::model::ThermalModel::for_tech(InterposerKind::Glass3D);
+            let model =
+                thermal::model::ThermalModel::for_tech(InterposerKind::Glass3D).expect("model");
             black_box(thermal::solver::solve(
                 &model,
                 &thermal::solver::SolveConfig::default(),

@@ -31,7 +31,7 @@ fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2_footprints", |b| {
         b.iter(|| {
             for tech in InterposerKind::PACKAGED {
-                black_box(chiplet::report::analyze_pair(&logic, &mem, tech));
+                black_box(chiplet::report::analyze_pair(&logic, &mem, tech).expect("pair"));
             }
         })
     });

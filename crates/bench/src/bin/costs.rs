@@ -1,6 +1,6 @@
 //! Regenerates the cost comparison (the paper's cost discussion,
 //! quantified in relative cost units) and the sensitivity sweeps.
-fn main() {
+fn main() -> Result<(), codesign::FlowError> {
     bench::banner("Cost model (RCU; paper claim: glass = cost-effective 3D stacking)");
     println!(
         "{:<14}{:>12}{:>10}{:>12}{:>10}",
@@ -25,7 +25,7 @@ fn main() {
 
     bench::banner("Sensitivity sweeps (optimization opportunities)");
     println!("glass logic die width vs bump pitch:");
-    for p in codesign::sensitivity::footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0]) {
+    for p in codesign::sensitivity::footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0])? {
         println!("  pitch {:>5.0} µm -> width {:>6.0} µm", p.x, p.y);
     }
     println!("10 mm glass link delay vs metal thickness:");
@@ -33,7 +33,8 @@ fn main() {
         println!("  t {:>4.1} µm -> {:>6.2} ps", p.x, p.y);
     }
     println!("blocked gcell fraction vs via size:");
-    for p in codesign::sensitivity::blockage_vs_via_size(&[4.0, 10.0, 16.0, 22.0, 30.0]) {
+    for p in codesign::sensitivity::blockage_vs_via_size(&[4.0, 10.0, 16.0, 22.0, 30.0])? {
         println!("  via {:>4.0} µm -> {:>6.3}", p.x, p.y);
     }
+    Ok(())
 }

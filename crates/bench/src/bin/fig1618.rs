@@ -1,13 +1,13 @@
 //! Regenerates Figs. 16-18 (thermal maps and chiplet temperatures).
 use thermal::model::ThermalModel;
 use thermal::solver::{solve, SolveConfig};
-fn main() {
+fn main() -> Result<(), thermal::ThermalError> {
     bench::banner("Figs. 16-18 - thermal (paper: glass3D logic 27C / mem 34C; others logic 27-29C, mem 22-23C)");
     println!(
         "{:<14}{:>10}{:>10}{:>12}",
         "tech", "logic C", "mem C", "assembly C"
     );
-    for r in thermal::report::figure17() {
+    for r in thermal::report::figure17()? {
         println!(
             "{:<14}{:>10.1}{:>10.1}{:>12.1}",
             r.tech.label(),
@@ -18,8 +18,8 @@ fn main() {
     }
     // Fig. 18: interposer-level hotspot map of the glass 2.5D assembly
     // (coarse ASCII rendering of the die layer).
-    let model = ThermalModel::for_tech(techlib::spec::InterposerKind::Glass25D);
-    let field = solve(&model, &SolveConfig::default());
+    let model = ThermalModel::for_tech(techlib::spec::InterposerKind::Glass25D)?;
+    let field = solve(&model, &SolveConfig::default())?;
     let z = model.nz() - 1;
     println!("\nGlass 2.5D top-layer map (C, 11x11 downsample):");
     let step = (model.ny / 11).max(1);
@@ -29,4 +29,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

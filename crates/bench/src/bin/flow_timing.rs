@@ -87,8 +87,8 @@ fn run_child(parallel: bool) -> ChildResult {
 }
 
 fn main() {
-    if std::env::var(CHILD_ENV).is_ok() {
-        child(std::env::var(CHILD_ENV).unwrap() == "par");
+    if let Ok(role) = std::env::var(CHILD_ENV) {
+        child(role == "par");
         return;
     }
 

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for tech in [InterposerKind::Glass25D, InterposerKind::Silicon25D] {
         let layout = cached_layout(tech)?;
-        let map = interposer::congestion::analyze(layout);
+        let map = interposer::congestion::analyze(layout).expect("congestion analyzes");
         let svg = interposer::congestion::render_layer(&map, 0, 4.0);
         let name = format!(
             "artifacts/congestion_{}.svg",
@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         InterposerKind::Silicon25D,
         InterposerKind::Shinko,
     ] {
-        let model = ThermalModel::for_tech(tech);
-        let field = solve(&model, &SolveConfig::default());
+        let model = ThermalModel::for_tech(tech)?;
+        let field = solve(&model, &SolveConfig::default())?;
         let svg = thermal::svg::render_layer(&field, model.nz() - 1, 4.0);
         let name = format!(
             "artifacts/thermal_{}.svg",

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Chiplet physical design for the co-design flow.
 //!
 //! Given a [`netlist::ChipletNetlist`] and a packaging technology, this
@@ -49,3 +50,28 @@ pub mod wirelength;
 pub use bumpmap::{BumpPlan, BumpRole};
 pub use footprint::FootprintPlan;
 pub use report::ChipletReport;
+
+/// Errors produced by chiplet physical design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChipletError {
+    /// Macro placement (or die sizing) could not fit the request.
+    PlacementInfeasible {
+        /// Signal bumps needing AIB macros.
+        signals: usize,
+        /// Legal macro slots available on the die.
+        slots: usize,
+    },
+}
+
+impl std::fmt::Display for ChipletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipletError::PlacementInfeasible { signals, slots } => write!(
+                f,
+                "macro placement infeasible: {signals} signal macros but only {slots} slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChipletError {}

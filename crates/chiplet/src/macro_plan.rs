@@ -8,6 +8,7 @@
 //! wiring statistics.
 
 use crate::bumpmap::{BumpPlan, BumpRole};
+use crate::ChipletError;
 use serde::Serialize;
 use techlib::iodriver::IoDriver;
 
@@ -69,7 +70,12 @@ impl MacroPlan {
 /// grid of macro-sized slots; each signal bump claims the nearest free
 /// slot, processed in bump order. Slots are spaced one macro pitch apart,
 /// so the plan is overlap-free by construction.
-pub fn plan(bumps: &BumpPlan, die_um: f64) -> MacroPlan {
+///
+/// # Errors
+///
+/// Returns [`ChipletError::PlacementInfeasible`] when the die offers
+/// fewer legal slots than there are signal bumps.
+pub fn plan(bumps: &BumpPlan, die_um: f64) -> Result<MacroPlan, ChipletError> {
     let drv = IoDriver::aib();
     let (mw, mh) = drv.layout_um;
     // Slot grid with a small routing halo between macros.
@@ -113,7 +119,12 @@ pub fn plan(bumps: &BumpPlan, die_um: f64) -> MacroPlan {
                 }
             }
         }
-        let (x, y, d) = best.expect("a die always has more slots than signals");
+        let Some((x, y, d)) = best else {
+            return Err(ChipletError::PlacementInfeasible {
+                signals: bumps.signal,
+                slots: cols * rows,
+            });
+        };
         taken[y * cols + x] = true;
         sites.push(MacroSite {
             signal: idx,
@@ -121,10 +132,10 @@ pub fn plan(bumps: &BumpPlan, die_um: f64) -> MacroPlan {
             bump_net_um: d,
         });
     }
-    MacroPlan {
+    Ok(MacroPlan {
         sites,
         macro_um: (mw, mh),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +148,7 @@ mod tests {
     #[test]
     fn glass_logic_macros_all_place_without_overlap() {
         let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
-        let plan = plan(&bumps, 820.0);
+        let plan = plan(&bumps, 820.0).unwrap();
         assert_eq!(plan.sites.len(), 299);
         assert!(plan.is_overlap_free());
     }
@@ -147,7 +158,7 @@ mod tests {
         // The whole point of pre-placement: bump-to-AIB nets stay within
         // a couple of bump pitches.
         let bumps = paper_plan(ChipletKind::Memory, InterposerKind::Glass25D);
-        let plan = plan(&bumps, 775.0);
+        let plan = plan(&bumps, 775.0).unwrap();
         assert!(
             plan.average_net_um() < 2.0 * bumps.pitch_um,
             "avg = {}",
@@ -163,7 +174,7 @@ mod tests {
     #[test]
     fn every_signal_gets_exactly_one_macro() {
         let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Apx);
-        let plan = plan(&bumps, 1150.0);
+        let plan = plan(&bumps, 1150.0).unwrap();
         let mut seen = vec![false; 299];
         for s in &plan.sites {
             assert!(!seen[s.signal], "duplicate macro for signal {}", s.signal);
@@ -173,9 +184,16 @@ mod tests {
     }
 
     #[test]
+    fn tiny_die_reports_infeasible_placement() {
+        let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Glass25D);
+        let err = plan(&bumps, 30.0).unwrap_err();
+        assert!(matches!(err, ChipletError::PlacementInfeasible { .. }));
+    }
+
+    #[test]
     fn macros_stay_on_die() {
         let bumps = paper_plan(ChipletKind::Logic, InterposerKind::Silicon25D);
-        let p = plan(&bumps, 940.0);
+        let p = plan(&bumps, 940.0).unwrap();
         let (w, h) = p.macro_um;
         for s in &p.sites {
             assert!(s.origin_um.0 + w <= 940.0 + w, "x = {}", s.origin_um.0);

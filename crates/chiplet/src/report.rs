@@ -5,6 +5,7 @@ use crate::footprint::{self, FootprintPlan};
 use crate::power::{self, PowerBreakdown};
 use crate::timing;
 use crate::wirelength;
+use crate::ChipletError;
 use netlist::chiplet_netlist::ChipletNetlist;
 use serde::Serialize;
 use techlib::calib;
@@ -80,11 +81,24 @@ pub fn analyze(
 
 /// Analyses the logic/memory pair for one technology, honouring the
 /// stacking footprint-matching rules.
+///
+/// # Errors
+///
+/// Returns [`ChipletError::PlacementInfeasible`] when physical design
+/// cannot fit the pair (today only reachable through the `chiplet.place`
+/// fault site; the analytic models themselves are total).
 pub fn analyze_pair(
     logic: &ChipletNetlist,
     memory: &ChipletNetlist,
     tech: InterposerKind,
-) -> (ChipletReport, ChipletReport) {
+) -> Result<(ChipletReport, ChipletReport), ChipletError> {
+    if techlib::faults::armed("chiplet.place") {
+        // Injected fault: physical design reports an unplaceable die.
+        return Err(ChipletError::PlacementInfeasible {
+            signals: logic.signal_pins,
+            slots: 0,
+        });
+    }
     let spec = InterposerSpec::for_kind(tech);
     let logic_report = analyze(logic, &spec, None);
     let matched = match tech {
@@ -94,7 +108,7 @@ pub fn analyze_pair(
         _ => None,
     };
     let mem_report = analyze(memory, &spec, matched);
-    (logic_report, mem_report)
+    Ok((logic_report, mem_report))
 }
 
 #[cfg(test)]
@@ -114,7 +128,7 @@ mod tests {
     #[test]
     fn full_table3_row_for_glass() {
         let (logic, mem) = netlists();
-        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Glass25D);
+        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Glass25D).unwrap();
         assert_eq!(rl.footprint_mm, 0.82);
         assert_eq!(rl.cell_count, 167_495);
         assert!((rl.total_power_mw() - 142.35).abs() / 142.35 < 0.06);
@@ -128,9 +142,9 @@ mod tests {
     #[test]
     fn stacked_pairs_share_footprints() {
         let (logic, mem) = netlists();
-        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Glass3D);
+        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Glass3D).unwrap();
         assert_eq!(rl.footprint_mm, rm.footprint_mm);
-        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Silicon3D);
+        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Silicon3D).unwrap();
         assert_eq!(rl.footprint_mm, 0.94);
         assert_eq!(rm.footprint_mm, 0.94);
     }
@@ -138,7 +152,7 @@ mod tests {
     #[test]
     fn sidebyside_pairs_differ() {
         let (logic, mem) = netlists();
-        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Silicon25D);
+        let (rl, rm) = analyze_pair(&logic, &mem, InterposerKind::Silicon25D).unwrap();
         assert!(rl.footprint_mm > rm.footprint_mm);
     }
 
@@ -146,7 +160,7 @@ mod tests {
     fn all_six_techs_produce_reports() {
         let (logic, mem) = netlists();
         for tech in InterposerKind::PACKAGED {
-            let (rl, rm) = analyze_pair(&logic, &mem, tech);
+            let (rl, rm) = analyze_pair(&logic, &mem, tech).unwrap();
             assert!(rl.fmax_mhz > 600.0 && rl.fmax_mhz < 720.0, "{tech}");
             assert!(rm.fmax_mhz > 600.0 && rm.fmax_mhz < 720.0, "{tech}");
             assert!(rl.wirelength_m > rm.wirelength_m, "{tech}");

@@ -78,7 +78,7 @@ pub fn solve_at(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, CircuitEr
             }
             Element::Inductor { a, b, henries } => {
                 // Branch: v_a - v_b - jωL·i = 0.
-                let br = layout.branch_of_element[ei].expect("inductor branch");
+                let br = layout.branch_of(ei)?;
                 let row = layout.branch_index(br);
                 if let Some(i) = layout.node_index(*a) {
                     m.add(row, i, Complex64::ONE);
@@ -91,7 +91,7 @@ pub fn solve_at(circuit: &Circuit, freq_hz: f64) -> Result<AcSolution, CircuitEr
                 m.add(row, row, Complex64::new(0.0, -omega * henries));
             }
             Element::VSource { a, b, wave } => {
-                let br = layout.branch_of_element[ei].expect("vsource branch");
+                let br = layout.branch_of(ei)?;
                 let row = layout.branch_index(br);
                 if let Some(i) = layout.node_index(*a) {
                     m.add(row, i, Complex64::ONE);

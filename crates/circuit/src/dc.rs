@@ -30,7 +30,12 @@ impl DcSolution {
     ///
     /// Returns `None` for elements without a branch variable.
     pub fn branch_current(&self, element_index: usize) -> Option<f64> {
-        self.layout.branch_of_element[element_index].map(|b| self.x[self.layout.branch_index(b)])
+        self.layout
+            .branch_of_element
+            .get(element_index)
+            .copied()
+            .flatten()
+            .map(|b| self.x[self.layout.branch_index(b)])
     }
 }
 
@@ -53,11 +58,11 @@ pub fn solve(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
             Element::Capacitor { .. } => {} // open at DC
             Element::Inductor { a: na, b: nb, .. } => {
                 // Short: v_a - v_b = 0 with a branch current.
-                let b = layout.branch_of_element[ei].expect("inductor has branch");
+                let b = layout.branch_of(ei)?;
                 stamp_branch(&mut a, &layout, *na, *nb, b, 0.0);
             }
             Element::VSource { a: na, b: nb, wave } => {
-                let b = layout.branch_of_element[ei].expect("vsource has branch");
+                let b = layout.branch_of(ei)?;
                 let row = layout.branch_index(b);
                 stamp_branch(&mut a, &layout, *na, *nb, b, 0.0);
                 rhs[row] = wave.at(0.0);

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! SPICE-lite circuit simulation.
 //!
 //! This crate stands in for the HSPICE / Keysight ADS / HyperLynx solver

@@ -93,6 +93,12 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Returns [`CircuitError::SingularMatrix`] if a pivot underflows.
     pub fn lu(mut self) -> Result<Lu<T>, CircuitError> {
+        if techlib::faults::armed("circuit.lu") {
+            // Injected fault: report the factorisation as singular at the
+            // first pivot, the same error a genuinely degenerate system
+            // would produce.
+            return Err(CircuitError::SingularMatrix { pivot: 0 });
+        }
         let n = self.n;
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {

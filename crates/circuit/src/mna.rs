@@ -5,6 +5,7 @@
 //! voltage source, in element order.
 
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::CircuitError;
 
 /// Index map from circuit entities to MNA unknowns.
 #[derive(Debug, Clone)]
@@ -55,6 +56,25 @@ impl MnaLayout {
     /// MNA row/column of a branch current.
     pub fn branch_index(&self, b: usize) -> usize {
         self.node_vars + b
+    }
+
+    /// The branch variable of element `ei`, as a typed error when absent
+    /// (only inductors and voltage sources carry one — hitting the error
+    /// indicates a layout/circuit mismatch, which the analyses report
+    /// instead of panicking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidElement`] when `ei` is out of range
+    /// or the element has no branch variable.
+    pub fn branch_of(&self, ei: usize) -> Result<usize, CircuitError> {
+        self.branch_of_element
+            .get(ei)
+            .copied()
+            .flatten()
+            .ok_or(CircuitError::InvalidElement {
+                reason: "element has no MNA branch variable",
+            })
     }
 }
 

@@ -134,7 +134,7 @@ impl Waveform {
                         return v0 + (v1 - v0) * (t - t0) / (t1 - t0).max(1e-18);
                     }
                 }
-                points.last().expect("non-empty").1
+                points.last().map_or(0.0, |&(_, v)| v)
             }
             Waveform::Prbs {
                 v0,

@@ -20,7 +20,7 @@
 //! supported.
 
 use crate::netlist::{Circuit, NodeId, Waveform};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Parse failures, with the offending line number (1-based).
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +97,7 @@ pub fn parse_value(token: &str) -> Option<f64> {
 pub fn parse(text: &str) -> Result<Deck, ParseError> {
     let mut circuit = Circuit::new();
     let mut nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut seen_names: HashSet<String> = HashSet::new();
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
@@ -104,17 +105,22 @@ pub fn parse(text: &str) -> Result<Deck, ParseError> {
         if trimmed.is_empty() || trimmed.starts_with('*') || trimmed.starts_with('.') {
             continue;
         }
-        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
-        let name = tokens[0];
-        let kind = name
-            .chars()
-            .next()
-            .expect("non-empty token")
-            .to_ascii_uppercase();
         let err = |reason: &str| ParseError {
             line,
             reason: reason.to_string(),
         };
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let Some((&name, _)) = tokens.split_first() else {
+            // A trimmed non-empty line always tokenizes, but keep the
+            // parser total rather than rely on that here.
+            continue;
+        };
+        let Some(kind) = name.chars().next().map(|c| c.to_ascii_uppercase()) else {
+            return Err(err("empty element name"));
+        };
+        if !seen_names.insert(name.to_ascii_lowercase()) {
+            return Err(err(&format!("duplicate element name {name:?}")));
+        }
         if tokens.len() < 4 {
             return Err(err("element needs at least 2 nodes and a value"));
         }
@@ -288,6 +294,14 @@ mod tests {
         assert!(e.reason.contains("unsupported"));
         let e = parse("R1 a 0\n").unwrap_err();
         assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_element_names_are_rejected() {
+        let e = parse("R1 a 0 1k\nr1 b 0 2k\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("duplicate"), "reason: {}", e.reason);
+        assert!(e.reason.contains("r1"), "reason names the element");
     }
 
     #[test]

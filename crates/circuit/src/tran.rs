@@ -76,11 +76,11 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
                 crate::dc::stamp_conductance(&mut m, &layout, *a, *b, 2.0 * farads / dt);
             }
             Element::Inductor { a, b, henries } => {
-                let br = layout.branch_of_element[ei].expect("inductor branch");
+                let br = layout.branch_of(ei)?;
                 crate::dc::stamp_branch(&mut m, &layout, *a, *b, br, 2.0 * henries / dt);
             }
             Element::VSource { a, b, .. } => {
-                let br = layout.branch_of_element[ei].expect("vsource branch");
+                let br = layout.branch_of(ei)?;
                 crate::dc::stamp_branch(&mut m, &layout, *a, *b, br, 0.0);
             }
             Element::ISource { .. } => {}
@@ -150,19 +150,15 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
                         rhs[j] -= ieq;
                     }
                 }
-                Element::Inductor { .. } => {
+                Element::Inductor { henries, .. } => {
                     let st = ind_state[li];
                     li += 1;
-                    let br = layout.branch_of_element[ei].expect("inductor branch");
-                    let henries = match e {
-                        Element::Inductor { henries, .. } => *henries,
-                        _ => unreachable!(),
-                    };
+                    let br = layout.branch_of(ei)?;
                     let r_eq = 2.0 * henries / dt;
                     rhs[layout.branch_index(br)] = -(r_eq * st.i_prev + st.v_prev);
                 }
                 Element::VSource { wave, .. } => {
-                    let br = layout.branch_of_element[ei].expect("vsource branch");
+                    let br = layout.branch_of(ei)?;
                     rhs[layout.branch_index(br)] = wave.at(t);
                 }
                 Element::ISource { a, b, wave } => {
@@ -194,7 +190,7 @@ pub fn simulate(circuit: &Circuit, config: &TranConfig) -> Result<TranResult, Ci
                     st.i_prev = i_new;
                 }
                 Element::Inductor { a, b, .. } => {
-                    let br = layout.branch_of_element[ei].expect("inductor branch");
+                    let br = layout.branch_of(ei)?;
                     let v = node_v(&x, *a, &layout) - node_v(&x, *b, &layout);
                     let st = &mut ind_state[li];
                     li += 1;

@@ -8,10 +8,13 @@
 //! references, so `flow::run_tech`, `table5::row`, `fullchip::fullchip`
 //! and the bench binaries all share one copy.
 //!
-//! Concurrency: single artifacts use one `OnceLock` each; the per-tech
-//! report pairs use one cell per technology, so parallel studies for
-//! different technologies never serialize behind each other. Errors are
-//! memoized too (cheaply cloned), keeping retry behaviour deterministic.
+//! Concurrency: the infallible [`design`] uses a `OnceLock`; the fallible
+//! artifacts use [`techlib::memo::MemoCell`], which memoizes **successes
+//! only** — an error is returned to the caller and the next call
+//! recomputes, so a transient or injected failure never poisons the
+//! cache for the rest of the process. The per-tech report pairs use one
+//! cell per technology, so parallel studies for different technologies
+//! never serialize behind each other.
 
 use crate::FlowError;
 use chiplet::report::ChipletReport;
@@ -20,6 +23,7 @@ use netlist::design::Design;
 use netlist::partition::Partition;
 use netlist::serdes::SerdesPlan;
 use std::sync::OnceLock;
+use techlib::memo::MemoCell;
 use techlib::spec::InterposerKind;
 
 /// The two-tile OpenPiton-like design (netlist front end input).
@@ -28,40 +32,36 @@ pub fn design() -> &'static Design {
     DESIGN.get_or_init(netlist::openpiton::two_tile_openpiton)
 }
 
+static SPLIT: MemoCell<Partition> = MemoCell::new();
+static NETLISTS: MemoCell<(ChipletNetlist, ChipletNetlist)> = MemoCell::new();
+static REPORTS: [MemoCell<(ChipletReport, ChipletReport)>; InterposerKind::COUNT] =
+    [const { MemoCell::new() }; InterposerKind::COUNT];
+
 /// The hierarchical L3 split of [`design`].
 ///
 /// # Errors
 ///
-/// Memoized partitioning failure.
+/// Partitioning failure (recomputed on the next call — only successes
+/// are memoized).
 pub fn split() -> Result<&'static Partition, FlowError> {
-    static SPLIT: OnceLock<Result<Partition, FlowError>> = OnceLock::new();
     SPLIT
-        .get_or_init(|| {
-            netlist::partition::hierarchical_l3_split(design()).map_err(FlowError::from)
-        })
-        .as_ref()
-        .map_err(Clone::clone)
+        .get_or_try(|| netlist::partition::hierarchical_l3_split(design()).map_err(FlowError::from))
 }
 
 /// The chipletized (logic, memory) netlists with the paper's SerDes plan.
 ///
 /// # Errors
 ///
-/// Memoized partitioning failure.
+/// Partitioning failure (not memoized).
 pub fn chiplet_netlists() -> Result<&'static (ChipletNetlist, ChipletNetlist), FlowError> {
-    static NETLISTS: OnceLock<Result<(ChipletNetlist, ChipletNetlist), FlowError>> =
-        OnceLock::new();
-    NETLISTS
-        .get_or_init(|| {
-            let split = split()?;
-            Ok(netlist::chiplet_netlist::chipletize(
-                design(),
-                split,
-                &SerdesPlan::paper(),
-            ))
-        })
-        .as_ref()
-        .map_err(Clone::clone)
+    NETLISTS.get_or_try(|| {
+        let split = split()?;
+        Ok(netlist::chiplet_netlist::chipletize(
+            design(),
+            split,
+            &SerdesPlan::paper(),
+        ))
+    })
 }
 
 /// The per-technology (logic, memory) chiplet reports (Tables II/III).
@@ -71,19 +71,29 @@ pub fn chiplet_netlists() -> Result<&'static (ChipletNetlist, ChipletNetlist), F
 ///
 /// # Errors
 ///
-/// Memoized partitioning failure.
+/// Partitioning or placement failure (not memoized).
 pub fn chiplet_reports(
     tech: InterposerKind,
 ) -> Result<&'static (ChipletReport, ChipletReport), FlowError> {
-    static CELLS: [OnceLock<Result<(ChipletReport, ChipletReport), FlowError>>;
-        InterposerKind::COUNT] = [const { OnceLock::new() }; InterposerKind::COUNT];
-    CELLS[tech.index()]
-        .get_or_init(|| {
-            let (logic_nl, mem_nl) = chiplet_netlists()?;
-            Ok(chiplet::report::analyze_pair(logic_nl, mem_nl, tech))
-        })
-        .as_ref()
-        .map_err(Clone::clone)
+    REPORTS[tech.index()].get_or_try(|| {
+        let (logic_nl, mem_nl) = chiplet_netlists()?;
+        chiplet::report::analyze_pair(logic_nl, mem_nl, tech).map_err(FlowError::from)
+    })
+}
+
+/// Forgets every fallible cached artifact in this crate *and* the
+/// downstream layout/thermal caches, so the next calls recompute from
+/// scratch. Test-only escape hatch used by the fault-injection suite to
+/// prove that a failed run leaves no stale state behind (cached values
+/// are leaked, keeping outstanding `&'static` borrows valid).
+pub fn reset_for_tests() {
+    SPLIT.reset();
+    NETLISTS.reset();
+    for cell in &REPORTS {
+        cell.reset();
+    }
+    interposer::report::reset_layout_cache_for_tests();
+    thermal::report::reset_report_cache_for_tests();
 }
 
 #[cfg(test)]
@@ -115,7 +125,8 @@ mod tests {
         assert_eq!(mem_nl.signal_pins, fresh_mem.signal_pins);
         let (logic, memory) = chiplet_reports(InterposerKind::Glass3D).unwrap();
         let (fl, fm) =
-            chiplet::report::analyze_pair(&fresh_logic, &fresh_mem, InterposerKind::Glass3D);
+            chiplet::report::analyze_pair(&fresh_logic, &fresh_mem, InterposerKind::Glass3D)
+                .unwrap();
         assert_eq!(logic.footprint_mm, fl.footprint_mm);
         assert_eq!(memory.fmax_mhz, fm.fmax_mhz);
         assert_eq!(logic.wirelength_m, fl.wirelength_m);

@@ -76,8 +76,8 @@ pub fn headline() -> Result<Headline, FlowError> {
     let z_si = ImpedanceProfile::sweep(InterposerKind::Silicon25D, 41)?.peak_ohm();
     let pi_improvement_x = z_si / z_g3;
 
-    let t_g3 = analyze_tech(InterposerKind::Glass3D);
-    let t_si = analyze_tech(InterposerKind::Silicon25D);
+    let t_g3 = analyze_tech(InterposerKind::Glass3D)?;
+    let t_si = analyze_tech(InterposerKind::Silicon25D)?;
     let thermal_increase_frac = t_g3.mem_peak_c / t_si.mem_peak_c - 1.0;
 
     Ok(Headline {

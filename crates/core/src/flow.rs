@@ -54,9 +54,11 @@ pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechS
         Some(cached_layout(tech)?.stats.clone())
     };
     // The link transients and the thermal solve touch no shared state, so
-    // they overlap when a worker is free.
+    // they overlap when a worker is free. Error priority mirrors the
+    // sequential statement order: links first, then thermal.
     let (links, thermal) = exec::join(|| row(tech, mode), || analyze_tech(tech));
     let links = links?;
+    let thermal = thermal?;
     // Roll up from the already-computed reports and links; the seed flow
     // called `fullchip()` here, which re-simulated both links.
     let fullchip = rollup(tech, logic, memory, &links);
@@ -79,9 +81,13 @@ pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechS
 ///
 /// # Errors
 ///
-/// Propagates per-technology failures (first failing technology in
+/// [`FlowError::InvalidConfig`] if `CODESIGN_THREADS` is set to garbage,
+/// otherwise per-technology failures (first failing technology in
 /// `PACKAGED` order, matching the sequential path).
 pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+    // Surface a malformed CODESIGN_THREADS as a typed error up front
+    // instead of silently falling back to the default parallelism.
+    techlib::par::try_thread_count()?;
     exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| run_tech_with(tech, mode))
 }
 

@@ -165,7 +165,8 @@ mod tests {
         let design = netlist::openpiton::two_tile_openpiton();
         let split = netlist::partition::hierarchical_l3_split(&design).unwrap();
         let (l, m) = netlist::chiplet_netlist::chipletize(&design, &split, &SerdesPlan::paper());
-        let (logic, memory) = chiplet::report::analyze_pair(&l, &m, InterposerKind::Glass25D);
+        let (logic, memory) =
+            chiplet::report::analyze_pair(&l, &m, InterposerKind::Glass25D).unwrap();
         let mono = monolithic_power_mw(&logic, &memory);
         // Paper: 330.92 mW.
         assert!((mono - 330.9).abs() / 330.9 < 0.08, "{mono}");

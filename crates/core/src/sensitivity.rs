@@ -2,6 +2,7 @@
 //! conclusion points at, quantified by sweeping one technology parameter
 //! at a time around the glass design point.
 
+use crate::FlowError;
 use chiplet::bumpmap::BumpPlan;
 use interposer::grid::RoutingGrid;
 use interposer::router::base_blockage;
@@ -25,9 +26,13 @@ pub struct SweepPoint {
 ///
 /// Shows where the die flips from bump-limited to cell-area-limited —
 /// the pitch below which further bump scaling stops paying.
-pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Vec<SweepPoint> {
+///
+/// # Errors
+///
+/// Propagates partitioning failures.
+pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
     let design = two_tile_openpiton();
-    let split = hierarchical_l3_split(&design).expect("openpiton splits");
+    let split = hierarchical_l3_split(&design)?;
     let (logic, _) = chipletize(&design, &split, &SerdesPlan::paper());
     pitches_um
         .iter()
@@ -36,10 +41,10 @@ pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Vec<SweepPoint> {
             spec.microbump_pitch_um = pitch;
             let bumps = BumpPlan::for_design(logic.signal_pins, logic.kind, &spec);
             let fp = chiplet::footprint::solve(&logic, &bumps, &spec, None);
-            SweepPoint {
+            Ok(SweepPoint {
                 x: pitch,
                 y: fp.width_um,
-            }
+            })
         })
         .collect()
 }
@@ -70,20 +75,26 @@ pub fn delay_vs_metal_thickness(thicknesses_um: &[f64]) -> Vec<SweepPoint> {
 /// routed, versus via diameter (µm). The 22 µm via is the root cause of
 /// the glass detour effect; this sweep shows how much smaller vias would
 /// relieve it.
-pub fn blockage_vs_via_size(via_sizes_um: &[f64]) -> Vec<SweepPoint> {
+///
+/// # Errors
+///
+/// [`FlowError::Route`] if a swept via size produces a degenerate
+/// routing grid.
+pub fn blockage_vs_via_size(via_sizes_um: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
     let placement = interposer::diemap::place_dies(InterposerKind::Glass25D);
     via_sizes_um
         .iter()
         .map(|&v| {
             let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
             spec.via_size_um = v;
-            let grid = RoutingGrid::new(placement.footprint_um, &spec).expect("grid");
+            let grid = RoutingGrid::new(placement.footprint_um, &spec)
+                .map_err(|reason| interposer::RouteError::BadGrid { reason })?;
             let base = base_blockage(&placement, &grid);
             let blocked = base.iter().filter(|&&u| u >= grid.capacity).count();
-            SweepPoint {
+            Ok(SweepPoint {
                 x: v,
                 y: blocked as f64 / base.len() as f64,
-            }
+            })
         })
         .collect()
 }
@@ -94,13 +105,13 @@ mod tests {
 
     #[test]
     fn footprint_shrinks_with_pitch_until_cell_limited() {
-        let points = footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0]);
+        let points = footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0]).unwrap();
         // Monotone non-decreasing in pitch.
         for w in points.windows(2) {
             assert!(w[1].y >= w[0].y, "{points:?}");
         }
         // At tiny pitch the cell-area limit takes over: width saturates.
-        let tiny = footprint_vs_bump_pitch(&[5.0, 10.0]);
+        let tiny = footprint_vs_bump_pitch(&[5.0, 10.0]).unwrap();
         assert_eq!(tiny[0].y, tiny[1].y, "cell-limited floor");
     }
 
@@ -114,7 +125,7 @@ mod tests {
 
     #[test]
     fn smaller_vias_unblock_the_grid() {
-        let points = blockage_vs_via_size(&[4.0, 10.0, 22.0, 30.0]);
+        let points = blockage_vs_via_size(&[4.0, 10.0, 22.0, 30.0]).unwrap();
         for w in points.windows(2) {
             assert!(w[1].y >= w[0].y, "{points:?}");
         }

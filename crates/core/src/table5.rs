@@ -54,12 +54,27 @@ pub fn channels_for(
     tech: InterposerKind,
     mode: MonitorLengths,
 ) -> Result<(ChannelKind, ChannelKind), FlowError> {
+    if techlib::faults::armed("extract.channels") {
+        // Injected fault: report the monitored-net extraction as a deck
+        // parse failure, the shape a malformed channel table produces.
+        return Err(FlowError::Parse(circuit::parser::ParseError {
+            line: 0,
+            reason: format!("injected channel-extraction fault for {tech}"),
+        }));
+    }
     let spec = techlib::spec::InterposerSpec::for_kind(tech);
     match spec.stacking {
         Stacking::TsvStack => Ok((ChannelKind::MicroBump, ChannelKind::BackToBackTsv)),
         Stacking::Embedded => {
             let l2l_len = match mode {
-                MonitorLengths::Paper => paper_lengths(tech).expect("glass 3D in table").1,
+                MonitorLengths::Paper => {
+                    let Some((_, l2l)) = paper_lengths(tech) else {
+                        return Err(FlowError::InvalidConfig {
+                            reason: format!("no paper Table V lengths for {tech}"),
+                        });
+                    };
+                    l2l
+                }
                 MonitorLengths::Routed => cached_layout(tech)?.worst_net_um(NetClass::InterTile),
             };
             Ok((
@@ -72,7 +87,14 @@ pub fn channels_for(
         }
         Stacking::SideBySide => {
             let (l2m, l2l) = match mode {
-                MonitorLengths::Paper => paper_lengths(tech).expect("2.5D tech in table"),
+                MonitorLengths::Paper => {
+                    let Some(lens) = paper_lengths(tech) else {
+                        return Err(FlowError::InvalidConfig {
+                            reason: format!("no paper Table V lengths for {tech}"),
+                        });
+                    };
+                    lens
+                }
                 MonitorLengths::Routed => {
                     let layout = cached_layout(tech)?;
                     (

@@ -8,6 +8,7 @@
 use crate::grid::RoutingGrid;
 use crate::report::InterposerLayout;
 use crate::router::base_blockage;
+use crate::RouteError;
 use serde::Serialize;
 use std::fmt::Write as _;
 use techlib::spec::InterposerSpec;
@@ -39,10 +40,15 @@ pub struct CongestionMap {
 }
 
 /// Computes the congestion map of `layout`.
-pub fn analyze(layout: &InterposerLayout) -> CongestionMap {
+///
+/// # Errors
+///
+/// Returns [`RouteError::BadGrid`] if the layout's footprint cannot host
+/// a routing grid (degenerate dimensions).
+pub fn analyze(layout: &InterposerLayout) -> Result<CongestionMap, RouteError> {
     let spec = InterposerSpec::for_kind(layout.placement.tech);
     let grid = RoutingGrid::new(layout.placement.footprint_um, &spec)
-        .expect("routed layout has a valid grid");
+        .map_err(|reason| RouteError::BadGrid { reason })?;
     let mut usage = base_blockage(&layout.placement, &grid);
     for net in &layout.routed_nets {
         for w in net.path.windows(2) {
@@ -77,12 +83,12 @@ pub fn analyze(layout: &InterposerLayout) -> CongestionMap {
         });
         demand.push(slice);
     }
-    CongestionMap {
+    Ok(CongestionMap {
         dims: (grid.cols, grid.rows, grid.layers),
         demand,
         capacity: grid.capacity,
         layers,
-    }
+    })
 }
 
 /// Renders one layer of the congestion map as an SVG heat map
@@ -123,15 +129,15 @@ mod tests {
 
     #[test]
     fn glass_is_more_congested_than_silicon() {
-        let gl = analyze(cached_layout(InterposerKind::Glass25D).unwrap());
-        let si = analyze(cached_layout(InterposerKind::Silicon25D).unwrap());
+        let gl = analyze(cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
+        let si = analyze(cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
         let hot = |m: &CongestionMap| m.layers.iter().map(|l| l.hot_gcells).sum::<usize>();
         assert!(hot(&gl) > 3 * hot(&si), "{} vs {}", hot(&gl), hot(&si));
     }
 
     #[test]
     fn top_layer_carries_the_pad_blockage() {
-        let m = analyze(cached_layout(InterposerKind::Glass25D).unwrap());
+        let m = analyze(cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
         // Layer 0 holds every landing pad: it must show the most hot
         // gcells of any layer.
         let top = m.layers[0].hot_gcells;
@@ -147,7 +153,7 @@ mod tests {
 
     #[test]
     fn svg_renders_only_used_cells() {
-        let m = analyze(cached_layout(InterposerKind::Glass3D).unwrap());
+        let m = analyze(cached_layout(InterposerKind::Glass3D).unwrap()).unwrap();
         let svg = render_layer(&m, 0, 4.0);
         assert!(svg.starts_with("<svg"));
         let rects = svg.matches("<rect").count();
@@ -157,7 +163,7 @@ mod tests {
 
     #[test]
     fn utilisation_stats_are_sane() {
-        let m = analyze(cached_layout(InterposerKind::Shinko).unwrap());
+        let m = analyze(cached_layout(InterposerKind::Shinko).unwrap()).unwrap();
         for l in &m.layers {
             assert!(l.mean_utilisation >= 0.0);
             assert!(l.peak_utilisation >= l.mean_utilisation);

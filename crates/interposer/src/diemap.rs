@@ -73,7 +73,7 @@ fn edge_cluster_map(bumps: &BumpPlan, intra: usize, inter: usize, edge: Edge) ->
             Edge::Right => -x,
         }
     };
-    sig_pos.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite"));
+    sig_pos.sort_by(|a, b| key(a).total_cmp(&key(b)));
     let mut edge_bumps: Vec<(usize, f64, f64)> = sig_pos[..inter].to_vec();
     // Order along the edge for rank matching between partner dies.
     edge_bumps.sort_by(|a, b| {
@@ -81,7 +81,7 @@ fn edge_cluster_map(bumps: &BumpPlan, intra: usize, inter: usize, edge: Edge) ->
             Edge::Top | Edge::Bottom => p.1,
             Edge::Left | Edge::Right => p.2,
         };
-        along(a).partial_cmp(&along(b)).expect("finite")
+        along(a).total_cmp(&along(b))
     });
     let mut rest: Vec<usize> = sig_pos[inter..].iter().map(|&(i, _, _)| i).collect();
     rest.sort_unstable();
@@ -138,14 +138,16 @@ impl DiePlacement {
     }
 
     /// Manhattan distance between the endpoints of `net`, µm (lateral
-    /// nets; zero for stacked-via columns).
+    /// nets; zero for stacked-via columns). Nets whose endpoint bumps do
+    /// not exist contribute zero length — the router reports them as
+    /// unroutable instead.
     pub fn net_manhattan_um(&self, net: &NetSpec) -> f64 {
-        let a = self.dies[net.from.0]
-            .signal_position(net.from.1)
-            .expect("valid source bump");
-        let b = self.dies[net.to.0]
-            .signal_position(net.to.1)
-            .expect("valid target bump");
+        let (Some(a), Some(b)) = (
+            self.dies[net.from.0].signal_position(net.from.1),
+            self.dies[net.to.0].signal_position(net.to.1),
+        ) else {
+            return 0.0;
+        };
         (a.0 - b.0).abs() + (a.1 - b.1).abs()
     }
 }

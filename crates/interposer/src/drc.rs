@@ -10,6 +10,7 @@ use crate::diemap::NetClass;
 use crate::grid::RoutingGrid;
 use crate::report::InterposerLayout;
 use crate::router::base_blockage;
+use crate::RouteError;
 use serde::Serialize;
 use techlib::spec::InterposerSpec;
 
@@ -88,22 +89,30 @@ impl DrcReport {
 }
 
 /// Runs all checks on `layout`.
-pub fn check(layout: &InterposerLayout) -> DrcReport {
+///
+/// # Errors
+///
+/// Returns [`RouteError::BadGrid`] if the layout's footprint cannot host
+/// a routing grid. Malformed nets (missing endpoint bumps) are reported
+/// as [`Violation::OpenNet`] entries rather than errors.
+pub fn check(layout: &InterposerLayout) -> Result<DrcReport, RouteError> {
     let spec = InterposerSpec::for_kind(layout.placement.tech);
     let grid = RoutingGrid::new(layout.placement.footprint_um, &spec)
-        .expect("routed layout has a valid grid");
+        .map_err(|reason| RouteError::BadGrid { reason })?;
     let mut violations = Vec::new();
 
     // Per-net path legality + endpoint connectivity.
     for net in &layout.routed_nets {
         let spec_net = &layout.placement.nets[net.id];
         debug_assert_ne!(spec_net.class, NetClass::IntraTileStackedVia);
-        let src = layout.placement.dies[spec_net.from.0]
-            .signal_position(spec_net.from.1)
-            .expect("bump exists");
-        let dst = layout.placement.dies[spec_net.to.0]
-            .signal_position(spec_net.to.1)
-            .expect("bump exists");
+        let (Some(src), Some(dst)) = (
+            layout.placement.dies[spec_net.from.0].signal_position(spec_net.from.1),
+            layout.placement.dies[spec_net.to.0].signal_position(spec_net.to.1),
+        ) else {
+            // An endpoint bump that does not exist can never be connected.
+            violations.push(Violation::OpenNet { net: net.id });
+            continue;
+        };
         let src_g = grid.gcell_of(src.0, src.1);
         let dst_g = grid.gcell_of(dst.0, dst.1);
         match (net.path.first(), net.path.last()) {
@@ -190,11 +199,11 @@ pub fn check(layout: &InterposerLayout) -> DrcReport {
         }
     }
 
-    DrcReport {
+    Ok(DrcReport {
         violations,
         nets_checked: layout.routed_nets.len(),
         used_gcells,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +221,7 @@ mod tests {
         // limitation, bounded here at 1 % of the used gcells.
         for tech in InterposerKind::INTERPOSER_BASED {
             let layout = cached_layout(tech).unwrap();
-            let report = check(layout);
+            let report = check(layout).unwrap();
             assert!(
                 report.connectivity_clean(),
                 "{tech}: non-overflow violations"
@@ -234,7 +243,7 @@ mod tests {
             assert!(report.used_gcells > 0);
         }
         // The capacity-rich silicon interposer is fully clean.
-        let report = check(cached_layout(InterposerKind::Silicon25D).unwrap());
+        let report = check(cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
         assert!(
             report.is_clean(),
             "silicon: {:?}",
@@ -253,7 +262,7 @@ mod tests {
                 last.1 = 0;
             }
         }
-        let report = check(&bad);
+        let report = check(&bad).unwrap();
         assert!(!report.is_clean());
         assert!(report
             .violations
@@ -270,7 +279,7 @@ mod tests {
                 net.path[1].2 = 99;
             }
         }
-        let report = check(&bad);
+        let report = check(&bad).unwrap();
         assert!(report
             .violations
             .iter()

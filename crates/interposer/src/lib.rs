@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Interposer place and route (Section VI, Table IV).
 //!
 //! Given the four chiplets of the two-tile design (two logic, two memory),

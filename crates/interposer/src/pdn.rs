@@ -102,7 +102,11 @@ impl PdnPlan {
     /// crosses its core and build-up stack.
     pub fn supply_path_length_um(&self) -> f64 {
         let spec = InterposerSpec::for_kind(self.tech);
-        let stack = techlib::stackup::Stackup::from_spec(&spec).expect("valid stackup");
+        let Ok(stack) = techlib::stackup::Stackup::from_spec(&spec) else {
+            // No package cross-section (monolithic baseline): the supply
+            // reaches the die without crossing an interposer.
+            return 0.0;
+        };
         match spec.stacking {
             // Embedded memory die sits at the RDL: supply enters through
             // TGVs but reaches the dies after only the thin build-up.

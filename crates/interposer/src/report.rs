@@ -54,6 +54,9 @@ impl InterposerLayout {
     }
 }
 
+static LAYOUT_CELLS: [techlib::memo::MemoCell<InterposerLayout>; InterposerKind::COUNT] =
+    [const { techlib::memo::MemoCell::new() }; InterposerKind::COUNT];
+
 /// Returns a process-wide cached layout for `tech`, computing it on first
 /// use. Placement and routing are deterministic, so sharing the result is
 /// safe; downstream analyses (SI, PI, full-chip roll-ups, benches) reuse
@@ -62,17 +65,24 @@ impl InterposerLayout {
 /// Each technology has its own cache cell, so concurrent first calls for
 /// *different* technologies place-and-route in parallel; concurrent calls
 /// for the *same* technology block until the one computation finishes.
+/// Only **successes** are memoised: an error is returned to the caller
+/// and the next call re-runs place-and-route, so transient or injected
+/// failures never poison the cache.
 ///
 /// # Errors
 ///
 /// Same as [`place_and_route`].
 pub fn cached_layout(tech: InterposerKind) -> Result<&'static InterposerLayout, RouteError> {
-    use std::sync::OnceLock;
-    static CELLS: [OnceLock<Result<&'static InterposerLayout, RouteError>>; InterposerKind::COUNT] =
-        [const { OnceLock::new() }; InterposerKind::COUNT];
-    CELLS[tech.index()]
-        .get_or_init(|| place_and_route(tech).map(|layout| &*Box::leak(Box::new(layout))))
-        .clone()
+    LAYOUT_CELLS[tech.index()].get_or_try(|| place_and_route(tech))
+}
+
+/// Forgets every cached layout so the next [`cached_layout`] call
+/// re-routes. Test-only escape hatch (cached values are leaked, keeping
+/// outstanding `&'static` borrows valid).
+pub fn reset_layout_cache_for_tests() {
+    for cell in &LAYOUT_CELLS {
+        cell.reset();
+    }
 }
 
 /// Places the four chiplets and routes every lateral net for `tech`.

@@ -186,6 +186,11 @@ pub fn route_all_with_workers(
     grid: &RoutingGrid,
     workers: usize,
 ) -> Result<Vec<RoutedNet>, RouteError> {
+    if techlib::faults::armed("router.escape") {
+        // Injected fault: the escape/channel router gives up on the first
+        // net, the same typed error a congested grid would produce.
+        return Err(RouteError::Unroutable { net: 0 });
+    }
     let base = base_blockage(placement, grid);
     let mut usage: Vec<f64> = base.clone();
     let mut history: Vec<f64> = vec![0.0; grid.node_count()];

@@ -218,7 +218,7 @@ pub fn fm_bipartition(graph: &ClusterGraph, config: &FmConfig) -> FmResult {
         let best_prefix = log
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite cuts"))
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
             .map(|(i, &(_, c))| (i, c));
         match best_prefix {
             Some((i, c)) if c < best_cut - 1e-9 => {
@@ -249,17 +249,22 @@ pub fn fm_bipartition(graph: &ClusterGraph, config: &FmConfig) -> FmResult {
 /// assignments and returns the best result — the standard remedy for FM's
 /// sensitivity to its starting point.
 pub fn fm_multistart(graph: &ClusterGraph, config: &FmConfig, starts: usize) -> FmResult {
-    assert!(starts > 0, "need at least one start");
-    (0..starts)
-        .map(|i| {
-            let cfg = FmConfig {
-                seed: config.seed.wrapping_add(i as u64 * 0x9e37_79b9),
-                ..config.clone()
-            };
-            fm_bipartition(graph, &cfg)
-        })
-        .min_by(|a, b| a.cut.partial_cmp(&b.cut).expect("finite cuts"))
-        .expect("at least one start")
+    let mut best: Option<FmResult> = None;
+    for i in 0..starts {
+        let cfg = FmConfig {
+            seed: config.seed.wrapping_add(i as u64 * 0x9e37_79b9),
+            ..config.clone()
+        };
+        let r = fm_bipartition(graph, &cfg);
+        // Strict `<` keeps the earliest of equally good starts, matching
+        // a sequential min over the runs.
+        if best.as_ref().is_none_or(|b| r.cut < b.cut) {
+            best = Some(r);
+        }
+    }
+    // `starts == 0` degenerates to a single run from the base seed
+    // rather than panicking.
+    best.unwrap_or_else(|| fm_bipartition(graph, config))
 }
 
 /// Explodes a module-level [`Design`] into a cluster graph.

@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Hierarchical netlist model and chipletization for the co-design flow.
 //!
 //! The paper starts from the OpenPiton RISC-V architecture, generates a

@@ -10,6 +10,7 @@
 //! the two tiles' NoC routers.
 
 use crate::design::{Design, Module, ModuleId};
+use crate::NetlistError;
 use techlib::cells::CellClass;
 
 /// Inter-tile bus structure: six 64-bit NoC buses plus 20 control wires.
@@ -72,13 +73,7 @@ fn module_mix(name: &str) -> Vec<(CellClass, f64)> {
     }
 }
 
-fn tile_edges(d: &mut Design, ids: &[(String, ModuleId)], tile: usize) {
-    let find = |name: &str| -> ModuleId {
-        ids.iter()
-            .find(|(n, _)| n == &format!("tile{tile}.{name}"))
-            .expect("module exists")
-            .1
-    };
+fn tile_edges(d: &mut Design, tile: usize) -> Result<(), NetlistError> {
     // Intra-tile connectivity (widths chosen to model the OpenPiton
     // micro-architecture; only the L2<->L3 cut of 231 is load-bearing).
     let pairs: [(&str, &str, usize); 7] = [
@@ -91,55 +86,72 @@ fn tile_edges(d: &mut Design, ids: &[(String, ModuleId)], tile: usize) {
         ("l3_intf", "l3", 512),
     ];
     for (a, b, w) in pairs {
-        d.add_edge(find(a), find(b), w).expect("modules exist");
+        let from = d.find(&format!("tile{tile}.{a}"))?;
+        let to = d.find(&format!("tile{tile}.{b}"))?;
+        d.add_edge(from, to, w)?;
     }
     // The logic<->memory chiplet boundary: L2 to the L3 interface.
-    d.add_edge(find("l2"), find("l3_intf"), INTRA_TILE_CUT)
-        .expect("modules exist");
+    let l2 = d.find(&format!("tile{tile}.l2"))?;
+    let intf = d.find(&format!("tile{tile}.l3_intf"))?;
+    d.add_edge(l2, intf, INTRA_TILE_CUT)?;
+    Ok(())
 }
 
-/// Builds the two-tile OpenPiton-like design used throughout the study.
-pub fn two_tile_openpiton() -> Design {
+fn try_two_tile() -> Result<Design, NetlistError> {
     let mut d = Design::new("openpiton-2tile");
-    let mut ids: Vec<(String, ModuleId)> = Vec::new();
     for tile in 0..2 {
         for name in TILE_MODULES {
-            let full = format!("tile{tile}.{name}");
-            let id = d.add_module(Module {
-                name: full.clone(),
+            d.add_module(Module {
+                name: format!("tile{tile}.{name}"),
                 cell_count: module_cells(name),
                 mix: module_mix(name),
                 tile,
             });
-            ids.push((full, id));
         }
     }
     for tile in 0..2 {
-        tile_edges(&mut d, &ids, tile);
+        tile_edges(&mut d, tile)?;
     }
     // Inter-tile NoC link: 6 × 64-bit buses + 20 control signals.
-    let noc0 = d.find("tile0.noc").expect("exists");
-    let noc1 = d.find("tile1.noc").expect("exists");
+    let noc0 = d.find("tile0.noc")?;
+    let noc1 = d.find("tile1.noc")?;
     for _ in 0..INTER_TILE_BUSES {
-        d.add_edge(noc0, noc1, INTER_TILE_BUS_WIDTH).expect("ok");
+        d.add_edge(noc0, noc1, INTER_TILE_BUS_WIDTH)?;
     }
-    d.add_edge(noc0, noc1, INTER_TILE_CTRL).expect("ok");
-    d
+    d.add_edge(noc0, noc1, INTER_TILE_CTRL)?;
+    Ok(d)
+}
+
+/// Builds the two-tile OpenPiton-like design used throughout the study.
+pub fn two_tile_openpiton() -> Design {
+    match try_two_tile() {
+        Ok(d) => d,
+        // The generator only references modules it just created from
+        // compile-time constants, so the fallible builder cannot fail on
+        // any input a caller controls.
+        Err(e) => unreachable!("constant benchmark design is well-formed: {e}"),
+    }
 }
 
 /// Module ids of the memory-chiplet group (L3 + interface) of `tile`.
+///
+/// Modules missing from `design` are silently skipped: downstream
+/// partitioning reports an empty or undersized group as a typed error.
 pub fn memory_group(design: &Design, tile: usize) -> Vec<ModuleId> {
     ["l3_intf", "l3"]
         .iter()
-        .map(|name| design.find(&format!("tile{tile}.{name}")).expect("exists"))
+        .filter_map(|name| design.find(&format!("tile{tile}.{name}")).ok())
         .collect()
 }
 
 /// Module ids of the logic-chiplet group of `tile`.
+///
+/// Modules missing from `design` are silently skipped (see
+/// [`memory_group`]).
 pub fn logic_group(design: &Design, tile: usize) -> Vec<ModuleId> {
     ["core", "fpu", "ccx", "l1", "l2", "noc"]
         .iter()
-        .map(|name| design.find(&format!("tile{tile}.{name}")).expect("exists"))
+        .filter_map(|name| design.find(&format!("tile{tile}.{name}")).ok())
         .collect()
 }
 

@@ -96,6 +96,11 @@ pub fn cut_between(design: &Design, a: &[ModuleId], b: &[ModuleId]) -> usize {
 ///
 /// Propagates [`NetlistError`] if the expected OpenPiton modules are absent.
 pub fn hierarchical_l3_split(design: &Design) -> Result<Partition, NetlistError> {
+    if techlib::faults::armed("partition.split") {
+        // Injected fault: the partitioner reports a degenerate split, the
+        // same typed error a pathological design would produce.
+        return Err(NetlistError::EmptySide);
+    }
     hierarchical_l3_split_of_tile(design, 0)
 }
 
@@ -199,11 +204,15 @@ pub fn flattened_fm_split(
             }
         }
         // Map back to the original design's module id.
-        let orig = map
+        let Some(orig) = map
             .iter()
             .find(|&(_, &v)| v == ModuleId(mi))
             .map(|(&k, _)| k)
-            .expect("module mapped");
+        else {
+            // Every sub-design module came from `map`; failing to invert
+            // it means the design mutated mid-split.
+            return Err(NetlistError::UnknownModule(m.name.clone()));
+        };
         if weight_on_mem > total / 2.0 {
             memory.push(orig);
         } else {

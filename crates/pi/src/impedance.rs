@@ -46,12 +46,7 @@ impl ImpedanceProfile {
     pub fn at(&self, freq_hz: f64) -> f64 {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - freq_hz)
-                    .abs()
-                    .partial_cmp(&(b.0 - freq_hz).abs())
-                    .expect("finite")
-            })
+            .min_by(|a, b| (a.0 - freq_hz).abs().total_cmp(&(b.0 - freq_hz).abs()))
             .map(|&(_, z)| z)
             .unwrap_or(f64::NAN)
     }

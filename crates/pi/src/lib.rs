@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Power-integrity analysis (Section VII-D, Fig. 15, Table IV).
 //!
 //! * [`pdn_model`] — the PDN ladder for each technology: VRM and board,

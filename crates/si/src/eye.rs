@@ -232,7 +232,9 @@ fn measure_eye(
                 }
             }
         }
-        acc.expect("at least one source")
+        acc.ok_or(CircuitError::InvalidParameter {
+            parameter: "sources",
+        })?
     };
     let times = &times;
 

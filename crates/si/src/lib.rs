@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Signal-integrity analysis (Section VII, Tables V/VI, Fig. 14).
 //!
 //! * [`rlgc`] — analytic per-unit-length RLGC extraction from each

@@ -194,7 +194,11 @@ fn deck_t50_and_charge(
         .ok_or(CircuitError::InvalidParameter { parameter: "t50" })?
         - (STEP_DELAY_S + STEP_EDGE_S / 2.0);
     // Charge drawn by the source over the transition.
-    let i = result.branch_current(src).expect("tx source branch");
+    let i = result
+        .branch_current(src)
+        .ok_or(CircuitError::InvalidElement {
+            reason: "tx source has no branch current",
+        })?;
     let mut charge = 0.0;
     for k in 1..result.times.len() {
         charge += 0.5 * (i[k] + i[k - 1]) * (result.times[k] - result.times[k - 1]);
@@ -208,6 +212,11 @@ fn deck_t50_and_charge(
 ///
 /// Propagates solver failures from the transient analysis.
 pub fn simulate_link(channel: &ChannelKind) -> Result<LinkReport, CircuitError> {
+    if techlib::faults::armed("si.link") {
+        // Injected fault: report the link deck as singular, the same
+        // error a degenerate MNA system would produce.
+        return Err(CircuitError::SingularMatrix { pivot: 0 });
+    }
     let tech = channel.tech();
     let driver = IoDriver::aib();
     let bump = BumpModel::microbump(&InterposerSpec::for_kind(tech));

@@ -1,0 +1,167 @@
+//! Deterministic fault injection for flow robustness testing.
+//!
+//! Every fallible stage of the co-design flow declares a **named fault
+//! site** (see [`SITES`]) and checks it at its entry point:
+//!
+//! ```ignore
+//! if techlib::faults::armed("router.escape") {
+//!     return Err(RouteError::Unroutable { net: 0 });
+//! }
+//! ```
+//!
+//! Sites are armed either programmatically ([`arm`] / [`Site::arm`], used
+//! by `tests/flow_faults.rs`) or via the `CODESIGN_FAULTS` environment
+//! variable (`CODESIGN_FAULTS=router.escape,thermal.sor`), which is read
+//! once when the armed set is first consulted. Arming is a plain global
+//! set lookup — no counters, no randomness, no thread-local state — so an
+//! armed site fires on **every** traversal, which is what makes injected
+//! failures deterministic regardless of the worker count: the parallel
+//! flow and the sequential flow hit exactly the same error at exactly the
+//! same stage.
+//!
+//! The injected error is always the *natural* typed error of the faulted
+//! stage (a singular pivot for `circuit.lu`, an unroutable net for
+//! `router.escape`, ...), so fault tests exercise the same propagation
+//! path a real failure would take.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Environment variable holding a comma-separated list of sites to arm.
+pub const FAULTS_ENV: &str = "CODESIGN_FAULTS";
+
+/// Every fault site compiled into the workspace, one per flow stage
+/// boundary plus the two inner numeric loops (LU factorisation and SOR
+/// convergence). Arming a name outside this list is accepted (it simply
+/// never fires) but reported once on stderr as a likely typo.
+pub const SITES: &[&str] = &[
+    "partition.split",  // netlist: hierarchical L3 split
+    "chiplet.place",    // chiplet: macro placement / die sizing
+    "router.escape",    // interposer: escape + channel routing
+    "extract.channels", // core: channel-length extraction for Table V
+    "si.link",          // si: link deck simulation
+    "thermal.solve",    // thermal: per-tech analysis entry
+    "circuit.lu",       // circuit: LU factorisation inner loop
+    "thermal.sor",      // thermal: SOR convergence loop
+];
+
+fn armed_set() -> &'static Mutex<BTreeSet<String>> {
+    static SET: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut set = BTreeSet::new();
+        if let Ok(raw) = std::env::var(FAULTS_ENV) {
+            for name in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                if !SITES.contains(&name) {
+                    eprintln!(
+                        "warning: {FAULTS_ENV} names unknown fault site {name:?} \
+                         (known sites: {SITES:?})"
+                    );
+                }
+                set.insert(name.to_string());
+            }
+        }
+        Mutex::new(set)
+    })
+}
+
+fn lock() -> MutexGuard<'static, BTreeSet<String>> {
+    // A poisoned lock only means another thread panicked while holding
+    // it; the set itself is always in a consistent state.
+    armed_set().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when the named site is currently armed.
+pub fn armed(name: &str) -> bool {
+    lock().contains(name)
+}
+
+/// Arms `name` for the rest of the process (or until [`disarm`]).
+pub fn arm(name: &str) {
+    lock().insert(name.to_string());
+}
+
+/// Disarms `name`.
+pub fn disarm(name: &str) {
+    lock().remove(name);
+}
+
+/// Disarms every site.
+pub fn clear() {
+    lock().clear();
+}
+
+/// A handle to a named fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site(&'static str);
+
+/// Looks up the handle for a named site.
+pub const fn site(name: &'static str) -> Site {
+    Site(name)
+}
+
+impl Site {
+    /// The site's name.
+    pub fn name(self) -> &'static str {
+        self.0
+    }
+
+    /// True when this site is armed.
+    pub fn armed(self) -> bool {
+        armed(self.0)
+    }
+
+    /// Arms the site, returning a guard that disarms it on drop —
+    /// the form tests use so a failing assertion cannot leave the site
+    /// armed for unrelated tests.
+    pub fn arm(self) -> ArmGuard {
+        arm(self.0);
+        ArmGuard(self.0)
+    }
+}
+
+/// RAII guard from [`Site::arm`]; disarms the site when dropped.
+#[derive(Debug)]
+pub struct ArmGuard(&'static str);
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        disarm(self.0);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_and_disarming_round_trips() {
+        // One test exercises the whole lifecycle so the shared global
+        // set never sees interleaved arming from parallel tests.
+        assert!(!armed("router.escape"));
+        arm("router.escape");
+        assert!(armed("router.escape"));
+        assert!(site("router.escape").armed());
+        disarm("router.escape");
+        assert!(!armed("router.escape"));
+
+        {
+            let _guard = site("circuit.lu").arm();
+            assert!(armed("circuit.lu"));
+        }
+        assert!(!armed("circuit.lu"), "guard disarms on drop");
+
+        arm("thermal.sor");
+        arm("si.link");
+        clear();
+        assert!(!armed("thermal.sor"));
+        assert!(!armed("si.link"));
+    }
+
+    #[test]
+    fn every_registered_site_has_a_stage_prefix() {
+        for s in SITES {
+            assert!(s.contains('.'), "site {s:?} must be stage-qualified");
+        }
+    }
+}

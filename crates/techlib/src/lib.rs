@@ -27,8 +27,10 @@
 pub mod bump;
 pub mod calib;
 pub mod cells;
+pub mod faults;
 pub mod iodriver;
 pub mod material;
+pub mod memo;
 pub mod par;
 pub mod reliability;
 pub mod spec;

@@ -1,0 +1,144 @@
+//! Success-only memoisation cells for process-wide artifacts.
+//!
+//! The flow layers cache expensive intermediate products (the split
+//! design, routed layouts, thermal reports) behind `&'static` references
+//! so six technology studies can share them without cloning. A plain
+//! `OnceLock<Result<T, E>>` would also memoise the *first error forever*,
+//! poisoning every later request in the process — exactly the wrong
+//! behaviour for transient failures and for fault injection. [`MemoCell`]
+//! therefore stores **successes only**: an `Err` is returned to the
+//! caller and the cell stays empty, so the next call recomputes.
+//!
+//! [`MemoCell::reset`] (used by test harnesses between fault scenarios)
+//! forgets the cached value. The old boxed value is intentionally leaked
+//! so previously handed-out `&'static` references remain valid.
+
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A process-wide cache slot that memoises successful computations only.
+pub struct MemoCell<T: 'static> {
+    slot: RwLock<Option<&'static T>>,
+}
+
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> MemoCell<T> {
+    /// Creates an empty cell (usable in `static` position).
+    pub const fn new() -> MemoCell<T> {
+        MemoCell {
+            slot: RwLock::new(None),
+        }
+    }
+
+    /// Returns the cached value, or runs `f` and caches its result —
+    /// **only if it succeeded**. Errors are passed through uncached, so a
+    /// later call retries.
+    ///
+    /// Concurrent first calls serialize on the cell's write lock: one
+    /// caller computes, the rest wait and reuse its success (or recompute
+    /// in turn after its failure). `f` must not re-enter the same cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `f` without caching it.
+    pub fn get_or_try<E>(&self, f: impl FnOnce() -> Result<T, E>) -> Result<&'static T, E> {
+        if let Some(v) = *read(&self.slot) {
+            return Ok(v);
+        }
+        let mut guard = write(&self.slot);
+        if let Some(v) = *guard {
+            return Ok(v);
+        }
+        let v: &'static T = Box::leak(Box::new(f()?));
+        *guard = Some(v);
+        Ok(v)
+    }
+
+    /// Empties the cell so the next call recomputes. Intended for tests;
+    /// the previously cached value (if any) is leaked to keep outstanding
+    /// `&'static` borrows valid.
+    pub fn reset(&self) {
+        *write(&self.slot) = None;
+    }
+}
+
+impl<T> Default for MemoCell<T> {
+    fn default() -> MemoCell<T> {
+        MemoCell::new()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn successes_are_cached() {
+        static CELL: MemoCell<u32> = MemoCell::new();
+        let calls = AtomicUsize::new(0);
+        let f = || -> Result<u32, ()> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(7)
+        };
+        assert_eq!(CELL.get_or_try(f).unwrap(), &7);
+        assert_eq!(CELL.get_or_try(f).unwrap(), &7);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "second call was cached");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        static CELL: MemoCell<u32> = MemoCell::new();
+        let calls = AtomicUsize::new(0);
+        let fail = || -> Result<u32, &'static str> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err("transient")
+        };
+        assert_eq!(CELL.get_or_try(fail), Err("transient"));
+        assert_eq!(CELL.get_or_try(fail), Err("transient"));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "errors retry");
+        assert_eq!(CELL.get_or_try(|| Ok::<_, &str>(3)).unwrap(), &3);
+        assert_eq!(
+            CELL.get_or_try(fail).unwrap(),
+            &3,
+            "success sticks; closure not rerun"
+        );
+    }
+
+    #[test]
+    fn reset_forces_recompute_and_keeps_old_borrows_valid() {
+        static CELL: MemoCell<String> = MemoCell::new();
+        let first: &'static String = CELL.get_or_try(|| Ok::<_, ()>("one".to_string())).unwrap();
+        CELL.reset();
+        let second: &'static String = CELL.get_or_try(|| Ok::<_, ()>("two".to_string())).unwrap();
+        assert_eq!(first, "one");
+        assert_eq!(second, "two");
+    }
+
+    #[test]
+    fn concurrent_first_access_computes_once() {
+        static CELL: MemoCell<usize> = MemoCell::new();
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let v = CELL
+                        .get_or_try(|| {
+                            CALLS.fetch_add(1, Ordering::Relaxed);
+                            Ok::<_, ()>(42)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(CALLS.load(Ordering::Relaxed), 1);
+    }
+}

@@ -17,24 +17,107 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Environment variable controlling worker-thread count.
 pub const THREADS_ENV: &str = "CODESIGN_THREADS";
 
-/// The worker count used by the helpers in this module.
-///
-/// `CODESIGN_THREADS` wins when set (clamped to at least 1); otherwise
-/// [`std::thread::available_parallelism`], and 1 when even that is
-/// unavailable.
-pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+/// An invalid `CODESIGN_THREADS` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsConfigError {
+    /// The raw value that was rejected.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ThreadsConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {THREADS_ENV}={:?}: {} (expected a positive integer)",
+            self.value, self.reason
+        )
     }
+}
+
+impl std::error::Error for ThreadsConfigError {}
+
+/// Parses a raw `CODESIGN_THREADS` value. `None` (variable unset) is
+/// valid and means "use the platform default".
+fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, ThreadsConfigError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    let reject = |reason| {
+        Err(ThreadsConfigError {
+            value: raw.to_string(),
+            reason,
+        })
+    };
+    if trimmed.is_empty() {
+        return reject("empty value");
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => reject("zero workers cannot make progress"),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => reject("not a number"),
+    }
+}
+
+fn default_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+fn threads_config() -> &'static Result<usize, ThreadsConfigError> {
+    // Read and validate the variable exactly once per process, so the
+    // pool width cannot change between flow stages.
+    static THREADS: OnceLock<Result<usize, ThreadsConfigError>> = OnceLock::new();
+    THREADS.get_or_init(
+        || match parse_threads(std::env::var(THREADS_ENV).ok().as_deref()) {
+            Ok(Some(n)) => Ok(n),
+            Ok(None) => Ok(default_parallelism()),
+            Err(e) => Err(e),
+        },
+    )
+}
+
+/// The worker count used by the helpers in this module, rejecting
+/// malformed configuration.
+///
+/// The environment is read and validated on the first call and the
+/// verdict is memoised for the life of the process. `CODESIGN_THREADS`
+/// wins when set and valid; unset falls back to
+/// [`std::thread::available_parallelism`] (and 1 when even that is
+/// unavailable).
+///
+/// # Errors
+///
+/// Returns [`ThreadsConfigError`] when the variable is set but empty,
+/// non-numeric, or zero.
+pub fn try_thread_count() -> Result<usize, ThreadsConfigError> {
+    threads_config().clone()
+}
+
+/// The worker count used by the helpers in this module.
+///
+/// Infallible form of [`try_thread_count`]: a malformed
+/// `CODESIGN_THREADS` is reported **once** on stderr and the platform
+/// default is used instead, so library paths that cannot surface a
+/// config error still behave sensibly. Flow entry points should prefer
+/// [`try_thread_count`] and turn the error into typed flow failure.
+pub fn thread_count() -> usize {
+    match threads_config() {
+        Ok(n) => *n,
+        Err(e) => {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!("warning: {e}; falling back to the platform default");
+            });
+            default_parallelism()
+        }
+    }
 }
 
 /// Applies `f` to every item of `items`, in parallel, returning results
@@ -179,5 +262,24 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_threads(Some(" 12 ")), Ok(Some(12)));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage() {
+        for bad in ["", "   ", "0", "four", "-2", "3.5", "1x"] {
+            let err = parse_threads(Some(bad)).expect_err(bad);
+            assert_eq!(err.value, bad);
+            assert!(
+                err.to_string().contains(THREADS_ENV),
+                "error names the variable: {err}"
+            );
+        }
     }
 }

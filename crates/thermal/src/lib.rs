@@ -1,3 +1,4 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Steady-state thermal analysis of the chiplet/interposer assemblies
 //! (Section VII-G, Figs. 16–18).
 //!
@@ -16,9 +17,10 @@
 //! use thermal::report::analyze_tech;
 //! use techlib::spec::InterposerKind;
 //!
-//! let r = analyze_tech(InterposerKind::Glass3D);
+//! let r = analyze_tech(InterposerKind::Glass3D)?;
 //! // The embedded memory die is the hottest spot in the study (Fig. 17).
 //! assert!(r.mem_peak_c > r.logic_peak_c);
+//! # Ok::<(), thermal::ThermalError>(())
 //! ```
 
 pub mod model;
@@ -28,6 +30,44 @@ pub mod svg;
 
 pub use model::ThermalModel;
 pub use report::ThermalReport;
+
+/// Errors produced by thermal model construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The SOR sweep hit its iteration cap before the max per-sweep
+    /// update dropped below tolerance.
+    NoConvergence {
+        /// Iterations performed (the configured cap).
+        iterations: usize,
+        /// Max per-sweep temperature update at the last iteration, K.
+        residual_k: f64,
+        /// The convergence threshold that was not met, K.
+        tolerance_k: f64,
+    },
+    /// The technology has no thermal model (monolithic baseline).
+    UnsupportedTech(techlib::spec::InterposerKind),
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::NoConvergence {
+                iterations,
+                residual_k,
+                tolerance_k,
+            } => write!(
+                f,
+                "SOR did not converge after {iterations} iterations \
+                 (residual {residual_k:.3e} K, tolerance {tolerance_k:.3e} K)"
+            ),
+            ThermalError::UnsupportedTech(tech) => {
+                write!(f, "{tech} is not in the thermal study")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
 
 /// Ambient temperature of the study, °C.
 pub const AMBIENT_C: f64 = 20.0;

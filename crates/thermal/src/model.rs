@@ -8,6 +8,7 @@
 //! hot: no TGVs run underneath it, so its heat must detour through the
 //! RDL to the peripheral TGV ring (Section VII-G).
 
+use crate::ThermalError;
 use serde::Serialize;
 use techlib::material;
 use techlib::spec::{InterposerKind, Stacking};
@@ -88,15 +89,16 @@ impl ThermalModel {
 
     /// Builds the model for `tech`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for the monolithic baseline (not part of the thermal study).
-    pub fn for_tech(tech: InterposerKind) -> ThermalModel {
+    /// Returns [`ThermalError::UnsupportedTech`] for the monolithic
+    /// baseline (not part of the thermal study).
+    pub fn for_tech(tech: InterposerKind) -> Result<ThermalModel, ThermalError> {
         match techlib::spec::InterposerSpec::for_kind(tech).stacking {
-            Stacking::Monolithic => panic!("monolithic baseline is not in the thermal study"),
-            Stacking::TsvStack => build_si3d(),
-            Stacking::Embedded => build_glass3d(),
-            Stacking::SideBySide => build_2p5d(tech),
+            Stacking::Monolithic => Err(ThermalError::UnsupportedTech(tech)),
+            Stacking::TsvStack => Ok(build_si3d()),
+            Stacking::Embedded => Ok(build_glass3d()),
+            Stacking::SideBySide => Ok(build_2p5d(tech)),
         }
     }
 }
@@ -532,7 +534,7 @@ mod tests {
             InterposerKind::Shinko,
             InterposerKind::Apx,
         ] {
-            let m = ThermalModel::for_tech(tech);
+            let m = ThermalModel::for_tech(tech).unwrap();
             let expect = 2.0 * (LOGIC_POWER_W + MEM_POWER_W);
             assert!(
                 (m.total_power_w() - expect).abs() < 1e-9,
@@ -549,7 +551,7 @@ mod tests {
             InterposerKind::Glass3D,
             InterposerKind::Silicon3D,
         ] {
-            let m = ThermalModel::for_tech(tech);
+            let m = ThermalModel::for_tech(tech).unwrap();
             assert_eq!(m.dies.len(), 4, "{tech}");
             assert_eq!(m.dies.iter().filter(|d| d.is_logic).count(), 2);
         }
@@ -557,7 +559,7 @@ mod tests {
 
     #[test]
     fn glass3d_memory_sits_in_the_cavity_layer() {
-        let m = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let m = ThermalModel::for_tech(InterposerKind::Glass3D).unwrap();
         let mem = m.dies.iter().find(|d| d.label == "mem0").unwrap();
         let logic = m.dies.iter().find(|d| d.label == "logic0").unwrap();
         assert!(mem.z_layer < logic.z_layer);
@@ -565,7 +567,7 @@ mod tests {
 
     #[test]
     fn conductivities_are_positive() {
-        let m = ThermalModel::for_tech(InterposerKind::Apx);
+        let m = ThermalModel::for_tech(InterposerKind::Apx).unwrap();
         for z in 0..m.nz() {
             for &k in m.k_xy[z].iter().chain(&m.k_z[z]) {
                 assert!(k > 0.0);
@@ -574,8 +576,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "monolithic")]
     fn monolithic_is_rejected() {
-        let _ = ThermalModel::for_tech(InterposerKind::Monolithic2D);
+        assert!(matches!(
+            ThermalModel::for_tech(InterposerKind::Monolithic2D),
+            Err(crate::ThermalError::UnsupportedTech(_))
+        ));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::model::ThermalModel;
 use crate::solver::{solve, SolveConfig, TemperatureField};
+use crate::ThermalError;
 use serde::Serialize;
 use techlib::spec::InterposerKind;
 
@@ -45,28 +46,52 @@ impl ThermalReport {
     }
 }
 
+static REPORT_CELLS: [techlib::memo::MemoCell<ThermalReport>; InterposerKind::COUNT] =
+    [const { techlib::memo::MemoCell::new() }; InterposerKind::COUNT];
+
 /// Solves and reports one technology (cached per process: the field is
-/// deterministic and the solve takes ~a second).
-pub fn analyze_tech(tech: InterposerKind) -> ThermalReport {
-    use std::sync::{Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<std::collections::HashMap<InterposerKind, ThermalReport>>> =
-        OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
-    if let Some(r) = cache.lock().expect("cache lock").get(&tech) {
-        return r.clone();
+/// deterministic and the solve takes ~a second). Only **successes** are
+/// memoised — an error (including one injected at the `thermal.solve`
+/// fault site) is returned to the caller and the next call re-solves, so
+/// failures never poison the cache.
+///
+/// # Errors
+///
+/// Same as [`ThermalModel::for_tech`] and [`solve`], plus the
+/// `thermal.solve` fault site (checked before the cache so an armed
+/// fault always fires).
+pub fn analyze_tech(tech: InterposerKind) -> Result<ThermalReport, ThermalError> {
+    if techlib::faults::armed("thermal.solve") {
+        return Err(ThermalError::NoConvergence {
+            iterations: 0,
+            residual_k: f64::INFINITY,
+            tolerance_k: SolveConfig::default().tolerance_k,
+        });
     }
-    let model = ThermalModel::for_tech(tech);
-    let field = solve(&model, &SolveConfig::default());
-    let report = ThermalReport::from_field(&model, &field);
-    cache
-        .lock()
-        .expect("cache lock")
-        .insert(tech, report.clone());
-    report
+    REPORT_CELLS[tech.index()]
+        .get_or_try(|| {
+            let model = ThermalModel::for_tech(tech)?;
+            let field = solve(&model, &SolveConfig::default())?;
+            Ok(ThermalReport::from_field(&model, &field))
+        })
+        .cloned()
+}
+
+/// Forgets every cached report so the next [`analyze_tech`] call
+/// re-solves. Test-only escape hatch (cached values are leaked, keeping
+/// outstanding borrows valid).
+pub fn reset_report_cache_for_tests() {
+    for cell in &REPORT_CELLS {
+        cell.reset();
+    }
 }
 
 /// The full Fig. 17 family (all six packaged assemblies).
-pub fn figure17() -> Vec<ThermalReport> {
+///
+/// # Errors
+///
+/// Returns the first [`ThermalError`] encountered, in Fig. 17 order.
+pub fn figure17() -> Result<Vec<ThermalReport>, ThermalError> {
     [
         InterposerKind::Glass25D,
         InterposerKind::Glass3D,
@@ -88,14 +113,14 @@ mod tests {
     #[test]
     fn glass3d_memory_is_the_hottest_chiplet_of_the_study() {
         // Fig. 17: embedded memory at 34 °C versus 22–23 °C elsewhere.
-        let g3 = analyze_tech(InterposerKind::Glass3D);
+        let g3 = analyze_tech(InterposerKind::Glass3D).unwrap();
         for other in [
             InterposerKind::Glass25D,
             InterposerKind::Silicon25D,
             InterposerKind::Shinko,
             InterposerKind::Apx,
         ] {
-            let r = analyze_tech(other);
+            let r = analyze_tech(other).unwrap();
             assert!(
                 g3.mem_peak_c > r.mem_peak_c,
                 "{other}: {} vs {}",
@@ -107,7 +132,7 @@ mod tests {
 
     #[test]
     fn glass3d_temperatures_match_fig17_scale() {
-        let g3 = analyze_tech(InterposerKind::Glass3D);
+        let g3 = analyze_tech(InterposerKind::Glass3D).unwrap();
         // Paper: memory 34 °C, logic 27 °C at 20 °C-class ambient.
         assert!(
             (28.0..42.0).contains(&g3.mem_peak_c),
@@ -130,7 +155,7 @@ mod tests {
             InterposerKind::Shinko,
             InterposerKind::Apx,
         ] {
-            let r = analyze_tech(tech);
+            let r = analyze_tech(tech).unwrap();
             assert!(
                 (23.0..33.0).contains(&r.logic_peak_c),
                 "{tech}: logic = {}",
@@ -144,7 +169,7 @@ mod tests {
     fn non_glass3d_memory_stays_cool() {
         // Fig. 17: 22–23 °C for side-by-side memory chiplets.
         for tech in [InterposerKind::Silicon25D, InterposerKind::Shinko] {
-            let r = analyze_tech(tech);
+            let r = analyze_tech(tech).unwrap();
             assert!(
                 (AMBIENT_C + 1.0..AMBIENT_C + 7.0).contains(&r.mem_peak_c),
                 "{tech}: mem = {}",
@@ -157,8 +182,8 @@ mod tests {
     fn si3d_stack_runs_hotter_than_si25d() {
         // The conclusion's trade-off: Silicon 3D "suffers from higher
         // thermal dissipation".
-        let s3 = analyze_tech(InterposerKind::Silicon3D);
-        let s25 = analyze_tech(InterposerKind::Silicon25D);
+        let s3 = analyze_tech(InterposerKind::Silicon3D).unwrap();
+        let s25 = analyze_tech(InterposerKind::Silicon25D).unwrap();
         assert!(s3.assembly_peak_c > s25.assembly_peak_c);
     }
 
@@ -166,8 +191,8 @@ mod tests {
     fn silicon_interposer_spreads_heat_best_among_25d() {
         // Fig. 18: silicon's hotspots merge and flatten; glass traps heat
         // under the chiplets.
-        let si = analyze_tech(InterposerKind::Silicon25D);
-        let gl = analyze_tech(InterposerKind::Glass25D);
+        let si = analyze_tech(InterposerKind::Silicon25D).unwrap();
+        let gl = analyze_tech(InterposerKind::Glass25D).unwrap();
         assert!(si.assembly_peak_c < gl.assembly_peak_c);
     }
 }
@@ -177,7 +202,7 @@ mod diag {
     use super::*;
     #[test]
     fn print_all_temps() {
-        for r in figure17() {
+        for r in figure17().unwrap() {
             eprintln!(
                 "{:<14} logic {:>6.2} mem {:>6.2} assembly {:>6.2}",
                 r.tech.label(),

@@ -13,7 +13,7 @@
 //! worker count or row order.
 
 use crate::model::{ThermalModel, CELL_XY_M};
-use crate::AMBIENT_C;
+use crate::{ThermalError, AMBIENT_C};
 use std::cell::UnsafeCell;
 
 /// Fixed lateral "board spreading" conductance distributed over the
@@ -127,28 +127,86 @@ impl TemperatureField {
 }
 
 /// Solves the steady-state field of `model` with default boundaries.
-pub fn solve(model: &ThermalModel, config: &SolveConfig) -> TemperatureField {
+///
+/// # Errors
+///
+/// Returns [`ThermalError::NoConvergence`] if the SOR sweep hits
+/// `config.max_iters` before the max per-sweep update drops below
+/// `config.tolerance_k`.
+pub fn solve(model: &ThermalModel, config: &SolveConfig) -> Result<TemperatureField, ThermalError> {
     solve_with_boundaries(model, config, &Boundaries::default())
 }
 
 /// Solves with explicit boundary coefficients (airflow studies).
+///
+/// # Errors
+///
+/// Same as [`solve`].
 pub fn solve_with_boundaries(
     model: &ThermalModel,
     config: &SolveConfig,
     bounds: &Boundaries,
-) -> TemperatureField {
+) -> Result<TemperatureField, ThermalError> {
     solve_with_workers(model, config, bounds, techlib::par::thread_count())
 }
 
 /// [`solve_with_boundaries`] with an explicit worker count (for the
 /// worker-invariance tests and benchmarks). The returned field is
-/// bit-identical for every `workers` value.
+/// bit-identical for every `workers` value — including the error path:
+/// convergence is judged on the deterministic residual, so every worker
+/// count reports the same [`ThermalError::NoConvergence`].
+///
+/// # Errors
+///
+/// Same as [`solve`], plus the `thermal.sor` fault site (which reports a
+/// zero-iteration non-convergence without sweeping).
 pub fn solve_with_workers(
     model: &ThermalModel,
     config: &SolveConfig,
     bounds: &Boundaries,
     workers: usize,
+) -> Result<TemperatureField, ThermalError> {
+    if techlib::faults::armed("thermal.sor") {
+        return Err(ThermalError::NoConvergence {
+            iterations: 0,
+            residual_k: f64::INFINITY,
+            tolerance_k: config.tolerance_k,
+        });
+    }
+    let (field, residual_k) = sor_sweeps(model, config, bounds, workers);
+    if residual_k < config.tolerance_k {
+        Ok(field)
+    } else {
+        Err(ThermalError::NoConvergence {
+            iterations: field.iterations,
+            residual_k,
+            tolerance_k: config.tolerance_k,
+        })
+    }
+}
+
+/// Runs the SOR sweeps and returns whatever field the iteration cap
+/// allows, converged or not — the escape hatch for worker-invariance
+/// tests and benchmarks that deliberately under-iterate. Prefer
+/// [`solve_with_workers`], which turns a non-converged field into a
+/// typed error.
+pub fn solve_capped_with_workers(
+    model: &ThermalModel,
+    config: &SolveConfig,
+    bounds: &Boundaries,
+    workers: usize,
 ) -> TemperatureField {
+    sor_sweeps(model, config, bounds, workers).0
+}
+
+/// Red-black SOR core: returns the field plus the max per-sweep update
+/// of the last iteration (`INFINITY` when `max_iters == 0`).
+fn sor_sweeps(
+    model: &ThermalModel,
+    config: &SolveConfig,
+    bounds: &Boundaries,
+    workers: usize,
+) -> (TemperatureField, f64) {
     let (nx, ny, nz) = (model.nx, model.ny, model.nz());
     let a_xy = CELL_XY_M * CELL_XY_M;
     let n_bottom = (nx * ny) as f64;
@@ -188,6 +246,7 @@ pub fn solve_with_workers(
     let rows: Vec<(usize, usize)> = (0..nz).flat_map(|z| (0..ny).map(move |y| (z, y))).collect();
 
     let mut iterations = 0;
+    let mut last_delta = f64::INFINITY;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         let mut max_delta: f64 = 0.0;
@@ -282,18 +341,22 @@ pub fn solve_with_workers(
             // ordered results keeps it visibly deterministic.
             max_delta = deltas.into_iter().fold(max_delta, f64::max);
         }
+        last_delta = max_delta;
         if max_delta < config.tolerance_k {
             break;
         }
     }
 
     let flat: Vec<f64> = field.0.into_iter().map(UnsafeCell::into_inner).collect();
-    TemperatureField {
-        nx,
-        ny,
-        layers: flat.chunks(cells).map(<[f64]>::to_vec).collect(),
-        iterations,
-    }
+    (
+        TemperatureField {
+            nx,
+            ny,
+            layers: flat.chunks(cells).map(<[f64]>::to_vec).collect(),
+            iterations,
+        },
+        last_delta,
+    )
 }
 
 #[cfg(test)]
@@ -303,8 +366,8 @@ mod tests {
 
     #[test]
     fn temperatures_exceed_ambient_everywhere_heat_flows() {
-        let model = ThermalModel::for_tech(InterposerKind::Silicon25D);
-        let field = solve(&model, &SolveConfig::default());
+        let model = ThermalModel::for_tech(InterposerKind::Silicon25D).unwrap();
+        let field = solve(&model, &SolveConfig::default()).unwrap();
         for layer in &field.layers {
             for &t in layer {
                 assert!(t >= AMBIENT_C - 1e-6);
@@ -315,30 +378,30 @@ mod tests {
 
     #[test]
     fn zero_power_gives_ambient() {
-        let mut model = ThermalModel::for_tech(InterposerKind::Silicon25D);
+        let mut model = ThermalModel::for_tech(InterposerKind::Silicon25D).unwrap();
         for p in &mut model.power {
             p.iter_mut().for_each(|x| *x = 0.0);
         }
-        let field = solve(&model, &SolveConfig::default());
+        let field = solve(&model, &SolveConfig::default()).unwrap();
         assert!((field.peak() - AMBIENT_C).abs() < 1e-6);
     }
 
     #[test]
     fn doubling_power_roughly_doubles_rise() {
-        let model = ThermalModel::for_tech(InterposerKind::Glass25D);
-        let base = solve(&model, &SolveConfig::default()).peak() - AMBIENT_C;
+        let model = ThermalModel::for_tech(InterposerKind::Glass25D).unwrap();
+        let base = solve(&model, &SolveConfig::default()).unwrap().peak() - AMBIENT_C;
         let mut doubled = model.clone();
         for p in &mut doubled.power {
             p.iter_mut().for_each(|x| *x *= 2.0);
         }
-        let twice = solve(&doubled, &SolveConfig::default()).peak() - AMBIENT_C;
+        let twice = solve(&doubled, &SolveConfig::default()).unwrap().peak() - AMBIENT_C;
         assert!((twice / base - 2.0).abs() < 1e-3, "{twice} vs {base}");
     }
 
     #[test]
     fn hotspot_sits_on_a_die() {
-        let model = ThermalModel::for_tech(InterposerKind::Shinko);
-        let field = solve(&model, &SolveConfig::default());
+        let model = ThermalModel::for_tech(InterposerKind::Shinko).unwrap();
+        let field = solve(&model, &SolveConfig::default()).unwrap();
         let global = field.peak();
         let on_dies = model
             .dies
@@ -350,18 +413,20 @@ mod tests {
 
     #[test]
     fn more_airflow_cools_the_assembly() {
-        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D).unwrap();
         let still = solve_with_boundaries(
             &model,
             &SolveConfig::default(),
             &Boundaries::with_airspeed(0.1),
         )
+        .unwrap()
         .peak();
         let breezy = solve_with_boundaries(
             &model,
             &SolveConfig::default(),
             &Boundaries::with_airspeed(5.0),
         )
+        .unwrap()
         .peak();
         assert!(breezy < still, "{breezy} vs {still}");
     }
@@ -407,7 +472,7 @@ mod tests {
             h_bottom: 1_000.0,
             board_spread_w_per_k: 0.0,
         };
-        let field = solve_with_boundaries(&model, &SolveConfig::default(), &bounds);
+        let field = solve_with_boundaries(&model, &SolveConfig::default(), &bounds).unwrap();
         let a = CELL_XY_M * CELL_XY_M;
         // Centre-to-centre conduction: (layers-1) full cells, plus half a
         // cell from the bottom centre to the boundary face.
@@ -423,8 +488,8 @@ mod tests {
 
     #[test]
     fn solver_converges_within_budget() {
-        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
-        let field = solve(&model, &SolveConfig::default());
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D).unwrap();
+        let field = solve(&model, &SolveConfig::default()).unwrap();
         assert!(field.iterations < SolveConfig::default().max_iters);
     }
 
@@ -432,15 +497,15 @@ mod tests {
     fn worker_count_does_not_change_a_single_bit() {
         // Red-black half-sweeps are embarrassingly parallel, so the field
         // must be bit-identical (not just close) for any worker count.
-        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D).unwrap();
         let config = SolveConfig {
             max_iters: 400,
             ..SolveConfig::default()
         };
         let bounds = Boundaries::default();
-        let one = solve_with_workers(&model, &config, &bounds, 1);
+        let one = solve_capped_with_workers(&model, &config, &bounds, 1);
         for workers in [2, 5] {
-            let many = solve_with_workers(&model, &config, &bounds, workers);
+            let many = solve_capped_with_workers(&model, &config, &bounds, workers);
             assert_eq!(one.iterations, many.iterations);
             for (a, b) in one.layers.iter().zip(&many.layers) {
                 for (ta, tb) in a.iter().zip(b) {

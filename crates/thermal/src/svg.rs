@@ -57,8 +57,8 @@ mod tests {
 
     #[test]
     fn renders_a_heat_map() {
-        let model = ThermalModel::for_tech(InterposerKind::Glass3D);
-        let field = solve(&model, &SolveConfig::default());
+        let model = ThermalModel::for_tech(InterposerKind::Glass3D).unwrap();
+        let field = solve(&model, &SolveConfig::default()).unwrap();
         let svg = render_layer(&field, model.nz() - 1, 4.0);
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("peak"));

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14}{:>12}{:>12}{:>12}",
         "tech", "logic °C", "mem °C", "assembly °C"
     );
-    for r in figure17() {
+    for r in figure17()? {
         println!(
             "{:<14}{:>12.1}{:>12.1}{:>12.1}",
             r.tech.label(),
