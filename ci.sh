@@ -24,4 +24,10 @@ echo "==> cargo clippy (panic-free library gate)"
 cargo clippy --no-deps -p circuit -p interposer -p thermal -p netlist -p chiplet -p pi -p si -- \
     -D clippy::unwrap_used -D clippy::expect_used
 
+# Rustdoc must build warning-free for the workspace crates (broken
+# intra-doc links, bad code fences). --no-deps keeps the gate off the
+# vendored path dependencies' docs.
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "CI OK"

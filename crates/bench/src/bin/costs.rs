@@ -24,16 +24,24 @@ fn main() -> Result<(), codesign::FlowError> {
     }
 
     bench::banner("Sensitivity sweeps (optimization opportunities)");
+    // One context for every sweep: the netlist front end is derived once
+    // and shared (the default context also shares it with the flow).
+    let ctx = codesign::default_context();
     println!("glass logic die width vs bump pitch:");
-    for p in codesign::sensitivity::footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0])? {
+    for p in codesign::sensitivity::footprint_vs_bump_pitch(&ctx, &[15.0, 25.0, 35.0, 45.0, 55.0])?
+    {
         println!("  pitch {:>5.0} µm -> width {:>6.0} µm", p.x, p.y);
     }
+    println!("glass logic die utilization vs bump pitch:");
+    for p in codesign::sensitivity::utilization_vs_bump_pitch(&ctx, &[35.0, 45.0, 55.0, 70.0])? {
+        println!("  pitch {:>5.0} µm -> util {:>6.3}", p.x, p.y);
+    }
     println!("10 mm glass link delay vs metal thickness:");
-    for p in codesign::sensitivity::delay_vs_metal_thickness(&[1.0, 2.0, 4.0, 8.0]) {
+    for p in codesign::sensitivity::delay_vs_metal_thickness(&ctx, &[1.0, 2.0, 4.0, 8.0]) {
         println!("  t {:>4.1} µm -> {:>6.2} ps", p.x, p.y);
     }
     println!("blocked gcell fraction vs via size:");
-    for p in codesign::sensitivity::blockage_vs_via_size(&[4.0, 10.0, 16.0, 22.0, 30.0])? {
+    for p in codesign::sensitivity::blockage_vs_via_size(&ctx, &[4.0, 10.0, 16.0, 22.0, 30.0])? {
         println!("  via {:>4.0} µm -> {:>6.3}", p.x, p.y);
     }
     Ok(())

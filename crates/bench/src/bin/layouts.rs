@@ -10,7 +10,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("artifacts")?;
     for tech in InterposerKind::INTERPOSER_BASED {
         let layout = cached_layout(tech)?;
-        let svg = render(layout, &SvgOptions::default());
+        let svg = render(&layout, &SvgOptions::default());
         let name = format!(
             "artifacts/layout_{}.svg",
             tech.label().replace([' ', '.'], "_")
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for tech in [InterposerKind::Glass25D, InterposerKind::Silicon25D] {
         let layout = cached_layout(tech)?;
-        let map = interposer::congestion::analyze(layout).expect("congestion analyzes");
+        let map = interposer::congestion::analyze(&layout).expect("congestion analyzes");
         let svg = interposer::congestion::render_layer(&map, 0, 4.0);
         let name = format!(
             "artifacts/congestion_{}.svg",

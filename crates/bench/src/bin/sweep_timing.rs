@@ -1,0 +1,166 @@
+//! Times an eight-scenario design-space batch and records the results
+//! under the `"sweep"` key of `BENCH_flow.json`.
+//!
+//! Three modes over the same scenario list:
+//!
+//! * **sequential** — `batch::run_sequential`, one scenario at a time
+//!   (shared front end between clean scenarios, like the parallel path);
+//! * **parallel** — `batch::run`, scenarios fanned out across workers;
+//! * **isolated** — every scenario through `flow::run_scenario` (a fully
+//!   private context each, so the split/chipletize front end is
+//!   recomputed per scenario — what the batch's shared front end saves).
+//!
+//! Unlike `flow_timing`, no child processes are needed: contexts are
+//! built per call, so every mode starts cold by construction. The
+//! parallel outcomes are checked byte-identical to the sequential ones.
+
+use codesign::batch;
+use codesign::flow::TechStudy;
+use codesign::scenario::{Scenario, ScenarioOverrides};
+use codesign::table5::MonitorLengths;
+use codesign::FlowError;
+use std::io::Write as _;
+use std::time::Instant;
+use techlib::spec::InterposerKind;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut list: Vec<Scenario> = InterposerKind::PACKAGED
+        .iter()
+        .map(|&tech| Scenario::paper(tech))
+        .collect();
+    list.push(
+        Scenario::new(
+            "fine-pitch-glass",
+            InterposerKind::Glass25D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                microbump_pitch_um: Some(25.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+    );
+    list.push(
+        Scenario::new(
+            "thick-copper-glass",
+            InterposerKind::Glass25D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                metal_thickness_um: Some(6.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+    );
+    list
+}
+
+fn serialize(outcomes: &[Result<TechStudy, FlowError>]) -> String {
+    let parts: Vec<String> = outcomes
+        .iter()
+        .map(|o| match o {
+            Ok(s) => serde_json::to_string(s).expect("study serializes"),
+            Err(e) => format!("{e:?}"),
+        })
+        .collect();
+    parts.join("\n")
+}
+
+fn main() {
+    let list = scenarios();
+    let workers = techlib::par::thread_count();
+    println!(
+        "sweep_timing: {} scenarios, {} workers",
+        list.len(),
+        workers
+    );
+
+    let t0 = Instant::now();
+    let sequential = batch::run_sequential(&list);
+    let sequential_s = t0.elapsed().as_secs_f64();
+    println!("sequential (shared front end): {sequential_s:.3} s");
+
+    let t1 = Instant::now();
+    let parallel = batch::run(&list).expect("batch launches");
+    let parallel_s = t1.elapsed().as_secs_f64();
+    println!("parallel   (shared front end): {parallel_s:.3} s");
+
+    let t2 = Instant::now();
+    let isolated: Vec<Result<TechStudy, FlowError>> =
+        techlib::par::ordered_map(&list, codesign::run_scenario);
+    let isolated_s = t2.elapsed().as_secs_f64();
+    println!("parallel   (isolated contexts): {isolated_s:.3} s");
+
+    let seq_json = serialize(&sequential);
+    let par_json = serialize(&parallel);
+    assert_eq!(
+        seq_json, par_json,
+        "parallel batch must serialize byte-identically to sequential"
+    );
+    assert_eq!(
+        par_json,
+        serialize(&isolated),
+        "front-end sharing must not change any scenario's result"
+    );
+    let hash = format!("{:016x}", fnv1a(par_json.as_bytes()));
+    println!("determinism: OK (outcomes hash {hash})");
+    println!("speedup vs sequential: {:.2}x", sequential_s / parallel_s);
+
+    let sweep = serde_json::Value::Object(vec![
+        ("scenarios".into(), serde_json::Value::from(list.len())),
+        ("workers".into(), serde_json::Value::from(workers)),
+        (
+            "sequential_shared_s".into(),
+            serde_json::Value::from(sequential_s),
+        ),
+        (
+            "parallel_shared_s".into(),
+            serde_json::Value::from(parallel_s),
+        ),
+        (
+            "parallel_isolated_s".into(),
+            serde_json::Value::from(isolated_s),
+        ),
+        (
+            "parallel_speedup".into(),
+            serde_json::Value::from(sequential_s / parallel_s),
+        ),
+        (
+            "outputs_byte_identical".into(),
+            serde_json::Value::from(true),
+        ),
+        ("outcomes_hash_fnv1a".into(), serde_json::Value::from(hash)),
+    ]);
+
+    // Merge under the "sweep" key, preserving flow_timing's entries.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
+    let mut entries = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+    {
+        Some(serde_json::Value::Object(fields)) => fields,
+        _ => Vec::new(),
+    };
+    entries.retain(|(key, _)| key != "sweep");
+    entries.push(("sweep".into(), sweep));
+    let mut f = std::fs::File::create(path).expect("BENCH_flow.json writable");
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(&serde_json::Value::Object(entries))
+            .expect("report serializes")
+    )
+    .expect("report written");
+    println!("wrote {path}");
+}

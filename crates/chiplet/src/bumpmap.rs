@@ -160,8 +160,12 @@ pub fn paper_signal_count(kind: ChipletKind) -> usize {
 
 /// Builds the Table II bump plan for (`chiplet`, `tech`).
 pub fn paper_plan(chiplet: ChipletKind, tech: InterposerKind) -> BumpPlan {
-    let spec = InterposerSpec::for_kind(tech);
-    BumpPlan::for_design(paper_signal_count(chiplet), chiplet, &spec)
+    paper_plan_with(chiplet, &InterposerSpec::for_kind(tech))
+}
+
+/// [`paper_plan`] against an explicit (possibly overridden) spec.
+pub fn paper_plan_with(chiplet: ChipletKind, spec: &InterposerSpec) -> BumpPlan {
+    BumpPlan::for_design(paper_signal_count(chiplet), chiplet, spec)
 }
 
 #[cfg(test)]

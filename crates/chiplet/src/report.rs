@@ -92,6 +92,22 @@ pub fn analyze_pair(
     memory: &ChipletNetlist,
     tech: InterposerKind,
 ) -> Result<(ChipletReport, ChipletReport), ChipletError> {
+    analyze_pair_with(logic, memory, &InterposerSpec::for_kind(tech))
+}
+
+/// [`analyze_pair`] against an explicit (possibly overridden) spec, the
+/// form scenario contexts use.
+///
+/// # Errors
+///
+/// Returns [`ChipletError::PlacementInfeasible`] when physical design
+/// cannot fit the pair (today only reachable through the `chiplet.place`
+/// fault site; the analytic models themselves are total).
+pub fn analyze_pair_with(
+    logic: &ChipletNetlist,
+    memory: &ChipletNetlist,
+    spec: &InterposerSpec,
+) -> Result<(ChipletReport, ChipletReport), ChipletError> {
     if techlib::faults::armed("chiplet.place") {
         // Injected fault: physical design reports an unplaceable die.
         return Err(ChipletError::PlacementInfeasible {
@@ -99,15 +115,14 @@ pub fn analyze_pair(
             slots: 0,
         });
     }
-    let spec = InterposerSpec::for_kind(tech);
-    let logic_report = analyze(logic, &spec, None);
-    let matched = match tech {
+    let logic_report = analyze(logic, spec, None);
+    let matched = match spec.kind {
         InterposerKind::Glass3D | InterposerKind::Silicon3D => {
             Some(logic_report.footprint.width_um)
         }
         _ => None,
     };
-    let mem_report = analyze(memory, &spec, matched);
+    let mem_report = analyze(memory, spec, matched);
     Ok((logic_report, mem_report))
 }
 

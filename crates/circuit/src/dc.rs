@@ -1,8 +1,8 @@
 //! DC operating-point analysis.
 //!
 //! Capacitors open, inductors short (modelled as 0 V branch constraints),
-//! sources at their `t = 0⁺` steady value — i.e. [`Waveform::at`] evaluated
-//! at `t = 0` for [`Waveform::Dc`] sources, which is what the PDN IR-drop
+//! sources at their `t = 0⁺` steady value — i.e. [`crate::netlist::Waveform::at`] evaluated
+//! at `t = 0` for [`crate::netlist::Waveform::Dc`] sources, which is what the PDN IR-drop
 //! analysis uses.
 
 use crate::matrix::Matrix;

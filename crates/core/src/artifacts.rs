@@ -1,41 +1,31 @@
-//! Process-wide memoization of the flow's shared front-end artifacts.
+//! Legacy shim over the **default** study context's front-end artifacts.
 //!
-//! Every table, figure and bench entry point used to re-derive the same
-//! chain — OpenPiton netlist → hierarchical L3 split → chipletized
-//! netlists → per-technology chiplet reports — from scratch. This module
-//! computes each artifact exactly once per process (the same idea as
-//! [`interposer::report::cached_layout`]) and hands out `&'static`
-//! references, so `flow::run_tech`, `table5::row`, `fullchip::fullchip`
-//! and the bench binaries all share one copy.
+//! The process-wide `static` memo cells that used to live here are gone;
+//! every cached artifact is now owned by a [`crate::context::StudyContext`]
+//! (one per scenario — see [`crate::batch`]). These free functions keep
+//! the old call sites working by delegating to
+//! [`crate::context::default_context`], the shared context for the
+//! paper-default configuration, and now hand out [`Arc`] handles instead
+//! of `&'static` references.
 //!
-//! Concurrency: the infallible [`design`] uses a `OnceLock`; the fallible
-//! artifacts use [`techlib::memo::MemoCell`], which memoizes **successes
-//! only** — an error is returned to the caller and the next call
-//! recomputes, so a transient or injected failure never poisons the
-//! cache for the rest of the process. The per-tech report pairs use one
-//! cell per technology, so parallel studies for different technologies
-//! never serialize behind each other.
+//! Concurrency and failure semantics are unchanged: artifacts are
+//! computed once per context, only **successes** are memoized, and the
+//! per-technology report cells never serialize different technologies
+//! behind each other.
 
+use crate::context::default_context;
 use crate::FlowError;
 use chiplet::report::ChipletReport;
 use netlist::chiplet_netlist::ChipletNetlist;
 use netlist::design::Design;
 use netlist::partition::Partition;
-use netlist::serdes::SerdesPlan;
-use std::sync::OnceLock;
-use techlib::memo::MemoCell;
+use std::sync::Arc;
 use techlib::spec::InterposerKind;
 
 /// The two-tile OpenPiton-like design (netlist front end input).
-pub fn design() -> &'static Design {
-    static DESIGN: OnceLock<Design> = OnceLock::new();
-    DESIGN.get_or_init(netlist::openpiton::two_tile_openpiton)
+pub fn design() -> Arc<Design> {
+    default_context().design()
 }
-
-static SPLIT: MemoCell<Partition> = MemoCell::new();
-static NETLISTS: MemoCell<(ChipletNetlist, ChipletNetlist)> = MemoCell::new();
-static REPORTS: [MemoCell<(ChipletReport, ChipletReport)>; InterposerKind::COUNT] =
-    [const { MemoCell::new() }; InterposerKind::COUNT];
 
 /// The hierarchical L3 split of [`design`].
 ///
@@ -43,9 +33,8 @@ static REPORTS: [MemoCell<(ChipletReport, ChipletReport)>; InterposerKind::COUNT
 ///
 /// Partitioning failure (recomputed on the next call — only successes
 /// are memoized).
-pub fn split() -> Result<&'static Partition, FlowError> {
-    SPLIT
-        .get_or_try(|| netlist::partition::hierarchical_l3_split(design()).map_err(FlowError::from))
+pub fn split() -> Result<Arc<Partition>, FlowError> {
+    default_context().split()
 }
 
 /// The chipletized (logic, memory) netlists with the paper's SerDes plan.
@@ -53,65 +42,48 @@ pub fn split() -> Result<&'static Partition, FlowError> {
 /// # Errors
 ///
 /// Partitioning failure (not memoized).
-pub fn chiplet_netlists() -> Result<&'static (ChipletNetlist, ChipletNetlist), FlowError> {
-    NETLISTS.get_or_try(|| {
-        let split = split()?;
-        Ok(netlist::chiplet_netlist::chipletize(
-            design(),
-            split,
-            &SerdesPlan::paper(),
-        ))
-    })
+pub fn chiplet_netlists() -> Result<Arc<(ChipletNetlist, ChipletNetlist)>, FlowError> {
+    default_context().chiplet_netlists()
 }
 
 /// The per-technology (logic, memory) chiplet reports (Tables II/III).
-///
-/// One cache cell per technology: first calls for different technologies
-/// compute concurrently, repeat calls are lock-free reads.
 ///
 /// # Errors
 ///
 /// Partitioning or placement failure (not memoized).
 pub fn chiplet_reports(
     tech: InterposerKind,
-) -> Result<&'static (ChipletReport, ChipletReport), FlowError> {
-    REPORTS[tech.index()].get_or_try(|| {
-        let (logic_nl, mem_nl) = chiplet_netlists()?;
-        chiplet::report::analyze_pair(logic_nl, mem_nl, tech).map_err(FlowError::from)
-    })
+) -> Result<Arc<(ChipletReport, ChipletReport)>, FlowError> {
+    default_context().chiplet_reports(tech)
 }
 
-/// Forgets every fallible cached artifact in this crate *and* the
-/// downstream layout/thermal caches, so the next calls recompute from
-/// scratch. Test-only escape hatch used by the fault-injection suite to
-/// prove that a failed run leaves no stale state behind (cached values
-/// are leaked, keeping outstanding `&'static` borrows valid).
+/// Forgets every fallible cached artifact of the default context —
+/// including the layout and thermal caches it shares with the
+/// [`interposer::report::cached_layout`] /
+/// [`thermal::report::analyze_tech`] shims — so the next calls recompute
+/// from scratch. Test-only escape hatch used by the fault-injection
+/// suite; outstanding [`Arc`] handles stay valid on their own.
 pub fn reset_for_tests() {
-    SPLIT.reset();
-    NETLISTS.reset();
-    for cell in &REPORTS {
-        cell.reset();
-    }
-    interposer::report::reset_layout_cache_for_tests();
-    thermal::report::reset_report_cache_for_tests();
+    default_context().reset();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netlist::serdes::SerdesPlan;
 
     #[test]
-    fn artifacts_are_shared_by_address() {
-        // Two calls return the same &'static — the second is a cache hit.
-        assert!(std::ptr::eq(design(), design()));
-        assert!(std::ptr::eq(split().unwrap(), split().unwrap()));
-        assert!(std::ptr::eq(
-            chiplet_netlists().unwrap(),
-            chiplet_netlists().unwrap()
+    fn artifacts_are_shared_by_handle() {
+        // Two calls return the same Arc — the second is a cache hit.
+        assert!(Arc::ptr_eq(&design(), &design()));
+        assert!(Arc::ptr_eq(&split().unwrap(), &split().unwrap()));
+        assert!(Arc::ptr_eq(
+            &chiplet_netlists().unwrap(),
+            &chiplet_netlists().unwrap()
         ));
         let a = chiplet_reports(InterposerKind::Glass25D).unwrap();
         let b = chiplet_reports(InterposerKind::Glass25D).unwrap();
-        assert!(std::ptr::eq(a, b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -120,10 +92,12 @@ mod tests {
         let fresh_split = netlist::partition::hierarchical_l3_split(&fresh_design).unwrap();
         let (fresh_logic, fresh_mem) =
             netlist::chiplet_netlist::chipletize(&fresh_design, &fresh_split, &SerdesPlan::paper());
-        let (logic_nl, mem_nl) = chiplet_netlists().unwrap();
+        let netlists = chiplet_netlists().unwrap();
+        let (logic_nl, mem_nl) = &*netlists;
         assert_eq!(logic_nl.signal_pins, fresh_logic.signal_pins);
         assert_eq!(mem_nl.signal_pins, fresh_mem.signal_pins);
-        let (logic, memory) = chiplet_reports(InterposerKind::Glass3D).unwrap();
+        let pair = chiplet_reports(InterposerKind::Glass3D).unwrap();
+        let (logic, memory) = &*pair;
         let (fl, fm) =
             chiplet::report::analyze_pair(&fresh_logic, &fresh_mem, InterposerKind::Glass3D)
                 .unwrap();
@@ -135,7 +109,8 @@ mod tests {
     #[test]
     fn reports_cover_all_packaged_techs() {
         for tech in InterposerKind::PACKAGED {
-            let (logic, memory) = chiplet_reports(tech).unwrap();
+            let pair = chiplet_reports(tech).unwrap();
+            let (logic, memory) = &*pair;
             assert!(logic.fmax_mhz > 0.0, "{tech}");
             assert!(memory.fmax_mhz > 0.0, "{tech}");
         }

@@ -1,0 +1,143 @@
+//! The batch design-space engine: run many scenarios through one
+//! process, in parallel, with per-scenario isolation.
+//!
+//! Each scenario gets its own [`StudyContext`]; *clean* scenarios (no
+//! injected faults) additionally share one [`FrontEnd`], because the
+//! design → split → chipletize chain is independent of the interposer
+//! spec. Scenarios with fault sites get fully private contexts *and* a
+//! thread-scoped fault scope ([`techlib::faults::scoped`]), so an
+//! injected failure fires only inside that scenario's worker (and any
+//! nested parallelism it spawns) and can never surface in — or poison
+//! the caches of — a sibling scenario.
+//!
+//! [`run`] fans scenarios out across scoped threads with
+//! [`crate::exec::ordered_map`]; outcomes come back in input order and
+//! are byte-identical to [`run_sequential`] (fixed-seed RNG,
+//! order-preserving fan-out, per-scenario state).
+
+use crate::context::{FrontEnd, StudyContext};
+use crate::flow::{run_tech_in, TechStudy};
+use crate::scenario::Scenario;
+use crate::{exec, FlowError};
+use std::sync::Arc;
+
+/// Runs every scenario, in parallel, one [`Result`] per scenario in
+/// input order. A scenario's failure is *its own outcome* — it does not
+/// abort the batch or disturb sibling scenarios.
+///
+/// # Errors
+///
+/// [`FlowError::InvalidConfig`] if `CODESIGN_THREADS` is set to garbage;
+/// per-scenario failures are reported inside the returned vector.
+pub fn run(scenarios: &[Scenario]) -> Result<Vec<Result<TechStudy, FlowError>>, FlowError> {
+    // Surface a malformed CODESIGN_THREADS as a typed error up front.
+    techlib::par::try_thread_count()?;
+    let contexts = build_contexts(scenarios);
+    let indices: Vec<usize> = (0..scenarios.len()).collect();
+    Ok(exec::ordered_map(&indices, |&i| {
+        run_in_context(&contexts[i], &scenarios[i])
+    }))
+}
+
+/// Sequential reference implementation of [`run`] (same contexts, same
+/// sharing, one scenario at a time). Kept callable for benchmarking and
+/// the determinism integration test.
+pub fn run_sequential(scenarios: &[Scenario]) -> Vec<Result<TechStudy, FlowError>> {
+    let contexts = build_contexts(scenarios);
+    scenarios
+        .iter()
+        .zip(&contexts)
+        .map(|(scenario, ctx)| run_in_context(ctx, scenario))
+        .collect()
+}
+
+/// One context per scenario: clean scenarios share a front end, faulty
+/// ones are fully private (a shared memo plus an armed `partition.split`
+/// fault would make *which* scenario surfaces the fault a race).
+fn build_contexts(scenarios: &[Scenario]) -> Vec<StudyContext> {
+    let shared = Arc::new(FrontEnd::new());
+    scenarios
+        .iter()
+        .map(|scenario| {
+            if scenario.is_clean() {
+                StudyContext::for_scenario_shared(scenario, Arc::clone(&shared))
+            } else {
+                StudyContext::for_scenario(scenario)
+            }
+        })
+        .collect()
+}
+
+/// Runs `scenario` inside `ctx`, arming its fault sites (if any) in a
+/// scope local to the calling thread and the workers it spawns.
+///
+/// # Errors
+///
+/// Propagates the scenario's flow failure, including injected faults.
+pub fn run_in_context(ctx: &StudyContext, scenario: &Scenario) -> Result<TechStudy, FlowError> {
+    let _scope = if scenario.is_clean() {
+        None
+    } else {
+        Some(techlib::faults::scoped(
+            scenario.fault_sites().iter().cloned(),
+        ))
+    };
+    run_tech_in(ctx, scenario.tech(), scenario.mode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOverrides;
+    use crate::table5::MonitorLengths;
+    use techlib::spec::InterposerKind;
+
+    #[test]
+    fn a_faulty_scenario_fails_alone() {
+        let scenarios = vec![
+            Scenario::paper(InterposerKind::Glass3D),
+            Scenario::new(
+                "broken-thermal",
+                InterposerKind::Glass3D,
+                MonitorLengths::Routed,
+                ScenarioOverrides::default(),
+                vec!["thermal.solve".to_string()],
+            )
+            .unwrap(),
+        ];
+        let outcomes = run(&scenarios).unwrap();
+        assert!(outcomes[0].is_ok(), "{:?}", outcomes[0]);
+        assert!(
+            matches!(outcomes[1], Err(FlowError::NoConvergence { .. })),
+            "{:?}",
+            outcomes[1]
+        );
+    }
+
+    #[test]
+    fn overridden_scenarios_diverge_from_the_paper_point() {
+        let scenarios = vec![
+            Scenario::paper(InterposerKind::Glass25D),
+            Scenario::new(
+                "coarse-pitch",
+                InterposerKind::Glass25D,
+                MonitorLengths::Routed,
+                ScenarioOverrides {
+                    microbump_pitch_um: Some(55.0),
+                    ..Default::default()
+                },
+                Vec::new(),
+            )
+            .unwrap(),
+        ];
+        let outcomes = run_sequential(&scenarios);
+        let paper = outcomes[0].as_ref().unwrap();
+        let coarse = outcomes[1].as_ref().unwrap();
+        assert!(
+            coarse.logic.footprint.width_um > paper.logic.footprint.width_um,
+            "coarser bumps need a bigger die: {} vs {}",
+            coarse.logic.footprint.width_um,
+            paper.logic.footprint.width_um
+        );
+    }
+}

@@ -1,35 +1,83 @@
 //! Command-line front-end for the co-design flow.
 //!
 //! ```sh
-//! codesign glass3d            # human-readable study summary
-//! codesign silicon25d --json  # full study as JSON
-//! codesign --all              # one-line summary per technology
+//! codesign glass3d                  # human-readable study summary
+//! codesign silicon25d --json        # full study as JSON
+//! codesign --all                    # one-line summary per technology
+//! codesign sweep scenarios.json     # batch design-space run
 //! ```
 
 use codesign::flow::{run_all, run_tech};
+use codesign::scenario::{kind_from_str, scenarios_from_json};
 use codesign::table5::MonitorLengths;
 use techlib::spec::InterposerKind;
 
 fn parse_tech(name: &str) -> Option<InterposerKind> {
-    match name
-        .to_ascii_lowercase()
-        .replace(['-', '_', '.'], "")
-        .as_str()
-    {
-        "glass25d" | "glass2d5" => Some(InterposerKind::Glass25D),
-        "glass3d" | "55d" => Some(InterposerKind::Glass3D),
-        "silicon25d" | "si25d" | "cowos" => Some(InterposerKind::Silicon25D),
-        "silicon3d" | "si3d" => Some(InterposerKind::Silicon3D),
-        "shinko" => Some(InterposerKind::Shinko),
-        "apx" => Some(InterposerKind::Apx),
-        _ => None,
-    }
+    kind_from_str(name)
 }
 
 fn usage() -> ! {
     eprintln!("usage: codesign <glass25d|glass3d|silicon25d|silicon3d|shinko|apx> [--json]");
     eprintln!("       codesign --all");
+    eprintln!("       codesign sweep <scenarios.json> [--json] [--sequential]");
     std::process::exit(2);
+}
+
+/// Runs a batch of scenarios from a JSON file and prints one line (or
+/// one JSON object) per scenario.
+fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let text = std::fs::read_to_string(path)?;
+    let scenarios = scenarios_from_json(&text)?;
+    let outcomes = if sequential {
+        codesign::batch::run_sequential(&scenarios)
+    } else {
+        codesign::batch::run(&scenarios)?
+    };
+    if json {
+        let mut entries = Vec::new();
+        for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+            let body = match outcome {
+                Ok(study) => format!("\"study\":{}", serde_json::to_string(study)?),
+                Err(e) => format!("\"error\":{}", serde_json::to_string(&e.to_string())?),
+            };
+            entries.push(format!(
+                "{{\"scenario\":{},{body}}}",
+                serde_json::to_string(scenario.name())?
+            ));
+        }
+        println!("[{}]", entries.join(","));
+    } else {
+        println!(
+            "{:<24}{:<14}{:>12}{:>10}{:>10}",
+            "scenario", "tech", "P_sys mW", "Fmax MHz", "mem °C"
+        );
+        for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+            match outcome {
+                Ok(s) => println!(
+                    "{:<24}{:<14}{:>12.1}{:>10.0}{:>10.1}",
+                    scenario.name(),
+                    s.tech.label(),
+                    s.fullchip.total_power_mw,
+                    s.fullchip.system_fmax_mhz,
+                    s.thermal.mem_peak_c
+                ),
+                Err(e) => println!(
+                    "{:<24}{:<14}error: {e}",
+                    scenario.name(),
+                    scenario.tech().label()
+                ),
+            }
+        }
+    }
+    if outcomes.iter().any(Result::is_err) {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn main() {
@@ -43,6 +91,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "sweep" {
+        return sweep(&args[1..]);
     }
     if args[0] == "--all" {
         println!(

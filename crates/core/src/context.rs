@@ -1,0 +1,400 @@
+//! Scenario-scoped study contexts: the memoized artifact chain that used
+//! to live in process-wide statics, now owned per scenario.
+//!
+//! A [`StudyContext`] owns every cached artifact one scenario's study
+//! needs — the netlist front end (design → hierarchical L3 split →
+//! chipletized netlists), the per-technology chiplet reports, the routed
+//! interposer layouts and the thermal reports. Batch runs build one
+//! context per scenario, so nothing a scenario computes (or fails to
+//! compute) can leak into another scenario's results.
+//!
+//! The spec-independent front end is factored into [`FrontEnd`] so
+//! *clean* scenarios in a batch can share one split instead of
+//! re-partitioning per scenario; everything downstream depends on the
+//! scenario's resolved [`InterposerSpec`]s and stays private.
+//!
+//! [`default_context`] is the lazily-built context for the paper-default
+//! configuration. It shares its layout and thermal caches with the
+//! legacy [`interposer::report::cached_layout`] /
+//! [`thermal::report::analyze_tech`] shims, so the old entry points and
+//! the context path never compute the same artifact twice.
+
+use crate::scenario::Scenario;
+use crate::FlowError;
+use chiplet::report::ChipletReport;
+use interposer::report::{InterposerLayout, LayoutCache};
+use netlist::chiplet_netlist::ChipletNetlist;
+use netlist::design::Design;
+use netlist::partition::Partition;
+use netlist::serdes::SerdesPlan;
+use std::sync::{Arc, OnceLock};
+use techlib::memo::ArcMemo;
+use techlib::spec::{InterposerKind, InterposerSpec};
+use thermal::report::{ThermalCache, ThermalReport};
+
+/// The spec-independent front end of the flow: the two-tile OpenPiton
+/// design, its hierarchical L3 split and the chipletized (logic, memory)
+/// netlists. None of these depend on an [`InterposerSpec`], so clean
+/// scenarios may share one `FrontEnd` through an [`Arc`].
+///
+/// Only **successes** are memoized: a failure (including one injected at
+/// the `partition.split` fault site) is returned to the caller and the
+/// next call recomputes, so errors never poison the cache.
+#[derive(Debug, Default)]
+pub struct FrontEnd {
+    design: OnceLock<Arc<Design>>,
+    split: ArcMemo<Partition>,
+    netlists: ArcMemo<(ChipletNetlist, ChipletNetlist)>,
+}
+
+impl FrontEnd {
+    /// Creates an empty front end.
+    pub const fn new() -> FrontEnd {
+        FrontEnd {
+            design: OnceLock::new(),
+            split: ArcMemo::new(),
+            netlists: ArcMemo::new(),
+        }
+    }
+
+    /// The two-tile OpenPiton-like design (infallible, built once).
+    pub fn design(&self) -> Arc<Design> {
+        Arc::clone(
+            self.design
+                .get_or_init(|| Arc::new(netlist::openpiton::two_tile_openpiton())),
+        )
+    }
+
+    /// The hierarchical L3 split of [`FrontEnd::design`].
+    ///
+    /// # Errors
+    ///
+    /// Partitioning failure (not memoized).
+    pub fn split(&self) -> Result<Arc<Partition>, FlowError> {
+        self.split.get_or_try(|| {
+            netlist::partition::hierarchical_l3_split(&self.design()).map_err(FlowError::from)
+        })
+    }
+
+    /// The chipletized (logic, memory) netlists with the paper's SerDes
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning failure (not memoized).
+    pub fn chiplet_netlists(&self) -> Result<Arc<(ChipletNetlist, ChipletNetlist)>, FlowError> {
+        self.netlists.get_or_try(|| {
+            let split = self.split()?;
+            Ok(netlist::chiplet_netlist::chipletize(
+                &self.design(),
+                &split,
+                &SerdesPlan::paper(),
+            ))
+        })
+    }
+
+    /// How many hierarchical splits this front end has actually run
+    /// (cache hits don't count) — the regression hook for "shared
+    /// context means one split".
+    pub fn split_compute_count(&self) -> usize {
+        self.split.compute_count()
+    }
+
+    /// How many chipletizations have actually run.
+    pub fn netlists_compute_count(&self) -> usize {
+        self.netlists.compute_count()
+    }
+
+    /// Forgets the fallible artifacts (the design itself is
+    /// deterministic and infallible, so it stays).
+    pub fn reset(&self) {
+        self.split.reset();
+        self.netlists.reset();
+    }
+}
+
+/// Every memoized artifact one scenario's study needs, resolved against
+/// that scenario's overridden specs. Shared by `Arc` between the flow
+/// stages and (for the default context) the legacy shims.
+#[derive(Debug)]
+pub struct StudyContext {
+    label: String,
+    specs: [InterposerSpec; InterposerKind::COUNT],
+    frontend: Arc<FrontEnd>,
+    reports: [ArcMemo<(ChipletReport, ChipletReport)>; InterposerKind::COUNT],
+    layouts: Arc<LayoutCache>,
+    thermal: Arc<ThermalCache>,
+}
+
+impl StudyContext {
+    /// A fresh context serving the paper-default Table I specs, with
+    /// private caches (unlike [`default_context`], which shares its
+    /// layout/thermal caches with the legacy shims).
+    pub fn paper() -> StudyContext {
+        StudyContext::with_parts(
+            "paper".to_string(),
+            default_specs(),
+            Arc::new(FrontEnd::new()),
+        )
+    }
+
+    /// A private context for `scenario`: its own front end and caches.
+    pub fn for_scenario(scenario: &Scenario) -> StudyContext {
+        StudyContext::with_parts(
+            scenario.name().to_string(),
+            scenario_specs(scenario),
+            Arc::new(FrontEnd::new()),
+        )
+    }
+
+    /// A context for `scenario` sharing an existing front end (the batch
+    /// engine passes one shared front end to every *clean* scenario; the
+    /// spec-dependent caches stay private because each scenario's specs
+    /// differ).
+    pub fn for_scenario_shared(scenario: &Scenario, frontend: Arc<FrontEnd>) -> StudyContext {
+        StudyContext::with_parts(
+            scenario.name().to_string(),
+            scenario_specs(scenario),
+            frontend,
+        )
+    }
+
+    fn with_parts(
+        label: String,
+        specs: [InterposerSpec; InterposerKind::COUNT],
+        frontend: Arc<FrontEnd>,
+    ) -> StudyContext {
+        StudyContext {
+            label,
+            specs,
+            frontend,
+            reports: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            layouts: Arc::new(LayoutCache::new()),
+            thermal: Arc::new(ThermalCache::new()),
+        }
+    }
+
+    /// The context's display label (scenario name, or `"paper"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The resolved design rules this context uses for `tech`.
+    pub fn spec(&self, tech: InterposerKind) -> &InterposerSpec {
+        &self.specs[tech.index()]
+    }
+
+    /// The shared front end (design/split/netlists).
+    pub fn frontend(&self) -> &Arc<FrontEnd> {
+        &self.frontend
+    }
+
+    /// The two-tile OpenPiton-like design.
+    pub fn design(&self) -> Arc<Design> {
+        self.frontend.design()
+    }
+
+    /// The hierarchical L3 split.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning failure (not memoized).
+    pub fn split(&self) -> Result<Arc<Partition>, FlowError> {
+        self.frontend.split()
+    }
+
+    /// The chipletized (logic, memory) netlists.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning failure (not memoized).
+    pub fn chiplet_netlists(&self) -> Result<Arc<(ChipletNetlist, ChipletNetlist)>, FlowError> {
+        self.frontend.chiplet_netlists()
+    }
+
+    /// The per-technology (logic, memory) chiplet reports (Tables
+    /// II/III) against this context's resolved spec.
+    ///
+    /// # Errors
+    ///
+    /// Partitioning or placement failure (not memoized).
+    pub fn chiplet_reports(
+        &self,
+        tech: InterposerKind,
+    ) -> Result<Arc<(ChipletReport, ChipletReport)>, FlowError> {
+        self.reports[tech.index()].get_or_try(|| {
+            let netlists = self.frontend.chiplet_netlists()?;
+            let (logic_nl, mem_nl) = &*netlists;
+            chiplet::report::analyze_pair_with(logic_nl, mem_nl, self.spec(tech))
+                .map_err(FlowError::from)
+        })
+    }
+
+    /// The routed interposer layout for `tech` (Table IV) against this
+    /// context's resolved spec.
+    ///
+    /// # Errors
+    ///
+    /// Routing failure, or [`FlowError::Route`] with
+    /// [`interposer::RouteError::NoInterposer`] for technologies without
+    /// a routed interposer.
+    pub fn layout(&self, tech: InterposerKind) -> Result<Arc<InterposerLayout>, FlowError> {
+        self.layouts
+            .layout(self.spec(tech))
+            .map_err(FlowError::from)
+    }
+
+    /// The thermal report for `tech` (Fig. 17) against this context's
+    /// resolved spec.
+    ///
+    /// # Errors
+    ///
+    /// Thermal model or solver failure.
+    pub fn thermal_report(&self, tech: InterposerKind) -> Result<Arc<ThermalReport>, FlowError> {
+        self.thermal
+            .analyze(self.spec(tech))
+            .map_err(FlowError::from)
+    }
+
+    /// Total artifact computations this context has actually run, by
+    /// stage — the observability hook the cache-reuse tests and the
+    /// sweep bench use.
+    pub fn compute_counts(&self) -> ComputeCounts {
+        ComputeCounts {
+            split: self.frontend.split_compute_count(),
+            netlists: self.frontend.netlists_compute_count(),
+            reports: self.reports.iter().map(ArcMemo::compute_count).sum(),
+            layouts: self.layouts.compute_count(),
+            thermal: self.thermal.compute_count(),
+        }
+    }
+
+    /// Forgets every fallible cached artifact (front end, reports,
+    /// layouts, thermal) so the next calls recompute. Outstanding `Arc`
+    /// handles stay valid on their own.
+    pub fn reset(&self) {
+        self.frontend.reset();
+        for cell in &self.reports {
+            cell.reset();
+        }
+        self.layouts.reset();
+        self.thermal.reset();
+    }
+}
+
+/// Per-stage computation counters from [`StudyContext::compute_counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeCounts {
+    /// Hierarchical L3 splits run.
+    pub split: usize,
+    /// Chipletizations run.
+    pub netlists: usize,
+    /// Chiplet-report pairs analyzed.
+    pub reports: usize,
+    /// Interposer layouts placed and routed.
+    pub layouts: usize,
+    /// Thermal fields solved.
+    pub thermal: usize,
+}
+
+impl ComputeCounts {
+    /// Sum over all stages.
+    pub fn total(&self) -> usize {
+        self.split + self.netlists + self.reports + self.layouts + self.thermal
+    }
+}
+
+fn default_specs() -> [InterposerSpec; InterposerKind::COUNT] {
+    InterposerKind::ALL.map(InterposerSpec::for_kind)
+}
+
+fn scenario_specs(scenario: &Scenario) -> [InterposerSpec; InterposerKind::COUNT] {
+    InterposerKind::ALL.map(|kind| scenario.spec_for(kind))
+}
+
+/// The process-wide context for the **paper default** configuration —
+/// what the legacy `run_tech` / `table5` / `fullchip` entry points use.
+/// Its layout and thermal caches are the same objects behind
+/// [`interposer::report::cached_layout`] and
+/// [`thermal::report::analyze_tech`], so the legacy shims and the
+/// context path share one set of computations.
+pub fn default_context() -> Arc<StudyContext> {
+    static DEFAULT: OnceLock<Arc<StudyContext>> = OnceLock::new();
+    Arc::clone(DEFAULT.get_or_init(|| {
+        Arc::new(StudyContext {
+            label: "paper".to_string(),
+            specs: default_specs(),
+            frontend: Arc::new(FrontEnd::new()),
+            reports: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            layouts: interposer::report::default_layout_cache(),
+            thermal: thermal::report::default_thermal_cache(),
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_memoize_within_a_context() {
+        let ctx = StudyContext::paper();
+        let a = ctx.chiplet_reports(InterposerKind::Glass3D).unwrap();
+        let b = ctx.chiplet_reports(InterposerKind::Glass3D).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let counts = ctx.compute_counts();
+        assert_eq!(counts.split, 1);
+        assert_eq!(counts.netlists, 1);
+        assert_eq!(counts.reports, 1);
+    }
+
+    #[test]
+    fn contexts_are_isolated_but_can_share_a_frontend() {
+        let shared = Arc::new(FrontEnd::new());
+        let a = StudyContext::for_scenario_shared(
+            &Scenario::paper(InterposerKind::Glass25D),
+            Arc::clone(&shared),
+        );
+        let b = StudyContext::for_scenario_shared(
+            &Scenario::paper(InterposerKind::Glass3D),
+            Arc::clone(&shared),
+        );
+        let na = a.chiplet_netlists().unwrap();
+        let nb = b.chiplet_netlists().unwrap();
+        assert!(Arc::ptr_eq(&na, &nb), "one split for clean scenarios");
+        assert_eq!(shared.split_compute_count(), 1);
+        // Downstream, spec-dependent caches stay private.
+        let ra = a.chiplet_reports(InterposerKind::Glass25D).unwrap();
+        let rb = b.chiplet_reports(InterposerKind::Glass25D).unwrap();
+        assert!(!Arc::ptr_eq(&ra, &rb));
+    }
+
+    #[test]
+    fn scenario_overrides_reach_the_resolved_specs() {
+        let scenario = Scenario::new(
+            "wide",
+            InterposerKind::Glass25D,
+            crate::table5::MonitorLengths::Routed,
+            crate::scenario::ScenarioOverrides {
+                microbump_pitch_um: Some(70.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .unwrap();
+        let ctx = StudyContext::for_scenario(&scenario);
+        assert_eq!(ctx.spec(InterposerKind::Glass25D).microbump_pitch_um, 70.0);
+        assert_eq!(ctx.label(), "wide");
+    }
+
+    #[test]
+    fn default_context_shares_the_legacy_layout_cache() {
+        let ctx = default_context();
+        let via_ctx = ctx.layout(InterposerKind::Glass3D).unwrap();
+        let via_shim = interposer::report::cached_layout(InterposerKind::Glass3D).unwrap();
+        assert!(
+            Arc::ptr_eq(&via_ctx, &via_shim),
+            "no double compute between paths"
+        );
+    }
+}

@@ -1,14 +1,21 @@
 //! One-call end-to-end study per technology.
+//!
+//! [`run_tech_in`] runs the flow against an explicit
+//! [`StudyContext`] — the scenario-scoped form the batch engine uses.
+//! The historical entry points ([`run_tech`], [`run_all`], …) delegate
+//! to the shared [`crate::context::default_context`], so they keep their
+//! signatures and their byte-identical outputs.
 
+use crate::context::{default_context, StudyContext};
 use crate::fullchip::{rollup, FullChipReport};
-use crate::table5::{row, MonitorLengths, Table5Row};
-use crate::{artifacts, exec, FlowError};
+use crate::scenario::Scenario;
+use crate::table5::{row_in, MonitorLengths, Table5Row};
+use crate::{batch, exec, FlowError};
 use chiplet::report::ChipletReport;
-use interposer::report::cached_layout;
 use interposer::stats::RoutingStats;
 use serde::Serialize;
 use techlib::spec::{InterposerKind, Stacking};
-use thermal::report::{analyze_tech, ThermalReport};
+use thermal::report::ThermalReport;
 
 /// Everything the study produces for one technology.
 #[derive(Debug, Clone, Serialize)]
@@ -40,25 +47,45 @@ pub fn run_tech(tech: InterposerKind) -> Result<TechStudy, FlowError> {
     run_tech_with(tech, MonitorLengths::Routed)
 }
 
-/// Runs the flow with an explicit monitored-net mode.
+/// Runs the flow with an explicit monitored-net mode, against the
+/// shared default (paper-configuration) context.
 ///
 /// # Errors
 ///
 /// Propagates netlist, routing and simulation failures.
 pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechStudy, FlowError> {
-    let (logic, memory) = artifacts::chiplet_reports(tech)?;
-    let spec = techlib::spec::InterposerSpec::for_kind(tech);
-    let routing = if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
+    run_tech_in(&default_context(), tech, mode)
+}
+
+/// Runs the flow for `tech` against an explicit study context — the
+/// scenario-scoped form. Every artifact (chiplet reports, routed
+/// layout, link channels, thermal field) comes from `ctx`'s caches and
+/// resolved specs.
+///
+/// # Errors
+///
+/// Propagates netlist, routing and simulation failures.
+pub fn run_tech_in(
+    ctx: &StudyContext,
+    tech: InterposerKind,
+    mode: MonitorLengths,
+) -> Result<TechStudy, FlowError> {
+    let reports = ctx.chiplet_reports(tech)?;
+    let (logic, memory) = &*reports;
+    let routing = if matches!(
+        ctx.spec(tech).stacking,
+        Stacking::TsvStack | Stacking::Monolithic
+    ) {
         None
     } else {
-        Some(cached_layout(tech)?.stats.clone())
+        Some(ctx.layout(tech)?.stats.clone())
     };
     // The link transients and the thermal solve touch no shared state, so
     // they overlap when a worker is free. Error priority mirrors the
     // sequential statement order: links first, then thermal.
-    let (links, thermal) = exec::join(|| row(tech, mode), || analyze_tech(tech));
+    let (links, thermal) = exec::join(|| row_in(ctx, tech, mode), || ctx.thermal_report(tech));
     let links = links?;
-    let thermal = thermal?;
+    let thermal = (*thermal?).clone();
     // Roll up from the already-computed reports and links; the seed flow
     // called `fullchip()` here, which re-simulated both links.
     let fullchip = rollup(tech, logic, memory, &links);
@@ -71,6 +98,17 @@ pub fn run_tech_with(tech: InterposerKind, mode: MonitorLengths) -> Result<TechS
         fullchip,
         thermal,
     })
+}
+
+/// Runs one [`Scenario`] in a private context, with its fault sites (if
+/// any) armed in a scope local to this run. Equivalent to a one-entry
+/// [`crate::batch::run`].
+///
+/// # Errors
+///
+/// Propagates the scenario's flow failure.
+pub fn run_scenario(scenario: &Scenario) -> Result<TechStudy, FlowError> {
+    batch::run_in_context(&StudyContext::for_scenario(scenario), scenario)
 }
 
 /// Runs the study for all six packaged technologies, fanning the
@@ -88,7 +126,20 @@ pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
     // Surface a malformed CODESIGN_THREADS as a typed error up front
     // instead of silently falling back to the default parallelism.
     techlib::par::try_thread_count()?;
-    exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| run_tech_with(tech, mode))
+    run_all_in(&default_context(), mode)
+}
+
+/// [`run_all`] against an explicit context (all six packaged
+/// technologies, parallel, `PACKAGED` order).
+///
+/// # Errors
+///
+/// Per-technology failures, first failing technology in `PACKAGED`
+/// order.
+pub fn run_all_in(ctx: &StudyContext, mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+    exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| {
+        run_tech_in(ctx, tech, mode)
+    })
 }
 
 /// Sequential reference implementation of [`run_all`] (same work, one
@@ -99,9 +150,10 @@ pub fn run_all(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
 ///
 /// Propagates per-technology failures.
 pub fn run_all_sequential(mode: MonitorLengths) -> Result<Vec<TechStudy>, FlowError> {
+    let ctx = default_context();
     InterposerKind::PACKAGED
         .iter()
-        .map(|&tech| run_tech_with(tech, mode))
+        .map(|&tech| run_tech_in(&ctx, tech, mode))
         .collect()
 }
 
@@ -132,5 +184,16 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("Glass3D"));
         assert!(json.len() > 1000);
+    }
+
+    #[test]
+    fn scenario_run_matches_the_default_path() {
+        let default = run_tech(InterposerKind::Glass3D).unwrap();
+        let scenario = run_scenario(&Scenario::paper(InterposerKind::Glass3D)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&default).unwrap(),
+            serde_json::to_string(&scenario).unwrap(),
+            "the paper scenario is byte-identical to the legacy path"
+        );
     }
 }

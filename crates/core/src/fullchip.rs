@@ -8,8 +8,9 @@
 //! the pipelined mode, or by chiplet + off-chip delay in the
 //! non-pipelined mode.
 
-use crate::table5::{row, MonitorLengths, Table5Row};
-use crate::{artifacts, FlowError};
+use crate::context::{default_context, StudyContext};
+use crate::table5::{row_in, MonitorLengths, Table5Row};
+use crate::FlowError;
 use chiplet::report::ChipletReport;
 use netlist::openpiton::INTRA_TILE_CUT;
 use netlist::serdes::SerdesPlan;
@@ -91,14 +92,29 @@ pub fn monolithic_power_mw(logic: &ChipletReport, memory: &ChipletReport) -> f64
     internal_leak + switching
 }
 
-/// Builds the roll-up for `tech` using our routed worst nets.
+/// Builds the roll-up for `tech` using our routed worst nets (default
+/// context).
 ///
 /// # Errors
 ///
 /// Propagates netlist, routing and simulation failures.
 pub fn fullchip(tech: InterposerKind, mode: MonitorLengths) -> Result<FullChipReport, FlowError> {
-    let (logic, memory) = artifacts::chiplet_reports(tech)?;
-    let links = row(tech, mode)?;
+    fullchip_in(&default_context(), tech, mode)
+}
+
+/// [`fullchip`] against an explicit study context.
+///
+/// # Errors
+///
+/// Propagates netlist, routing and simulation failures.
+pub fn fullchip_in(
+    ctx: &StudyContext,
+    tech: InterposerKind,
+    mode: MonitorLengths,
+) -> Result<FullChipReport, FlowError> {
+    let reports = ctx.chiplet_reports(tech)?;
+    let (logic, memory) = &*reports;
+    let links = row_in(ctx, tech, mode)?;
     Ok(rollup(tech, logic, memory, &links))
 }
 

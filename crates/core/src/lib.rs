@@ -24,17 +24,22 @@
 //! ```
 
 pub mod artifacts;
+pub mod batch;
 pub mod compare;
+pub mod context;
 pub mod cost;
 pub mod exec;
 pub mod flow;
 pub mod fullchip;
+pub mod scenario;
 pub mod sensitivity;
 pub mod table5;
 pub mod tables;
 
-pub use flow::{run_tech, TechStudy};
+pub use context::{default_context, StudyContext};
+pub use flow::{run_scenario, run_tech, TechStudy};
 pub use fullchip::FullChipReport;
+pub use scenario::{Scenario, ScenarioOverrides};
 
 /// Errors produced by the end-to-end flow.
 ///

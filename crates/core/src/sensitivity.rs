@@ -1,17 +1,21 @@
 //! Sensitivity analysis — the "optimization opportunities" the paper's
 //! conclusion points at, quantified by sweeping one technology parameter
 //! at a time around the glass design point.
+//!
+//! Every sweep takes an explicit [`StudyContext`] and reads its shared
+//! front-end artifacts (the seed implementation re-derived the netlist →
+//! split → chipletize chain from scratch inside each sweep call); two
+//! sweeps sharing a context therefore share a single hierarchical split.
+//! The sweeps perturb a *copy* of the context's resolved spec at each
+//! point — the context's own caches see only its canonical specs.
 
+use crate::context::StudyContext;
 use crate::FlowError;
 use chiplet::bumpmap::BumpPlan;
 use interposer::grid::RoutingGrid;
 use interposer::router::base_blockage;
-use netlist::chiplet_netlist::chipletize;
-use netlist::openpiton::two_tile_openpiton;
-use netlist::partition::hierarchical_l3_split;
-use netlist::serdes::SerdesPlan;
 use serde::Serialize;
-use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::spec::InterposerKind;
 
 /// One sweep point.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -30,20 +34,51 @@ pub struct SweepPoint {
 /// # Errors
 ///
 /// Propagates partitioning failures.
-pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
-    let design = two_tile_openpiton();
-    let split = hierarchical_l3_split(&design)?;
-    let (logic, _) = chipletize(&design, &split, &SerdesPlan::paper());
+pub fn footprint_vs_bump_pitch(
+    ctx: &StudyContext,
+    pitches_um: &[f64],
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let netlists = ctx.chiplet_netlists()?;
+    let (logic, _) = &*netlists;
     pitches_um
         .iter()
         .map(|&pitch| {
-            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            let mut spec = ctx.spec(InterposerKind::Glass25D).clone();
             spec.microbump_pitch_um = pitch;
             let bumps = BumpPlan::for_design(logic.signal_pins, logic.kind, &spec);
-            let fp = chiplet::footprint::solve(&logic, &bumps, &spec, None);
+            let fp = chiplet::footprint::solve(logic, &bumps, &spec, None);
             Ok(SweepPoint {
                 x: pitch,
                 y: fp.width_um,
+            })
+        })
+        .collect()
+}
+
+/// Glass logic-die cell utilization (fraction) versus micro-bump pitch
+/// (µm). The flip side of [`footprint_vs_bump_pitch`]: as coarser bumps
+/// force a bigger die, the standard-cell area stays put and utilization
+/// collapses — silicon paid for bump real estate.
+///
+/// # Errors
+///
+/// Propagates partitioning failures.
+pub fn utilization_vs_bump_pitch(
+    ctx: &StudyContext,
+    pitches_um: &[f64],
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let netlists = ctx.chiplet_netlists()?;
+    let (logic, _) = &*netlists;
+    pitches_um
+        .iter()
+        .map(|&pitch| {
+            let mut spec = ctx.spec(InterposerKind::Glass25D).clone();
+            spec.microbump_pitch_um = pitch;
+            let bumps = BumpPlan::for_design(logic.signal_pins, logic.kind, &spec);
+            let fp = chiplet::footprint::solve(logic, &bumps, &spec, None);
+            Ok(SweepPoint {
+                x: pitch,
+                y: fp.utilization(),
             })
         })
         .collect()
@@ -55,11 +90,11 @@ pub fn footprint_vs_bump_pitch(pitches_um: &[f64]) -> Result<Vec<SweepPoint>, Fl
 /// aspect ratio (scaling thickness at fixed spacing would trade the R
 /// win for a lateral-coupling C penalty). Thicker copper buys delay —
 /// the glass technology's core electrical advantage (Table VI).
-pub fn delay_vs_metal_thickness(thicknesses_um: &[f64]) -> Vec<SweepPoint> {
+pub fn delay_vs_metal_thickness(ctx: &StudyContext, thicknesses_um: &[f64]) -> Vec<SweepPoint> {
     thicknesses_um
         .iter()
         .map(|&t| {
-            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            let mut spec = ctx.spec(InterposerKind::Glass25D).clone();
             spec.metal_thickness_um = t;
             spec.min_wire_space_um = t / 2.0;
             let line = si::rlgc::extract_line(&spec, 10e-3);
@@ -80,12 +115,15 @@ pub fn delay_vs_metal_thickness(thicknesses_um: &[f64]) -> Vec<SweepPoint> {
 ///
 /// [`FlowError::Route`] if a swept via size produces a degenerate
 /// routing grid.
-pub fn blockage_vs_via_size(via_sizes_um: &[f64]) -> Result<Vec<SweepPoint>, FlowError> {
-    let placement = interposer::diemap::place_dies(InterposerKind::Glass25D);
+pub fn blockage_vs_via_size(
+    ctx: &StudyContext,
+    via_sizes_um: &[f64],
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let placement = interposer::diemap::place_dies_with(ctx.spec(InterposerKind::Glass25D));
     via_sizes_um
         .iter()
         .map(|&v| {
-            let mut spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+            let mut spec = ctx.spec(InterposerKind::Glass25D).clone();
             spec.via_size_um = v;
             let grid = RoutingGrid::new(placement.footprint_um, &spec)
                 .map_err(|reason| interposer::RouteError::BadGrid { reason })?;
@@ -105,19 +143,46 @@ mod tests {
 
     #[test]
     fn footprint_shrinks_with_pitch_until_cell_limited() {
-        let points = footprint_vs_bump_pitch(&[15.0, 25.0, 35.0, 45.0, 55.0]).unwrap();
+        let ctx = StudyContext::paper();
+        let points = footprint_vs_bump_pitch(&ctx, &[15.0, 25.0, 35.0, 45.0, 55.0]).unwrap();
         // Monotone non-decreasing in pitch.
         for w in points.windows(2) {
             assert!(w[1].y >= w[0].y, "{points:?}");
         }
         // At tiny pitch the cell-area limit takes over: width saturates.
-        let tiny = footprint_vs_bump_pitch(&[5.0, 10.0]).unwrap();
+        let tiny = footprint_vs_bump_pitch(&ctx, &[5.0, 10.0]).unwrap();
         assert_eq!(tiny[0].y, tiny[1].y, "cell-limited floor");
     }
 
     #[test]
+    fn coarser_bumps_waste_utilization() {
+        let ctx = StudyContext::paper();
+        let points = utilization_vs_bump_pitch(&ctx, &[35.0, 45.0, 55.0, 70.0]).unwrap();
+        for w in points.windows(2) {
+            assert!(w[1].y <= w[0].y, "{points:?}");
+        }
+        for p in &points {
+            assert!(p.y > 0.0 && p.y <= 1.0, "{points:?}");
+        }
+    }
+
+    #[test]
+    fn sweeps_sharing_a_context_share_one_split() {
+        // The seed implementation re-partitioned inside every sweep call;
+        // now two different sweeps on one context run exactly one
+        // hierarchical split (and one chipletization) between them.
+        let ctx = StudyContext::paper();
+        footprint_vs_bump_pitch(&ctx, &[25.0, 35.0, 45.0]).unwrap();
+        utilization_vs_bump_pitch(&ctx, &[25.0, 35.0, 45.0]).unwrap();
+        let counts = ctx.compute_counts();
+        assert_eq!(counts.split, 1, "{counts:?}");
+        assert_eq!(counts.netlists, 1, "{counts:?}");
+    }
+
+    #[test]
     fn thicker_metal_is_faster() {
-        let points = delay_vs_metal_thickness(&[1.0, 2.0, 4.0, 8.0]);
+        let ctx = StudyContext::paper();
+        let points = delay_vs_metal_thickness(&ctx, &[1.0, 2.0, 4.0, 8.0]);
         for w in points.windows(2) {
             assert!(w[1].y < w[0].y, "{points:?}");
         }
@@ -125,7 +190,8 @@ mod tests {
 
     #[test]
     fn smaller_vias_unblock_the_grid() {
-        let points = blockage_vs_via_size(&[4.0, 10.0, 22.0, 30.0]).unwrap();
+        let ctx = StudyContext::paper();
+        let points = blockage_vs_via_size(&ctx, &[4.0, 10.0, 22.0, 30.0]).unwrap();
         for w in points.windows(2) {
             assert!(w[1].y >= w[0].y, "{points:?}");
         }

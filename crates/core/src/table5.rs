@@ -4,13 +4,16 @@
 //! logic-to-memory (intra-tile) and logic-to-logic (inter-tile)
 //! connection. Lengths come either from our own routed layouts
 //! (self-consistent mode) or from the paper's monitored nets (for direct
-//! Table V comparison).
+//! Table V comparison). The `_in` forms take an explicit
+//! [`StudyContext`], so scenario overrides reach the channel geometry
+//! and the link decks; the historical forms delegate to the shared
+//! default context.
 
+use crate::context::{default_context, StudyContext};
 use crate::FlowError;
 use interposer::diemap::NetClass;
-use interposer::report::cached_layout;
 use serde::Serialize;
-use si::link::{simulate_link, ChannelKind, LinkReport};
+use si::link::{simulate_link_with, ChannelKind, LinkReport};
 use techlib::spec::{InterposerKind, Stacking};
 
 /// Where the monitored net lengths come from.
@@ -45,12 +48,26 @@ pub fn paper_lengths(tech: InterposerKind) -> Option<(f64, f64)> {
     }
 }
 
-/// The two channels monitored for `tech`.
+/// The two channels monitored for `tech` (default context).
 ///
 /// # Errors
 ///
 /// Propagates routing failures in [`MonitorLengths::Routed`] mode.
 pub fn channels_for(
+    tech: InterposerKind,
+    mode: MonitorLengths,
+) -> Result<(ChannelKind, ChannelKind), FlowError> {
+    channels_for_in(&default_context(), tech, mode)
+}
+
+/// The two channels monitored for `tech`, with routed lengths and
+/// stacking taken from `ctx`'s resolved spec and layout cache.
+///
+/// # Errors
+///
+/// Propagates routing failures in [`MonitorLengths::Routed`] mode.
+pub fn channels_for_in(
+    ctx: &StudyContext,
     tech: InterposerKind,
     mode: MonitorLengths,
 ) -> Result<(ChannelKind, ChannelKind), FlowError> {
@@ -62,8 +79,7 @@ pub fn channels_for(
             reason: format!("injected channel-extraction fault for {tech}"),
         }));
     }
-    let spec = techlib::spec::InterposerSpec::for_kind(tech);
-    match spec.stacking {
+    match ctx.spec(tech).stacking {
         Stacking::TsvStack => Ok((ChannelKind::MicroBump, ChannelKind::BackToBackTsv)),
         Stacking::Embedded => {
             let l2l_len = match mode {
@@ -75,7 +91,7 @@ pub fn channels_for(
                     };
                     l2l
                 }
-                MonitorLengths::Routed => cached_layout(tech)?.worst_net_um(NetClass::InterTile),
+                MonitorLengths::Routed => ctx.layout(tech)?.worst_net_um(NetClass::InterTile),
             };
             Ok((
                 ChannelKind::StackedViaColumn { levels: 3 },
@@ -96,7 +112,7 @@ pub fn channels_for(
                     lens
                 }
                 MonitorLengths::Routed => {
-                    let layout = cached_layout(tech)?;
+                    let layout = ctx.layout(tech)?;
                     (
                         layout.worst_net_um(NetClass::IntraTileLateral),
                         layout.worst_net_um(NetClass::InterTile),
@@ -118,18 +134,32 @@ pub fn channels_for(
     }
 }
 
-/// Builds one Table V row.
+/// Builds one Table V row against the default context.
 ///
 /// # Errors
 ///
 /// Propagates routing and simulation failures.
 pub fn row(tech: InterposerKind, mode: MonitorLengths) -> Result<Table5Row, FlowError> {
-    let (l2m, l2l) = channels_for(tech, mode)?;
-    Ok(Table5Row {
-        tech,
-        l2m: simulate_link(&l2m)?,
-        l2l: simulate_link(&l2l)?,
-    })
+    row_in(&default_context(), tech, mode)
+}
+
+/// Builds one Table V row against an explicit context: each link is
+/// simulated with the spec of the channel's own technology as resolved
+/// by `ctx` (scenario overrides reach the RLGC extraction and the bump
+/// models).
+///
+/// # Errors
+///
+/// Propagates routing and simulation failures.
+pub fn row_in(
+    ctx: &StudyContext,
+    tech: InterposerKind,
+    mode: MonitorLengths,
+) -> Result<Table5Row, FlowError> {
+    let (l2m, l2l) = channels_for_in(ctx, tech, mode)?;
+    let l2m = simulate_link_with(&l2m, ctx.spec(l2m.tech()))?;
+    let l2l = simulate_link_with(&l2l, ctx.spec(l2l.tech()))?;
+    Ok(Table5Row { tech, l2m, l2l })
 }
 
 /// Builds the whole Table V (all six packaged technologies), simulating
@@ -141,7 +171,8 @@ pub fn row(tech: InterposerKind, mode: MonitorLengths) -> Result<Table5Row, Flow
 /// Propagates per-row failures (first failing technology in `PACKAGED`
 /// order).
 pub fn table5(mode: MonitorLengths) -> Result<Vec<Table5Row>, FlowError> {
-    crate::exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| row(tech, mode))
+    let ctx = default_context();
+    crate::exec::try_ordered_map(&InterposerKind::PACKAGED, |&tech| row_in(&ctx, tech, mode))
 }
 
 #[cfg(test)]

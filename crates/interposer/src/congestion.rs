@@ -129,15 +129,15 @@ mod tests {
 
     #[test]
     fn glass_is_more_congested_than_silicon() {
-        let gl = analyze(cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
-        let si = analyze(cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
+        let gl = analyze(&cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
+        let si = analyze(&cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
         let hot = |m: &CongestionMap| m.layers.iter().map(|l| l.hot_gcells).sum::<usize>();
         assert!(hot(&gl) > 3 * hot(&si), "{} vs {}", hot(&gl), hot(&si));
     }
 
     #[test]
     fn top_layer_carries_the_pad_blockage() {
-        let m = analyze(cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
+        let m = analyze(&cached_layout(InterposerKind::Glass25D).unwrap()).unwrap();
         // Layer 0 holds every landing pad: it must show the most hot
         // gcells of any layer.
         let top = m.layers[0].hot_gcells;
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn svg_renders_only_used_cells() {
-        let m = analyze(cached_layout(InterposerKind::Glass3D).unwrap()).unwrap();
+        let m = analyze(&cached_layout(InterposerKind::Glass3D).unwrap()).unwrap();
         let svg = render_layer(&m, 0, 4.0);
         assert!(svg.starts_with("<svg"));
         let rects = svg.matches("<rect").count();
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn utilisation_stats_are_sane() {
-        let m = analyze(cached_layout(InterposerKind::Shinko).unwrap()).unwrap();
+        let m = analyze(&cached_layout(InterposerKind::Shinko).unwrap()).unwrap();
         for l in &m.layers {
             assert!(l.mean_utilisation >= 0.0);
             assert!(l.peak_utilisation >= l.mean_utilisation);

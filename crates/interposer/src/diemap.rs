@@ -7,12 +7,12 @@
 //! embedded directly underneath its logic die, and the two stacks sit side
 //! by side.
 
-use chiplet::bumpmap::{paper_plan, BumpPlan};
+use chiplet::bumpmap::{paper_plan_with, BumpPlan};
 use netlist::chiplet_netlist::ChipletKind;
 use netlist::openpiton::INTRA_TILE_CUT;
 use netlist::serdes::SerdesPlan;
 use serde::Serialize;
-use techlib::spec::{InterposerKind, Stacking};
+use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
 
 /// One placed die on (or in) the interposer.
 #[derive(Debug, Clone, Serialize)]
@@ -175,13 +175,26 @@ pub fn edge_margins_um(tech: InterposerKind) -> (f64, f64) {
 /// [`techlib::spec::InterposerSpec::for_kind`] first or use
 /// [`crate::report::place_and_route`], which returns an error instead.
 pub fn place_dies(tech: InterposerKind) -> DiePlacement {
-    let spec = techlib::spec::InterposerSpec::for_kind(tech);
+    place_dies_with(&InterposerSpec::for_kind(tech))
+}
+
+/// [`place_dies`] against an explicit (possibly overridden) spec — bump
+/// plans, die spacing, and stacking arrangement all follow the spec's
+/// fields; die widths and edge margins stay keyed on its `kind` (they
+/// come from the chiplet physical design, not the interposer).
+///
+/// # Panics
+///
+/// Panics for specs whose stacking is [`Stacking::TsvStack`] or
+/// [`Stacking::Monolithic`] — those have no routed interposer.
+pub fn place_dies_with(spec: &InterposerSpec) -> DiePlacement {
+    let tech = spec.kind;
     assert!(
         !matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic),
         "{tech} has no routed interposer"
     );
-    let logic_bumps = paper_plan(ChipletKind::Logic, tech);
-    let mem_bumps = paper_plan(ChipletKind::Memory, tech);
+    let logic_bumps = paper_plan_with(ChipletKind::Logic, spec);
+    let mem_bumps = paper_plan_with(ChipletKind::Memory, spec);
     let w_logic = logic_width(tech);
     let w_mem = mem_width(tech);
     let spacing = spec.die_to_die_spacing_um;
@@ -267,7 +280,7 @@ pub fn place_dies(tech: InterposerKind) -> DiePlacement {
         die.signal_map = edge_cluster_map(&die.bumps, INTRA_TILE_CUT, serdes.wires_after, edge);
     }
 
-    let nets = build_nets(tech);
+    let nets = build_nets(spec);
     DiePlacement {
         tech,
         footprint_um: footprint,
@@ -302,9 +315,9 @@ fn mem_width(tech: InterposerKind) -> f64 {
 /// between tiles, 68 serialised logic↔logic signals. The logic die's
 /// signal indices place the intra-tile cut first (0..231) and the
 /// serialised inter-tile interface after it (231..299).
-fn build_nets(tech: InterposerKind) -> Vec<NetSpec> {
+fn build_nets(spec: &InterposerSpec) -> Vec<NetSpec> {
     let serdes = SerdesPlan::paper();
-    let embedded = techlib::spec::InterposerSpec::for_kind(tech).stacking == Stacking::Embedded;
+    let embedded = spec.stacking == Stacking::Embedded;
     let mut nets = Vec::new();
     let mut id = 0;
     // Die indices: [logic0 = 0, mem0 = 1, logic1 = 2, mem1 = 3].

@@ -221,7 +221,7 @@ mod tests {
         // limitation, bounded here at 1 % of the used gcells.
         for tech in InterposerKind::INTERPOSER_BASED {
             let layout = cached_layout(tech).unwrap();
-            let report = check(layout).unwrap();
+            let report = check(&layout).unwrap();
             assert!(
                 report.connectivity_clean(),
                 "{tech}: non-overflow violations"
@@ -243,7 +243,7 @@ mod tests {
             assert!(report.used_gcells > 0);
         }
         // The capacity-rich silicon interposer is fully clean.
-        let report = check(cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
+        let report = check(&cached_layout(InterposerKind::Silicon25D).unwrap()).unwrap();
         assert!(
             report.is_clean(),
             "silicon: {:?}",
@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn corrupted_path_is_caught() {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
-        let mut bad = layout.clone();
+        let mut bad = (*layout).clone();
         // Teleport one net's tail.
         if let Some(net) = bad.routed_nets.first_mut() {
             if let Some(last) = net.path.last_mut() {
@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn bad_layer_is_caught() {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
-        let mut bad = layout.clone();
+        let mut bad = (*layout).clone();
         if let Some(net) = bad.routed_nets.first_mut() {
             if net.path.len() >= 2 {
                 net.path[1].2 = 99;

@@ -25,6 +25,9 @@ pub enum PgViaKind {
 pub struct PdnPlan {
     /// Technology.
     pub tech: InterposerKind,
+    /// The interposer spec the planes were generated for (carries any
+    /// scenario overrides into the electrical plane models below).
+    pub spec: InterposerSpec,
     /// Dedicated plane layers (always 2: PWR + GND).
     pub plane_layers: usize,
     /// Plane area, mm² (the interposer footprint).
@@ -44,7 +47,14 @@ impl PdnPlan {
     /// silicon TSVs form an area array on a 200 µm grid under the plane;
     /// organic PTHs sit on a 300 µm grid.
     pub fn generate(tech: InterposerKind, footprint_um: (f64, f64)) -> PdnPlan {
-        let spec = InterposerSpec::for_kind(tech);
+        PdnPlan::generate_with(&InterposerSpec::for_kind(tech), footprint_um)
+    }
+
+    /// [`PdnPlan::generate`] against an explicit (possibly overridden)
+    /// spec; the spec is retained so the plane electrical models reflect
+    /// its overrides.
+    pub fn generate_with(spec: &InterposerSpec, footprint_um: (f64, f64)) -> PdnPlan {
+        let tech = spec.kind;
         let (via_kind, count) = match tech {
             InterposerKind::Glass25D | InterposerKind::Glass3D => {
                 let perimeter = 2.0 * (footprint_um.0 + footprint_um.1);
@@ -62,8 +72,8 @@ impl PdnPlan {
             }
         };
         let via_model = match via_kind {
-            PgViaKind::Tgv => ViaModel::canonical(ViaKind::Tgv, &spec),
-            PgViaKind::Tsv => ViaModel::canonical(ViaKind::Tsv, &spec),
+            PgViaKind::Tgv => ViaModel::canonical(ViaKind::Tgv, spec),
+            PgViaKind::Tsv => ViaModel::canonical(ViaKind::Tsv, spec),
             // PTH: model as a fat, tall barrel through the organic core.
             PgViaKind::Pth => ViaModel::from_geometry(
                 ViaKind::Tgv,
@@ -75,6 +85,7 @@ impl PdnPlan {
         };
         PdnPlan {
             tech,
+            spec: spec.clone(),
             plane_layers: 2,
             plane_area_mm2: footprint_um.0 * footprint_um.1 / 1e6,
             via_kind,
@@ -85,15 +96,13 @@ impl PdnPlan {
 
     /// Plane-pair capacitance, F: parallel plates over the P/G dielectric.
     pub fn plane_pair_capacitance_f(&self) -> f64 {
-        let spec = InterposerSpec::for_kind(self.tech);
-        let eps = spec.dielectric_constant * techlib::units::EPSILON_0;
-        eps * self.plane_area_mm2 * 1e-6 / (spec.dielectric_thickness_um * 1e-6)
+        let eps = self.spec.dielectric_constant * techlib::units::EPSILON_0;
+        eps * self.plane_area_mm2 * 1e-6 / (self.spec.dielectric_thickness_um * 1e-6)
     }
 
     /// Plane sheet resistance of one plane, Ω/sq.
     pub fn plane_sheet_resistance(&self) -> f64 {
-        let spec = InterposerSpec::for_kind(self.tech);
-        techlib::material::COPPER.sheet_resistance_ohm_sq(spec.metal_thickness_um)
+        techlib::material::COPPER.sheet_resistance_ohm_sq(self.spec.metal_thickness_um)
     }
 
     /// Distance from the external supply to the chiplet bumps through the
@@ -101,16 +110,15 @@ impl PdnPlan {
     /// connects the embedded die directly at the RDL; everything else
     /// crosses its core and build-up stack.
     pub fn supply_path_length_um(&self) -> f64 {
-        let spec = InterposerSpec::for_kind(self.tech);
-        let Ok(stack) = techlib::stackup::Stackup::from_spec(&spec) else {
+        let Ok(stack) = techlib::stackup::Stackup::from_spec(&self.spec) else {
             // No package cross-section (monolithic baseline): the supply
             // reaches the die without crossing an interposer.
             return 0.0;
         };
-        match spec.stacking {
+        match self.spec.stacking {
             // Embedded memory die sits at the RDL: supply enters through
             // TGVs but reaches the dies after only the thin build-up.
-            Stacking::Embedded => stack.total_thickness_um() - spec.core_thickness_um,
+            Stacking::Embedded => stack.total_thickness_um() - self.spec.core_thickness_um,
             _ => stack.total_thickness_um(),
         }
     }

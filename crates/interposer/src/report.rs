@@ -1,4 +1,12 @@
-//! One-call interposer place-and-route.
+//! One-call interposer place-and-route, with scenario-scoped caching.
+//!
+//! [`place_and_route_with`] is the pure computation; [`LayoutCache`]
+//! memoises one layout per technology for a single scenario (a study
+//! context owns one cache per scenario). The process-wide
+//! [`cached_layout`] shim serves the default paper configuration through
+//! a shared [`LayoutCache`] handle — see [`default_layout_cache`] — so
+//! legacy entry points and the default study context share one set of
+//! routed layouts instead of routing twice.
 
 use crate::diemap::{self, DiePlacement, NetClass};
 use crate::grid::RoutingGrid;
@@ -7,11 +15,16 @@ use crate::router::{self, RoutedNet};
 use crate::stats::RoutingStats;
 use crate::RouteError;
 use serde::Serialize;
+use std::sync::{Arc, OnceLock};
+use techlib::memo::ArcMemo;
 use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
 
 /// The complete interposer layout for one technology.
 #[derive(Debug, Clone, Serialize)]
 pub struct InterposerLayout {
+    /// The interposer spec the layout was placed and routed against
+    /// (carries any scenario overrides into downstream length queries).
+    pub spec: InterposerSpec,
     /// Die placement and global nets.
     pub placement: DiePlacement,
     /// Routed lateral nets.
@@ -27,8 +40,7 @@ impl InterposerLayout {
     /// Stacked-via classes return the via-column height instead.
     pub fn worst_net_um(&self, class: NetClass) -> f64 {
         if class == NetClass::IntraTileStackedVia {
-            let spec = InterposerSpec::for_kind(self.placement.tech);
-            let (_, _, _, len) = techlib::via::stacked_via_column(&spec, 3);
+            let (_, _, _, len) = techlib::via::stacked_via_column(&self.spec, 3);
             return len;
         }
         self.routed_nets
@@ -54,35 +66,79 @@ impl InterposerLayout {
     }
 }
 
-static LAYOUT_CELLS: [techlib::memo::MemoCell<InterposerLayout>; InterposerKind::COUNT] =
-    [const { techlib::memo::MemoCell::new() }; InterposerKind::COUNT];
-
-/// Returns a process-wide cached layout for `tech`, computing it on first
-/// use. Placement and routing are deterministic, so sharing the result is
-/// safe; downstream analyses (SI, PI, full-chip roll-ups, benches) reuse
-/// these instead of re-routing.
+/// A per-scenario layout cache: one memo cell per technology, each
+/// holding the routed layout for that scenario's spec. Placement and
+/// routing are deterministic, so sharing a cache's results is safe;
+/// downstream analyses (SI, PI, full-chip roll-ups, benches) reuse the
+/// cached layout instead of re-routing.
 ///
-/// Each technology has its own cache cell, so concurrent first calls for
-/// *different* technologies place-and-route in parallel; concurrent calls
-/// for the *same* technology block until the one computation finishes.
-/// Only **successes** are memoised: an error is returned to the caller
-/// and the next call re-runs place-and-route, so transient or injected
-/// failures never poison the cache.
+/// Each technology has its own cell, so concurrent first calls for
+/// *different* technologies place-and-route in parallel; concurrent
+/// calls for the *same* technology block until the one computation
+/// finishes. Only **successes** are memoised: an error is returned to
+/// the caller and the next call re-runs place-and-route, so transient or
+/// injected failures never poison the cache.
+#[derive(Debug, Default)]
+pub struct LayoutCache {
+    cells: [ArcMemo<InterposerLayout>; InterposerKind::COUNT],
+}
+
+impl LayoutCache {
+    /// Creates an empty cache.
+    pub const fn new() -> LayoutCache {
+        LayoutCache {
+            cells: [const { ArcMemo::new() }; InterposerKind::COUNT],
+        }
+    }
+
+    /// The cached layout for `spec` (keyed by `spec.kind`), computing it
+    /// on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`place_and_route_with`]; errors are never cached.
+    pub fn layout(&self, spec: &InterposerSpec) -> Result<Arc<InterposerLayout>, RouteError> {
+        self.cells[spec.kind.index()].get_or_try(|| place_and_route_with(spec))
+    }
+
+    /// How many place-and-route computations this cache has actually run
+    /// (cache hits don't count).
+    pub fn compute_count(&self) -> usize {
+        self.cells.iter().map(ArcMemo::compute_count).sum()
+    }
+
+    /// Forgets every cached layout so the next call re-routes.
+    /// Outstanding [`Arc`] handles stay valid on their own.
+    pub fn reset(&self) {
+        for cell in &self.cells {
+            cell.reset();
+        }
+    }
+}
+
+/// The process-wide cache behind [`cached_layout`], serving the **paper
+/// default** specs. The default study context clones this handle, so the
+/// legacy path and the default-scenario path share one set of layouts.
+pub fn default_layout_cache() -> Arc<LayoutCache> {
+    static DEFAULT: OnceLock<Arc<LayoutCache>> = OnceLock::new();
+    Arc::clone(DEFAULT.get_or_init(|| Arc::new(LayoutCache::new())))
+}
+
+/// Returns the shared default-configuration layout for `tech`, computing
+/// it on first use. Shim over [`default_layout_cache`] — scenario code
+/// uses a per-scenario [`LayoutCache`] instead.
 ///
 /// # Errors
 ///
 /// Same as [`place_and_route`].
-pub fn cached_layout(tech: InterposerKind) -> Result<&'static InterposerLayout, RouteError> {
-    LAYOUT_CELLS[tech.index()].get_or_try(|| place_and_route(tech))
+pub fn cached_layout(tech: InterposerKind) -> Result<Arc<InterposerLayout>, RouteError> {
+    default_layout_cache().layout(&InterposerSpec::for_kind(tech))
 }
 
-/// Forgets every cached layout so the next [`cached_layout`] call
-/// re-routes. Test-only escape hatch (cached values are leaked, keeping
-/// outstanding `&'static` borrows valid).
+/// Forgets every layout in the **default** cache so the next
+/// [`cached_layout`] call re-routes. Test-only escape hatch.
 pub fn reset_layout_cache_for_tests() {
-    for cell in &LAYOUT_CELLS {
-        cell.reset();
-    }
+    default_layout_cache().reset();
 }
 
 /// Places the four chiplets and routes every lateral net for `tech`.
@@ -92,17 +148,29 @@ pub fn reset_layout_cache_for_tests() {
 /// Returns [`RouteError::NoInterposer`] for Silicon 3D and the monolithic
 /// baseline, and routing errors from the router.
 pub fn place_and_route(tech: InterposerKind) -> Result<InterposerLayout, RouteError> {
-    let spec = InterposerSpec::for_kind(tech);
+    place_and_route_with(&InterposerSpec::for_kind(tech))
+}
+
+/// [`place_and_route`] against an explicit (possibly overridden) spec,
+/// the form scenario contexts use.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NoInterposer`] for stacking styles with no
+/// routed interposer, [`RouteError::BadGrid`] for specs whose overrides
+/// produce an unusable routing grid, and routing errors from the router.
+pub fn place_and_route_with(spec: &InterposerSpec) -> Result<InterposerLayout, RouteError> {
     if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
-        return Err(RouteError::NoInterposer(tech));
+        return Err(RouteError::NoInterposer(spec.kind));
     }
-    let placement = diemap::place_dies(tech);
-    let grid = RoutingGrid::new(placement.footprint_um, &spec)
+    let placement = diemap::place_dies_with(spec);
+    let grid = RoutingGrid::new(placement.footprint_um, spec)
         .map_err(|reason| RouteError::BadGrid { reason })?;
     let routed = router::route_all(&placement, &grid)?;
     let stats = RoutingStats::from_routing(&placement, &routed);
-    let pdn = PdnPlan::generate(tech, placement.footprint_um);
+    let pdn = PdnPlan::generate_with(spec, placement.footprint_um);
     Ok(InterposerLayout {
+        spec: spec.clone(),
         placement,
         routed_nets: routed,
         stats,
@@ -152,5 +220,19 @@ mod tests {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
         assert_eq!(layout.routed_nets.len(), 68);
         assert!(layout.stats.total_wl_mm < 100.0);
+    }
+
+    #[test]
+    fn caches_are_isolated_and_count_computes() {
+        let a = LayoutCache::new();
+        let b = LayoutCache::new();
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass3D);
+        let first = a.layout(&spec).unwrap();
+        let again = a.layout(&spec).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "same cache shares the Arc");
+        assert_eq!(a.compute_count(), 1);
+        assert_eq!(b.compute_count(), 0, "sibling cache untouched");
+        let other = b.layout(&spec).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other), "caches never share slots");
     }
 }

@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn renders_glass_3d_layout() {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
-        let svg = render(layout, &SvgOptions::default());
+        let svg = render(&layout, &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         // Four dies + bumps + 68 net paths.
@@ -139,7 +139,7 @@ mod tests {
     fn options_disable_layers() {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
         let svg = render(
-            layout,
+            &layout,
             &SvgOptions {
                 draw_bumps: false,
                 draw_nets: false,
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn svg_size_tracks_footprint() {
         let layout = cached_layout(InterposerKind::Glass3D).unwrap();
-        let svg = render(layout, &SvgOptions::default());
+        let svg = render(&layout, &SvgOptions::default());
         // 1.84 mm × 200 px/mm = 368 px wide.
         assert!(svg.contains(r##"width="368""##), "{}", &svg[..120]);
     }

@@ -52,21 +52,18 @@ impl ChannelKind {
     /// Physical channel length, µm (via-column height, bump standoff, or
     /// trace length — the Table V "WL" column).
     pub fn length_um(&self) -> f64 {
+        self.length_um_with(&InterposerSpec::for_kind(self.tech()))
+    }
+
+    /// [`ChannelKind::length_um`] against an explicit (possibly
+    /// overridden) spec for this channel's technology.
+    pub fn length_um_with(&self, spec: &InterposerSpec) -> f64 {
         match self {
             ChannelKind::RdlTrace { length_um, .. } => *length_um,
-            ChannelKind::StackedViaColumn { levels } => {
-                let spec = InterposerSpec::for_kind(InterposerKind::Glass3D);
-                stacked_via_column(&spec, *levels).3
-            }
-            ChannelKind::MicroBump => {
-                BumpModel::microbump(&InterposerSpec::for_kind(InterposerKind::Silicon3D)).height_um
-            }
+            ChannelKind::StackedViaColumn { levels } => stacked_via_column(spec, *levels).3,
+            ChannelKind::MicroBump => BumpModel::microbump(spec).height_um,
             ChannelKind::BackToBackTsv => {
-                2.0 * ViaModel::canonical(
-                    ViaKind::MiniTsv,
-                    &InterposerSpec::for_kind(InterposerKind::Silicon3D),
-                )
-                .height_um
+                2.0 * ViaModel::canonical(ViaKind::MiniTsv, spec).height_um
             }
         }
     }
@@ -105,11 +102,10 @@ const STEP_EDGE_S: f64 = 20e-12;
 
 fn build_deck(
     channel: Option<&ChannelKind>,
-    tech: InterposerKind,
+    spec: &InterposerSpec,
 ) -> (Circuit, usize, circuit::netlist::NodeId) {
-    let spec = InterposerSpec::for_kind(tech);
     let driver = IoDriver::aib();
-    let bump = BumpModel::microbump(&spec);
+    let bump = BumpModel::microbump(spec);
     let mut c = Circuit::new();
     let tx_pad = c.node("tx_pad");
     let src = circuit::driver::add_tx(
@@ -124,17 +120,15 @@ fn build_deck(
     c.resistor(tx_pad, ch_in, bump.resistance_ohm.max(1e-4));
     let ch_out = match channel {
         None => ch_in,
-        Some(ChannelKind::RdlTrace { tech, length_um }) => {
-            let spec = InterposerSpec::for_kind(*tech);
-            let line = crate::rlgc::extract_line(&spec, length_um * 1e-6);
+        Some(ChannelKind::RdlTrace { length_um, .. }) => {
+            let line = crate::rlgc::extract_line(spec, length_um * 1e-6);
             let out = c.node("ch_out");
             let segments = ((length_um / 200.0).ceil() as usize).clamp(4, 40);
             line.add_to_circuit(&mut c, ch_in, out, segments);
             out
         }
         Some(ChannelKind::StackedViaColumn { levels }) => {
-            let spec = InterposerSpec::for_kind(InterposerKind::Glass3D);
-            let (r, cap, l, _) = stacked_via_column(&spec, *levels);
+            let (r, cap, l, _) = stacked_via_column(spec, *levels);
             let out = c.node("ch_out");
             let mid = c.node("ch_mid");
             c.resistor(ch_in, mid, r.max(1e-4));
@@ -143,7 +137,7 @@ fn build_deck(
             out
         }
         Some(ChannelKind::MicroBump) => {
-            let b = BumpModel::microbump(&InterposerSpec::for_kind(InterposerKind::Silicon3D));
+            let b = BumpModel::microbump(spec);
             let out = c.node("ch_out");
             let mid = c.node("ch_mid");
             c.resistor(ch_in, mid, b.resistance_ohm.max(1e-4));
@@ -152,10 +146,7 @@ fn build_deck(
             out
         }
         Some(ChannelKind::BackToBackTsv) => {
-            let tsv = ViaModel::canonical(
-                ViaKind::MiniTsv,
-                &InterposerSpec::for_kind(InterposerKind::Silicon3D),
-            );
+            let tsv = ViaModel::canonical(ViaKind::MiniTsv, spec);
             let mut prev = ch_in;
             for i in 0..2 {
                 let mid = c.node(format!("tsv_m{i}"));
@@ -178,9 +169,9 @@ fn build_deck(
 
 fn deck_t50_and_charge(
     channel: Option<&ChannelKind>,
-    tech: InterposerKind,
+    spec: &InterposerSpec,
 ) -> Result<(f64, f64), CircuitError> {
-    let (c, src, rx) = build_deck(channel, tech);
+    let (c, src, rx) = build_deck(channel, spec);
     let result = simulate(
         &c,
         &TranConfig {
@@ -212,16 +203,28 @@ fn deck_t50_and_charge(
 ///
 /// Propagates solver failures from the transient analysis.
 pub fn simulate_link(channel: &ChannelKind) -> Result<LinkReport, CircuitError> {
+    simulate_link_with(channel, &InterposerSpec::for_kind(channel.tech()))
+}
+
+/// [`simulate_link`] against an explicit (possibly overridden) spec for
+/// the channel's technology, the form scenario contexts use.
+///
+/// # Errors
+///
+/// Propagates solver failures from the transient analysis.
+pub fn simulate_link_with(
+    channel: &ChannelKind,
+    spec: &InterposerSpec,
+) -> Result<LinkReport, CircuitError> {
     if techlib::faults::armed("si.link") {
         // Injected fault: report the link deck as singular, the same
         // error a degenerate MNA system would produce.
         return Err(CircuitError::SingularMatrix { pivot: 0 });
     }
-    let tech = channel.tech();
     let driver = IoDriver::aib();
-    let bump = BumpModel::microbump(&InterposerSpec::for_kind(tech));
-    let (t50_base, q_base) = deck_t50_and_charge(None, tech)?;
-    let (t50_chan, q_chan) = deck_t50_and_charge(Some(channel), tech)?;
+    let bump = BumpModel::microbump(spec);
+    let (t50_base, q_base) = deck_t50_and_charge(None, spec)?;
+    let (t50_chan, q_chan) = deck_t50_and_charge(Some(channel), spec)?;
     let toggle_rate = 0.5 * calib::DATA_RATE_BPS * calib::TABLE5_LINK_ACTIVITY;
     let e_base = q_base * calib::VDD;
     let e_chan = q_chan * calib::VDD;
@@ -230,7 +233,7 @@ pub fn simulate_link(channel: &ChannelKind) -> Result<LinkReport, CircuitError> 
         interconnect_delay_ps: (t50_chan - t50_base) * 1e12,
         driver_power_uw: (driver.full_rate_power_w() + e_base * toggle_rate) * 1e6,
         interconnect_power_uw: (e_chan - e_base).max(0.0) * toggle_rate * 1e6,
-        length_um: channel.length_um(),
+        length_um: channel.length_um_with(spec),
     })
     .map(|mut r| {
         // Keep the local-bump loading in the driver column, as the paper

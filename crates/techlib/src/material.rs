@@ -165,6 +165,30 @@ pub const AIR: Material = Material {
     cte_ppm_k: 0.0,
 };
 
+/// Every material in the registry, for name lookup and enumeration.
+pub const ALL: &[&Material] = &[
+    &COPPER,
+    &GLASS_ENA1,
+    &SILICON,
+    &SILICON_DIOXIDE,
+    &GLASS_RDL_POLYMER,
+    &ORGANIC_SHINKO,
+    &ORGANIC_APX,
+    &ORGANIC_CORE,
+    &SOLDER,
+    &DIE_ATTACH_FILM,
+    &UNDERFILL,
+    &AIR,
+];
+
+/// Looks a material up by its registered name (case-insensitive), e.g.
+/// for scenario overrides naming a routing dielectric.
+pub fn by_name(name: &str) -> Option<&'static Material> {
+    ALL.iter()
+        .copied()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +216,14 @@ mod tests {
         assert!(!ORGANIC_APX.is_conductor());
         // Doped silicon bulk is resistive but not a wiring conductor.
         assert!(!SILICON.is_conductor());
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(by_name("RDL polymer"), Some(&GLASS_RDL_POLYMER));
+        assert_eq!(by_name("sio2"), Some(&SILICON_DIOXIDE));
+        assert_eq!(by_name("ENA1 GLASS"), Some(&GLASS_ENA1));
+        assert_eq!(by_name("unobtainium"), None);
     }
 
     #[test]

@@ -1,23 +1,28 @@
-//! Success-only memoisation cells for process-wide artifacts.
+//! Success-only memoisation cells for shared flow artifacts.
 //!
-//! The flow layers cache expensive intermediate products (the split
-//! design, routed layouts, thermal reports) behind `&'static` references
-//! so six technology studies can share them without cloning. A plain
+//! Study contexts cache expensive intermediate products (the split
+//! design, routed layouts, thermal reports) behind [`Arc`] handles so
+//! many analyses can share them without cloning. A plain
 //! `OnceLock<Result<T, E>>` would also memoise the *first error forever*,
-//! poisoning every later request in the process — exactly the wrong
-//! behaviour for transient failures and for fault injection. [`MemoCell`]
-//! therefore stores **successes only**: an `Err` is returned to the
-//! caller and the cell stays empty, so the next call recomputes.
+//! poisoning every later request through the same cell — exactly the
+//! wrong behaviour for transient failures and for fault injection.
+//! [`ArcMemo`] therefore stores **successes only**: an `Err` is returned
+//! to the caller and the cell stays empty, so the next call recomputes.
 //!
-//! [`MemoCell::reset`] (used by test harnesses between fault scenarios)
-//! forgets the cached value. The old boxed value is intentionally leaked
-//! so previously handed-out `&'static` references remain valid.
+//! Unlike the `&'static`-leaking cell this module used to provide, an
+//! [`ArcMemo`] can live inside a per-scenario context and is freed with
+//! it; handed-out [`Arc`] clones keep the value alive on their own.
+//! [`ArcMemo::reset`] (used by test harnesses between fault scenarios)
+//! simply drops the cached handle.
 
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A process-wide cache slot that memoises successful computations only.
-pub struct MemoCell<T: 'static> {
-    slot: RwLock<Option<&'static T>>,
+/// A cache slot that memoises successful computations only, handing out
+/// [`Arc`] clones of the cached value.
+pub struct ArcMemo<T> {
+    slot: RwLock<Option<Arc<T>>>,
+    computes: AtomicUsize,
 }
 
 fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -28,11 +33,12 @@ fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl<T> MemoCell<T> {
-    /// Creates an empty cell (usable in `static` position).
-    pub const fn new() -> MemoCell<T> {
-        MemoCell {
+impl<T> ArcMemo<T> {
+    /// Creates an empty cell (usable in `static` and `const` position).
+    pub const fn new() -> ArcMemo<T> {
+        ArcMemo {
             slot: RwLock::new(None),
+            computes: AtomicUsize::new(0),
         }
     }
 
@@ -47,30 +53,52 @@ impl<T> MemoCell<T> {
     /// # Errors
     ///
     /// Propagates the error from `f` without caching it.
-    pub fn get_or_try<E>(&self, f: impl FnOnce() -> Result<T, E>) -> Result<&'static T, E> {
-        if let Some(v) = *read(&self.slot) {
-            return Ok(v);
+    pub fn get_or_try<E>(&self, f: impl FnOnce() -> Result<T, E>) -> Result<Arc<T>, E> {
+        if let Some(v) = read(&self.slot).as_ref() {
+            return Ok(Arc::clone(v));
         }
         let mut guard = write(&self.slot);
-        if let Some(v) = *guard {
-            return Ok(v);
+        if let Some(v) = guard.as_ref() {
+            return Ok(Arc::clone(v));
         }
-        let v: &'static T = Box::leak(Box::new(f()?));
-        *guard = Some(v);
+        self.computes.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(f()?);
+        *guard = Some(Arc::clone(&v));
         Ok(v)
     }
 
-    /// Empties the cell so the next call recomputes. Intended for tests;
-    /// the previously cached value (if any) is leaked to keep outstanding
-    /// `&'static` borrows valid.
+    /// The cached value, if any, without computing.
+    pub fn get(&self) -> Option<Arc<T>> {
+        read(&self.slot).as_ref().map(Arc::clone)
+    }
+
+    /// How many times a compute closure has actually run in this cell
+    /// (cache hits don't count; failed computes do). Lets callers assert
+    /// artifact-sharing invariants ("two sweeps, one split") and lets
+    /// benches report cold-versus-warm work.
+    pub fn compute_count(&self) -> usize {
+        self.computes.load(Ordering::Relaxed)
+    }
+
+    /// Empties the cell so the next call recomputes. Outstanding [`Arc`]
+    /// handles keep the previous value alive independently.
     pub fn reset(&self) {
         *write(&self.slot) = None;
     }
 }
 
-impl<T> Default for MemoCell<T> {
-    fn default() -> MemoCell<T> {
-        MemoCell::new()
+impl<T> Default for ArcMemo<T> {
+    fn default() -> ArcMemo<T> {
+        ArcMemo::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcMemo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcMemo")
+            .field("cached", &self.get())
+            .field("computes", &self.compute_count())
+            .finish()
     }
 }
 
@@ -78,53 +106,66 @@ impl<T> Default for MemoCell<T> {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn successes_are_cached() {
-        static CELL: MemoCell<u32> = MemoCell::new();
+        let cell: ArcMemo<u32> = ArcMemo::new();
         let calls = AtomicUsize::new(0);
         let f = || -> Result<u32, ()> {
             calls.fetch_add(1, Ordering::Relaxed);
             Ok(7)
         };
-        assert_eq!(CELL.get_or_try(f).unwrap(), &7);
-        assert_eq!(CELL.get_or_try(f).unwrap(), &7);
+        assert_eq!(*cell.get_or_try(f).unwrap(), 7);
+        assert_eq!(*cell.get_or_try(f).unwrap(), 7);
         assert_eq!(calls.load(Ordering::Relaxed), 1, "second call was cached");
+        assert_eq!(cell.compute_count(), 1);
     }
 
     #[test]
     fn errors_are_not_cached() {
-        static CELL: MemoCell<u32> = MemoCell::new();
+        let cell: ArcMemo<u32> = ArcMemo::new();
         let calls = AtomicUsize::new(0);
         let fail = || -> Result<u32, &'static str> {
             calls.fetch_add(1, Ordering::Relaxed);
             Err("transient")
         };
-        assert_eq!(CELL.get_or_try(fail), Err("transient"));
-        assert_eq!(CELL.get_or_try(fail), Err("transient"));
+        assert_eq!(cell.get_or_try(fail).unwrap_err(), "transient");
+        assert_eq!(cell.get_or_try(fail).unwrap_err(), "transient");
         assert_eq!(calls.load(Ordering::Relaxed), 2, "errors retry");
-        assert_eq!(CELL.get_or_try(|| Ok::<_, &str>(3)).unwrap(), &3);
+        assert_eq!(*cell.get_or_try(|| Ok::<_, &str>(3)).unwrap(), 3);
         assert_eq!(
-            CELL.get_or_try(fail).unwrap(),
-            &3,
+            *cell.get_or_try(fail).unwrap(),
+            3,
             "success sticks; closure not rerun"
         );
     }
 
     #[test]
-    fn reset_forces_recompute_and_keeps_old_borrows_valid() {
-        static CELL: MemoCell<String> = MemoCell::new();
-        let first: &'static String = CELL.get_or_try(|| Ok::<_, ()>("one".to_string())).unwrap();
-        CELL.reset();
-        let second: &'static String = CELL.get_or_try(|| Ok::<_, ()>("two".to_string())).unwrap();
-        assert_eq!(first, "one");
-        assert_eq!(second, "two");
+    fn reset_forces_recompute_and_keeps_old_handles_valid() {
+        let cell: ArcMemo<String> = ArcMemo::new();
+        let first = cell.get_or_try(|| Ok::<_, ()>("one".to_string())).unwrap();
+        cell.reset();
+        let second = cell.get_or_try(|| Ok::<_, ()>("two".to_string())).unwrap();
+        assert_eq!(*first, "one");
+        assert_eq!(*second, "two");
+        assert_eq!(cell.compute_count(), 2);
+    }
+
+    #[test]
+    fn cells_are_independent_per_instance() {
+        // The whole point of the Arc design: two cells of the same type
+        // (e.g. two scenarios' caches) never share state.
+        let a: ArcMemo<u32> = ArcMemo::new();
+        let b: ArcMemo<u32> = ArcMemo::new();
+        assert_eq!(*a.get_or_try(|| Ok::<_, ()>(1)).unwrap(), 1);
+        assert_eq!(b.get(), None);
+        assert_eq!(*b.get_or_try(|| Ok::<_, ()>(2)).unwrap(), 2);
+        assert_eq!(*a.get().unwrap(), 1);
     }
 
     #[test]
     fn concurrent_first_access_computes_once() {
-        static CELL: MemoCell<usize> = MemoCell::new();
+        static CELL: ArcMemo<usize> = ArcMemo::new();
         static CALLS: AtomicUsize = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..8 {

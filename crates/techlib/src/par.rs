@@ -164,20 +164,26 @@ where
     let mut slots = Slots(Vec::with_capacity(items.len()));
     slots.0.resize_with(items.len(), || UnsafeCell::new(None));
     let cursor = AtomicUsize::new(0);
+    // Workers inherit the caller's fault scope so scenario-scoped
+    // injection behaves identically at any width.
+    let fault_scope = crate::faults::current_scope();
     std::thread::scope(|scope| {
         let slots = &slots;
         let f = &f;
         let cursor = &cursor;
         for _ in 0..workers {
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(move || {
+                let _scope = crate::faults::enter_scope(fault_scope);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    // SAFETY: index `i` came from `fetch_add`, so exactly one
+                    // worker ever touches `slots.0[i]`.
+                    unsafe { *slots.0[i].get() = Some(out) };
                 }
-                let out = f(&items[i]);
-                // SAFETY: index `i` came from `fetch_add`, so exactly one
-                // worker ever touches `slots.0[i]`.
-                unsafe { *slots.0[i].get() = Some(out) };
             });
         }
     });
@@ -200,8 +206,12 @@ where
     if thread_count() <= 1 {
         return (a(), b());
     }
+    let fault_scope = crate::faults::current_scope();
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(move || {
+            let _scope = crate::faults::enter_scope(fault_scope);
+            b()
+        });
         let ra = a();
         (ra, hb.join().expect("join: second branch panicked"))
     })
@@ -262,6 +272,17 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_fault_scope() {
+        let _scope = crate::faults::scoped(["partition.split"]);
+        let items: Vec<u32> = (0..32).collect();
+        let seen = ordered_map_with(4, &items, |_| crate::faults::armed("partition.split"));
+        assert!(
+            seen.iter().all(|&armed| armed),
+            "every worker sees the parent scope"
+        );
     }
 
     #[test]

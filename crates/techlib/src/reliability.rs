@@ -1,7 +1,7 @@
 //! First-order thermo-mechanical reliability metrics.
 //!
 //! The paper's introduction motivates glass partly through its
-//! "customizable thermal expansion [which] enhances chip reliability".
+//! "customizable thermal expansion \[which\] enhances chip reliability".
 //! This module quantifies that claim at first order: the shear strain an
 //! interconnect joint sees is proportional to the CTE mismatch across the
 //! interface, the temperature excursion, and the distance from the

@@ -52,6 +52,18 @@ impl InterposerKind {
     /// Number of technology variants (for per-technology cache arrays).
     pub const COUNT: usize = 7;
 
+    /// Every technology variant, in [`InterposerKind::index`] order
+    /// (useful for building per-technology arrays).
+    pub const ALL: [InterposerKind; InterposerKind::COUNT] = [
+        InterposerKind::Glass25D,
+        InterposerKind::Glass3D,
+        InterposerKind::Silicon25D,
+        InterposerKind::Silicon3D,
+        InterposerKind::Shinko,
+        InterposerKind::Apx,
+        InterposerKind::Monolithic2D,
+    ];
+
     /// Stable dense index in `0..Self::COUNT`, used to key
     /// per-technology caches without hashing.
     pub fn index(self) -> usize {

@@ -94,11 +94,22 @@ impl ThermalModel {
     /// Returns [`ThermalError::UnsupportedTech`] for the monolithic
     /// baseline (not part of the thermal study).
     pub fn for_tech(tech: InterposerKind) -> Result<ThermalModel, ThermalError> {
-        match techlib::spec::InterposerSpec::for_kind(tech).stacking {
-            Stacking::Monolithic => Err(ThermalError::UnsupportedTech(tech)),
+        ThermalModel::for_spec(&techlib::spec::InterposerSpec::for_kind(tech))
+    }
+
+    /// [`ThermalModel::for_tech`] against an explicit (possibly
+    /// overridden) spec: the assembly cross-section is dispatched on the
+    /// spec's stacking style rather than the enum default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnsupportedTech`] for monolithic stacking.
+    pub fn for_spec(spec: &techlib::spec::InterposerSpec) -> Result<ThermalModel, ThermalError> {
+        match spec.stacking {
+            Stacking::Monolithic => Err(ThermalError::UnsupportedTech(spec.kind)),
             Stacking::TsvStack => Ok(build_si3d()),
             Stacking::Embedded => Ok(build_glass3d()),
-            Stacking::SideBySide => Ok(build_2p5d(tech)),
+            Stacking::SideBySide => Ok(build_2p5d(spec.kind)),
         }
     }
 }

@@ -4,7 +4,9 @@ use crate::model::ThermalModel;
 use crate::solver::{solve, SolveConfig, TemperatureField};
 use crate::ThermalError;
 use serde::Serialize;
-use techlib::spec::InterposerKind;
+use std::sync::{Arc, OnceLock};
+use techlib::memo::ArcMemo;
+use techlib::spec::{InterposerKind, InterposerSpec};
 
 /// Peak chiplet and interposer temperatures for one assembly.
 #[derive(Debug, Clone, Serialize)]
@@ -46,44 +48,87 @@ impl ThermalReport {
     }
 }
 
-static REPORT_CELLS: [techlib::memo::MemoCell<ThermalReport>; InterposerKind::COUNT] =
-    [const { techlib::memo::MemoCell::new() }; InterposerKind::COUNT];
+/// A per-scenario thermal-report cache: one memo cell per technology
+/// (the field is deterministic and each solve takes ~a second). Only
+/// **successes** are memoised — an error (including one injected at the
+/// `thermal.solve` fault site) is returned to the caller and the next
+/// call re-solves, so failures never poison the cache.
+#[derive(Debug, Default)]
+pub struct ThermalCache {
+    cells: [ArcMemo<ThermalReport>; InterposerKind::COUNT],
+}
 
-/// Solves and reports one technology (cached per process: the field is
-/// deterministic and the solve takes ~a second). Only **successes** are
-/// memoised — an error (including one injected at the `thermal.solve`
-/// fault site) is returned to the caller and the next call re-solves, so
-/// failures never poison the cache.
-///
-/// # Errors
-///
-/// Same as [`ThermalModel::for_tech`] and [`solve`], plus the
-/// `thermal.solve` fault site (checked before the cache so an armed
-/// fault always fires).
-pub fn analyze_tech(tech: InterposerKind) -> Result<ThermalReport, ThermalError> {
-    if techlib::faults::armed("thermal.solve") {
-        return Err(ThermalError::NoConvergence {
-            iterations: 0,
-            residual_k: f64::INFINITY,
-            tolerance_k: SolveConfig::default().tolerance_k,
-        });
+impl ThermalCache {
+    /// Creates an empty cache.
+    pub const fn new() -> ThermalCache {
+        ThermalCache {
+            cells: [const { ArcMemo::new() }; InterposerKind::COUNT],
+        }
     }
-    REPORT_CELLS[tech.index()]
-        .get_or_try(|| {
-            let model = ThermalModel::for_tech(tech)?;
+
+    /// The cached report for `spec` (keyed by `spec.kind`), solving on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThermalModel::for_spec`] and [`solve`], plus the
+    /// `thermal.solve` fault site (checked before the cache so an armed
+    /// fault always fires).
+    pub fn analyze(&self, spec: &InterposerSpec) -> Result<Arc<ThermalReport>, ThermalError> {
+        if techlib::faults::armed("thermal.solve") {
+            return Err(ThermalError::NoConvergence {
+                iterations: 0,
+                residual_k: f64::INFINITY,
+                tolerance_k: SolveConfig::default().tolerance_k,
+            });
+        }
+        self.cells[spec.kind.index()].get_or_try(|| {
+            let model = ThermalModel::for_spec(spec)?;
             let field = solve(&model, &SolveConfig::default())?;
             Ok(ThermalReport::from_field(&model, &field))
         })
-        .cloned()
+    }
+
+    /// How many thermal solves this cache has actually run (cache hits
+    /// don't count).
+    pub fn compute_count(&self) -> usize {
+        self.cells.iter().map(ArcMemo::compute_count).sum()
+    }
+
+    /// Forgets every cached report so the next call re-solves.
+    /// Outstanding [`Arc`] handles stay valid on their own.
+    pub fn reset(&self) {
+        for cell in &self.cells {
+            cell.reset();
+        }
+    }
 }
 
-/// Forgets every cached report so the next [`analyze_tech`] call
-/// re-solves. Test-only escape hatch (cached values are leaked, keeping
-/// outstanding borrows valid).
+/// The process-wide cache behind [`analyze_tech`], serving the **paper
+/// default** specs. The default study context clones this handle, so the
+/// legacy path and the default-scenario path share one set of solves.
+pub fn default_thermal_cache() -> Arc<ThermalCache> {
+    static DEFAULT: OnceLock<Arc<ThermalCache>> = OnceLock::new();
+    Arc::clone(DEFAULT.get_or_init(|| Arc::new(ThermalCache::new())))
+}
+
+/// Solves and reports one technology through the shared default cache.
+/// Shim over [`default_thermal_cache`] — scenario code uses a
+/// per-scenario [`ThermalCache`] instead.
+///
+/// # Errors
+///
+/// Same as [`ThermalCache::analyze`].
+pub fn analyze_tech(tech: InterposerKind) -> Result<ThermalReport, ThermalError> {
+    default_thermal_cache()
+        .analyze(&InterposerSpec::for_kind(tech))
+        .map(|r| (*r).clone())
+}
+
+/// Forgets every report in the **default** cache so the next
+/// [`analyze_tech`] call re-solves. Test-only escape hatch.
 pub fn reset_report_cache_for_tests() {
-    for cell in &REPORT_CELLS {
-        cell.reset();
-    }
+    default_thermal_cache().reset();
 }
 
 /// The full Fig. 17 family (all six packaged assemblies).

@@ -1,0 +1,107 @@
+//! Batch design-space engine integration tests: parallel == sequential
+//! byte-for-byte, and per-scenario fault isolation.
+
+use codesign::batch;
+use codesign::flow::TechStudy;
+use codesign::scenario::{Scenario, ScenarioOverrides};
+use codesign::table5::MonitorLengths;
+use codesign::FlowError;
+use techlib::spec::InterposerKind;
+
+/// The paper default plus two perturbed design points.
+fn mixed_batch() -> Vec<Scenario> {
+    vec![
+        Scenario::paper(InterposerKind::Glass3D),
+        Scenario::new(
+            "fine-pitch",
+            InterposerKind::Glass25D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                microbump_pitch_um: Some(25.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+        Scenario::new(
+            "sio2-rdl",
+            InterposerKind::Glass25D,
+            MonitorLengths::Paper,
+            ScenarioOverrides {
+                routing_dielectric: Some("SiO2".to_string()),
+                metal_thickness_um: Some(2.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+    ]
+}
+
+/// Serializes outcomes so success payloads compare byte-for-byte and
+/// failures compare by their typed debug form.
+fn fingerprints(outcomes: &[Result<TechStudy, FlowError>]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|outcome| match outcome {
+            Ok(study) => serde_json::to_string(study).expect("study serializes"),
+            Err(e) => format!("{e:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_batch_is_byte_identical_to_sequential() {
+    let scenarios = mixed_batch();
+    let parallel = batch::run(&scenarios).expect("batch launches");
+    let sequential = batch::run_sequential(&scenarios);
+    assert_eq!(parallel.len(), scenarios.len());
+    assert_eq!(fingerprints(&parallel), fingerprints(&sequential));
+    for (scenario, outcome) in scenarios.iter().zip(&parallel) {
+        assert!(outcome.is_ok(), "{}: {outcome:?}", scenario.name());
+    }
+    // The perturbations actually moved the design point: the fine-pitch
+    // glass die is smaller than the same tech's paper default would be.
+    let fine = parallel[1].as_ref().unwrap();
+    let paper25 = codesign::run_scenario(&Scenario::paper(InterposerKind::Glass25D)).unwrap();
+    assert!(fine.logic.footprint.width_um < paper25.logic.footprint.width_um);
+}
+
+#[test]
+fn injected_fault_stays_inside_its_scenario() {
+    let mut scenarios = mixed_batch();
+    scenarios.insert(
+        1,
+        Scenario::new(
+            "broken-link",
+            InterposerKind::Glass3D,
+            MonitorLengths::Routed,
+            ScenarioOverrides::default(),
+            vec!["si.link".to_string()],
+        )
+        .expect("valid scenario"),
+    );
+    let outcomes = batch::run(&scenarios).expect("batch launches");
+
+    // The faulty scenario fails with the typed error its site produces…
+    assert!(
+        matches!(outcomes[1], Err(FlowError::Singular { pivot: 0 })),
+        "{:?}",
+        outcomes[1]
+    );
+    // …while its siblings (including one on the *same technology*) are
+    // untouched: their results match a batch that never had the faulty
+    // scenario at all.
+    let clean = batch::run(&mixed_batch()).expect("clean batch launches");
+    let survived = [&outcomes[0], &outcomes[2], &outcomes[3]];
+    for (clean_outcome, faulty_outcome) in clean.iter().zip(survived) {
+        assert_eq!(
+            fingerprints(std::slice::from_ref(clean_outcome)),
+            fingerprints(std::slice::from_ref(faulty_outcome))
+        );
+    }
+    // The scoped arming never leaked to this thread or the process.
+    assert!(!techlib::faults::armed("si.link"));
+    // And the shared default context is unaffected by the whole batch.
+    codesign::run_tech(InterposerKind::Glass3D).expect("default path still clean");
+}
