@@ -24,6 +24,19 @@ echo "==> cargo clippy (panic-free library gate)"
 cargo clippy --no-deps -p circuit -p interposer -p thermal -p netlist -p chiplet -p pi -p si -- \
     -D clippy::unwrap_used -D clippy::expect_used
 
+# End-to-end CLI smoke: a two-scenario sweep with JSON output and a
+# Chrome trace. Both stdout and the trace file must parse as JSON —
+# this exercises the whole observability path (spans, counters, trace
+# serialization) plus the sweep's machine-readable output.
+echo "==> codesign sweep smoke (--json --trace)"
+rm -f /tmp/codesign_smoke_sweep.json /tmp/codesign_smoke_trace.json
+cargo run --release -q -p codesign --bin codesign -- \
+    sweep examples/smoke_scenarios.json --json \
+    --trace /tmp/codesign_smoke_trace.json > /tmp/codesign_smoke_sweep.json
+jq -e 'type == "array" and length == 2' /tmp/codesign_smoke_sweep.json > /dev/null
+jq -e '.traceEvents | length > 0' /tmp/codesign_smoke_trace.json > /dev/null
+echo "    sweep output and trace both parse as JSON"
+
 # Rustdoc must build warning-free for the workspace crates (broken
 # intra-doc links, bad code fences). --no-deps keeps the gate off the
 # vendored path dependencies' docs.

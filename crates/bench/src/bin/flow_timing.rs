@@ -10,6 +10,10 @@
 //! also re-runs its flow warm to show what the artifact cache saves, and
 //! prints a hash of the serialized studies so the parent can verify the
 //! two modes produced byte-identical output.
+//!
+//! The parallel child additionally records `techlib::obs` stage spans
+//! and kernel work counters and hands them up on a `STAGES` line; they
+//! land under the `"stages"` key of `BENCH_flow.json`.
 
 use codesign::table5::MonitorLengths;
 use std::io::Write as _;
@@ -27,6 +31,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 fn child(parallel: bool) {
+    // The parallel child records stage spans and work counters; the
+    // sequential child stays untraced, so the parent's hash equality
+    // also proves tracing never changes a study byte.
+    if parallel {
+        techlib::obs::enable();
+    }
     let run = || {
         if parallel {
             codesign::flow::run_all(MonitorLengths::Routed)
@@ -37,6 +47,8 @@ fn child(parallel: bool) {
     let t0 = Instant::now();
     let studies = run().expect("flow completes");
     let cold_s = t0.elapsed().as_secs_f64();
+    // Snapshot before the warm re-run so "stages" describes the cold run.
+    let stages = parallel.then(bench::stages_value);
     let t1 = Instant::now();
     let again = run().expect("warm flow completes");
     let warm_s = t1.elapsed().as_secs_f64();
@@ -51,12 +63,21 @@ fn child(parallel: bool) {
         fnv1a(json.as_bytes()),
         studies.len()
     );
+    if let Some(stages) = stages {
+        println!(
+            "STAGES {}",
+            serde_json::to_string(&stages).expect("stages serialize")
+        );
+    }
 }
 
 struct ChildResult {
     cold_s: f64,
     warm_s: f64,
     hash: String,
+    /// Per-stage timing breakdown; only the traced (parallel) child
+    /// prints one.
+    stages: Option<serde_json::Value>,
 }
 
 fn run_child(parallel: bool) -> ChildResult {
@@ -79,10 +100,15 @@ fn run_child(parallel: bool) -> ChildResult {
             .unwrap_or_else(|| panic!("missing {key} in {line}"))
             .to_string()
     };
+    let stages = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("STAGES "))
+        .map(|json| serde_json::from_str(json).expect("child STAGES line parses"));
     ChildResult {
         cold_s: field("cold_s").parse().expect("cold_s parses"),
         warm_s: field("warm_s").parse().expect("warm_s parses"),
         hash: field("hash"),
+        stages,
     }
 }
 
@@ -149,6 +175,14 @@ fn main() {
                 .ok()
                 .and_then(|v| v.parse::<f64>().ok())
                 .map_or(serde_json::Value::Null, serde_json::Value::from),
+        ),
+        // Stage-by-stage breakdown of the parallel cold run, recorded
+        // out-of-band by `techlib::obs` (the sequential child stays
+        // untraced so the hash equality above also validates that
+        // tracing is observationally transparent).
+        (
+            "stages".into(),
+            par.stages.unwrap_or(serde_json::Value::Null),
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");

@@ -13,6 +13,8 @@
 //! Unlike `flow_timing`, no child processes are needed: contexts are
 //! built per call, so every mode starts cold by construction. The
 //! parallel outcomes are checked byte-identical to the sequential ones.
+//! The parallel pass runs with `techlib::obs` recording on; its stage
+//! breakdown and kernel counters land under `"sweep"."stages"`.
 
 use codesign::batch;
 use codesign::flow::TechStudy;
@@ -91,9 +93,14 @@ fn main() {
     let sequential_s = t0.elapsed().as_secs_f64();
     println!("sequential (shared front end): {sequential_s:.3} s");
 
+    // Trace the parallel pass only: the byte-identity assertions below
+    // then double as proof that recording never changes an outcome.
+    techlib::obs::enable();
+    techlib::obs::reset();
     let t1 = Instant::now();
     let parallel = batch::run(&list).expect("batch launches");
     let parallel_s = t1.elapsed().as_secs_f64();
+    let stages = bench::stages_value();
     println!("parallel   (shared front end): {parallel_s:.3} s");
 
     let t2 = Instant::now();
@@ -141,6 +148,10 @@ fn main() {
             serde_json::Value::from(true),
         ),
         ("outcomes_hash_fnv1a".into(), serde_json::Value::from(hash)),
+        // Stage breakdown + kernel work counters of the traced parallel
+        // pass (the sequential pass ran untraced, so the byte-identity
+        // assertions above also validate observational transparency).
+        ("stages".into(), stages),
     ]);
 
     // Merge under the "sweep" key, preserving flow_timing's entries.

@@ -16,6 +16,48 @@ pub fn studies() -> &'static [TechStudy] {
     })
 }
 
+/// Snapshot of the observability layer as a JSON value for
+/// `BENCH_flow.json`: per-stage call counts and total milliseconds
+/// (summed over scenarios, sorted by stage name) plus every kernel work
+/// counter. Call it while `techlib::obs` recording is on, right after
+/// the run it should describe.
+pub fn stages_value() -> serde_json::Value {
+    use std::collections::BTreeMap;
+    let mut by_stage: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for stat in techlib::obs::aggregate_spans() {
+        let entry = by_stage.entry(stat.stage).or_insert((0, 0));
+        entry.0 += stat.count;
+        entry.1 += stat.total_us;
+    }
+    let stages = serde_json::Value::Object(
+        by_stage
+            .into_iter()
+            .map(|(stage, (calls, total_us))| {
+                (
+                    stage.to_string(),
+                    serde_json::Value::Object(vec![
+                        ("calls".into(), serde_json::Value::from(calls)),
+                        (
+                            "total_ms".into(),
+                            serde_json::Value::from(total_us as f64 / 1e3),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let counters = serde_json::Value::Object(
+        techlib::obs::counter_totals()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), serde_json::Value::from(value)))
+            .collect(),
+    );
+    serde_json::Value::Object(vec![
+        ("by_stage".into(), stages),
+        ("counters".into(), counters),
+    ])
+}
+
 /// Prints a paper-vs-measured header.
 pub fn banner(what: &str) {
     println!("==================================================================");

@@ -99,6 +99,7 @@ impl<T: Scalar> Matrix<T> {
             // would produce.
             return Err(CircuitError::SingularMatrix { pivot: 0 });
         }
+        techlib::obs::add(techlib::obs::CIRCUIT_LU_FACTOR, 1);
         let n = self.n;
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {
@@ -165,6 +166,7 @@ impl<T: Scalar> Lu<T> {
     /// Panics if `b.len()` or `x.len()` does not match the matrix
     /// dimension.
     pub fn solve_into(&self, b: &[T], x: &mut [T]) {
+        techlib::obs::add(techlib::obs::CIRCUIT_LU_SOLVE, 1);
         let n = self.m.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
         assert_eq!(x.len(), n, "solution length mismatch");

@@ -82,6 +82,10 @@ pub fn run_in_context(ctx: &StudyContext, scenario: &Scenario) -> Result<TechStu
             scenario.fault_sites().iter().cloned(),
         ))
     };
+    // One whole-scenario span wrapping the per-stage spans recorded by
+    // `run_tech_in` (which installs its own finer-grained label).
+    let _label = techlib::obs::label_scope_with(|| scenario.name().to_string());
+    let _span = techlib::obs::span("scenario.run");
     run_tech_in(ctx, scenario.tech(), scenario.mode())
 }
 

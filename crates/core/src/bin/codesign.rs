@@ -3,11 +3,22 @@
 //! ```sh
 //! codesign glass3d                  # human-readable study summary
 //! codesign silicon25d --json        # full study as JSON
-//! codesign --all                    # one-line summary per technology
+//! codesign --all --json             # all six studies as a JSON array
 //! codesign sweep scenarios.json     # batch design-space run
+//! codesign --all --trace t.json     # + Chrome trace of every stage
+//! codesign sweep s.json --stats     # + per-stage table on stderr
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when the flow (or any sweep scenario)
+//! fails, 2 for unknown flags or malformed invocations.
+//!
+//! `--trace <path>` (or the `CODESIGN_TRACE` environment variable)
+//! writes a Chrome trace-event JSON file of every flow stage span and
+//! work counter; `--stats` prints the aggregated per-stage table to
+//! stderr. Both are strictly observational: enabling them never changes
+//! any study output byte.
 
-use codesign::flow::{run_all, run_tech};
+use codesign::flow::{run_all, run_tech, TechStudy};
 use codesign::scenario::{kind_from_str, scenarios_from_json};
 use codesign::table5::MonitorLengths;
 use techlib::spec::InterposerKind;
@@ -17,28 +28,115 @@ fn parse_tech(name: &str) -> Option<InterposerKind> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: codesign <glass25d|glass3d|silicon25d|silicon3d|shinko|apx> [--json]");
-    eprintln!("       codesign --all");
-    eprintln!("       codesign sweep <scenarios.json> [--json] [--sequential]");
+    eprintln!(
+        "usage: codesign <glass25d|glass3d|silicon25d|silicon3d|shinko|apx> \
+         [--json] [--trace <path>] [--stats]"
+    );
+    eprintln!("       codesign --all [--json] [--trace <path>] [--stats]");
+    eprintln!(
+        "       codesign sweep <scenarios.json> [--json] [--sequential] \
+         [--trace <path>] [--stats]"
+    );
     std::process::exit(2);
+}
+
+/// Strictly parsed command arguments: every flag is matched exactly and
+/// anything unrecognised is a usage error (exit 2), so typos can never
+/// be silently ignored again.
+#[derive(Debug, Default)]
+struct Opts {
+    json: bool,
+    stats: bool,
+    sequential: bool,
+    trace: Option<String>,
+    positionals: Vec<String>,
+}
+
+fn parse_opts(args: &[String], allow_sequential: bool) -> Opts {
+    let mut opts = Opts::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--stats" => opts.stats = true,
+            "--sequential" if allow_sequential => opts.sequential = true,
+            "--trace" => match iter.next() {
+                Some(path) => opts.trace = Some(path.clone()),
+                None => {
+                    eprintln!("error: --trace requires a file path");
+                    usage();
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+            other => opts.positionals.push(other.to_string()),
+        }
+    }
+    if opts.trace.is_none() {
+        opts.trace = std::env::var(techlib::obs::TRACE_ENV)
+            .ok()
+            .filter(|path| !path.is_empty());
+    }
+    opts
+}
+
+/// Turns recording on up front when any observability output was asked
+/// for, so the run about to start is captured from its first stage.
+fn arm_observability(opts: &Opts) {
+    if opts.trace.is_some() || opts.stats {
+        techlib::obs::enable();
+    }
+}
+
+/// Writes the trace file and/or prints the stats table. The table goes
+/// to **stderr** so `--stats --json` still emits clean JSON on stdout.
+/// Called before any non-zero exit so a failing sweep still traces.
+fn finish_observability(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, techlib::obs::chrome_trace_json())?;
+        eprintln!("trace written to {path}");
+    }
+    if opts.stats {
+        eprint!("{}", techlib::obs::stats_table());
+    }
+    Ok(())
+}
+
+/// Package footprint for the `--all` table: the routed interposer area
+/// when there is one, otherwise the stacked package outline (the larger
+/// chiplet footprint) — never a hardcoded literal. `None` means no
+/// usable figure at all and prints as `-`.
+fn package_area_mm2(study: &TechStudy) -> Option<f64> {
+    if let Some(routing) = &study.routing {
+        return Some(routing.area_mm2);
+    }
+    let area = study
+        .logic
+        .footprint
+        .area_mm2()
+        .max(study.memory.footprint.area_mm2());
+    (area.is_finite() && area > 0.0).then_some(area)
 }
 
 /// Runs a batch of scenarios from a JSON file and prints one line (or
 /// one JSON object) per scenario.
 fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    let opts = parse_opts(args, true);
+    let [path] = opts.positionals.as_slice() else {
+        eprintln!("error: sweep takes exactly one scenario file");
         usage();
     };
-    let json = args.iter().any(|a| a == "--json");
-    let sequential = args.iter().any(|a| a == "--sequential");
+    arm_observability(&opts);
     let text = std::fs::read_to_string(path)?;
     let scenarios = scenarios_from_json(&text)?;
-    let outcomes = if sequential {
+    let outcomes = if opts.sequential {
         codesign::batch::run_sequential(&scenarios)
     } else {
         codesign::batch::run(&scenarios)?
     };
-    if json {
+    if opts.json {
         let mut entries = Vec::new();
         for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
             let body = match outcome {
@@ -74,36 +172,35 @@ fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+    finish_observability(&opts)?;
     if outcomes.iter().any(Result::is_err) {
         std::process::exit(1);
     }
     Ok(())
 }
 
-fn main() {
-    if let Err(e) = run() {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    }
-}
-
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+fn all(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_opts(args, false);
+    if !opts.positionals.is_empty() {
+        eprintln!("error: --all takes no further arguments");
         usage();
     }
-    if args[0] == "sweep" {
-        return sweep(&args[1..]);
-    }
-    if args[0] == "--all" {
+    arm_observability(&opts);
+    let studies = run_all(MonitorLengths::Routed)?;
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&studies)?);
+    } else {
         println!(
             "{:<14}{:>10}{:>12}{:>10}{:>10}{:>10}",
             "tech", "area mm²", "P_sys mW", "Fmax MHz", "logic °C", "mem °C"
         );
-        for s in run_all(MonitorLengths::Routed)? {
-            let area = s.routing.as_ref().map_or(0.88, |r| r.area_mm2);
+        for s in &studies {
+            let area = match package_area_mm2(s) {
+                Some(a) => format!("{a:.2}"),
+                None => "-".to_string(),
+            };
             println!(
-                "{:<14}{:>10.2}{:>12.1}{:>10.0}{:>10.1}{:>10.1}",
+                "{:<14}{:>10}{:>12.1}{:>10.0}{:>10.1}{:>10.1}",
                 s.tech.label(),
                 area,
                 s.fullchip.total_power_mw,
@@ -112,13 +209,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 s.thermal.mem_peak_c
             );
         }
-        return Ok(());
     }
-    let Some(tech) = parse_tech(&args[0]) else {
+    finish_observability(&opts)
+}
+
+fn single(tech: InterposerKind, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_opts(args, false);
+    if !opts.positionals.is_empty() {
+        eprintln!("error: unexpected argument {:?}", opts.positionals[0]);
         usage();
-    };
+    }
+    arm_observability(&opts);
     let study = run_tech(tech)?;
-    if args.iter().any(|a| a == "--json") {
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&study)?);
     } else {
         println!("=== {} study ===", tech.label());
@@ -162,5 +265,27 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             study.thermal.logic_peak_c, study.thermal.mem_peak_c
         );
     }
-    Ok(())
+    finish_observability(&opts)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+    };
+    match command.as_str() {
+        "sweep" => sweep(rest),
+        "--all" => all(rest),
+        name => match parse_tech(name) {
+            Some(tech) => single(tech, rest),
+            None => usage(),
+        },
+    }
 }

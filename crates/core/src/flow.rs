@@ -70,7 +70,29 @@ pub fn run_tech_in(
     tech: InterposerKind,
     mode: MonitorLengths,
 ) -> Result<TechStudy, FlowError> {
-    let reports = ctx.chiplet_reports(tech)?;
+    // Observability: attribute every span below to this (scenario, tech)
+    // pair, and walk the memoized front-end chain stage by stage so each
+    // run records one span per stage even when the artifact is a cache
+    // hit. The explicit walk is semantically identical to letting
+    // `chiplet_reports` pull the chain in — same memo cells, same error
+    // propagation order (split before chipletize before placement).
+    let _label = techlib::obs::label_scope_with(|| format!("{}:{}", ctx.label(), tech.label()));
+    {
+        let _span = techlib::obs::span("stage.design");
+        ctx.design();
+    }
+    {
+        let _span = techlib::obs::span("stage.split");
+        ctx.split()?;
+    }
+    {
+        let _span = techlib::obs::span("stage.chipletize");
+        ctx.chiplet_netlists()?;
+    }
+    let reports = {
+        let _span = techlib::obs::span("stage.chiplet_reports");
+        ctx.chiplet_reports(tech)?
+    };
     let (logic, memory) = &*reports;
     let routing = if matches!(
         ctx.spec(tech).stacking,
@@ -78,17 +100,30 @@ pub fn run_tech_in(
     ) {
         None
     } else {
+        let _span = techlib::obs::span("stage.route");
         Some(ctx.layout(tech)?.stats.clone())
     };
     // The link transients and the thermal solve touch no shared state, so
     // they overlap when a worker is free. Error priority mirrors the
     // sequential statement order: links first, then thermal.
-    let (links, thermal) = exec::join(|| row_in(ctx, tech, mode), || ctx.thermal_report(tech));
+    let (links, thermal) = exec::join(
+        || {
+            let _span = techlib::obs::span("stage.si_links");
+            row_in(ctx, tech, mode)
+        },
+        || {
+            let _span = techlib::obs::span("stage.thermal");
+            ctx.thermal_report(tech)
+        },
+    );
     let links = links?;
     let thermal = (*thermal?).clone();
     // Roll up from the already-computed reports and links; the seed flow
     // called `fullchip()` here, which re-simulated both links.
-    let fullchip = rollup(tech, logic, memory, &links);
+    let fullchip = {
+        let _span = techlib::obs::span("stage.fullchip");
+        rollup(tech, logic, memory, &links)
+    };
     Ok(TechStudy {
         tech,
         logic: logic.clone(),

@@ -238,7 +238,9 @@ impl Scenario {
         }
     }
 
-    /// Scenario name (unique within a batch by convention, not enforced).
+    /// Scenario name (unique within any batch parsed by
+    /// [`scenarios_from_json`], which rejects duplicates — sweep output
+    /// rows are keyed by name).
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -317,12 +319,15 @@ pub fn kind_from_str(name: &str) -> Option<InterposerKind> {
 ///
 /// `mode`, `overrides` and `fault_sites` are optional; unknown keys are
 /// rejected so typos surface as errors instead of silently keeping the
-/// paper default.
+/// paper default. Scenario names must be unique within the file —
+/// `codesign sweep` output rows are keyed by name, so a duplicate would
+/// make them ambiguous.
 ///
 /// # Errors
 ///
-/// [`FlowError::InvalidConfig`] for malformed JSON, unknown keys or any
-/// [`Scenario::new`] validation failure.
+/// [`FlowError::InvalidConfig`] for malformed JSON, unknown keys,
+/// duplicate scenario names, or any [`Scenario::new`] validation
+/// failure.
 pub fn scenarios_from_json(text: &str) -> Result<Vec<Scenario>, FlowError> {
     let doc = serde_json::from_str(text).map_err(|e| FlowError::InvalidConfig {
         reason: format!("scenario file: {e}"),
@@ -345,7 +350,24 @@ pub fn scenarios_from_json(text: &str) -> Result<Vec<Scenario>, FlowError> {
             })
         }
     };
-    list.iter().enumerate().map(scenario_from_value).collect()
+    let scenarios: Vec<Scenario> = list
+        .iter()
+        .enumerate()
+        .map(scenario_from_value)
+        .collect::<Result<_, _>>()?;
+    let mut seen = std::collections::BTreeSet::new();
+    for scenario in &scenarios {
+        if !seen.insert(scenario.name()) {
+            return Err(FlowError::InvalidConfig {
+                reason: format!(
+                    "scenario file: duplicate scenario name {:?} (names key the sweep's \
+                     output rows, so they must be unique)",
+                    scenario.name()
+                ),
+            });
+        }
+    }
+    Ok(scenarios)
 }
 
 fn scenario_from_value((index, value): (usize, &Value)) -> Result<Scenario, FlowError> {
@@ -601,6 +623,32 @@ mod tests {
         assert_eq!(scenarios[1].resolved_spec().microbump_pitch_um, 55.0);
         assert_eq!(scenarios[1].resolved_spec().signal_metal_layers, 5);
         assert_eq!(scenarios[1].fault_sites(), ["thermal.solve"]);
+    }
+
+    #[test]
+    fn json_rejects_duplicate_scenario_names() {
+        let err = scenarios_from_json(
+            r#"[
+              { "name": "twin", "tech": "glass3d" },
+              { "name": "other", "tech": "apx" },
+              { "name": "twin", "tech": "glass25d" }
+            ]"#,
+        )
+        .unwrap_err();
+        let FlowError::InvalidConfig { reason } = &err else {
+            panic!("{err:?}");
+        };
+        assert!(reason.contains("duplicate"), "{reason}");
+        assert!(reason.contains("\"twin\""), "{reason}");
+        // Distinct names still parse.
+        assert_eq!(
+            scenarios_from_json(
+                r#"[{ "name": "a", "tech": "glass3d" }, { "name": "b", "tech": "glass3d" }]"#
+            )
+            .unwrap()
+            .len(),
+            2
+        );
     }
 
     #[test]

@@ -163,12 +163,21 @@ pub fn place_and_route_with(spec: &InterposerSpec) -> Result<InterposerLayout, R
     if matches!(spec.stacking, Stacking::TsvStack | Stacking::Monolithic) {
         return Err(RouteError::NoInterposer(spec.kind));
     }
-    let placement = diemap::place_dies_with(spec);
+    let placement = {
+        let _span = techlib::obs::span("route.place");
+        diemap::place_dies_with(spec)
+    };
     let grid = RoutingGrid::new(placement.footprint_um, spec)
         .map_err(|reason| RouteError::BadGrid { reason })?;
-    let routed = router::route_all(&placement, &grid)?;
+    let routed = {
+        let _span = techlib::obs::span("route.nets");
+        router::route_all(&placement, &grid)?
+    };
     let stats = RoutingStats::from_routing(&placement, &routed);
-    let pdn = PdnPlan::generate_with(spec, placement.footprint_um);
+    let pdn = {
+        let _span = techlib::obs::span("route.pdn");
+        PdnPlan::generate_with(spec, placement.footprint_um)
+    };
     Ok(InterposerLayout {
         spec: spec.clone(),
         placement,

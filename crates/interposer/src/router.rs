@@ -266,6 +266,10 @@ pub fn route_all_with_workers(
         }
     }
     routed.sort_by_key(|r| r.id);
+    // Out-of-band work counters: nets in the final solution and how many
+    // speculative batch rounds were run (0 on the sequential path).
+    techlib::obs::add(techlib::obs::ROUTER_NETS_ROUTED, routed.len() as u64);
+    techlib::obs::add(techlib::obs::ROUTER_BATCH_ROUNDS, u64::from(epoch));
     Ok(routed)
 }
 

@@ -221,6 +221,7 @@ pub fn simulate_link_with(
         // error a degenerate MNA system would produce.
         return Err(CircuitError::SingularMatrix { pivot: 0 });
     }
+    techlib::obs::add(techlib::obs::SI_LINKS_SIMULATED, 1);
     let driver = IoDriver::aib();
     let bump = BumpModel::microbump(spec);
     let (t50_base, q_base) = deck_t50_and_charge(None, spec)?;

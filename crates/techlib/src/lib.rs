@@ -31,6 +31,7 @@ pub mod faults;
 pub mod iodriver;
 pub mod material;
 pub mod memo;
+pub mod obs;
 pub mod par;
 pub mod reliability;
 pub mod spec;

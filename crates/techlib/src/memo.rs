@@ -55,12 +55,15 @@ impl<T> ArcMemo<T> {
     /// Propagates the error from `f` without caching it.
     pub fn get_or_try<E>(&self, f: impl FnOnce() -> Result<T, E>) -> Result<Arc<T>, E> {
         if let Some(v) = read(&self.slot).as_ref() {
+            crate::obs::add(crate::obs::MEMO_HIT, 1);
             return Ok(Arc::clone(v));
         }
         let mut guard = write(&self.slot);
         if let Some(v) = guard.as_ref() {
+            crate::obs::add(crate::obs::MEMO_HIT, 1);
             return Ok(Arc::clone(v));
         }
+        crate::obs::add(crate::obs::MEMO_COMPUTE, 1);
         self.computes.fetch_add(1, Ordering::Relaxed);
         let v = Arc::new(f()?);
         *guard = Some(Arc::clone(&v));

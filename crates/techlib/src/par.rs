@@ -164,16 +164,21 @@ where
     let mut slots = Slots(Vec::with_capacity(items.len()));
     slots.0.resize_with(items.len(), || UnsafeCell::new(None));
     let cursor = AtomicUsize::new(0);
-    // Workers inherit the caller's fault scope so scenario-scoped
-    // injection behaves identically at any width.
+    // Workers inherit the caller's fault scope (so scenario-scoped
+    // injection behaves identically at any width) and its observability
+    // label (so spans recorded inside workers attribute to the caller's
+    // scenario).
     let fault_scope = crate::faults::current_scope();
+    let obs_label = crate::obs::current_label();
     std::thread::scope(|scope| {
         let slots = &slots;
         let f = &f;
         let cursor = &cursor;
         for _ in 0..workers {
+            let obs_label = obs_label.clone();
             scope.spawn(move || {
                 let _scope = crate::faults::enter_scope(fault_scope);
+                let _label = crate::obs::enter_label(obs_label);
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
@@ -207,9 +212,11 @@ where
         return (a(), b());
     }
     let fault_scope = crate::faults::current_scope();
+    let obs_label = crate::obs::current_label();
     std::thread::scope(|scope| {
         let hb = scope.spawn(move || {
             let _scope = crate::faults::enter_scope(fault_scope);
+            let _label = crate::obs::enter_label(obs_label);
             b()
         });
         let ra = a();

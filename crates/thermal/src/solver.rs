@@ -348,6 +348,7 @@ fn sor_sweeps(
     }
 
     let flat: Vec<f64> = field.0.into_iter().map(UnsafeCell::into_inner).collect();
+    techlib::obs::add(techlib::obs::THERMAL_SOR_SWEEPS, iterations as u64);
     (
         TemperatureField {
             nx,

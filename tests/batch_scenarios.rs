@@ -67,6 +67,86 @@ fn parallel_batch_is_byte_identical_to_sequential() {
     assert!(fine.logic.footprint.width_um < paper25.logic.footprint.width_um);
 }
 
+/// The eight-scenario design-space sweep the bench uses: the six paper
+/// points plus two perturbed glass points.
+fn eight_scenarios() -> Vec<Scenario> {
+    let mut list: Vec<Scenario> = InterposerKind::PACKAGED
+        .iter()
+        .map(|&tech| Scenario::paper(tech))
+        .collect();
+    list.push(
+        Scenario::new(
+            "fine-pitch-glass",
+            InterposerKind::Glass25D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                microbump_pitch_um: Some(25.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+    );
+    list.push(
+        Scenario::new(
+            "thick-copper-glass",
+            InterposerKind::Glass25D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                metal_thickness_um: Some(6.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .expect("valid scenario"),
+    );
+    list
+}
+
+/// An eight-scenario sweep with observability recording on serializes
+/// byte-identically to the untraced sequential reference at
+/// `CODESIGN_THREADS=3`, and the trace attributes a whole-scenario span
+/// to every scenario by name.
+#[test]
+fn traced_eight_scenario_sweep_matches_untraced_sequential() {
+    std::env::set_var(techlib::par::THREADS_ENV, "3");
+    let scenarios = eight_scenarios();
+
+    // Untraced sequential reference (no test in this binary has enabled
+    // recording yet).
+    let sequential = batch::run_sequential(&scenarios);
+    let reference = fingerprints(&sequential);
+
+    techlib::obs::enable();
+    let parallel = batch::run(&scenarios).expect("traced batch launches");
+    assert_eq!(
+        fingerprints(&parallel),
+        reference,
+        "tracing changed a sweep outcome"
+    );
+
+    let trace = techlib::obs::chrome_trace_json();
+    let doc = serde_json::from_str(&trace).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    for scenario in &scenarios {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(serde_json::Value::as_str) == Some("X")
+                    && e.get("name").and_then(serde_json::Value::as_str) == Some("scenario.run")
+                    && e.get("args")
+                        .and_then(|a| a.get("scenario"))
+                        .and_then(serde_json::Value::as_str)
+                        == Some(scenario.name())
+            }),
+            "no scenario.run span for {}",
+            scenario.name()
+        );
+    }
+}
+
 #[test]
 fn injected_fault_stays_inside_its_scenario() {
     let mut scenarios = mixed_batch();

@@ -2,9 +2,11 @@
 //! work must be indistinguishable — byte for byte — from the sequential
 //! reference, for any worker count and any task-duration skew.
 
-use codesign::flow::{run_all, run_all_sequential};
+use codesign::context::StudyContext;
+use codesign::flow::{run_all, run_all_in, run_all_sequential, run_tech_in, TechStudy};
 use codesign::table5::{table5, MonitorLengths};
 use proptest::prelude::*;
+use techlib::spec::InterposerKind;
 
 /// The whole six-technology study, parallel vs sequential, serialized.
 ///
@@ -35,6 +37,112 @@ fn parallel_run_all_serializes_byte_identically_to_sequential() {
     assert!(
         serde_json::to_string(&t5).unwrap() == serde_json::to_string(&rows.unwrap()).unwrap(),
         "parallel table 5 diverges from sequential rows"
+    );
+}
+
+/// Tracing is strictly out-of-band: with observability recording on and
+/// the fan-out at `CODESIGN_THREADS=3`, the studies serialize
+/// byte-identically to an untraced sequential reference, and the
+/// emitted trace is valid Chrome trace-event JSON carrying one span per
+/// flow stage per scenario plus the kernel work counters.
+///
+/// Both runs use **private** contexts (not the shared default) so the
+/// traced run is genuinely cold and every kernel counter must fire.
+#[test]
+fn traced_parallel_flow_is_byte_identical_and_emits_a_valid_trace() {
+    std::env::set_var(techlib::par::THREADS_ENV, "3");
+
+    // Untraced sequential reference (recording is still off here; the
+    // sibling tests in this binary never enable it).
+    let reference_ctx = StudyContext::paper();
+    let reference: Vec<TechStudy> = InterposerKind::PACKAGED
+        .iter()
+        .map(|&tech| run_tech_in(&reference_ctx, tech, MonitorLengths::Routed))
+        .collect::<Result<_, _>>()
+        .expect("sequential reference completes");
+    let reference_json = serde_json::to_string(&reference).expect("serializes");
+
+    techlib::obs::enable();
+    techlib::obs::reset();
+    let traced_ctx = StudyContext::paper();
+    let traced =
+        run_all_in(&traced_ctx, MonitorLengths::Routed).expect("traced parallel flow completes");
+    let traced_json = serde_json::to_string(&traced).expect("serializes");
+    assert!(
+        traced_json == reference_json,
+        "tracing changed the serialized studies"
+    );
+
+    // The trace parses as Chrome trace-event JSON…
+    let trace = techlib::obs::chrome_trace_json();
+    let doc = serde_json::from_str(&trace).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+
+    // …with one "X" span per flow stage per scenario (Silicon 3D has no
+    // routed interposer, hence no route stage)…
+    let has_span = |stage: &str, scenario: &str| {
+        events.iter().any(|e| {
+            e.get("ph").and_then(serde_json::Value::as_str) == Some("X")
+                && e.get("name").and_then(serde_json::Value::as_str) == Some(stage)
+                && e.get("args")
+                    .and_then(|a| a.get("scenario"))
+                    .and_then(serde_json::Value::as_str)
+                    == Some(scenario)
+        })
+    };
+    for &tech in &InterposerKind::PACKAGED {
+        let scenario = format!("paper:{}", tech.label());
+        for stage in [
+            "stage.design",
+            "stage.split",
+            "stage.chipletize",
+            "stage.chiplet_reports",
+            "stage.si_links",
+            "stage.thermal",
+            "stage.fullchip",
+        ] {
+            assert!(has_span(stage, &scenario), "missing {stage} for {scenario}");
+        }
+        if tech != InterposerKind::Silicon3D {
+            assert!(
+                has_span("stage.route", &scenario),
+                "missing stage.route for {scenario}"
+            );
+        }
+    }
+
+    // …plus a non-zero "C" counter event for every kernel counter (the
+    // traced run was cold, so each kernel demonstrably did work).
+    for counter in [
+        "memo.hit",
+        "memo.compute",
+        "router.nets_routed",
+        "thermal.sor_sweeps",
+        "circuit.lu_factor",
+        "circuit.lu_solve",
+        "si.links_simulated",
+    ] {
+        let fired = events.iter().any(|e| {
+            e.get("ph").and_then(serde_json::Value::as_str) == Some("C")
+                && e.get("name").and_then(serde_json::Value::as_str) == Some(counter)
+                && e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(serde_json::Value::as_u64)
+                    .is_some_and(|v| v > 0)
+        });
+        assert!(fired, "counter {counter} missing or zero");
+    }
+    // The batch-rounds counter is present even if the router ran its
+    // batches sequentially for small worker counts.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(serde_json::Value::as_str)
+                == Some("router.batch_rounds")),
+        "router.batch_rounds counter event missing"
     );
 }
 
