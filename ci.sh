@@ -37,6 +37,20 @@ jq -e 'type == "array" and length == 2' /tmp/codesign_smoke_sweep.json > /dev/nu
 jq -e '.traceEvents | length > 0' /tmp/codesign_smoke_trace.json > /dev/null
 echo "    sweep output and trace both parse as JSON"
 
+# Router bench smoke: flow_timing on a single technology must prove the
+# parallel router byte-identical to sequential and report non-zero
+# hot-path work counters in its "router" section. Writes to /tmp so the
+# published BENCH_flow.json (full six-technology run) stays untouched.
+echo "==> router bench smoke (flow_timing, one tech)"
+rm -f /tmp/codesign_router_smoke.json
+FLOW_TIMING_TECHS="silicon 2.5d" \
+    FLOW_TIMING_OUT=/tmp/codesign_router_smoke.json \
+    cargo run --release -q -p bench --bin flow_timing
+jq -e '.outputs_byte_identical == true' /tmp/codesign_router_smoke.json > /dev/null
+jq -e '.router.nets_routed > 0 and .router.heap_pops > 0 and .router.expansions > 0' \
+    /tmp/codesign_router_smoke.json > /dev/null
+echo "    router smoke: byte-identical outputs, hot-path counters recorded"
+
 # Rustdoc must build warning-free for the workspace crates (broken
 # intra-doc links, bad code fences). --no-deps keeps the gate off the
 # vendored path dependencies' docs.

@@ -15,11 +15,46 @@
 //! and kernel work counters and hands them up on a `STAGES` line; they
 //! land under the `"stages"` key of `BENCH_flow.json`.
 
+use codesign::flow::TechStudy;
 use codesign::table5::MonitorLengths;
+use codesign::FlowError;
 use std::io::Write as _;
 use std::time::Instant;
+use techlib::spec::InterposerKind;
 
 const CHILD_ENV: &str = "FLOW_TIMING_CHILD";
+/// Comma-separated technology-label filter (case-insensitive substring
+/// match against [`InterposerKind::label`], e.g. `"silicon 2.5d"`).
+/// Unset runs the full six-technology study. CI's router smoke step uses
+/// this to time a single technology.
+const TECHS_ENV: &str = "FLOW_TIMING_TECHS";
+/// Overrides the output path (default: `BENCH_flow.json` at the repo
+/// root), so smoke runs don't clobber the published numbers.
+const OUT_ENV: &str = "FLOW_TIMING_OUT";
+
+/// Resolves the `FLOW_TIMING_TECHS` filter against the packaged set.
+/// Children inherit the parent's environment, so both processes resolve
+/// the identical list.
+fn selected_techs() -> Vec<InterposerKind> {
+    let Ok(filter) = std::env::var(TECHS_ENV) else {
+        return InterposerKind::PACKAGED.to_vec();
+    };
+    let techs: Vec<InterposerKind> = filter
+        .split(',')
+        .map(str::trim)
+        .filter(|pat| !pat.is_empty())
+        .map(|pat| {
+            let lower = pat.to_ascii_lowercase();
+            InterposerKind::PACKAGED
+                .iter()
+                .copied()
+                .find(|t| t.label().to_ascii_lowercase().contains(&lower))
+                .unwrap_or_else(|| panic!("{TECHS_ENV}: no packaged technology matches {pat:?}"))
+        })
+        .collect();
+    assert!(!techs.is_empty(), "{TECHS_ENV} selected no technologies");
+    techs
+}
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -37,11 +72,23 @@ fn child(parallel: bool) {
     if parallel {
         techlib::obs::enable();
     }
-    let run = || {
-        if parallel {
-            codesign::flow::run_all(MonitorLengths::Routed)
+    let techs = selected_techs();
+    let run = || -> Result<Vec<TechStudy>, FlowError> {
+        if techs.len() == InterposerKind::PACKAGED.len() {
+            if parallel {
+                codesign::flow::run_all(MonitorLengths::Routed)
+            } else {
+                codesign::flow::run_all_sequential(MonitorLengths::Routed)
+            }
+        } else if parallel {
+            codesign::exec::try_ordered_map(&techs, |&tech| {
+                codesign::flow::run_tech_with(tech, MonitorLengths::Routed)
+            })
         } else {
-            codesign::flow::run_all_sequential(MonitorLengths::Routed)
+            techs
+                .iter()
+                .map(|&tech| codesign::flow::run_tech_with(tech, MonitorLengths::Routed))
+                .collect()
         }
     };
     let t0 = Instant::now();
@@ -119,7 +166,11 @@ fn main() {
     }
 
     let threads = techlib::par::thread_count();
-    println!("flow_timing: sequential (1 worker) vs parallel ({threads} workers)");
+    let techs = selected_techs();
+    println!(
+        "flow_timing: sequential (1 worker) vs parallel ({threads} workers), {} technologies",
+        techs.len()
+    );
     println!("running sequential child...");
     let seq = run_child(false);
     println!("  cold {:.3} s, warm {:.3} s", seq.cold_s, seq.warm_s);
@@ -176,6 +227,24 @@ fn main() {
                 .and_then(|v| v.parse::<f64>().ok())
                 .map_or(serde_json::Value::Null, serde_json::Value::from),
         ),
+        (
+            "techs".into(),
+            serde_json::Value::Array(
+                techs
+                    .iter()
+                    .map(|t| serde_json::Value::from(t.label()))
+                    .collect(),
+            ),
+        ),
+        // The router's share of the parallel cold run: route.nets span
+        // totals plus the hot-path work counters (heap pops, expansions,
+        // window fallbacks, incremental/conflict re-routes).
+        (
+            "router".into(),
+            par.stages
+                .as_ref()
+                .map_or(serde_json::Value::Null, bench::router_value),
+        ),
         // Stage-by-stage breakdown of the parallel cold run, recorded
         // out-of-band by `techlib::obs` (the sequential child stays
         // untraced so the hash equality above also validates that
@@ -185,8 +254,9 @@ fn main() {
             par.stages.unwrap_or(serde_json::Value::Null),
         ),
     ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
-    let mut f = std::fs::File::create(path).expect("BENCH_flow.json writable");
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
+    let path = std::env::var(OUT_ENV).unwrap_or_else(|_| default_path.to_string());
+    let mut f = std::fs::File::create(&path).expect("benchmark report path writable");
     writeln!(
         f,
         "{}",

@@ -58,6 +58,49 @@ pub fn stages_value() -> serde_json::Value {
     ])
 }
 
+/// Distils the router's share of a [`stages_value`] snapshot into the
+/// `"router"` section of `BENCH_flow.json`: the `route.nets` span totals
+/// plus every `router.*` work counter, flattened to bare keys so perf
+/// PRs can diff them without digging through the full stage map.
+pub fn router_value(stages: &serde_json::Value) -> serde_json::Value {
+    let span = |key: &str| {
+        stages
+            .get("by_stage")
+            .and_then(|s| s.get("route.nets"))
+            .and_then(|r| r.get(key))
+            .cloned()
+            .unwrap_or(serde_json::Value::from(0u64))
+    };
+    let counter = |name: &str| {
+        let value = stages
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        serde_json::Value::from(value)
+    };
+    serde_json::Value::Object(vec![
+        ("route_nets_calls".into(), span("calls")),
+        ("route_nets_total_ms".into(), span("total_ms")),
+        ("nets_routed".into(), counter("router.nets_routed")),
+        ("batch_rounds".into(), counter("router.batch_rounds")),
+        ("heap_pops".into(), counter("router.heap_pops")),
+        ("expansions".into(), counter("router.expansions")),
+        (
+            "window_fallbacks".into(),
+            counter("router.window_fallbacks"),
+        ),
+        (
+            "incremental_reroutes".into(),
+            counter("router.incremental_reroutes"),
+        ),
+        (
+            "conflict_reroutes".into(),
+            counter("router.conflict_reroutes"),
+        ),
+    ])
+}
+
 /// Prints a paper-vs-measured header.
 pub fn banner(what: &str) {
     println!("==================================================================");
@@ -70,5 +113,26 @@ mod tests {
     #[test]
     fn banner_does_not_panic() {
         super::banner("smoke");
+    }
+
+    #[test]
+    fn router_value_flattens_span_and_counters() {
+        let stages: serde_json::Value = serde_json::from_str(
+            r#"{
+                "by_stage": {"route.nets": {"calls": 5, "total_ms": 123.5}},
+                "counters": {
+                    "router.nets_routed": 530,
+                    "router.heap_pops": 9001,
+                    "router.window_fallbacks": 3
+                }
+            }"#,
+        )
+        .unwrap();
+        let r = super::router_value(&stages);
+        assert_eq!(r.get("route_nets_calls").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(r.get("nets_routed").and_then(|v| v.as_u64()), Some(530));
+        assert_eq!(r.get("heap_pops").and_then(|v| v.as_u64()), Some(9001));
+        // Counters absent from the snapshot report zero, not null.
+        assert_eq!(r.get("expansions").and_then(|v| v.as_u64()), Some(0));
     }
 }

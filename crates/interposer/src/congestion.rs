@@ -7,7 +7,7 @@
 
 use crate::grid::RoutingGrid;
 use crate::report::InterposerLayout;
-use crate::router::base_blockage;
+use crate::router::{accumulate_path, base_blockage};
 use crate::RouteError;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -51,16 +51,9 @@ pub fn analyze(layout: &InterposerLayout) -> Result<CongestionMap, RouteError> {
         .map_err(|reason| RouteError::BadGrid { reason })?;
     let mut usage = base_blockage(&layout.placement, &grid);
     for net in &layout.routed_nets {
-        for w in net.path.windows(2) {
-            let (x0, y0, l0) = w[0];
-            let (x1, y1, l1) = w[1];
-            if l0 != l1 {
-                usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
-                usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
-            } else {
-                usage[grid.index(x1, y1, l1)] += 1.0;
-            }
-        }
+        // Same accumulation the router commits, so the map cannot drift
+        // from what negotiation actually charged.
+        accumulate_path(&grid, &net.path, &mut usage);
     }
     let per = grid.cols * grid.rows;
     let mut demand = Vec::with_capacity(grid.layers);

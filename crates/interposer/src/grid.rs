@@ -81,9 +81,51 @@ impl RoutingGrid {
         (gx, gy)
     }
 
+    /// Inverse of [`RoutingGrid::index`]: the `(x, y, layer)` of a
+    /// flattened node index.
+    pub fn decompose(&self, node: usize) -> (usize, usize, usize) {
+        let per_layer = self.rows * self.cols;
+        let layer = node / per_layer;
+        let rem = node % per_layer;
+        (rem % self.cols, rem / self.cols, layer)
+    }
+
+    /// The lateral search window spanning gcells `a` and `b` inflated by
+    /// `margin` gcells on every side, clamped to the grid. All layers are
+    /// always in the window — only the lateral extent is bounded.
+    pub fn window(&self, a: (usize, usize), b: (usize, usize), margin: usize) -> GridWindow {
+        GridWindow {
+            x0: a.0.min(b.0).saturating_sub(margin),
+            y0: a.1.min(b.1).saturating_sub(margin),
+            x1: a.0.max(b.0).saturating_add(margin).min(self.cols - 1),
+            y1: a.1.max(b.1).saturating_add(margin).min(self.rows - 1),
+        }
+    }
+
     /// True if `layer`'s preferred direction is horizontal.
     pub fn horizontal_preferred(&self, layer: usize) -> bool {
         layer.is_multiple_of(2)
+    }
+}
+
+/// Inclusive lateral gcell bounds of one windowed router search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridWindow {
+    /// Leftmost column in the window.
+    pub x0: usize,
+    /// Bottom row in the window.
+    pub y0: usize,
+    /// Rightmost column in the window (inclusive).
+    pub x1: usize,
+    /// Top row in the window (inclusive).
+    pub y1: usize,
+}
+
+impl GridWindow {
+    /// True when the window spans the entire lateral grid, i.e. the
+    /// windowed search *is* the full-grid search.
+    pub fn covers(&self, grid: &RoutingGrid) -> bool {
+        self.x0 == 0 && self.y0 == 0 && self.x1 + 1 == grid.cols && self.y1 + 1 == grid.rows
     }
 }
 
@@ -142,6 +184,29 @@ mod tests {
         assert_eq!(g.gcell_of(0.0, 0.0), (0, 0));
         assert_eq!(g.gcell_of(25.0, 45.0), (1, 2));
         assert_eq!(g.gcell_of(99_999.0, 99_999.0), (109, 109));
+    }
+
+    #[test]
+    fn decompose_inverts_index() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let g = RoutingGrid::new((2200.0, 2200.0), &spec).unwrap();
+        for (x, y, l) in [(0, 0, 0), (109, 109, 6), (17, 42, 3)] {
+            assert_eq!(g.decompose(g.index(x, y, l)), (x, y, l));
+        }
+    }
+
+    #[test]
+    fn windows_clamp_and_cover() {
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let g = RoutingGrid::new((2200.0, 2200.0), &spec).unwrap();
+        let w = g.window((10, 20), (30, 25), 5);
+        assert_eq!((w.x0, w.y0, w.x1, w.y1), (5, 15, 35, 30));
+        assert!(!w.covers(&g));
+        // A margin past the grid edge clamps instead of overflowing, and
+        // a huge margin degenerates to the full grid.
+        let edge = g.window((1, 108), (2, 109), 4);
+        assert_eq!((edge.x0, edge.y0, edge.x1, edge.y1), (0, 104, 6, 109));
+        assert!(g.window((50, 50), (60, 60), usize::MAX).covers(&g));
     }
 
     #[test]

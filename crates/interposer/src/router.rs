@@ -8,6 +8,41 @@
 //! makes the "metal layers used" statistic of Table IV emerge from track
 //! supply rather than being an input.
 //!
+//! # Hot-path architecture
+//!
+//! The A* inner loop is the whole runtime of the flow, so it is built
+//! around three mechanisms:
+//!
+//! * **Reusable search scratch** (`SearchScratch`) — `dist`/`prev`
+//!   arrays and the read-footprint bitmap are allocated once per worker
+//!   and *epoch-stamped*: a search begins by bumping a generation
+//!   counter, so resetting costs O(1) instead of re-initialising
+//!   `node_count` floats per net. Heap entries carry their `g` value and
+//!   stale pops (entries superseded by a later relaxation) are skipped;
+//!   `dist` is monotone non-increasing, so the skipped expansion would
+//!   have relaxed nothing — results are bit-identical.
+//! * **Windowed search** — each net searches a bounding box around its
+//!   endpoints inflated by [`INITIAL_WINDOW_MARGIN`] gcells and takes
+//!   the path it finds. Blockage and congestion are soft penalties, so a
+//!   window containing both endpoints always contains *a* path; only if
+//!   the window yields none does the margin grow geometrically
+//!   ([`WINDOW_GROWTH`]) until it covers the grid — the windowed router
+//!   therefore routes every net the full-grid search routes. The search
+//!   still tracks a cost certificate (the smallest admissible f-value
+//!   among the moves the window pruned): a goal cost strictly below that
+//!   bound provably equals the full-grid optimum (see `astar`), and
+//!   acceptances *without* that proof — windows that may have clipped a
+//!   cheaper congestion detour — are surfaced as the
+//!   `router.window_fallbacks` counter rather than paid for with a
+//!   full-grid re-search. A detour wider than the margin cannot fix a
+//!   fabric whose cut capacity is short; PathFinder history, not search
+//!   breadth, is what resolves genuine overflow.
+//! * **Overflow-driven incremental reroute** — after the first routing
+//!   pass, only nets whose committed paths cross an over-capacity gcell
+//!   are ripped up and re-negotiated against the still-committed usage
+//!   of every other net; untouched nets keep their paths. Classic
+//!   full-reroute PathFinder re-routes every net every iteration.
+//!
 //! # Parallel routing
 //!
 //! With more than one worker ([`techlib::par::thread_count`]),
@@ -21,10 +56,15 @@
 //! deterministic function of the usage values it reads, so an accepted
 //! route is bit-identical to what the sequential pass would have
 //! produced — `route_all` returns byte-identical results for any worker
-//! count, only wall-clock changes.
+//! count, only wall-clock changes. When a batch's conflict rate makes
+//! speculation a net loss (half the batch or more had to be re-routed),
+//! the router falls back to the sequential path for the rest of the
+//! pass — a wall-clock policy that cannot change results. Per-worker
+//! `SearchScratch` buffers live in a [`techlib::par::ScratchPool`]
+//! so speculation allocates no per-net search state either.
 
 use crate::diemap::{DiePlacement, NetClass};
-use crate::grid::RoutingGrid;
+use crate::grid::{GridWindow, RoutingGrid};
 use crate::RouteError;
 use serde::Serialize;
 use std::cmp::Ordering;
@@ -44,6 +84,12 @@ pub const MAX_ITERATIONS: usize = 3;
 /// more parallelism but raise the chance a footprint conflict forces a
 /// sequential re-route.
 pub const SPECULATIVE_BATCH_PER_WORKER: usize = 2;
+/// Initial window margin: gcells added around a net's endpoint bounding
+/// box for the first windowed A* attempt.
+pub const INITIAL_WINDOW_MARGIN: usize = 8;
+/// Geometric growth factor applied to the window margin when an attempt
+/// fails its cost certificate (or finds no path at all).
+pub const WINDOW_GROWTH: usize = 4;
 
 /// One routed net.
 #[derive(Debug, Clone, Serialize)]
@@ -60,17 +106,26 @@ pub struct RoutedNet {
     pub path: Vec<(usize, usize, usize)>,
 }
 
-#[derive(PartialEq)]
 struct HeapItem {
     f: f64,
+    /// The g value (`dist`) this entry was pushed with; entries whose g
+    /// exceeds the node's current `dist` are stale and skipped on pop.
+    g: f64,
     node: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
 }
 
 impl Eq for HeapItem {}
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on f.
+        // Min-heap on f; `g` is deliberately not part of the key so the
+        // pop order is identical to the pre-stale-skip router.
         other
             .f
             .partial_cmp(&self.f)
@@ -110,31 +165,406 @@ pub fn base_blockage(placement: &DiePlacement, grid: &RoutingGrid) -> Vec<f64> {
     usage
 }
 
-/// The set of gcell nodes whose congestion a speculative A* run read.
+/// Adds the track demand of one committed `path` to `usage`: a via step
+/// blocks `via_block_tracks` on both layers, a lateral step one track on
+/// its destination gcell. This is exactly what [`route_all`] commits per
+/// net, shared here so congestion analysis and capacity checks stay in
+/// sync with the router.
+pub fn accumulate_path(grid: &RoutingGrid, path: &[(usize, usize, usize)], usage: &mut [f64]) {
+    for w in path.windows(2) {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
+            usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
+        } else {
+            usage[grid.index(x1, y1, l1)] += 1.0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reusable search state.
+// ---------------------------------------------------------------------
+
+/// Work counters accumulated locally per scratch and flushed to
+/// [`techlib::obs`] once per [`route_all`] call (so the hot loop never
+/// touches an atomic).
+#[derive(Debug, Default, Clone, Copy)]
+struct SearchCounters {
+    pops: u64,
+    expansions: u64,
+    window_fallbacks: u64,
+}
+
+impl SearchCounters {
+    fn merge(&mut self, other: SearchCounters) {
+        self.pops += other.pops;
+        self.expansions += other.expansions;
+        self.window_fallbacks += other.window_fallbacks;
+    }
+}
+
+/// Reusable, epoch-stamped A* state: one allocation per worker for the
+/// lifetime of a [`route_all`] call instead of two `node_count`-sized
+/// vectors per net.
 ///
-/// Bitmap + insertion list: `mark` is O(1), and validation walks only the
-/// nodes actually touched rather than the whole grid.
-struct Footprint {
-    words: Vec<u64>,
-    touched: Vec<u32>,
+/// `dist[i]`/`prev[i]` are valid only where `stamp[i] == generation`;
+/// [`SearchScratch::begin_search`] bumps the generation, invalidating
+/// the whole state in O(1). The footprint bitmap records every node
+/// whose congestion a speculative search read (across *all* window
+/// attempts of a net — earlier attempts decide whether the window
+/// expands, so their reads are part of the route's input); it is
+/// cleared in O(touched) by [`SearchScratch::take_footprint`].
+struct SearchScratch {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapItem>,
+    fp_words: Vec<u64>,
+    fp_touched: Vec<u32>,
+    counters: SearchCounters,
 }
 
-impl Footprint {
-    fn new(nodes: usize) -> Footprint {
-        Footprint {
-            words: vec![0; nodes.div_ceil(64)],
-            touched: Vec::new(),
+impl SearchScratch {
+    fn new(nodes: usize) -> SearchScratch {
+        SearchScratch {
+            dist: vec![f64::INFINITY; nodes],
+            prev: vec![u32::MAX; nodes],
+            stamp: vec![0; nodes],
+            generation: 0,
+            heap: BinaryHeap::new(),
+            fp_words: vec![0; nodes.div_ceil(64)],
+            fp_touched: Vec::new(),
+            counters: SearchCounters::default(),
         }
     }
 
-    fn mark(&mut self, node: usize) {
-        let (w, b) = (node / 64, node % 64);
-        if self.words[w] & (1 << b) == 0 {
-            self.words[w] |= 1 << b;
-            self.touched.push(node as u32);
+    /// Invalidates all per-search state in O(1) (amortised: the stamp
+    /// array is re-zeroed only when the 32-bit generation wraps).
+    fn begin_search(&mut self) {
+        self.heap.clear();
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
         }
     }
+
+    /// Drains the footprint into a compact node list, clearing the
+    /// bitmap in O(touched) so the scratch is ready for the next net.
+    fn take_footprint(&mut self) -> Vec<u32> {
+        let touched = std::mem::take(&mut self.fp_touched);
+        for &node in &touched {
+            self.fp_words[node as usize / 64] &= !(1u64 << (node % 64));
+        }
+        touched
+    }
 }
+
+// ---------------------------------------------------------------------
+// The A* kernel.
+// ---------------------------------------------------------------------
+
+/// One A* search from `start` to `goal`, restricted laterally to `win`.
+/// Returns the goal's settled cost, leaving the `prev` chain in
+/// `scratch` for reconstruction. Identical pop order and relaxation
+/// sequence to the historical full-grid router when `win` covers the
+/// grid.
+///
+/// `pruned_min` is set to the smallest admissible f-value (`g` + step +
+/// layer bias + `h`, congestion ≥ 0 dropped) among the moves the
+/// *window* rejected — moves off the grid itself don't count, the
+/// full-grid search rejects those too. It is the search's certificate:
+/// with a consistent heuristic, any full-grid path cheaper than the
+/// windowed result must cross a pruned boundary edge whose recorded
+/// bound undercuts it, so a goal cost strictly below `pruned_min` *is*
+/// the full-grid optimum (and, because equal-cost ties are excluded,
+/// the reconstructed path is the one the full-grid search would have
+/// returned, prev-pointer for prev-pointer).
+#[allow(clippy::too_many_arguments)]
+fn astar(
+    scratch: &mut SearchScratch,
+    grid: &RoutingGrid,
+    usage: &[f64],
+    history: &[f64],
+    start: usize,
+    goal: usize,
+    target: (usize, usize),
+    win: &GridWindow,
+    record_footprint: bool,
+    pruned_min: &mut f64,
+) -> Option<f64> {
+    *pruned_min = f64::INFINITY;
+    scratch.begin_search();
+    let SearchScratch {
+        dist,
+        prev,
+        stamp,
+        generation,
+        heap,
+        fp_words,
+        fp_touched,
+        counters,
+    } = scratch;
+    let gen = *generation;
+    let (tx, ty) = target;
+
+    let h = |x: usize, y: usize| -> f64 {
+        let dx = (x as f64 - tx as f64).abs();
+        let dy = (y as f64 - ty as f64).abs();
+        if grid.diagonal {
+            (dx.max(dy) + (std::f64::consts::SQRT_2 - 1.0) * dx.min(dy)) * grid.gcell_um
+        } else {
+            (dx + dy) * grid.gcell_um
+        }
+    };
+
+    let congestion = |node: usize| -> f64 {
+        let over = (usage[node] + 1.0 - grid.capacity).max(0.0);
+        history[node] + PRESENT_PENALTY_UM * over
+    };
+
+    dist[start] = 0.0;
+    prev[start] = u32::MAX;
+    stamp[start] = gen;
+    heap.push(HeapItem {
+        f: 0.0,
+        g: 0.0,
+        node: start,
+    });
+
+    let mut pops = 0u64;
+    let mut expansions = 0u64;
+    let mut found = None;
+    while let Some(HeapItem { f: _, g, node }) = heap.pop() {
+        pops += 1;
+        if node == goal {
+            found = Some(dist[node]);
+            break;
+        }
+        // Stale entry: a later relaxation already improved this node, so
+        // its (earlier-popped) fresh entry performed every relaxation
+        // this one could; skipping is result-identical.
+        if g > dist[node] {
+            continue;
+        }
+        expansions += 1;
+        let (x, y, layer) = grid.decompose(node);
+        let d = dist[node];
+
+        let pruned_min = &mut *pruned_min;
+        let mut try_move =
+            |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
+                if nx < 0
+                    || ny < 0
+                    || nl < 0
+                    || nx >= grid.cols as i64
+                    || ny >= grid.rows as i64
+                    || nl >= grid.layers as i64
+                {
+                    return;
+                }
+                let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
+                if nx < win.x0 || ny < win.y0 || nx > win.x1 || ny > win.y1 {
+                    // In the grid but outside the window: record the
+                    // certificate bound this pruned move witnesses.
+                    let lb = d + step + nl as f64 * 0.5 + h(nx, ny);
+                    if lb < *pruned_min {
+                        *pruned_min = lb;
+                    }
+                    return;
+                }
+                let ni = grid.index(nx, ny, nl);
+                // Everything usage-dependent about this A* flows through the
+                // congestion read below, so the footprint is exactly the set
+                // of nodes passed to it.
+                if record_footprint {
+                    let (w, b) = (ni / 64, ni % 64);
+                    if fp_words[w] & (1u64 << b) == 0 {
+                        fp_words[w] |= 1u64 << b;
+                        fp_touched.push(ni as u32);
+                    }
+                }
+                // Small upper-layer bias keeps routing low when uncongested.
+                let nd = d + step + congestion(ni) + nl as f64 * 0.5;
+                let cur = if stamp[ni] == gen {
+                    dist[ni]
+                } else {
+                    f64::INFINITY
+                };
+                if nd < cur {
+                    dist[ni] = nd;
+                    prev[ni] = node as u32;
+                    stamp[ni] = gen;
+                    heap.push(HeapItem {
+                        f: nd + h(nx, ny),
+                        g: nd,
+                        node: ni,
+                    });
+                }
+            };
+
+        let hp = grid.horizontal_preferred(layer);
+        let hx = if hp { 1.0 } else { NONPREF_PENALTY };
+        let hy = if hp { NONPREF_PENALTY } else { 1.0 };
+        let g = grid.gcell_um;
+        try_move(x as i64 + 1, y as i64, layer as i64, g * hx, heap);
+        try_move(x as i64 - 1, y as i64, layer as i64, g * hx, heap);
+        try_move(x as i64, y as i64 + 1, layer as i64, g * hy, heap);
+        try_move(x as i64, y as i64 - 1, layer as i64, g * hy, heap);
+        if grid.diagonal {
+            let gd = g * std::f64::consts::SQRT_2;
+            try_move(x as i64 + 1, y as i64 + 1, layer as i64, gd, heap);
+            try_move(x as i64 + 1, y as i64 - 1, layer as i64, gd, heap);
+            try_move(x as i64 - 1, y as i64 + 1, layer as i64, gd, heap);
+            try_move(x as i64 - 1, y as i64 - 1, layer as i64, gd, heap);
+        }
+        try_move(x as i64, y as i64, layer as i64 + 1, VIA_COST_UM, heap);
+        try_move(x as i64, y as i64, layer as i64 - 1, VIA_COST_UM, heap);
+    }
+    counters.pops += pops;
+    counters.expansions += expansions;
+    found
+}
+
+/// Routes one net with the windowed search: a bounding-box attempt whose
+/// path is taken as found, with geometrically growing margins (up to the
+/// full grid) only when a window yields no path at all. The pruned-
+/// frontier cost certificate (see [`astar`]) classifies each acceptance
+/// as provably-optimal or window-constrained for observability.
+/// `initial_margin = usize::MAX` forces a single full-grid search (the
+/// historical behaviour; used by the coverage tests as the reference).
+#[allow(clippy::too_many_arguments)]
+fn route_with_margin(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    net: &crate::diemap::NetSpec,
+    usage: &[f64],
+    history: &[f64],
+    scratch: &mut SearchScratch,
+    record_footprint: bool,
+    initial_margin: usize,
+) -> Option<RoutedNet> {
+    let s = placement.dies[net.from.0].signal_position(net.from.1)?;
+    let t = placement.dies[net.to.0].signal_position(net.to.1)?;
+    let (sx, sy) = grid.gcell_of(s.0, s.1);
+    let (tx, ty) = grid.gcell_of(t.0, t.1);
+    let start = grid.index(sx, sy, 0);
+    let goal = grid.index(tx, ty, 0);
+
+    let mut margin = initial_margin;
+    loop {
+        let win = grid.window((sx, sy), (tx, ty), margin);
+        let full = win.covers(grid);
+        let mut pruned_min = f64::INFINITY;
+        let cost = astar(
+            scratch,
+            grid,
+            usage,
+            history,
+            start,
+            goal,
+            (tx, ty),
+            &win,
+            record_footprint,
+            &mut pruned_min,
+        );
+        match cost {
+            Some(c) => {
+                // The windowed path is taken as-is. When its cost beats
+                // every pruned boundary bound it provably equals the
+                // full-grid optimum (see `astar`); otherwise the window
+                // may have constrained a congestion detour, which the
+                // fallback counter records — PathFinder history, not a
+                // wider search, resolves genuine overflow, and detours
+                // wider than the margin cannot fix a fabric whose cut
+                // capacity is simply short.
+                if !full && c >= pruned_min {
+                    scratch.counters.window_fallbacks += 1;
+                }
+                break;
+            }
+            None if full => return None,
+            None => {
+                // No path inside the window (unreachable on a connected
+                // grid — blockage is soft — but the safety net keeps
+                // windowing strictly weaker than the full search):
+                // widen geometrically and retry. The footprint keeps
+                // accumulating — the failed attempt's congestion reads
+                // decided this expansion.
+                scratch.counters.window_fallbacks += 1;
+                margin = margin.saturating_mul(WINDOW_GROWTH).max(1);
+            }
+        }
+    }
+
+    // Reconstruct and measure in one pass: steps are single gcells, so a
+    // lateral step is `gcell_um` long (× √2 when it moves both axes,
+    // which only diagonal grids produce).
+    let mut path = Vec::new();
+    let mut cur = goal;
+    loop {
+        let (x, y, layer) = grid.decompose(cur);
+        path.push((x, y, layer));
+        if cur == start {
+            break;
+        }
+        cur = scratch.prev[cur] as usize;
+    }
+    path.reverse();
+
+    let mut length = 0.0;
+    let mut vias = 2; // bump microvia at each end
+    let mut max_layer = 0;
+    for w in path.windows(2) {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            vias += 1;
+        } else if x0 != x1 && y0 != y1 {
+            length += std::f64::consts::SQRT_2 * grid.gcell_um;
+        } else {
+            length += grid.gcell_um;
+        }
+        max_layer = max_layer.max(l1).max(l0);
+    }
+
+    Some(RoutedNet {
+        id: net.id,
+        length_um: length,
+        vias,
+        max_layer,
+        path,
+    })
+}
+
+fn route_traced(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    net: &crate::diemap::NetSpec,
+    usage: &[f64],
+    history: &[f64],
+    scratch: &mut SearchScratch,
+    record_footprint: bool,
+) -> Option<RoutedNet> {
+    route_with_margin(
+        placement,
+        grid,
+        net,
+        usage,
+        history,
+        scratch,
+        record_footprint,
+        INITIAL_WINDOW_MARGIN,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Commit bookkeeping.
+// ---------------------------------------------------------------------
 
 /// Adds `net`'s path to the usage map, stamping every modified node with
 /// `epoch` so later speculative routes of the same batch can detect the
@@ -157,6 +587,55 @@ fn commit(grid: &RoutingGrid, net: &RoutedNet, usage: &mut [f64], dirty: &mut [u
             dirty[b] = epoch;
         }
     }
+}
+
+/// Removes a previously committed path from the usage map (rip-up for
+/// the incremental reroute). Exact mirror of [`commit`]'s additions, in
+/// the same per-node order, so par and seq perform the identical
+/// floating-point sequence.
+fn uncommit(grid: &RoutingGrid, net: &RoutedNet, usage: &mut [f64]) {
+    for w in net.path.windows(2) {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            usage[grid.index(x0, y0, l0)] -= grid.via_block_tracks;
+            usage[grid.index(x1, y1, l1)] -= grid.via_block_tracks;
+        } else {
+            usage[grid.index(x1, y1, l1)] -= 1.0;
+        }
+    }
+}
+
+/// True when `net`'s committed path touches any overflowed node — the
+/// rip-up criterion of the incremental reroute. Checks exactly the
+/// nodes [`commit`] charged.
+fn crosses_overflow(grid: &RoutingGrid, net: &RoutedNet, overflowed: &[bool]) -> bool {
+    net.path.windows(2).any(|w| {
+        let (x0, y0, l0) = w[0];
+        let (x1, y1, l1) = w[1];
+        if l0 != l1 {
+            overflowed[grid.index(x0, y0, l0)] || overflowed[grid.index(x1, y1, l1)]
+        } else {
+            overflowed[grid.index(x1, y1, l1)]
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// The negotiation loop.
+// ---------------------------------------------------------------------
+
+/// Rip-up policy of the negotiation loop; [`route_all`] always uses
+/// [`Reroute::Incremental`], the full variant is kept for the
+/// convergence-equivalence tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reroute {
+    /// Rip up only nets crossing over-capacity gcells.
+    Incremental,
+    /// Reset usage and reroute every net each iteration (classic
+    /// PathFinder, the pre-overhaul behaviour).
+    #[cfg_attr(not(test), allow(dead_code))]
+    Full,
 }
 
 /// Routes all lateral nets of `placement` on `grid`.
@@ -186,21 +665,31 @@ pub fn route_all_with_workers(
     grid: &RoutingGrid,
     workers: usize,
 ) -> Result<Vec<RoutedNet>, RouteError> {
+    route_all_impl(placement, grid, workers, Reroute::Incremental)
+}
+
+fn route_all_impl(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    workers: usize,
+    strategy: Reroute,
+) -> Result<Vec<RoutedNet>, RouteError> {
     if techlib::faults::armed("router.escape") {
         // Injected fault: the escape/channel router gives up on the first
         // net, the same typed error a congested grid would produce.
         return Err(RouteError::Unroutable { net: 0 });
     }
+    let n = grid.node_count();
     let base = base_blockage(placement, grid);
     let mut usage: Vec<f64> = base.clone();
-    let mut history: Vec<f64> = vec![0.0; grid.node_count()];
+    let mut history: Vec<f64> = vec![0.0; n];
 
     // Lateral nets only, longest first (hardest nets claim resources
     // first; PathFinder history resolves the rest).
     let mut order: Vec<&crate::diemap::NetSpec> = placement
         .nets
         .iter()
-        .filter(|n| n.class != NetClass::IntraTileStackedVia)
+        .filter(|net| net.class != NetClass::IntraTileStackedVia)
         .collect();
     order.sort_by(|a, b| {
         placement
@@ -214,235 +703,171 @@ pub fn route_all_with_workers(
     // changed during the current batch. Bumping the epoch clears the map
     // in O(1). Epoch 0 is reserved so the sequential path's commits never
     // match a check.
-    let mut dirty: Vec<u32> = vec![0; grid.node_count()];
+    let mut dirty: Vec<u32> = vec![0; n];
     let mut epoch: u32 = 0;
 
-    let mut routed: Vec<RoutedNet> = Vec::new();
+    // One scratch for the sequential path and conflict re-routes; the
+    // pool serves speculative workers across every batch of the call.
+    let mut main_scratch = SearchScratch::new(n);
+    let pool: techlib::par::ScratchPool<SearchScratch> = techlib::par::ScratchPool::new();
+
+    // `routed[k]` stays aligned with `order[k]` until the final sort.
+    let mut routed: Vec<RoutedNet> = Vec::with_capacity(order.len());
+    let mut overflowed = vec![false; n];
+    let mut incremental_reroutes = 0u64;
+    let mut conflict_reroutes = 0u64;
+
     for iteration in 0..MAX_ITERATIONS {
-        usage.copy_from_slice(&base);
-        routed.clear();
-        if workers <= 1 {
-            for net in &order {
-                let r = route_one(placement, grid, net, &usage, &history)
-                    .ok_or(RouteError::Unroutable { net: net.id })?;
-                commit(grid, &r, &mut usage, &mut dirty, 0);
-                routed.push(r);
-            }
+        let targets: Vec<usize> = if iteration == 0 {
+            (0..order.len()).collect()
         } else {
-            for batch in order.chunks(workers * SPECULATIVE_BATCH_PER_WORKER) {
+            // History rises wherever total demand exceeds capacity and
+            // some of it is wire (the historical negotiation pressure);
+            // rip-up targets only *wire-demand* overflow — a pad gcell
+            // is over capacity from fixed blockage alone, and a net
+            // cannot avoid its own endpoints, so re-routing it for that
+            // would degenerate every iteration into a full reroute.
+            let mut any = false;
+            overflowed.fill(false);
+            for i in 0..n {
+                if usage[i] > grid.capacity && usage[i] > base[i] {
+                    history[i] += HISTORY_INC_UM * (usage[i] - grid.capacity).min(10.0);
+                    any = true;
+                    if usage[i] - base[i] > grid.capacity {
+                        overflowed[i] = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            match strategy {
+                Reroute::Full => {
+                    usage.copy_from_slice(&base);
+                    routed.clear();
+                    (0..order.len()).collect()
+                }
+                Reroute::Incremental => {
+                    let targets: Vec<usize> = (0..routed.len())
+                        .filter(|&k| crosses_overflow(grid, &routed[k], &overflowed))
+                        .collect();
+                    if targets.is_empty() {
+                        break;
+                    }
+                    // Rip up only the offenders; everyone else's demand
+                    // stays committed and steers the re-negotiation.
+                    for &k in &targets {
+                        uncommit(grid, &routed[k], &mut usage);
+                    }
+                    incremental_reroutes += targets.len() as u64;
+                    targets
+                }
+            }
+        };
+
+        // Speculation can be abandoned mid-pass when conflicts make it a
+        // net loss; the sequential fallback produces identical bytes, so
+        // this is purely a wall-clock policy.
+        let mut speculate = workers > 1;
+        let batch_len = (workers * SPECULATIVE_BATCH_PER_WORKER).max(1);
+        for batch in targets.chunks(batch_len) {
+            if speculate && batch.len() > 1 {
                 epoch += 1;
                 // Route the whole batch against the snapshot, recording
                 // which nodes each A* read congestion from.
-                let speculative = techlib::par::ordered_map_with(workers, batch, |net| {
-                    let mut fp = Footprint::new(grid.node_count());
-                    let r = route_traced(placement, grid, net, &usage, &history, Some(&mut fp));
-                    (r, fp)
+                let speculative = techlib::par::ordered_map_with(workers, batch, |&k| {
+                    pool.with(
+                        || SearchScratch::new(n),
+                        |scratch| {
+                            let r = route_traced(
+                                placement, grid, order[k], &usage, &history, scratch, true,
+                            );
+                            (r, scratch.take_footprint())
+                        },
+                    )
                 });
                 // Commit in net order, validating each speculative route
                 // against the nodes dirtied by earlier commits.
-                for (net, (r, fp)) in batch.iter().zip(speculative) {
-                    let clean = fp.touched.iter().all(|&n| dirty[n as usize] != epoch);
+                let mut conflicts = 0usize;
+                for (&k, (r, footprint)) in batch.iter().zip(speculative) {
+                    let clean = footprint.iter().all(|&node| dirty[node as usize] != epoch);
                     let r = match r {
                         Some(r) if clean => r,
-                        _ => route_one(placement, grid, net, &usage, &history)
-                            .ok_or(RouteError::Unroutable { net: net.id })?,
+                        _ => {
+                            conflicts += 1;
+                            route_traced(
+                                placement,
+                                grid,
+                                order[k],
+                                &usage,
+                                &history,
+                                &mut main_scratch,
+                                false,
+                            )
+                            .ok_or(RouteError::Unroutable { net: order[k].id })?
+                        }
                     };
                     commit(grid, &r, &mut usage, &mut dirty, epoch);
-                    routed.push(r);
+                    if k == routed.len() {
+                        routed.push(r);
+                    } else {
+                        routed[k] = r;
+                    }
+                }
+                conflict_reroutes += conflicts as u64;
+                if 2 * conflicts >= batch.len() {
+                    speculate = false;
+                }
+            } else {
+                for &k in batch {
+                    let r = route_traced(
+                        placement,
+                        grid,
+                        order[k],
+                        &usage,
+                        &history,
+                        &mut main_scratch,
+                        false,
+                    )
+                    .ok_or(RouteError::Unroutable { net: order[k].id })?;
+                    commit(grid, &r, &mut usage, &mut dirty, 0);
+                    if k == routed.len() {
+                        routed.push(r);
+                    } else {
+                        routed[k] = r;
+                    }
                 }
             }
-        }
-        // Bump history where wire demand (beyond the fixed blockage)
-        // exceeds capacity.
-        let mut overflowed = false;
-        for i in 0..usage.len() {
-            if usage[i] > grid.capacity && usage[i] > base[i] {
-                history[i] += HISTORY_INC_UM * (usage[i] - grid.capacity).min(10.0);
-                overflowed = true;
-            }
-        }
-        if !overflowed || iteration == MAX_ITERATIONS - 1 {
-            break;
         }
     }
     routed.sort_by_key(|r| r.id);
-    // Out-of-band work counters: nets in the final solution and how many
-    // speculative batch rounds were run (0 on the sequential path).
+
+    // Flush the locally accumulated work counters out-of-band.
+    let mut totals = main_scratch.counters;
+    for scratch in pool.drain() {
+        totals.merge(scratch.counters);
+    }
     techlib::obs::add(techlib::obs::ROUTER_NETS_ROUTED, routed.len() as u64);
     techlib::obs::add(techlib::obs::ROUTER_BATCH_ROUNDS, u64::from(epoch));
+    techlib::obs::add(techlib::obs::ROUTER_HEAP_POPS, totals.pops);
+    techlib::obs::add(techlib::obs::ROUTER_EXPANSIONS, totals.expansions);
+    techlib::obs::add(
+        techlib::obs::ROUTER_WINDOW_FALLBACKS,
+        totals.window_fallbacks,
+    );
+    techlib::obs::add(
+        techlib::obs::ROUTER_INCREMENTAL_REROUTES,
+        incremental_reroutes,
+    );
+    techlib::obs::add(techlib::obs::ROUTER_CONFLICT_REROUTES, conflict_reroutes);
     Ok(routed)
-}
-
-fn route_one(
-    placement: &DiePlacement,
-    grid: &RoutingGrid,
-    net: &crate::diemap::NetSpec,
-    usage: &[f64],
-    history: &[f64],
-) -> Option<RoutedNet> {
-    route_traced(placement, grid, net, usage, history, None)
-}
-
-fn route_traced(
-    placement: &DiePlacement,
-    grid: &RoutingGrid,
-    net: &crate::diemap::NetSpec,
-    usage: &[f64],
-    history: &[f64],
-    mut footprint: Option<&mut Footprint>,
-) -> Option<RoutedNet> {
-    let s = placement.dies[net.from.0].signal_position(net.from.1)?;
-    let t = placement.dies[net.to.0].signal_position(net.to.1)?;
-    let (sx, sy) = grid.gcell_of(s.0, s.1);
-    let (tx, ty) = grid.gcell_of(t.0, t.1);
-    let start = grid.index(sx, sy, 0);
-    let goal = grid.index(tx, ty, 0);
-
-    let n = grid.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<u32> = vec![u32::MAX; n];
-    let mut heap = BinaryHeap::new();
-    dist[start] = 0.0;
-    heap.push(HeapItem {
-        f: 0.0,
-        node: start,
-    });
-
-    let h = |x: usize, y: usize| -> f64 {
-        let dx = (x as f64 - tx as f64).abs();
-        let dy = (y as f64 - ty as f64).abs();
-        if grid.diagonal {
-            (dx.max(dy) + (std::f64::consts::SQRT_2 - 1.0) * dx.min(dy)) * grid.gcell_um
-        } else {
-            (dx + dy) * grid.gcell_um
-        }
-    };
-
-    let congestion = |node: usize| -> f64 {
-        let over = (usage[node] + 1.0 - grid.capacity).max(0.0);
-        history[node] + PRESENT_PENALTY_UM * over
-    };
-
-    while let Some(HeapItem { f: _, node }) = heap.pop() {
-        if node == goal {
-            break;
-        }
-        let layer = node / (grid.rows * grid.cols);
-        let rem = node % (grid.rows * grid.cols);
-        let y = rem / grid.cols;
-        let x = rem % grid.cols;
-        let d = dist[node];
-
-        let mut try_move =
-            |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
-                if nx < 0
-                    || ny < 0
-                    || nl < 0
-                    || nx >= grid.cols as i64
-                    || ny >= grid.rows as i64
-                    || nl >= grid.layers as i64
-                {
-                    return;
-                }
-                let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
-                let ni = grid.index(nx, ny, nl);
-                // Everything usage-dependent about this A* flows through the
-                // congestion read below, so the footprint is exactly the set
-                // of nodes passed to it.
-                if let Some(fp) = footprint.as_deref_mut() {
-                    fp.mark(ni);
-                }
-                // Small upper-layer bias keeps routing low when uncongested.
-                let nd = d + step + congestion(ni) + nl as f64 * 0.5;
-                if nd < dist[ni] {
-                    dist[ni] = nd;
-                    prev[ni] = node as u32;
-                    heap.push(HeapItem {
-                        f: nd + h(nx, ny),
-                        node: ni,
-                    });
-                }
-            };
-
-        let hp = grid.horizontal_preferred(layer);
-        let hx = if hp { 1.0 } else { NONPREF_PENALTY };
-        let hy = if hp { NONPREF_PENALTY } else { 1.0 };
-        let g = grid.gcell_um;
-        try_move(x as i64 + 1, y as i64, layer as i64, g * hx, &mut heap);
-        try_move(x as i64 - 1, y as i64, layer as i64, g * hx, &mut heap);
-        try_move(x as i64, y as i64 + 1, layer as i64, g * hy, &mut heap);
-        try_move(x as i64, y as i64 - 1, layer as i64, g * hy, &mut heap);
-        if grid.diagonal {
-            let gd = g * std::f64::consts::SQRT_2;
-            try_move(x as i64 + 1, y as i64 + 1, layer as i64, gd, &mut heap);
-            try_move(x as i64 + 1, y as i64 - 1, layer as i64, gd, &mut heap);
-            try_move(x as i64 - 1, y as i64 + 1, layer as i64, gd, &mut heap);
-            try_move(x as i64 - 1, y as i64 - 1, layer as i64, gd, &mut heap);
-        }
-        try_move(x as i64, y as i64, layer as i64 + 1, VIA_COST_UM, &mut heap);
-        try_move(x as i64, y as i64, layer as i64 - 1, VIA_COST_UM, &mut heap);
-    }
-
-    if dist[goal].is_infinite() {
-        return None;
-    }
-
-    // Reconstruct.
-    let mut path = Vec::new();
-    let mut cur = goal;
-    loop {
-        let layer = cur / (grid.rows * grid.cols);
-        let rem = cur % (grid.rows * grid.cols);
-        path.push((rem % grid.cols, rem / grid.cols, layer));
-        if cur == start {
-            break;
-        }
-        cur = prev[cur] as usize;
-    }
-    path.reverse();
-
-    let mut length = 0.0;
-    let mut vias = 2; // bump microvia at each end
-    let mut max_layer = 0;
-    for w in path.windows(2) {
-        let (x0, y0, l0) = w[0];
-        let (x1, y1, l1) = w[1];
-        if l0 != l1 {
-            vias += 1;
-        } else {
-            let dx = (x1 as f64 - x0 as f64).abs();
-            let dy = (y1 as f64 - y0 as f64).abs();
-            length += (dx + dy).max(dx.hypot(dy).min(dx + dy)) * grid.gcell_um;
-        }
-        max_layer = max_layer.max(l1).max(l0);
-    }
-    // Diagonal steps measured euclidean.
-    if grid.diagonal {
-        length = 0.0;
-        for w in path.windows(2) {
-            let (x0, y0, l0) = w[0];
-            let (x1, y1, l1) = w[1];
-            if l0 == l1 {
-                let dx = (x1 as f64 - x0 as f64) * grid.gcell_um;
-                let dy = (y1 as f64 - y0 as f64) * grid.gcell_um;
-                length += dx.hypot(dy);
-            }
-        }
-    }
-
-    Some(RoutedNet {
-        id: net.id,
-        length_um: length,
-        vias,
-        max_layer,
-        path,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::diemap::place_dies;
+    use proptest::prelude::*;
     use techlib::spec::{InterposerKind, InterposerSpec};
 
     fn route(tech: InterposerKind) -> (DiePlacement, Vec<RoutedNet>) {
@@ -562,16 +987,7 @@ mod tests {
         // router cannot avoid at its own endpoints) must fit the tracks.
         let mut usage = vec![0.0; grid.node_count()];
         for net in &r {
-            for w in net.path.windows(2) {
-                let (x0, y0, l0) = w[0];
-                let (x1, y1, l1) = w[1];
-                if l0 != l1 {
-                    usage[grid.index(x0, y0, l0)] += grid.via_block_tracks;
-                    usage[grid.index(x1, y1, l1)] += grid.via_block_tracks;
-                } else {
-                    usage[grid.index(x1, y1, l1)] += 1.0;
-                }
-            }
+            accumulate_path(&grid, &net.path, &mut usage);
         }
         let overflow = usage.iter().filter(|&&u| u > grid.capacity).count();
         assert_eq!(overflow, 0, "silicon has 25 tracks/gcell: no overflow");
@@ -585,6 +1001,15 @@ mod tests {
         // Two n-signal dies a few hundred µm apart on a tiny synthetic
         // package; every net crosses the same gap, so batched routing
         // sees real footprint conflicts.
+        micro_placement_at(signals, 50.0, 350.0, (600.0, 300.0))
+    }
+
+    fn micro_placement_at(
+        signals: usize,
+        x0: f64,
+        x1: f64,
+        footprint_um: (f64, f64),
+    ) -> DiePlacement {
         use chiplet::bumpmap::BumpPlan;
         use netlist::chiplet_netlist::ChipletKind;
         let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
@@ -608,8 +1033,8 @@ mod tests {
             .collect();
         DiePlacement {
             tech: InterposerKind::Glass25D,
-            footprint_um: (600.0, 300.0),
-            dies: vec![mk(0, 50.0), mk(1, 350.0)],
+            footprint_um,
+            dies: vec![mk(0, x0), mk(1, x1)],
             nets,
         }
     }
@@ -678,5 +1103,248 @@ mod tests {
             worst(&pg, &rg),
             worst(&ps, &rs)
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Hot-path overhaul invariants.
+    // -----------------------------------------------------------------
+
+    /// Routes every net of `p` twice per net — windowed vs forced
+    /// full-grid — asserting the windowed search routes exactly the nets
+    /// the full-grid search routes, with well-formed paths between the
+    /// same endpoints, while committing the (windowed) result so later
+    /// nets see realistic congestion. Windowed paths may legitimately
+    /// differ from full-grid ones when the window clips a congestion
+    /// detour, so the aggregate wirelength is only required to stay
+    /// within a band of the full-grid reference.
+    fn assert_windowed_covers_full_grid(p: &DiePlacement) {
+        let spec = InterposerSpec::for_kind(p.tech);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let n = grid.node_count();
+        let base = base_blockage(p, &grid);
+        let mut usage = base.clone();
+        let history = vec![0.0; n];
+        let mut dirty = vec![0u32; n];
+        let mut scratch = SearchScratch::new(n);
+        let (mut len_win, mut len_full) = (0.0f64, 0.0f64);
+        for net in &p.nets {
+            let windowed = route_traced(p, &grid, net, &usage, &history, &mut scratch, false);
+            let full = route_with_margin(
+                p,
+                &grid,
+                net,
+                &usage,
+                &history,
+                &mut scratch,
+                false,
+                usize::MAX,
+            );
+            match (&windowed, &full) {
+                (Some(w), Some(f)) => {
+                    assert_eq!(w.path.first(), f.path.first(), "net {} start", net.id);
+                    assert_eq!(w.path.last(), f.path.last(), "net {} goal", net.id);
+                    // Every step moves one gcell laterally or one layer.
+                    for pair in w.path.windows(2) {
+                        let (x0, y0, l0) = pair[0];
+                        let (x1, y1, l1) = pair[1];
+                        let lateral = x0.abs_diff(x1).max(y0.abs_diff(y1));
+                        assert!(
+                            (lateral == 1 && l0 == l1) || (lateral == 0 && l0.abs_diff(l1) == 1),
+                            "net {}: malformed step {:?} -> {:?}",
+                            net.id,
+                            pair[0],
+                            pair[1]
+                        );
+                    }
+                    len_win += w.length_um;
+                    len_full += f.length_um;
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "net {}: windowed routability {} != full-grid routability {}",
+                    net.id,
+                    windowed.is_some(),
+                    full.is_some()
+                ),
+            }
+            if let Some(w) = windowed {
+                commit(&grid, &w, &mut usage, &mut dirty, 0);
+            }
+        }
+        if len_full > 0.0 {
+            let ratio = len_win / len_full;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "windowed aggregate wirelength drifted: {len_win:.0} vs {len_full:.0} ({ratio:.3}x)"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_search_covers_full_grid_on_the_silicon_layout() {
+        assert_windowed_covers_full_grid(&place_dies(InterposerKind::Silicon25D));
+    }
+
+    #[test]
+    fn incremental_reroute_matches_full_reroute_overflow_on_silicon() {
+        let p = place_dies(InterposerKind::Silicon25D);
+        let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let overflow = |r: &[RoutedNet]| {
+            let mut usage = vec![0.0; grid.node_count()];
+            for net in r {
+                accumulate_path(&grid, &net.path, &mut usage);
+            }
+            usage.iter().filter(|&&u| u > grid.capacity).count()
+        };
+        let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap();
+        let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap();
+        assert_eq!(overflow(&inc), overflow(&full));
+        assert_eq!(overflow(&inc), 0);
+    }
+
+    /// Deterministic PRNG for the randomized placements (the proptest
+    /// stub's strategies are uniform ranges; this derives the rest).
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A randomized two-die micro placement: die positions, signal count
+    /// and footprint all derived from `seed`.
+    fn random_micro_placement(seed: u64) -> DiePlacement {
+        let r = |k: u64| splitmix64(seed ^ k);
+        let signals = 2 + (r(1) % 11) as usize; // 2..=12
+        let x0 = 30.0 + (r(2) % 120) as f64; // 30..150
+        let gap = 150.0 + (r(3) % 300) as f64; // 150..450
+        let width = (x0 + gap + 400.0).max(600.0);
+        let height = 240.0 + (r(4) % 200) as f64;
+        micro_placement_at(signals, x0, x0 + gap, (width, height))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// (a) The windowed search + fallback routes exactly the nets
+        /// the full-grid search routes — well-formed paths between the
+        /// same endpoints, aggregate length within a band of the
+        /// full-grid reference — on randomized placements under
+        /// evolving congestion.
+        #[test]
+        fn windowed_covers_full_grid_on_random_placements(seed in 0u64..(1u64 << 48)) {
+            assert_windowed_covers_full_grid(&random_micro_placement(seed));
+        }
+
+        /// (b) Incremental reroute converges to the same overflow count
+        /// as classic full reroute on randomized placements.
+        #[test]
+        fn incremental_matches_full_reroute_overflow(seed in 0u64..(1u64 << 48)) {
+            let p = random_micro_placement(seed);
+            let spec = InterposerSpec::for_kind(p.tech);
+            let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+            let overflow = |r: &[RoutedNet]| {
+                let mut usage = vec![0.0; grid.node_count()];
+                for net in r {
+                    accumulate_path(&grid, &net.path, &mut usage);
+                }
+                usage.iter().filter(|&&u| u > grid.capacity).count()
+            };
+            let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap();
+            let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap();
+            prop_assert_eq!(overflow(&inc), overflow(&full));
+        }
+
+        /// (c) Parallel speculative routing is byte-identical to the
+        /// sequential pass at every worker count, on randomized
+        /// placements (`CODESIGN_THREADS ∈ {1,2,4,7}` equivalent — the
+        /// explicit-worker entry point is exactly what the env-driven
+        /// path calls).
+        #[test]
+        fn par_matches_seq_on_random_placements(seed in 0u64..(1u64 << 48)) {
+            let p = random_micro_placement(seed);
+            let spec = InterposerSpec::for_kind(p.tech);
+            let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+            let seq = route_all_with_workers(&p, &grid, 1).unwrap();
+            for workers in [2usize, 4, 7] {
+                let par = route_all_with_workers(&p, &grid, workers).unwrap();
+                prop_assert_eq!(par.len(), seq.len());
+                for (a, b) in par.iter().zip(&seq) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(&a.path, &b.path);
+                    prop_assert!(a.length_um == b.length_um && a.vias == b.vias);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_generations_isolate_searches() {
+        let mut s = SearchScratch::new(128);
+        s.begin_search();
+        let gen = s.generation;
+        s.dist[5] = 1.5;
+        s.stamp[5] = gen;
+        s.begin_search();
+        assert_ne!(s.stamp[5], s.generation, "stale stamp invalidated");
+        // Footprint drain clears the bitmap for reuse.
+        s.fp_words[0] |= 1 << 7;
+        s.fp_touched.push(7);
+        assert_eq!(s.take_footprint(), vec![7]);
+        assert_eq!(s.fp_words[0], 0);
+        assert!(s.take_footprint().is_empty());
+    }
+
+    #[test]
+    fn certificate_distinguishes_full_grid_from_clipped_windows() {
+        // The pruned-frontier certificate classifies acceptances for the
+        // `router.window_fallbacks` counter: a window covering the grid
+        // prunes nothing, so its bound is vacuously infinite (provably
+        // optimal), while a tight window around distant endpoints must
+        // prune boundary moves, giving a finite bound.
+        let p = micro_placement();
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let n = grid.node_count();
+        let usage = base_blockage(&p, &grid);
+        let history = vec![0.0; n];
+        let mut scratch = SearchScratch::new(n);
+        let s = grid.index(3, 3, 0);
+        let t = grid.index(12, 9, 0);
+        let full = grid.window((3, 3), (12, 9), usize::MAX);
+        let mut pruned_min = 0.0;
+        let cost = astar(
+            &mut scratch,
+            &grid,
+            &usage,
+            &history,
+            s,
+            t,
+            (12, 9),
+            &full,
+            false,
+            &mut pruned_min,
+        );
+        assert!(cost.is_some());
+        assert_eq!(pruned_min, f64::INFINITY, "nothing pruned on full grid");
+        // A tight window around distant endpoints must prune something,
+        // giving a finite certificate bound.
+        let tight = grid.window((3, 3), (12, 9), 1);
+        let cost_tight = astar(
+            &mut scratch,
+            &grid,
+            &usage,
+            &history,
+            s,
+            t,
+            (12, 9),
+            &tight,
+            false,
+            &mut pruned_min,
+        );
+        assert!(cost_tight.is_some());
+        assert!(pruned_min.is_finite(), "window boundary was reached");
     }
 }

@@ -99,9 +99,22 @@ pub const CIRCUIT_LU_FACTOR: Counter = Counter(5);
 pub const CIRCUIT_LU_SOLVE: Counter = Counter(6);
 /// Link decks simulated by the SI engine.
 pub const SI_LINKS_SIMULATED: Counter = Counter(7);
+/// Priority-queue pops in the router's A* loop (including stale
+/// entries skipped without expansion).
+pub const ROUTER_HEAP_POPS: Counter = Counter(8);
+/// Nodes actually expanded (neighbours relaxed) by the router's A*.
+pub const ROUTER_EXPANSIONS: Counter = Counter(9);
+/// Windowed searches whose cost certificate failed, forcing a wider
+/// window (the last fallback is the full grid).
+pub const ROUTER_WINDOW_FALLBACKS: Counter = Counter(10);
+/// Nets ripped up by the overflow-driven incremental reroute.
+pub const ROUTER_INCREMENTAL_REROUTES: Counter = Counter(11);
+/// Speculative routes discarded for footprint conflicts and re-routed
+/// sequentially.
+pub const ROUTER_CONFLICT_REROUTES: Counter = Counter(12);
 
 /// Names of every registered counter, indexed by [`Counter`] handle.
-pub const COUNTER_NAMES: [&str; 8] = [
+pub const COUNTER_NAMES: [&str; 13] = [
     "memo.hit",
     "memo.compute",
     "router.nets_routed",
@@ -110,6 +123,11 @@ pub const COUNTER_NAMES: [&str; 8] = [
     "circuit.lu_factor",
     "circuit.lu_solve",
     "si.links_simulated",
+    "router.heap_pops",
+    "router.expansions",
+    "router.window_fallbacks",
+    "router.incremental_reroutes",
+    "router.conflict_reroutes",
 ];
 
 static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =
@@ -520,6 +538,14 @@ mod tests {
     fn counter_names_match_their_handles() {
         assert_eq!(MEMO_HIT.name(), "memo.hit");
         assert_eq!(SI_LINKS_SIMULATED.name(), "si.links_simulated");
+        assert_eq!(ROUTER_HEAP_POPS.name(), "router.heap_pops");
+        assert_eq!(ROUTER_EXPANSIONS.name(), "router.expansions");
+        assert_eq!(ROUTER_WINDOW_FALLBACKS.name(), "router.window_fallbacks");
+        assert_eq!(
+            ROUTER_INCREMENTAL_REROUTES.name(),
+            "router.incremental_reroutes"
+        );
+        assert_eq!(ROUTER_CONFLICT_REROUTES.name(), "router.conflict_reroutes");
         for name in COUNTER_NAMES {
             assert!(name.contains('.'), "counter {name:?} is stage-qualified");
         }
