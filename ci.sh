@@ -51,6 +51,30 @@ jq -e '.router.nets_routed > 0 and .router.heap_pops > 0 and .router.expansions 
     /tmp/codesign_router_smoke.json > /dev/null
 echo "    router smoke: byte-identical outputs, hot-path counters recorded"
 
+# Serve smoke: start the daemon on an ephemeral port, POST the same
+# two-scenario file, and require the response bytes to equal the CLI's
+# sweep --json stdout exactly (the service contract). Also checks the
+# /stats counters moved and that /shutdown drains to a clean exit 0.
+echo "==> codesign serve smoke (byte-identity, /stats, drain)"
+rm -f /tmp/codesign_serve_log.txt /tmp/codesign_serve_body.json
+cargo run --release -q -p codesign --bin codesign -- serve 127.0.0.1:0 \
+    > /tmp/codesign_serve_log.txt &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" /tmp/codesign_serve_log.txt 2>/dev/null && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^codesign serve listening on //p' /tmp/codesign_serve_log.txt)
+test -n "$SERVE_ADDR"
+curl -sS -X POST --data-binary @examples/smoke_scenarios.json \
+    "http://$SERVE_ADDR/sweep" > /tmp/codesign_serve_body.json
+cmp /tmp/codesign_serve_body.json /tmp/codesign_smoke_sweep.json
+jq -e '.requests >= 1 and .completed >= 1 and .context_misses >= 1' \
+    <(curl -sS "http://$SERVE_ADDR/stats") > /dev/null
+curl -sS -X POST "http://$SERVE_ADDR/shutdown" > /dev/null
+wait "$SERVE_PID"
+echo "    serve smoke: response byte-identical to sweep --json, clean drain"
+
 # Rustdoc must build warning-free for the workspace crates (broken
 # intra-doc links, bad code fences). --no-deps keeps the gate off the
 # vendored path dependencies' docs.

@@ -1,0 +1,249 @@
+//! Load-tests the `codesign serve` daemon in-process and records the
+//! results under the `"serve"` key of `BENCH_flow.json`.
+//!
+//! Four phases against real loopback sockets:
+//!
+//! 1. **Warm-up** — one cold request pays the studies and populates the
+//!    context pool.
+//! 2. **Warm throughput** — two client threads issue eight requests for
+//!    the same scenarios; every response must be byte-identical to the
+//!    `codesign sweep --json` reference, and per-request latency lands
+//!    as p50/p99 plus aggregate throughput.
+//! 3. **Backpressure** — a second tiny server (one worker, queue depth
+//!    one) is saturated with held requests until admission answers 429.
+//! 4. **Deadline** — an impossible deadline must surface typed
+//!    `deadline exceeded` rows with status 504, and the same server
+//!    must then serve a clean byte-identical response (pool reuse after
+//!    cancellation).
+
+use codesign::serve::{ServeConfig, Server};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Two paper-point scenarios with routed interposers — enough work to
+/// make the warm-path win visible without a long bench.
+const SCENARIOS: &str = r#"[
+  { "name": "glass-3d-paper", "tech": "glass3d" },
+  { "name": "silicon-3d-paper", "tech": "silicon3d" }
+]"#;
+
+const WARM_REQUESTS: usize = 8;
+const CLIENTS: usize = 2;
+
+fn start(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut text = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
+    for (name, value) in headers {
+        text.push_str(&format!("{name}: {value}\r\n"));
+    }
+    text.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(text.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, response_body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, response_body.to_string())
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let (status, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
+
+fn percentile(sorted: &[f64], percent: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((percent / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    // The reference bytes: what `codesign sweep --json` prints for the
+    // same scenarios (shared renderer plus the CLI's trailing newline).
+    let scenarios = codesign::scenario::scenarios_from_json(SCENARIOS).expect("valid scenarios");
+    let outcomes = codesign::batch::run(&scenarios).expect("reference batch runs");
+    let reference = codesign::batch::sweep_json(&scenarios, &outcomes).expect("render") + "\n";
+
+    let (addr, handle) = start(ServeConfig::default());
+    println!("serve_load: daemon on {addr}, {CLIENTS} clients");
+
+    // Phase 1: one cold request builds the pooled contexts.
+    let t0 = Instant::now();
+    let (status, body) = request(addr, "POST", "/sweep", &[], SCENARIOS);
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, reference, "cold response must match the CLI bytes");
+    println!("cold request: {cold_s:.3} s");
+
+    // Phase 2: warm requests from concurrent clients.
+    let t1 = Instant::now();
+    let mut latencies_s: Vec<f64> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..WARM_REQUESTS / CLIENTS {
+                        let t = Instant::now();
+                        let (status, body) = request(addr, "POST", "/sweep", &[], SCENARIOS);
+                        mine.push(t.elapsed().as_secs_f64());
+                        assert_eq!(status, 200, "{body}");
+                        assert_eq!(body, *reference, "warm response must match the CLI bytes");
+                    }
+                    mine
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+    let warm_wall_s = t1.elapsed().as_secs_f64();
+    latencies_s.sort_unstable_by(f64::total_cmp);
+    let p50_s = percentile(&latencies_s, 50.0);
+    let p99_s = percentile(&latencies_s, 99.0);
+    let throughput = WARM_REQUESTS as f64 / warm_wall_s;
+    println!("warm: p50 {p50_s:.3} s, p99 {p99_s:.3} s, {throughput:.1} req/s");
+    assert!(
+        p99_s < 1.0,
+        "warm pooled requests must finish in under a second, got p99 {p99_s:.3} s"
+    );
+    let (status, stats) = request(addr, "GET", "/stats", &[], "");
+    assert_eq!(status, 200);
+    println!("stats: {}", stats.trim_end());
+    assert!(stats.contains("\"context_hits\":"), "{stats}");
+    shutdown(addr, handle);
+
+    // Phase 3: backpressure on a deliberately tiny server.
+    let (small, small_handle) = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let hold: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    request(
+                        small,
+                        "POST",
+                        "/sweep",
+                        &[("X-Codesign-Hold-Ms", "600")],
+                        "[]",
+                    )
+                })
+            })
+            .collect();
+        // Give both held requests time to occupy the worker + queue.
+        std::thread::sleep(Duration::from_millis(200));
+        for _ in 0..4 {
+            let (status, _) = request(small, "POST", "/sweep", &[], "[]");
+            if status == 429 {
+                rejected += 1;
+            }
+        }
+        for h in hold {
+            let (status, _) = h.join().expect("held client");
+            assert_eq!(status, 200);
+        }
+    });
+    assert!(rejected > 0, "a saturated queue must shed load with 429");
+    println!("backpressure: {rejected}/4 burst requests rejected with 429");
+
+    // Phase 4: deadline expiry, then pool reuse on the same server.
+    let (status, body) = request(
+        small,
+        "POST",
+        "/sweep",
+        &[
+            ("X-Codesign-Deadline-Ms", "40"),
+            ("X-Codesign-Hold-Ms", "250"),
+        ],
+        SCENARIOS,
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline exceeded at stage."), "{body}");
+    let (status, body) = request(small, "POST", "/sweep", &[], SCENARIOS);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, reference, "pool must serve cleanly after an expiry");
+    println!("deadline: 504 with typed rows, clean request OK afterwards");
+    shutdown(small, small_handle);
+
+    let serve = serde_json::Value::Object(vec![
+        ("clients".into(), serde_json::Value::from(CLIENTS)),
+        (
+            "warm_requests".into(),
+            serde_json::Value::from(WARM_REQUESTS),
+        ),
+        ("cold_s".into(), serde_json::Value::from(cold_s)),
+        ("warm_p50_s".into(), serde_json::Value::from(p50_s)),
+        ("warm_p99_s".into(), serde_json::Value::from(p99_s)),
+        (
+            "warm_throughput_rps".into(),
+            serde_json::Value::from(throughput),
+        ),
+        (
+            "warm_speedup_vs_cold".into(),
+            serde_json::Value::from(cold_s / p50_s.max(1e-9)),
+        ),
+        (
+            "burst_rejected_429".into(),
+            serde_json::Value::from(rejected),
+        ),
+        (
+            "responses_byte_identical_to_cli".into(),
+            serde_json::Value::from(true),
+        ),
+        (
+            "deadline_rows_typed_and_pool_reusable".into(),
+            serde_json::Value::from(true),
+        ),
+    ]);
+
+    // Merge under the "serve" key, preserving the other benches' entries.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");
+    let mut entries = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+    {
+        Some(serde_json::Value::Object(fields)) => fields,
+        _ => Vec::new(),
+    };
+    entries.retain(|(key, _)| key != "serve");
+    entries.push(("serve".into(), serve));
+    let mut f = std::fs::File::create(path).expect("BENCH_flow.json writable");
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(&serde_json::Value::Object(entries))
+            .expect("report serializes")
+    )
+    .expect("report written");
+    println!("wrote {path}");
+}

@@ -68,6 +68,40 @@ fn build_contexts(scenarios: &[Scenario]) -> Vec<StudyContext> {
         .collect()
 }
 
+/// Renders sweep outcomes as the machine-readable JSON array `codesign
+/// sweep --json` prints: one `{"scenario": …, "study": …}` (or
+/// `{"scenario": …, "error": …}`) object per scenario, in input order,
+/// no trailing newline. The `codesign serve` daemon returns exactly
+/// this string as its response body, so the CLI and the service are
+/// byte-identical by construction — they share this renderer.
+///
+/// # Errors
+///
+/// [`FlowError::InvalidConfig`] if a study fails to serialize (not
+/// reachable for any study the flow can actually produce).
+pub fn sweep_json(
+    scenarios: &[Scenario],
+    outcomes: &[Result<TechStudy, FlowError>],
+) -> Result<String, FlowError> {
+    fn to_json<T: serde::Serialize>(value: &T) -> Result<String, FlowError> {
+        serde_json::to_string(value).map_err(|e| FlowError::InvalidConfig {
+            reason: format!("sweep serialization: {e}"),
+        })
+    }
+    let mut entries = Vec::with_capacity(scenarios.len());
+    for (scenario, outcome) in scenarios.iter().zip(outcomes) {
+        let body = match outcome {
+            Ok(study) => format!("\"study\":{}", to_json(study)?),
+            Err(e) => format!("\"error\":{}", to_json(&e.to_string())?),
+        };
+        entries.push(format!(
+            "{{\"scenario\":{},{body}}}",
+            to_json(&scenario.name())?
+        ));
+    }
+    Ok(format!("[{}]", entries.join(",")))
+}
+
 /// Runs `scenario` inside `ctx`, arming its fault sites (if any) in a
 /// scope local to the calling thread and the workers it spawns.
 ///
@@ -95,6 +129,22 @@ mod tests {
     use crate::scenario::ScenarioOverrides;
     use crate::table5::MonitorLengths;
     use techlib::spec::InterposerKind;
+
+    #[test]
+    fn sweep_json_renders_typed_error_rows() {
+        let scenarios = vec![Scenario::paper(InterposerKind::Glass3D)];
+        let outcomes = vec![Err(FlowError::Deadline {
+            stage: "stage.route",
+        })];
+        let body = sweep_json(&scenarios, &outcomes).unwrap();
+        assert_eq!(
+            body,
+            format!(
+                "[{{\"scenario\":\"{}\",\"error\":\"deadline exceeded at stage.route\"}}]",
+                scenarios[0].name()
+            )
+        );
+    }
 
     #[test]
     fn a_faulty_scenario_fails_alone() {

@@ -5,6 +5,7 @@
 //! codesign silicon25d --json        # full study as JSON
 //! codesign --all --json             # all six studies as a JSON array
 //! codesign sweep scenarios.json     # batch design-space run
+//! codesign serve 127.0.0.1:8080     # long-running sweep service
 //! codesign --all --trace t.json     # + Chrome trace of every stage
 //! codesign sweep s.json --stats     # + per-stage table on stderr
 //! ```
@@ -36,6 +37,10 @@ fn usage() -> ! {
     eprintln!(
         "       codesign sweep <scenarios.json> [--json] [--sequential] \
          [--trace <path>] [--stats]"
+    );
+    eprintln!(
+        "       codesign serve <host:port> [--workers <n>] [--queue-depth <n>] \
+         [--deadline-ms <n>] [--trace <path>] [--stats]"
     );
     std::process::exit(2);
 }
@@ -137,18 +142,9 @@ fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         codesign::batch::run(&scenarios)?
     };
     if opts.json {
-        let mut entries = Vec::new();
-        for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
-            let body = match outcome {
-                Ok(study) => format!("\"study\":{}", serde_json::to_string(study)?),
-                Err(e) => format!("\"error\":{}", serde_json::to_string(&e.to_string())?),
-            };
-            entries.push(format!(
-                "{{\"scenario\":{},{body}}}",
-                serde_json::to_string(scenario.name())?
-            ));
-        }
-        println!("[{}]", entries.join(","));
+        // The serve daemon returns this same renderer's output as its
+        // response body, so the two surfaces can never drift apart.
+        println!("{}", codesign::batch::sweep_json(&scenarios, &outcomes)?);
     } else {
         println!(
             "{:<24}{:<14}{:>12}{:>10}{:>10}",
@@ -177,6 +173,72 @@ fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
     Ok(())
+}
+
+/// Parses one `--flag <n>` numeric value or exits with a usage error.
+fn numeric_flag(flag: &str, value: Option<&String>) -> u64 {
+    let Some(raw) = value else {
+        eprintln!("error: {flag} requires a number");
+        usage();
+    };
+    match raw.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag}: expected a number, got {raw:?}");
+            usage();
+        }
+    }
+}
+
+/// Runs the long-lived sweep service until `POST /shutdown` or SIGTERM.
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = codesign::serve::ServeConfig::default();
+    let mut addr = None;
+    let mut obs = Opts::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => config.workers = numeric_flag(arg, iter.next()) as usize,
+            "--queue-depth" => config.queue_depth = numeric_flag(arg, iter.next()) as usize,
+            "--deadline-ms" => config.default_deadline_ms = Some(numeric_flag(arg, iter.next())),
+            "--stats" => obs.stats = true,
+            "--trace" => match iter.next() {
+                Some(path) => obs.trace = Some(path.clone()),
+                None => {
+                    eprintln!("error: --trace requires a file path");
+                    usage();
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: serve takes a listen address (e.g. 127.0.0.1:8080)");
+        usage();
+    };
+    if obs.trace.is_none() {
+        obs.trace = std::env::var(techlib::obs::TRACE_ENV)
+            .ok()
+            .filter(|path| !path.is_empty());
+    }
+    arm_observability(&obs);
+    let server = codesign::serve::Server::bind(&addr, config)?;
+    // Scripts (ci.sh, the load bench) parse this line for the resolved
+    // port, so it must hit the pipe before the first request arrives.
+    println!("codesign serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.run()?;
+    eprintln!("codesign serve drained");
+    finish_observability(&obs)
 }
 
 fn all(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -282,6 +344,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
     match command.as_str() {
         "sweep" => sweep(rest),
+        "serve" => serve(rest),
         "--all" => all(rest),
         name => match parse_tech(name) {
             Some(tech) => single(tech, rest),

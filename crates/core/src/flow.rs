@@ -76,20 +76,30 @@ pub fn run_tech_in(
     // hit. The explicit walk is semantically identical to letting
     // `chiplet_reports` pull the chain in — same memo cells, same error
     // propagation order (split before chipletize before placement).
+    //
+    // Each stage opens with a cooperative cancellation poll
+    // (`techlib::cancel::check`): outside a deadline scope the poll is a
+    // free no-op, inside one (the `codesign serve` request path) an
+    // expired deadline abandons the run *between* stages, so memoized
+    // artifacts are always either absent or complete.
     let _label = techlib::obs::label_scope_with(|| format!("{}:{}", ctx.label(), tech.label()));
     {
+        techlib::cancel::check("stage.design")?;
         let _span = techlib::obs::span("stage.design");
         ctx.design();
     }
     {
+        techlib::cancel::check("stage.split")?;
         let _span = techlib::obs::span("stage.split");
         ctx.split()?;
     }
     {
+        techlib::cancel::check("stage.chipletize")?;
         let _span = techlib::obs::span("stage.chipletize");
         ctx.chiplet_netlists()?;
     }
     let reports = {
+        techlib::cancel::check("stage.chiplet_reports")?;
         let _span = techlib::obs::span("stage.chiplet_reports");
         ctx.chiplet_reports(tech)?
     };
@@ -100,6 +110,7 @@ pub fn run_tech_in(
     ) {
         None
     } else {
+        techlib::cancel::check("stage.route")?;
         let _span = techlib::obs::span("stage.route");
         Some(ctx.layout(tech)?.stats.clone())
     };
@@ -108,10 +119,12 @@ pub fn run_tech_in(
     // sequential statement order: links first, then thermal.
     let (links, thermal) = exec::join(
         || {
+            techlib::cancel::check("stage.si_links")?;
             let _span = techlib::obs::span("stage.si_links");
             row_in(ctx, tech, mode)
         },
         || {
+            techlib::cancel::check("stage.thermal")?;
             let _span = techlib::obs::span("stage.thermal");
             ctx.thermal_report(tech)
         },
@@ -121,6 +134,7 @@ pub fn run_tech_in(
     // Roll up from the already-computed reports and links; the seed flow
     // called `fullchip()` here, which re-simulated both links.
     let fullchip = {
+        techlib::cancel::check("stage.fullchip")?;
         let _span = techlib::obs::span("stage.fullchip");
         rollup(tech, logic, memory, &links)
     };

@@ -33,6 +33,7 @@ pub mod flow;
 pub mod fullchip;
 pub mod scenario;
 pub mod sensitivity;
+pub mod serve;
 pub mod table5;
 pub mod tables;
 
@@ -82,6 +83,13 @@ pub enum FlowError {
         /// Description of the problem.
         reason: String,
     },
+    /// A request deadline expired and the flow abandoned the run at a
+    /// stage boundary ([`techlib::cancel`] cooperative cancellation —
+    /// the `codesign serve` per-request deadline path).
+    Deadline {
+        /// The stage boundary where the expiry was observed.
+        stage: &'static str,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -100,6 +108,9 @@ impl std::fmt::Display for FlowError {
             FlowError::Unroutable { net } => write!(f, "net {net} is unroutable"),
             FlowError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            FlowError::Deadline { stage } => {
+                write!(f, "deadline exceeded at {stage}")
             }
         }
     }
@@ -167,6 +178,12 @@ impl From<techlib::par::ThreadsConfigError> for FlowError {
     }
 }
 
+impl From<techlib::cancel::DeadlineExceeded> for FlowError {
+    fn from(e: techlib::cancel::DeadlineExceeded) -> FlowError {
+        FlowError::Deadline { stage: e.stage }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +235,15 @@ mod tests {
         });
         assert!(matches!(e, FlowError::InvalidConfig { .. }));
         assert!(e.to_string().contains("infeasible"));
+        let e = FlowError::from(techlib::cancel::DeadlineExceeded {
+            stage: "stage.route",
+        });
+        assert_eq!(
+            e,
+            FlowError::Deadline {
+                stage: "stage.route"
+            }
+        );
+        assert_eq!(e.to_string(), "deadline exceeded at stage.route");
     }
 }

@@ -1,0 +1,853 @@
+//! `codesign serve`: a bounded, deadline-aware sweep service.
+//!
+//! A long-running HTTP/1.1 JSON daemon over the batch engine, built on
+//! `std` only (no async runtime, no HTTP library — the parser below
+//! speaks exactly the subset the service needs). One process serves
+//! many sweep requests and shares the warm artifact caches between
+//! them, so repeated scenarios skip the cold front-end/route/thermal
+//! work the one-shot CLI pays on every invocation.
+//!
+//! # Request pipeline
+//!
+//! ```text
+//! accept → admission (bounded queue, 429 + Retry-After when full)
+//!        → job queue (FIFO)
+//!        → request worker: deadline scope → context pool → batch run
+//!        → response (byte-identical to `codesign sweep --json`)
+//! ```
+//!
+//! * **Admission** — the queue holds at most
+//!   [`ServeConfig::queue_depth`] *waiting* jobs. A request arriving
+//!   with the queue full is rejected immediately with `429 Too Many
+//!   Requests` and a `Retry-After` header: explicit backpressure
+//!   instead of unbounded memory growth.
+//! * **Deadlines** — `X-Codesign-Deadline-Ms` (or the server-wide
+//!   [`ServeConfig::default_deadline_ms`]) arms a
+//!   [`techlib::cancel`] deadline scope around the request. The flow
+//!   polls it at stage boundaries; an expired request surfaces
+//!   per-scenario [`FlowError::Deadline`] rows in an otherwise normal
+//!   response body, with status `504`. The worker pool and the shared
+//!   caches stay fully reusable afterwards.
+//! * **Context pool** — clean scenarios are keyed by their resolved
+//!   [`techlib::spec::InterposerSpec`] array; repeated keys reuse one
+//!   warm [`StudyContext`] (and all clean scenarios share one
+//!   [`FrontEnd`]), so a repeated scenario is served from memoized
+//!   artifacts. Scenarios with fault sites always get private,
+//!   unpooled contexts — injected failures must never poison a shared
+//!   cache.
+//! * **Worker lease** — concurrent requests partition the machine
+//!   through a [`techlib::par::LeasePool`] instead of each fanning out
+//!   at full width. The granted width shapes wall-clock only; response
+//!   bodies are byte-identical at any width.
+//! * **Drain** — `POST /shutdown` (or `SIGTERM`) stops admission,
+//!   finishes every queued and in-flight job, answers their clients,
+//!   and lets [`Server::run`] return cleanly.
+//!
+//! # Endpoints
+//!
+//! | Endpoint          | Behaviour                                        |
+//! |-------------------|--------------------------------------------------|
+//! | `POST /sweep`     | body = `scenarios_from_json` document; returns the `codesign sweep --json` array |
+//! | `GET /stats`      | queue depth, in-flight count, admission/deadline/cache counters, latency p50/p99 |
+//! | `GET /healthz`    | liveness probe                                   |
+//! | `POST /shutdown`  | graceful drain                                   |
+//!
+//! `POST /sweep` also honours `X-Codesign-Hold-Ms`, an artificial
+//! service-time pad used by the load generator and the integration
+//! tests to shape queue contention deterministically.
+
+use crate::batch;
+use crate::context::{FrontEnd, StudyContext};
+use crate::scenario::{scenarios_from_json, Scenario};
+use crate::FlowError;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use techlib::spec::{InterposerKind, InterposerSpec};
+
+/// Request header carrying a per-request deadline in milliseconds.
+pub const DEADLINE_HEADER: &str = "X-Codesign-Deadline-Ms";
+/// Request header adding an artificial service-time pad in milliseconds
+/// (load shaping for tests and the bench driver).
+pub const HOLD_HEADER: &str = "X-Codesign-Hold-Ms";
+
+/// Tunables of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Request-execution workers (each runs one sweep at a time).
+    pub workers: usize,
+    /// Waiting jobs admitted beyond the ones already executing; the
+    /// queue-full admission answer is `429`.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that carry no
+    /// [`DEADLINE_HEADER`], in milliseconds (`None` = no deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            default_deadline_ms: None,
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context pool.
+// ---------------------------------------------------------------------
+
+/// A warm [`StudyContext`] pool keyed by resolved spec set.
+///
+/// Clean scenarios resolving to the same [`InterposerSpec`] array share
+/// one context — and through it every memoized artifact — across
+/// requests; all pooled contexts additionally share one [`FrontEnd`]
+/// (the spec-independent design/split/chipletize chain). Faulty
+/// scenarios always get fresh private contexts and are never pooled.
+#[derive(Debug, Default)]
+pub struct ContextPool {
+    frontend: Arc<FrontEnd>,
+    contexts: Mutex<HashMap<String, Arc<StudyContext>>>,
+}
+
+impl ContextPool {
+    /// An empty pool.
+    pub fn new() -> ContextPool {
+        ContextPool::default()
+    }
+
+    /// The context to run `scenario` in, plus whether it was a pool
+    /// hit. The pooled context keeps the label of the first scenario
+    /// that created it — labels only feed observability spans, never
+    /// study bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] if the scenario's resolved specs
+    /// fail to serialize into a pool key (not reachable for valid
+    /// scenarios).
+    pub fn checkout(&self, scenario: &Scenario) -> Result<(Arc<StudyContext>, bool), FlowError> {
+        if !scenario.is_clean() {
+            return Ok((Arc::new(StudyContext::for_scenario(scenario)), false));
+        }
+        let key = spec_key(scenario)?;
+        let mut map = self.contexts.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(ctx) = map.get(&key) {
+            return Ok((Arc::clone(ctx), true));
+        }
+        let ctx = Arc::new(StudyContext::for_scenario_shared(
+            scenario,
+            Arc::clone(&self.frontend),
+        ));
+        map.insert(key, Arc::clone(&ctx));
+        Ok((ctx, false))
+    }
+
+    /// Distinct spec sets currently pooled.
+    pub fn len(&self) -> usize {
+        self.contexts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing is pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Pool key: the serialized resolved-spec array. `InterposerSpec` holds
+/// `f64` fields, so it cannot be `Eq`/`Hash` itself; its JSON form is a
+/// faithful stand-in (serde emits every field, and two scenarios whose
+/// resolved specs print identically produce identical studies).
+fn spec_key(scenario: &Scenario) -> Result<String, FlowError> {
+    let specs: Vec<InterposerSpec> = InterposerKind::ALL
+        .iter()
+        .map(|&kind| scenario.spec_for(kind))
+        .collect();
+    serde_json::to_string(&specs).map_err(|e| FlowError::InvalidConfig {
+        reason: format!("spec pool key serialization: {e}"),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Server state.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    deadline_hits: AtomicU64,
+    completed: AtomicU64,
+    context_hits: AtomicU64,
+    context_misses: AtomicU64,
+    in_flight: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+#[derive(Debug)]
+struct Job {
+    body: String,
+    deadline: Option<Instant>,
+    hold: Option<Duration>,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    pool: ContextPool,
+    lease: techlib::par::LeasePool,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn new(config: ServeConfig) -> Shared {
+        Shared {
+            lease: techlib::par::LeasePool::new(techlib::par::thread_count()),
+            config,
+            queue: Mutex::new(Queue::default()),
+            ready: Condvar::new(),
+            pool: ContextPool::new(),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    body: String,
+    retry_after_s: Option<u64>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            retry_after_s: None,
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    push_json_string(&mut out, message);
+    out.push_str("}\n");
+    out
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// SIGTERM.
+// ---------------------------------------------------------------------
+
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    unsafe extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_SEEN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        // std already links libc on unix; declaring `signal` here avoids
+        // a crate dependency the offline container cannot fetch.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM_NUM: i32 = 15;
+    // SAFETY: the handler only stores to a static atomic, which is
+    // async-signal-safe; `signal` is called once before any request
+    // thread exists.
+    unsafe {
+        signal(SIGTERM_NUM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+/// A bound-but-not-yet-running sweep service. [`Server::bind`] claims
+/// the socket (so callers can read [`Server::local_addr`] — e.g. after
+/// binding port 0), [`Server::run`] serves until drained.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (any `host:port`; port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can poll the shutdown flags:
+        // glibc installs signal handlers with SA_RESTART, so a blocking
+        // accept would never observe SIGTERM.
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared::new(config)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until `POST /shutdown` or `SIGTERM`, then drains: stops
+    /// accepting, finishes every queued and in-flight job (their
+    /// clients still get full responses), joins all workers, and
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop I/O failures (`WouldBlock` is the poll idle
+    /// path, not an error).
+    pub fn run(self) -> std::io::Result<()> {
+        install_sigterm_handler();
+        let mut workers = Vec::new();
+        for _ in 0..self.shared.config.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if SIGTERM_SEEN.load(Ordering::Relaxed) {
+                self.shared.shutdown.store(true, Ordering::Relaxed);
+            }
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(&shared, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            connections.retain(|handle| !handle.is_finished());
+        }
+        // Drain: close the queue so workers exit once it is empty, then
+        // join them (finishing every queued job and sending its reply),
+        // then join the connection threads (each is blocked at most on
+        // the reply its worker just sent).
+        self.shared.lock_queue().closed = true;
+        self.shared.ready.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request workers.
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { return };
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let response = execute(shared, &job);
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared
+            .stats
+            .latencies_us
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(elapsed_us);
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        techlib::obs::add(techlib::obs::SERVE_COMPLETED, 1);
+        // A send failure means the client hung up; the work is done
+        // either way and the next job proceeds normally.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs one admitted sweep job to a response. The deadline scope is
+/// entered before anything else (including the artificial hold), so a
+/// request that overstays while queued-plus-held starts failing at the
+/// first stage boundary its scenarios reach.
+fn execute(shared: &Shared, job: &Job) -> Response {
+    let _span = techlib::obs::span("serve.request");
+    let _deadline = job.deadline.map(techlib::cancel::deadline_at);
+    if let Some(hold) = job.hold {
+        std::thread::sleep(hold);
+    }
+    let scenarios = match scenarios_from_json(&job.body) {
+        Ok(scenarios) => scenarios,
+        Err(e) => return Response::json(400, error_body(&e.to_string())),
+    };
+    // Per-batch thread config: the daemon honours the *current*
+    // environment (resolve_thread_count re-reads it), unlike one-shot
+    // flows which memoise it per process.
+    let width = match techlib::par::resolve_thread_count() {
+        Ok(width) => width,
+        Err(e) => return Response::json(500, error_body(&e.to_string())),
+    };
+    let mut contexts = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        match shared.pool.checkout(scenario) {
+            Ok((ctx, hit)) => {
+                if hit {
+                    shared.stats.context_hits.fetch_add(1, Ordering::Relaxed);
+                    techlib::obs::add(techlib::obs::SERVE_CONTEXT_HITS, 1);
+                } else {
+                    shared.stats.context_misses.fetch_add(1, Ordering::Relaxed);
+                    techlib::obs::add(techlib::obs::SERVE_CONTEXT_MISSES, 1);
+                }
+                contexts.push(ctx);
+            }
+            Err(e) => return Response::json(500, error_body(&e.to_string())),
+        }
+    }
+    // Lease a share of the machine for this request's fan-out. Width
+    // never changes response bytes, so whatever the pool grants is safe.
+    let lease = shared.lease.lease(width);
+    let indices: Vec<usize> = (0..scenarios.len()).collect();
+    let outcomes = techlib::par::ordered_map_with(lease.workers(), &indices, |&i| {
+        batch::run_in_context(&contexts[i], &scenarios[i])
+    });
+    drop(lease);
+    let deadline_hit = outcomes
+        .iter()
+        .any(|outcome| matches!(outcome, Err(FlowError::Deadline { .. })));
+    if deadline_hit {
+        shared.stats.deadline_hits.fetch_add(1, Ordering::Relaxed);
+        techlib::obs::add(techlib::obs::SERVE_DEADLINE_HITS, 1);
+    }
+    match batch::sweep_json(&scenarios, &outcomes) {
+        // `sweep --json` prints the array plus a newline; the response
+        // body reproduces the CLI's stdout byte for byte.
+        Ok(array) => Response::json(if deadline_hit { 504 } else { 200 }, array + "\n"),
+        Err(e) => Response::json(500, error_body(&e.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP handling.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+fn header<'a>(request: &'a Request, name: &str) -> Option<&'a str> {
+    request
+        .headers
+        .iter()
+        .find(|(key, _)| key.eq_ignore_ascii_case(name))
+        .map(|(_, value)| value.as_str())
+}
+
+fn header_ms(request: &Request, name: &str) -> Result<Option<u64>, String> {
+    let Some(raw) = header(request, name) else {
+        return Ok(None);
+    };
+    raw.trim()
+        .parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("{name}: expected a millisecond count, got {raw:?}"))
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => dispatch(shared, &request),
+        Err(e) => Response::json(400, error_body(&format!("malformed request: {e}"))),
+    };
+    write_response(&mut stream, &response);
+}
+
+fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<Request> {
+    let bad = |message: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(bad("header section too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before the header section ended"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..header_end].to_vec())
+        .map_err(|_| bad("header section is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    let headers: Vec<(String, String)> = lines
+        .filter(|line| !line.is_empty())
+        .filter_map(|line| {
+            let (key, value) = line.split_once(':')?;
+            Some((key.trim().to_string(), value.trim().to_string()))
+        })
+        .collect();
+    let content_length = headers
+        .iter()
+        .find(|(key, _)| key.eq_ignore_ascii_case("content-length"))
+        .map(|(_, value)| value.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("invalid Content-Length"))?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(bad("request body too large"));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|window| window == b"\r\n\r\n")
+}
+
+fn dispatch(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/sweep") => admit_sweep(shared, request),
+        ("GET", "/stats") => Response::json(200, stats_body(shared)),
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}\n".to_string()),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            Response::json(200, "{\"status\":\"draining\"}\n".to_string())
+        }
+        _ => Response::json(
+            404,
+            error_body(&format!("no route for {} {}", request.method, request.path)),
+        ),
+    }
+}
+
+/// Admission: counts the request, applies backpressure, enqueues, and
+/// blocks this connection thread until a request worker replies.
+fn admit_sweep(shared: &Shared, request: &Request) -> Response {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    techlib::obs::add(techlib::obs::SERVE_REQUESTS, 1);
+    let deadline_ms = match header_ms(request, DEADLINE_HEADER) {
+        Ok(ms) => ms.or(shared.config.default_deadline_ms),
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    let hold_ms = match header_ms(request, HOLD_HEADER) {
+        Ok(ms) => ms,
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    let (reply, receiver) = mpsc::channel();
+    // The deadline clock starts at admission: time spent waiting in the
+    // queue counts against the request, which is what lets an
+    // overloaded server shed expired work instead of executing it.
+    let job = Job {
+        body: request.body.clone(),
+        deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        hold: hold_ms.map(Duration::from_millis),
+        reply,
+    };
+    {
+        let mut queue = shared.lock_queue();
+        if queue.closed || shared.shutdown.load(Ordering::Relaxed) {
+            return Response::json(503, error_body("server is draining"));
+        }
+        if queue.jobs.len() >= shared.config.queue_depth {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            techlib::obs::add(techlib::obs::SERVE_ADMISSION_REJECTS, 1);
+            return Response {
+                status: 429,
+                body: error_body("queue full"),
+                retry_after_s: Some(1),
+            };
+        }
+        queue.jobs.push_back(job);
+    }
+    shared.ready.notify_one();
+    match receiver.recv() {
+        Ok(response) => response,
+        Err(_) => Response::json(500, error_body("request worker dropped the job")),
+    }
+}
+
+fn percentile_us(sorted: &[u64], percent: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((percent / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let queue_depth = shared.lock_queue().jobs.len();
+    let mut latencies = shared
+        .stats
+        .latencies_us
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    latencies.sort_unstable();
+    let stats = &shared.stats;
+    let hits = stats.context_hits.load(Ordering::Relaxed);
+    let misses = stats.context_misses.load(Ordering::Relaxed);
+    let hit_ratio = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"queue_depth\":{},\"in_flight\":{},\"workers\":{},",
+            "\"lease_total\":{},\"requests\":{},\"rejected\":{},",
+            "\"deadline_hits\":{},\"completed\":{},\"context_hits\":{},",
+            "\"context_misses\":{},\"context_hit_ratio\":{:.4},",
+            "\"contexts_pooled\":{},\"latency_p50_us\":{},",
+            "\"latency_p99_us\":{},\"uptime_us\":{}}}\n"
+        ),
+        queue_depth,
+        stats.in_flight.load(Ordering::Relaxed),
+        shared.config.workers.max(1),
+        shared.lease.total(),
+        stats.requests.load(Ordering::Relaxed),
+        stats.rejected.load(Ordering::Relaxed),
+        stats.deadline_hits.load(Ordering::Relaxed),
+        stats.completed.load(Ordering::Relaxed),
+        hits,
+        misses,
+        hit_ratio,
+        shared.pool.len(),
+        percentile_us(&latencies, 50.0),
+        percentile_us(&latencies, 99.0),
+        u64::try_from(shared.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    )
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_reason(response.status),
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after_s {
+        use std::fmt::Write as _;
+        let _ = write!(head, "Retry-After: {seconds}\r\n");
+    }
+    head.push_str("\r\n");
+    // The client may already be gone; nothing useful to do about a
+    // failed write on a connection we are about to close anyway.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOverrides;
+    use crate::table5::MonitorLengths;
+
+    #[test]
+    fn context_pool_reuses_clean_specs_and_isolates_faulty_ones() {
+        let pool = ContextPool::new();
+        assert!(pool.is_empty());
+        let a = Scenario::paper(InterposerKind::Glass3D);
+        let (ctx1, hit1) = pool.checkout(&a).unwrap();
+        let (ctx2, hit2) = pool.checkout(&a).unwrap();
+        assert!(!hit1 && hit2, "second checkout is a pool hit");
+        assert!(Arc::ptr_eq(&ctx1, &ctx2));
+        assert_eq!(pool.len(), 1);
+
+        // A different resolved spec pools separately…
+        let wide = Scenario::new(
+            "wide",
+            InterposerKind::Glass3D,
+            MonitorLengths::Routed,
+            ScenarioOverrides {
+                microbump_pitch_um: Some(70.0),
+                ..Default::default()
+            },
+            Vec::new(),
+        )
+        .unwrap();
+        let (ctx3, hit3) = pool.checkout(&wide).unwrap();
+        assert!(!hit3);
+        assert!(!Arc::ptr_eq(&ctx1, &ctx3));
+        assert_eq!(pool.len(), 2);
+
+        // …and a faulty scenario is never pooled.
+        let faulty = Scenario::new(
+            "faulty",
+            InterposerKind::Glass3D,
+            MonitorLengths::Routed,
+            ScenarioOverrides::default(),
+            vec!["thermal.solve".to_string()],
+        )
+        .unwrap();
+        let (fa, hit_a) = pool.checkout(&faulty).unwrap();
+        let (fb, hit_b) = pool.checkout(&faulty).unwrap();
+        assert!(!hit_a && !hit_b);
+        assert!(!Arc::ptr_eq(&fa, &fb));
+        assert_eq!(pool.len(), 2, "faulty contexts never enter the pool");
+    }
+
+    #[test]
+    fn http_requests_parse_over_a_real_socket() {
+        // Round-trip a request through a real loopback socket pair.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    b"POST /sweep HTTP/1.1\r\nHost: x\r\nX-Codesign-Deadline-Ms: 250\r\n\
+                      Content-Length: 2\r\n\r\n[]",
+                )
+                .unwrap();
+            stream.flush().unwrap();
+            // Keep the socket open until the server side has parsed.
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut stream, 1024).unwrap();
+        client.join().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/sweep");
+        assert_eq!(request.body, "[]");
+        assert_eq!(header(&request, "x-codesign-deadline-ms"), Some("250"));
+        assert_eq!(header_ms(&request, DEADLINE_HEADER), Ok(Some(250)));
+        assert_eq!(header_ms(&request, HOLD_HEADER), Ok(None));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sorted, 50.0), 50);
+        assert_eq!(percentile_us(&sorted, 99.0), 99);
+        assert_eq!(percentile_us(&sorted, 100.0), 100);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn error_bodies_escape_json() {
+        assert_eq!(
+            error_body("bad \"x\"\n"),
+            "{\"error\":\"bad \\\"x\\\"\\n\"}\n"
+        );
+    }
+}

@@ -126,10 +126,17 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on f; `g` is deliberately not part of the key so the
         // pop order is identical to the pre-stale-skip router.
+        //
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: treating
+        // an incomparable pair as Equal silently breaks `Ord`'s
+        // transitivity contract the moment a NaN cost enters the heap
+        // (a NaN-priced item would compare Equal to *everything*), and
+        // BinaryHeap is allowed to misorder or lose entries under an
+        // inconsistent Ord. Costs are non-negative finite today, so the
+        // order is unchanged — this pins the invariant down.
         other
             .f
-            .partial_cmp(&self.f)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.f)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
@@ -691,11 +698,15 @@ fn route_all_impl(
         .iter()
         .filter(|net| net.class != NetClass::IntraTileStackedVia)
         .collect();
+    // `total_cmp` keeps this sort a strict weak ordering even for
+    // degenerate lengths (a zero-length net whose endpoints share a
+    // gcell still compares consistently); `sort_by` with an
+    // inconsistent comparator may panic or scramble the deterministic
+    // net order the whole flow depends on.
     order.sort_by(|a, b| {
         placement
             .net_manhattan_um(b)
-            .partial_cmp(&placement.net_manhattan_um(a))
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&placement.net_manhattan_um(a))
             .then_with(|| a.id.cmp(&b.id))
     });
 
@@ -1070,6 +1081,45 @@ mod tests {
         assert_eq!(routed.len(), 1);
         assert_eq!(routed[0].length_um, 0.0);
         assert_eq!(routed[0].vias, 2);
+    }
+
+    #[test]
+    fn degenerate_net_ordering_is_total_and_deterministic() {
+        // Several zero-length nets tie at Manhattan length 0 and rely
+        // entirely on the id tiebreak; `total_cmp` guarantees the sort
+        // comparator stays a strict weak ordering even for such
+        // degenerate keys (the old `partial_cmp(..).unwrap_or(Equal)`
+        // pattern could silently violate it for non-finite lengths).
+        let mut p = micro_placement();
+        let normal = p.nets.clone();
+        p.nets = (0..3)
+            .map(|i| crate::diemap::NetSpec {
+                id: i,
+                class: crate::diemap::NetClass::IntraTileLateral,
+                from: (0, i),
+                to: (0, i),
+            })
+            .collect();
+        for (offset, net) in normal.into_iter().enumerate() {
+            p.nets.push(crate::diemap::NetSpec {
+                id: 3 + offset,
+                ..net
+            });
+        }
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let seq = route_all_with_workers(&p, &grid, 1).unwrap();
+        assert_eq!(seq.len(), 7);
+        for net in &seq[..3] {
+            assert_eq!(net.length_um, 0.0, "net {} is degenerate", net.id);
+        }
+        for workers in [2, 4] {
+            let par = route_all_with_workers(&p, &grid, workers).unwrap();
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.path, b.path, "net {} ({workers} workers)", a.id);
+            }
+        }
     }
 
     #[test]

@@ -245,7 +245,12 @@ fn measure_eye(
     let mut one_min = vec![f64::INFINITY; phases];
     let mut zero_max = vec![f64::NEG_INFINITY; phases];
     for (k, &t) in times.iter().enumerate() {
-        let bit_idx = (t / ui) as usize;
+        // The final sample lands exactly on `t == bits · ui` (the
+        // transient's t_stop), where the raw quotient is `bits` — one
+        // past the last generated PRBS bit. Clamp before any use as a
+        // pattern index; the warm-up/tail guard below then drops the
+        // clamped tail samples, so retained samples are unchanged.
+        let bit_idx = ((t / ui) as usize).min(bits.saturating_sub(1));
         if bit_idx < 4 || bit_idx + 1 >= bits {
             continue;
         }
@@ -399,5 +404,27 @@ mod tests {
     fn eye_width_never_exceeds_ui() {
         let eye = lateral_eye(InterposerKind::Shinko, 1_000.0, &quick()).unwrap();
         assert!(eye.width_ns <= 1.0 / 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn trace_end_sample_stays_inside_the_prbs_pattern() {
+        // The transient's last sample sits exactly at t_stop = bits · ui,
+        // where the raw bit index is `bits` — one past the final PRBS
+        // bit. With a minimal bit count (just above the 4 warm-up bits)
+        // the tail dominates the trace; the fold must clamp and drop it
+        // rather than classify against an out-of-pattern bit.
+        let eye = lateral_eye(
+            InterposerKind::Glass25D,
+            500.0,
+            &EyeConfig {
+                bits: 6,
+                aggressors: false,
+                ..EyeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(eye.bits, 6);
+        assert!(eye.height_v >= 0.0);
+        assert!(eye.width_ns >= 0.0 && eye.width_ns <= 1.0 / 0.7 + 1e-9);
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod bump;
 pub mod calib;
+pub mod cancel;
 pub mod cells;
 pub mod faults;
 pub mod iodriver;

@@ -112,9 +112,21 @@ pub const ROUTER_INCREMENTAL_REROUTES: Counter = Counter(11);
 /// Speculative routes discarded for footprint conflicts and re-routed
 /// sequentially.
 pub const ROUTER_CONFLICT_REROUTES: Counter = Counter(12);
+/// Sweep requests admitted by the `codesign serve` daemon.
+pub const SERVE_REQUESTS: Counter = Counter(13);
+/// Sweep requests rejected at admission with 429 (queue full).
+pub const SERVE_ADMISSION_REJECTS: Counter = Counter(14);
+/// Serve requests that hit their deadline mid-flight.
+pub const SERVE_DEADLINE_HITS: Counter = Counter(15);
+/// Scenario context-pool hits (a warm `StudyContext` was reused).
+pub const SERVE_CONTEXT_HITS: Counter = Counter(16);
+/// Scenario context-pool misses (a fresh `StudyContext` was built).
+pub const SERVE_CONTEXT_MISSES: Counter = Counter(17);
+/// Serve requests fully executed (success or per-scenario error body).
+pub const SERVE_COMPLETED: Counter = Counter(18);
 
 /// Names of every registered counter, indexed by [`Counter`] handle.
-pub const COUNTER_NAMES: [&str; 13] = [
+pub const COUNTER_NAMES: [&str; 19] = [
     "memo.hit",
     "memo.compute",
     "router.nets_routed",
@@ -128,6 +140,12 @@ pub const COUNTER_NAMES: [&str; 13] = [
     "router.window_fallbacks",
     "router.incremental_reroutes",
     "router.conflict_reroutes",
+    "serve.requests",
+    "serve.admission_rejects",
+    "serve.deadline_hits",
+    "serve.context_hits",
+    "serve.context_misses",
+    "serve.completed",
 ];
 
 static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =
@@ -546,6 +564,12 @@ mod tests {
             "router.incremental_reroutes"
         );
         assert_eq!(ROUTER_CONFLICT_REROUTES.name(), "router.conflict_reroutes");
+        assert_eq!(SERVE_REQUESTS.name(), "serve.requests");
+        assert_eq!(SERVE_ADMISSION_REJECTS.name(), "serve.admission_rejects");
+        assert_eq!(SERVE_DEADLINE_HITS.name(), "serve.deadline_hits");
+        assert_eq!(SERVE_CONTEXT_HITS.name(), "serve.context_hits");
+        assert_eq!(SERVE_CONTEXT_MISSES.name(), "serve.context_misses");
+        assert_eq!(SERVE_COMPLETED.name(), "serve.completed");
         for name in COUNTER_NAMES {
             assert!(name.contains('.'), "counter {name:?} is stage-qualified");
         }

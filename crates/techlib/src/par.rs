@@ -87,10 +87,14 @@ fn threads_config() -> &'static Result<usize, ThreadsConfigError> {
 /// malformed configuration.
 ///
 /// The environment is read and validated on the first call and the
-/// verdict is memoised for the life of the process. `CODESIGN_THREADS`
-/// wins when set and valid; unset falls back to
+/// verdict is **memoised for the life of the process** — the right
+/// semantics for one-shot flows, where the pool width must not change
+/// between stages of a single run. `CODESIGN_THREADS` wins when set and
+/// valid; unset falls back to
 /// [`std::thread::available_parallelism`] (and 1 when even that is
-/// unavailable).
+/// unavailable). Long-running daemons that want to honour an updated
+/// environment per request batch should use [`resolve_thread_count`]
+/// instead.
 ///
 /// # Errors
 ///
@@ -98,6 +102,28 @@ fn threads_config() -> &'static Result<usize, ThreadsConfigError> {
 /// non-numeric, or zero.
 pub fn try_thread_count() -> Result<usize, ThreadsConfigError> {
     threads_config().clone()
+}
+
+/// Re-reads and validates `CODESIGN_THREADS` on **every** call — the
+/// daemon-facing form of [`try_thread_count`].
+///
+/// The memoised [`try_thread_count`] is correct for one-shot flows but
+/// wrong for a long-running server: a `codesign serve` process would
+/// otherwise pin the width observed at its first request forever. This
+/// function consults the environment afresh each time and never touches
+/// (or seeds) the process-wide memo, so the two can coexist: the serve
+/// loop resolves per request batch, while any one-shot flow helpers it
+/// calls keep their stable memoised verdict.
+///
+/// # Errors
+///
+/// Returns [`ThreadsConfigError`] when the variable is currently set
+/// but empty, non-numeric, or zero.
+pub fn resolve_thread_count() -> Result<usize, ThreadsConfigError> {
+    match parse_threads(std::env::var(THREADS_ENV).ok().as_deref())? {
+        Some(n) => Ok(n),
+        None => Ok(default_parallelism()),
+    }
 }
 
 /// The worker count used by the helpers in this module.
@@ -165,10 +191,12 @@ where
     slots.0.resize_with(items.len(), || UnsafeCell::new(None));
     let cursor = AtomicUsize::new(0);
     // Workers inherit the caller's fault scope (so scenario-scoped
-    // injection behaves identically at any width) and its observability
+    // injection behaves identically at any width), its observability
     // label (so spans recorded inside workers attribute to the caller's
-    // scenario).
+    // scenario), and its deadline scope (so a cancelled request's nested
+    // parallelism observes the same deadline the request thread does).
     let fault_scope = crate::faults::current_scope();
+    let cancel_scope = crate::cancel::current_scope();
     let obs_label = crate::obs::current_label();
     std::thread::scope(|scope| {
         let slots = &slots;
@@ -178,6 +206,7 @@ where
             let obs_label = obs_label.clone();
             scope.spawn(move || {
                 let _scope = crate::faults::enter_scope(fault_scope);
+                let _deadline = crate::cancel::enter_scope(cancel_scope);
                 let _label = crate::obs::enter_label(obs_label);
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -254,6 +283,96 @@ impl<S> Default for ScratchPool<S> {
     }
 }
 
+/// A counting lease over a fixed worker budget, for callers that run
+/// **concurrent** [`ordered_map_with`] fan-outs and must not
+/// oversubscribe the machine (the `codesign serve` request workers).
+///
+/// The pool starts with `total` slots. [`LeasePool::lease`] blocks
+/// until at least one slot is free, then grants `min(want, free)` slots
+/// at once; dropping the returned [`Lease`] refunds them. Because the
+/// workspace's fan-outs are byte-identical at any width, a lease only
+/// shapes wall-clock and CPU pressure — never results — so it is always
+/// safe to run a batch at whatever width the pool happened to grant.
+#[derive(Debug)]
+pub struct LeasePool {
+    total: usize,
+    available: std::sync::Mutex<usize>,
+    freed: std::sync::Condvar,
+}
+
+impl LeasePool {
+    /// A pool with `total` slots (clamped to at least 1, so a lease can
+    /// always eventually be granted).
+    pub fn new(total: usize) -> LeasePool {
+        let total = total.max(1);
+        LeasePool {
+            total,
+            available: std::sync::Mutex::new(total),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        // The guarded value is a plain counter; a panicking holder
+        // cannot leave it inconsistent, so poison is benign.
+        self.available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The pool's total slot budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Slots currently free (racy snapshot, for reporting only).
+    pub fn available(&self) -> usize {
+        *self.lock()
+    }
+
+    /// Blocks until at least one slot is free, then takes
+    /// `min(want.max(1), free)` slots. The grant is returned through
+    /// [`Lease::workers`] and refunded when the lease drops.
+    pub fn lease(&self, want: usize) -> Lease<'_> {
+        let want = want.max(1).min(self.total);
+        let mut free = self.lock();
+        while *free == 0 {
+            free = self
+                .freed
+                .wait(free)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let granted = want.min(*free);
+        *free -= granted;
+        Lease {
+            pool: self,
+            workers: granted,
+        }
+    }
+}
+
+/// A live grant from [`LeasePool::lease`]; refunds its slots on drop.
+#[derive(Debug)]
+pub struct Lease<'a> {
+    pool: &'a LeasePool,
+    workers: usize,
+}
+
+impl Lease<'_> {
+    /// How many worker slots this lease holds (use as the width of an
+    /// [`ordered_map_with`] call).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        *self.pool.lock() += self.workers;
+        self.pool.freed.notify_all();
+    }
+}
+
 /// Runs two closures concurrently and returns both results as a tuple,
 /// in argument order.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -267,10 +386,12 @@ where
         return (a(), b());
     }
     let fault_scope = crate::faults::current_scope();
+    let cancel_scope = crate::cancel::current_scope();
     let obs_label = crate::obs::current_label();
     std::thread::scope(|scope| {
         let hb = scope.spawn(move || {
             let _scope = crate::faults::enter_scope(fault_scope);
+            let _deadline = crate::cancel::enter_scope(cancel_scope);
             let _label = crate::obs::enter_label(obs_label);
             b()
         });
@@ -383,6 +504,70 @@ mod tests {
         assert!(!drained.is_empty() && drained.len() <= 8);
         let total: usize = drained.iter().map(Vec::len).sum();
         assert_eq!(total, 64, "every checkout recorded exactly once");
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_deadline_scope() {
+        let scope = crate::cancel::deadline_at(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let items: Vec<u32> = (0..32).collect();
+        let seen = ordered_map_with(4, &items, |_| crate::cancel::expired());
+        assert!(
+            seen.iter().all(|&expired| expired),
+            "every worker sees the parent deadline"
+        );
+        drop(scope);
+    }
+
+    #[test]
+    fn lease_pool_grants_and_refunds() {
+        let pool = LeasePool::new(4);
+        assert_eq!(pool.total(), 4);
+        assert_eq!(pool.available(), 4);
+        let a = pool.lease(3);
+        assert_eq!(a.workers(), 3);
+        assert_eq!(pool.available(), 1);
+        // A second lease wanting more than remains gets what's free.
+        let b = pool.lease(8);
+        assert_eq!(b.workers(), 1);
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        drop(b);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn lease_pool_blocks_until_a_slot_frees() {
+        let pool = LeasePool::new(1);
+        let first = pool.lease(1);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| pool.lease(1).workers());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(first);
+            assert_eq!(waiter.join().expect("waiter finishes"), 1);
+        });
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn lease_pool_never_grants_zero() {
+        let pool = LeasePool::new(0);
+        assert_eq!(pool.total(), 1, "budget clamps to at least one slot");
+        assert_eq!(pool.lease(0).workers(), 1);
+    }
+
+    #[test]
+    fn resolve_thread_count_is_positive_and_uncached() {
+        // The test environment leaves CODESIGN_THREADS either unset or
+        // valid, so resolution succeeds; the point here is that calling
+        // it repeatedly re-reads the environment without panicking or
+        // seeding the memoised path with a different verdict.
+        let a = resolve_thread_count().expect("valid environment");
+        let b = resolve_thread_count().expect("valid environment");
+        assert!(a >= 1);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Integration tests for the `codesign serve` daemon over real sockets:
+//! byte-identity with `codesign sweep --json`, queue-full backpressure
+//! (429 + Retry-After), per-request deadlines surfacing as typed
+//! `FlowError::Deadline` rows (status 504) with the context pool still
+//! reusable afterwards, and graceful drain on `POST /shutdown`.
+
+use codesign::serve::{ServeConfig, Server};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Two clean Silicon-3D scenarios (no interposer routing — the cheapest
+/// full studies). Must match `tests/cli.rs` so the CLI-vs-serve
+/// byte-identity check exercises real study payloads.
+const CLEAN_SWEEP: &str = r#"[
+  { "name": "s3d-a", "tech": "silicon3d" },
+  { "name": "s3d-b", "tech": "silicon3d" }
+]"#;
+
+fn start_server(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Minimal raw HTTP/1.1 client: one request per connection (the server
+/// always answers `Connection: close`).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut text = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in headers {
+        text.push_str(&format!("{name}: {value}\r\n"));
+    }
+    text.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(text.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let raw = String::from_utf8(raw).expect("utf-8 response");
+    let (head, response_body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let response_headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    (status, response_headers, response_body.to_string())
+}
+
+fn stats_field(addr: SocketAddr, field: &str) -> i64 {
+    let (status, _, body) = request(addr, "GET", "/stats", &[], "");
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("stats parse");
+    doc.get(field)
+        .and_then(serde_json::Value::as_i64)
+        .unwrap_or_else(|| panic!("stats field {field} in {body}"))
+}
+
+/// Polls `/stats` until `field` reaches `want` (the daemon's queue/
+/// in-flight transitions are asynchronous to the client's send).
+fn wait_for_stat(addr: SocketAddr, field: &str, want: i64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if stats_field(addr, field) == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{field} never reached {want} (last = {})",
+            stats_field(addr, field)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// What `codesign sweep --json` prints for `scenarios` — the reference
+/// bytes every serve response is held to.
+fn cli_reference(scenarios: &str, tag: &str) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "codesign-serve-test-{}-{tag}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, scenarios).expect("scenario file written");
+    let out = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .args(["sweep", path.to_str().expect("utf-8 path"), "--json"])
+        .output()
+        .expect("codesign sweep runs");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn concurrent_sweeps_are_byte_identical_to_the_cli() {
+    let reference = cli_reference(CLEAN_SWEEP, "identity");
+    let (addr, handle) = start_server(ServeConfig::default());
+
+    // Health first: the daemon is up before any sweep.
+    let (status, _, body) = request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\":\"ok\"}\n");
+
+    // Two rounds of two concurrent clients: the first round pays the
+    // cold studies, the second is served from the pooled warm contexts.
+    for round in 0..2 {
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| scope.spawn(|| request(addr, "POST", "/sweep", &[], CLEAN_SWEEP)))
+                .collect();
+            for worker in workers {
+                let (status, _, body) = worker.join().expect("client thread");
+                assert_eq!(status, 200, "round {round}: {body}");
+                assert_eq!(body, reference, "round {round}: serve must match the CLI");
+            }
+        });
+    }
+
+    // The repeated scenarios hit the warm context pool.
+    assert!(
+        stats_field(addr, "context_hits") >= 1,
+        "repeat requests must reuse pooled contexts"
+    );
+    assert_eq!(stats_field(addr, "completed"), 4);
+    assert_eq!(stats_field(addr, "rejected"), 0);
+
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
+
+#[test]
+fn a_full_queue_rejects_with_429_and_retry_after() {
+    // One worker, queue depth 1: A executes (held open via the
+    // artificial service-time pad), B waits in the queue, C must be
+    // turned away at admission.
+    let (addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    std::thread::scope(|scope| {
+        // A's hold must comfortably outlast the stats polling below even
+        // on a loaded machine: it only bounds this test's wall-clock.
+        let a = scope.spawn(|| {
+            request(
+                addr,
+                "POST",
+                "/sweep",
+                &[("X-Codesign-Hold-Ms", "2500")],
+                "[]",
+            )
+        });
+        wait_for_stat(addr, "in_flight", 1);
+        let b = scope.spawn(|| {
+            request(
+                addr,
+                "POST",
+                "/sweep",
+                &[("X-Codesign-Hold-Ms", "100")],
+                "[]",
+            )
+        });
+        wait_for_stat(addr, "queue_depth", 1);
+        // C: admission rejects immediately with explicit backpressure.
+        let (status, headers, body) = request(addr, "POST", "/sweep", &[], "[]");
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("queue full"), "{body}");
+        assert_eq!(
+            headers
+                .iter()
+                .find(|(name, _)| name == "retry-after")
+                .map(|(_, value)| value.as_str()),
+            Some("1"),
+            "429 must carry Retry-After"
+        );
+        // A and B still complete normally (an empty scenario list is a
+        // valid sweep and renders as the empty array).
+        for (label, client) in [("A", a), ("B", b)] {
+            let (status, _, body) = client.join().expect("client thread");
+            assert_eq!(status, 200, "{label}: {body}");
+            assert_eq!(body, "[]\n", "{label}");
+        }
+    });
+    assert_eq!(stats_field(addr, "rejected"), 1);
+    assert_eq!(stats_field(addr, "completed"), 2);
+
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
+
+#[test]
+fn an_expired_deadline_yields_typed_rows_and_the_pool_survives() {
+    let reference = cli_reference(CLEAN_SWEEP, "deadline");
+    let (addr, handle) = start_server(ServeConfig::default());
+
+    // The hold outlasts the deadline, so the deadline has expired before
+    // the first stage boundary: every scenario reports the typed
+    // FlowError::Deadline row and the response is 504.
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/sweep",
+        &[
+            ("X-Codesign-Deadline-Ms", "50"),
+            ("X-Codesign-Hold-Ms", "300"),
+        ],
+        CLEAN_SWEEP,
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(
+        body.contains("\"error\":\"deadline exceeded at stage."),
+        "typed deadline rows: {body}"
+    );
+    assert!(
+        body.contains("\"scenario\":\"s3d-a\"") && body.contains("\"scenario\":\"s3d-b\""),
+        "per-scenario rows survive the expiry: {body}"
+    );
+    assert!(stats_field(addr, "deadline_hits") >= 1);
+
+    // The worker pool and the context pool must be fully reusable: the
+    // same request without a deadline now succeeds byte-identically.
+    let (status, _, body) = request(addr, "POST", "/sweep", &[], CLEAN_SWEEP);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, reference, "pool survives an expired request");
+
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let (addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    std::thread::scope(|scope| {
+        let held = scope.spawn(|| {
+            request(
+                addr,
+                "POST",
+                "/sweep",
+                &[("X-Codesign-Hold-Ms", "800")],
+                "[]",
+            )
+        });
+        wait_for_stat(addr, "in_flight", 1);
+        // Shutdown answers immediately…
+        let (status, _, body) = request(addr, "POST", "/shutdown", &[], "");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"draining\"}\n");
+        // …while the in-flight request still completes with its full
+        // response rather than being dropped mid-drain.
+        let (status, _, body) = held.join().expect("held client");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "[]\n");
+    });
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
