@@ -37,6 +37,30 @@ jq -e 'type == "array" and length == 2' /tmp/codesign_smoke_sweep.json > /dev/nu
 jq -e '.traceEvents | length > 0' /tmp/codesign_smoke_trace.json > /dev/null
 echo "    sweep output and trace both parse as JSON"
 
+# Warm-cache smoke: the same sweep through a disk-backed artifact store
+# must stay byte-identical to the uncached reference, both on the cold
+# run that populates the cache and on a second process that replays it.
+# The warm run's --stats counters prove the disk tier actually served
+# (store.disk_hit > 0, store.miss == 0) and that the shared physical
+# stages never recomputed (the router counters stay at zero).
+echo "==> warm-cache sweep smoke (--cache-dir byte-identity + disk hits)"
+CACHE_DIR=$(mktemp -d /tmp/codesign_smoke_cache.XXXXXX)
+rm -f /tmp/codesign_cache_cold.json /tmp/codesign_cache_warm.json
+cargo run --release -q -p codesign --bin codesign -- \
+    sweep examples/smoke_scenarios.json --json --cache-dir "$CACHE_DIR" \
+    > /tmp/codesign_cache_cold.json
+cmp /tmp/codesign_cache_cold.json /tmp/codesign_smoke_sweep.json
+cargo run --release -q -p codesign --bin codesign -- \
+    sweep examples/smoke_scenarios.json --json --stats --cache-dir "$CACHE_DIR" \
+    > /tmp/codesign_cache_warm.json 2> /tmp/codesign_cache_stats.txt
+cmp /tmp/codesign_cache_warm.json /tmp/codesign_smoke_sweep.json
+counter() { awk -v name="$1" '$1 == name { print $2 }' /tmp/codesign_cache_stats.txt; }
+test "$(counter store.disk_hit)" -gt 0
+test "$(counter store.miss)" -eq 0
+test "$(counter router.nets_routed)" -eq 0
+rm -rf "$CACHE_DIR"
+echo "    warm cache: byte-identical, served from disk, zero recomputes"
+
 # Router bench smoke: flow_timing on a single technology must prove the
 # parallel router byte-identical to sequential and report non-zero
 # hot-path work counters in its "router" section. Writes to /tmp so the

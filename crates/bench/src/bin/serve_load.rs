@@ -1,7 +1,7 @@
 //! Load-tests the `codesign serve` daemon in-process and records the
 //! results under the `"serve"` key of `BENCH_flow.json`.
 //!
-//! Four phases against real loopback sockets:
+//! Five phases against real loopback sockets:
 //!
 //! 1. **Warm-up** — one cold request pays the studies and populates the
 //!    context pool.
@@ -15,6 +15,10 @@
 //!    `deadline exceeded` rows with status 504, and the same server
 //!    must then serve a clean byte-identical response (pool reuse after
 //!    cancellation).
+//! 5. **Restart warmth** — a disk-backed artifact store
+//!    ([`ServeConfig::cache_dir`]) must let a freshly restarted server
+//!    answer its first request from the previous process's persisted
+//!    stage artifacts, byte-identical to the CLI reference.
 
 use codesign::serve::{ServeConfig, Server};
 use std::io::{Read as _, Write as _};
@@ -147,8 +151,16 @@ fn main() {
     });
     let mut rejected = 0usize;
     std::thread::scope(|scope| {
+        // Staggered, not simultaneous: the first held request must be
+        // *in flight* (dequeued by the single worker) before the second
+        // arrives, otherwise the two race the worker for the one queue
+        // slot and admission may shed the second held client instead of
+        // the burst below.
         let hold: Vec<_> = (0..2)
-            .map(|_| {
+            .map(|i| {
+                if i > 0 {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
                 scope.spawn(move || {
                     request(
                         small,
@@ -195,6 +207,60 @@ fn main() {
     println!("deadline: 504 with typed rows, clean request OK afterwards");
     shutdown(small, small_handle);
 
+    // Phase 5: restart warmth. With a disk-backed artifact store, a
+    // brand-new server process starts warm from its predecessor's
+    // cache: the first request after a full shutdown/restart decodes
+    // the persisted stage artifacts instead of recomputing them, and
+    // the bytes still match the CLI reference exactly.
+    let cache_dir =
+        std::env::temp_dir().join(format!("codesign_serve_load_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached_config = || ServeConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (first, first_handle) = start(cached_config());
+    let t2 = Instant::now();
+    let (status, body) = request(first, "POST", "/sweep", &[], SCENARIOS);
+    let restart_cold_s = t2.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body, reference,
+        "cached cold response must match the CLI bytes"
+    );
+    shutdown(first, first_handle);
+
+    let (second, second_handle) = start(cached_config());
+    let t3 = Instant::now();
+    let (status, body) = request(second, "POST", "/sweep", &[], SCENARIOS);
+    let restart_warm_s = t3.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        body, reference,
+        "restarted server must reproduce the CLI bytes from the disk tier"
+    );
+    let (status, stats) = request(second, "GET", "/stats", &[], "");
+    assert_eq!(status, 200);
+    let disk_hits: usize = stats
+        .split("\"store_disk_hits\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("store_disk_hits in /stats");
+    assert!(
+        disk_hits > 0,
+        "the restarted server must serve from the disk tier: {stats}"
+    );
+    shutdown(second, second_handle);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "restart warmth: cold {restart_cold_s:.3} s, first request after restart \
+         {restart_warm_s:.3} s ({disk_hits} disk hits)"
+    );
+
     let serve = serde_json::Value::Object(vec![
         ("clients".into(), serde_json::Value::from(CLIENTS)),
         (
@@ -223,6 +289,22 @@ fn main() {
         (
             "deadline_rows_typed_and_pool_reusable".into(),
             serde_json::Value::from(true),
+        ),
+        (
+            "restart_cold_s".into(),
+            serde_json::Value::from(restart_cold_s),
+        ),
+        (
+            "restart_warm_first_request_s".into(),
+            serde_json::Value::from(restart_warm_s),
+        ),
+        (
+            "restart_warm_speedup".into(),
+            serde_json::Value::from(restart_cold_s / restart_warm_s.max(1e-9)),
+        ),
+        (
+            "restart_store_disk_hits".into(),
+            serde_json::Value::from(disk_hits),
         ),
     ]);
 

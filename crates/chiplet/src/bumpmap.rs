@@ -6,12 +6,12 @@
 //! sites are removed to reduce routing obstruction.
 
 use netlist::chiplet_netlist::ChipletKind;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::calib;
 use techlib::spec::{InterposerKind, InterposerSpec};
 
 /// What a bump site carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BumpRole {
     /// Signal pin; payload is the signal index (0-based).
     Signal(usize),
@@ -22,7 +22,7 @@ pub enum BumpRole {
 }
 
 /// One placed bump.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Bump {
     /// X offset from the die's lower-left corner, µm.
     pub x_um: f64,
@@ -33,7 +33,7 @@ pub struct Bump {
 }
 
 /// The bump plan of one chiplet on one technology.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BumpPlan {
     /// Signal bump count.
     pub signal: usize,

@@ -15,7 +15,7 @@
 
 use crate::bumpmap::BumpPlan;
 use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::calib;
 use techlib::cells::CellLibrary;
 use techlib::spec::InterposerSpec;
@@ -24,7 +24,7 @@ use techlib::spec::InterposerSpec;
 pub const FOOTPRINT_SNAP_UM: f64 = 5.0;
 
 /// The solved footprint of one chiplet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FootprintPlan {
     /// Final die width (square die), µm.
     pub width_um: f64,

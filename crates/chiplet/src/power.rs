@@ -11,14 +11,14 @@
 use crate::footprint::FootprintPlan;
 use crate::wirelength;
 use netlist::chiplet_netlist::{ChipletKind, ChipletNetlist};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::calib;
 use techlib::cells::CellLibrary;
 use techlib::iodriver::IoDriver;
 use techlib::spec::InterposerKind;
 
 /// Power decomposition of a chiplet, W.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerBreakdown {
     /// Cell-internal power, W.
     pub internal_w: f64,

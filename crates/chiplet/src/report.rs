@@ -7,12 +7,43 @@ use crate::timing;
 use crate::wirelength;
 use crate::ChipletError;
 use netlist::chiplet_netlist::ChipletNetlist;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::calib;
 use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::store::{SpecField, StoreKey};
+
+/// Algorithm version of the chiplet-reports stage (bump plan, footprint
+/// solve, timing/wirelength/power models for the logic+memory pair).
+/// Bump whenever any of those models or the serialized shape of
+/// [`ChipletReport`] changes.
+pub const REPORTS_STAGE_VERSION: u32 = 1;
+
+/// The spec fields the chiplet pair analysis actually consumes: the
+/// technology (timing/power calibration and width-matching are keyed on
+/// `kind`), the stacking style, and the micro-bump pitch (bump-plan
+/// geometry). Interposer wire rules and dielectric properties are
+/// irrelevant here — the dies themselves don't change when the routing
+/// substrate does.
+pub const REPORTS_PROJECTION: &[SpecField] = &[
+    SpecField::Kind,
+    SpecField::Stacking,
+    SpecField::MicrobumpPitchUm,
+];
+
+/// The chiplet-reports stage's store key for `spec`, downstream of the
+/// chiplet netlists' key.
+pub fn reports_store_key(spec: &InterposerSpec, netlists: StoreKey) -> StoreKey {
+    techlib::store::projection_key(
+        "chiplet_reports",
+        REPORTS_STAGE_VERSION,
+        spec,
+        REPORTS_PROJECTION,
+        &[("netlists", netlists)],
+    )
+}
 
 /// Everything Table III reports for one chiplet on one technology.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChipletReport {
     /// Technology label.
     pub tech: InterposerKind,

@@ -241,6 +241,19 @@ pub fn cross_time(
     None
 }
 
+/// Index of the sample with the largest value, using a total order so
+/// NaN samples (e.g. from a diverging or degenerate run) never panic:
+/// under `f64::total_cmp` positive NaN sorts *above* every finite
+/// value, so a polluted waveform reports a NaN sample rather than
+/// aborting the caller. Ties keep the last of equally-maximal samples
+/// (`max_by`). Returns `None` only for an empty waveform.
+pub fn peak_index(wave: &[f64]) -> Option<usize> {
+    wave.iter()
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        .map(|(i, _)| i)
+}
+
 /// 50 %-to-50 % propagation delay between two waveforms swinging 0..`vdd`.
 pub fn delay_50(times: &[f64], input: &[f64], output: &[f64], vdd: f64) -> Option<f64> {
     let t_in = cross_time(times, input, vdd / 2.0, true, 0.0)?;
@@ -347,14 +360,27 @@ mod tests {
         let peak = v.iter().cloned().fold(0.0, f64::max);
         assert!(peak > 1.8, "peak = {peak}");
         // First peak at half a period ≈ 0.99 ns.
-        let idx = v
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-            .unwrap()
-            .0;
+        let idx = peak_index(&v).unwrap();
         let t_peak = r.times[idx];
         assert!((t_peak - 0.99e-9).abs() < 0.15e-9, "t_peak = {t_peak}");
+    }
+
+    #[test]
+    fn peak_index_survives_nan_and_degenerate_waveforms() {
+        // A healthy waveform: plain argmax.
+        assert_eq!(peak_index(&[0.0, 1.5, 0.7]), Some(1));
+        // All-equal (flat) waveform: a stable, deterministic answer
+        // (max_by keeps the last of equally-maximal samples).
+        assert_eq!(peak_index(&[2.0, 2.0, 2.0]), Some(2));
+        // Signed zeros are ordered (-0.0 < +0.0 under total_cmp).
+        assert_eq!(peak_index(&[-0.0, 0.0]), Some(1));
+        // NaN-polluted waveform — the shape a diverging solve produces.
+        // The old partial_cmp(..).unwrap() comparator panicked here;
+        // total_cmp ranks NaN above every finite sample instead.
+        let polluted = [0.0, f64::INFINITY, f64::NAN, 3.0];
+        assert_eq!(peak_index(&polluted), Some(2));
+        // Empty waveform: no panic, just None.
+        assert_eq!(peak_index(&[]), None);
     }
 
     #[test]

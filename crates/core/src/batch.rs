@@ -20,6 +20,7 @@ use crate::flow::{run_tech_in, TechStudy};
 use crate::scenario::Scenario;
 use crate::{exec, FlowError};
 use std::sync::Arc;
+use techlib::store::ArtifactStore;
 
 /// Runs every scenario, in parallel, one [`Result`] per scenario in
 /// input order. A scenario's failure is *its own outcome* — it does not
@@ -30,9 +31,26 @@ use std::sync::Arc;
 /// [`FlowError::InvalidConfig`] if `CODESIGN_THREADS` is set to garbage;
 /// per-scenario failures are reported inside the returned vector.
 pub fn run(scenarios: &[Scenario]) -> Result<Vec<Result<TechStudy, FlowError>>, FlowError> {
+    run_with_store(scenarios, None)
+}
+
+/// [`run`] with an optional shared [`ArtifactStore`]: clean scenarios
+/// whose stage keys coincide share one computation across their
+/// contexts (and, with a disk-backed store, across processes). Faulty
+/// scenarios never see the store — an injected failure must not read
+/// from or write to shared state. Outputs are byte-identical to the
+/// store-less path at any worker count.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_store(
+    scenarios: &[Scenario],
+    store: Option<Arc<ArtifactStore>>,
+) -> Result<Vec<Result<TechStudy, FlowError>>, FlowError> {
     // Surface a malformed CODESIGN_THREADS as a typed error up front.
     techlib::par::try_thread_count()?;
-    let contexts = build_contexts(scenarios);
+    let contexts = build_contexts(scenarios, store);
     let indices: Vec<usize> = (0..scenarios.len()).collect();
     Ok(exec::ordered_map(&indices, |&i| {
         run_in_context(&contexts[i], &scenarios[i])
@@ -43,7 +61,15 @@ pub fn run(scenarios: &[Scenario]) -> Result<Vec<Result<TechStudy, FlowError>>, 
 /// sharing, one scenario at a time). Kept callable for benchmarking and
 /// the determinism integration test.
 pub fn run_sequential(scenarios: &[Scenario]) -> Vec<Result<TechStudy, FlowError>> {
-    let contexts = build_contexts(scenarios);
+    run_sequential_with_store(scenarios, None)
+}
+
+/// Sequential reference implementation of [`run_with_store`].
+pub fn run_sequential_with_store(
+    scenarios: &[Scenario],
+    store: Option<Arc<ArtifactStore>>,
+) -> Vec<Result<TechStudy, FlowError>> {
+    let contexts = build_contexts(scenarios, store);
     scenarios
         .iter()
         .zip(&contexts)
@@ -51,16 +77,18 @@ pub fn run_sequential(scenarios: &[Scenario]) -> Vec<Result<TechStudy, FlowError
         .collect()
 }
 
-/// One context per scenario: clean scenarios share a front end, faulty
-/// ones are fully private (a shared memo plus an armed `partition.split`
-/// fault would make *which* scenario surfaces the fault a race).
-fn build_contexts(scenarios: &[Scenario]) -> Vec<StudyContext> {
-    let shared = Arc::new(FrontEnd::new());
+/// One context per scenario: clean scenarios share a front end (and the
+/// artifact store, when given), faulty ones are fully private (a shared
+/// memo plus an armed `partition.split` fault would make *which*
+/// scenario surfaces the fault a race, and a store write from a faulted
+/// run could poison every later scenario).
+fn build_contexts(scenarios: &[Scenario], store: Option<Arc<ArtifactStore>>) -> Vec<StudyContext> {
+    let shared = Arc::new(FrontEnd::with_store(store.clone()));
     scenarios
         .iter()
         .map(|scenario| {
             if scenario.is_clean() {
-                StudyContext::for_scenario_shared(scenario, Arc::clone(&shared))
+                StudyContext::for_scenario_with(scenario, Arc::clone(&shared), store.clone())
             } else {
                 StudyContext::for_scenario(scenario)
             }

@@ -22,7 +22,10 @@
 use codesign::flow::{run_all, run_tech, TechStudy};
 use codesign::scenario::{kind_from_str, scenarios_from_json};
 use codesign::table5::MonitorLengths;
+use std::path::PathBuf;
+use std::sync::Arc;
 use techlib::spec::InterposerKind;
+use techlib::store::ArtifactStore;
 
 fn parse_tech(name: &str) -> Option<InterposerKind> {
     kind_from_str(name)
@@ -36,11 +39,15 @@ fn usage() -> ! {
     eprintln!("       codesign --all [--json] [--trace <path>] [--stats]");
     eprintln!(
         "       codesign sweep <scenarios.json> [--json] [--sequential] \
-         [--trace <path>] [--stats]"
+         [--cache-dir <dir>] [--trace <path>] [--stats]"
     );
     eprintln!(
         "       codesign serve <host:port> [--workers <n>] [--queue-depth <n>] \
-         [--deadline-ms <n>] [--trace <path>] [--stats]"
+         [--deadline-ms <n>] [--cache-dir <dir>] [--trace <path>] [--stats]"
+    );
+    eprintln!(
+        "       (--cache-dir persists stage artifacts across runs; \
+         CODESIGN_CACHE_DIR sets a default)"
     );
     std::process::exit(2);
 }
@@ -54,6 +61,7 @@ struct Opts {
     stats: bool,
     sequential: bool,
     trace: Option<String>,
+    cache_dir: Option<String>,
     positionals: Vec<String>,
 }
 
@@ -65,6 +73,13 @@ fn parse_opts(args: &[String], allow_sequential: bool) -> Opts {
             "--json" => opts.json = true,
             "--stats" => opts.stats = true,
             "--sequential" if allow_sequential => opts.sequential = true,
+            "--cache-dir" if allow_sequential => match iter.next() {
+                Some(dir) => opts.cache_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --cache-dir requires a directory");
+                    usage();
+                }
+            },
             "--trace" => match iter.next() {
                 Some(path) => opts.trace = Some(path.clone()),
                 None => {
@@ -85,6 +100,18 @@ fn parse_opts(args: &[String], allow_sequential: bool) -> Opts {
             .filter(|path| !path.is_empty());
     }
     opts
+}
+
+/// The effective cache directory: the explicit flag, else the
+/// `CODESIGN_CACHE_DIR` environment variable, else none.
+fn resolve_cache_dir(flag: &Option<String>) -> Option<PathBuf> {
+    flag.clone()
+        .or_else(|| {
+            std::env::var(techlib::store::CACHE_DIR_ENV)
+                .ok()
+                .filter(|dir| !dir.is_empty())
+        })
+        .map(PathBuf::from)
 }
 
 /// Turns recording on up front when any observability output was asked
@@ -136,10 +163,14 @@ fn sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     arm_observability(&opts);
     let text = std::fs::read_to_string(path)?;
     let scenarios = scenarios_from_json(&text)?;
+    let store = match resolve_cache_dir(&opts.cache_dir) {
+        Some(dir) => Some(Arc::new(ArtifactStore::with_disk(dir)?)),
+        None => None,
+    };
     let outcomes = if opts.sequential {
-        codesign::batch::run_sequential(&scenarios)
+        codesign::batch::run_sequential_with_store(&scenarios, store)
     } else {
-        codesign::batch::run(&scenarios)?
+        codesign::batch::run_with_store(&scenarios, store)?
     };
     if opts.json {
         // The serve daemon returns this same renderer's output as its
@@ -201,6 +232,13 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--workers" => config.workers = numeric_flag(arg, iter.next()) as usize,
             "--queue-depth" => config.queue_depth = numeric_flag(arg, iter.next()) as usize,
             "--deadline-ms" => config.default_deadline_ms = Some(numeric_flag(arg, iter.next())),
+            "--cache-dir" => match iter.next() {
+                Some(dir) => config.cache_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --cache-dir requires a directory");
+                    usage();
+                }
+            },
             "--stats" => obs.stats = true,
             "--trace" => match iter.next() {
                 Some(path) => obs.trace = Some(path.clone()),
@@ -228,6 +266,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         obs.trace = std::env::var(techlib::obs::TRACE_ENV)
             .ok()
             .filter(|path| !path.is_empty());
+    }
+    if config.cache_dir.is_none() {
+        config.cache_dir = std::env::var(techlib::store::CACHE_DIR_ENV)
+            .ok()
+            .filter(|dir| !dir.is_empty())
+            .map(PathBuf::from);
     }
     arm_observability(&obs);
     let server = codesign::serve::Server::bind(&addr, config)?;

@@ -20,6 +20,7 @@
 //! the context path never compute the same artifact twice.
 
 use crate::scenario::Scenario;
+use crate::table5::{MonitorLengths, Table5Row};
 use crate::FlowError;
 use chiplet::report::ChipletReport;
 use interposer::report::{InterposerLayout, LayoutCache};
@@ -27,10 +28,48 @@ use netlist::chiplet_netlist::ChipletNetlist;
 use netlist::design::Design;
 use netlist::partition::Partition;
 use netlist::serdes::SerdesPlan;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use techlib::memo::ArcMemo;
 use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::store::{ArtifactStore, Codec, KeyHasher, StoreKey};
 use thermal::report::{ThermalCache, ThermalReport};
+
+/// Algorithm version of the hierarchical-split stage. Bump when the
+/// partitioner or the serialized [`Partition`] shape changes.
+pub const SPLIT_STAGE_VERSION: u32 = 1;
+
+/// Algorithm version of the chipletize stage. Bump when chipletization
+/// or the serialized [`ChipletNetlist`] shape changes.
+pub const NETLISTS_STAGE_VERSION: u32 = 1;
+
+fn partition_codec() -> Codec<Partition> {
+    Codec {
+        encode: |v| serde_json::to_string(v).ok(),
+        decode: |s| serde_json::from_str_typed(s).ok(),
+    }
+}
+
+fn netlists_codec() -> Codec<(ChipletNetlist, ChipletNetlist)> {
+    Codec {
+        encode: |v| serde_json::to_string(v).ok(),
+        decode: |s| serde_json::from_str_typed(s).ok(),
+    }
+}
+
+fn reports_codec() -> Codec<(ChipletReport, ChipletReport)> {
+    Codec {
+        encode: |v| serde_json::to_string(v).ok(),
+        decode: |s| serde_json::from_str_typed(s).ok(),
+    }
+}
+
+fn links_codec() -> Codec<Table5Row> {
+    Codec {
+        encode: |v| serde_json::to_string(v).ok(),
+        decode: |s| serde_json::from_str_typed(s).ok(),
+    }
+}
 
 /// The spec-independent front end of the flow: the two-tile OpenPiton
 /// design, its hierarchical L3 split and the chipletized (logic, memory)
@@ -45,16 +84,55 @@ pub struct FrontEnd {
     design: OnceLock<Arc<Design>>,
     split: ArcMemo<Partition>,
     netlists: ArcMemo<(ChipletNetlist, ChipletNetlist)>,
+    store: Option<Arc<ArtifactStore>>,
+    split_computes: AtomicUsize,
+    netlists_computes: AtomicUsize,
 }
 
 impl FrontEnd {
-    /// Creates an empty front end.
+    /// Creates an empty front end with no artifact store behind it.
     pub const fn new() -> FrontEnd {
         FrontEnd {
             design: OnceLock::new(),
             split: ArcMemo::new(),
             netlists: ArcMemo::new(),
+            store: None,
+            split_computes: AtomicUsize::new(0),
+            netlists_computes: AtomicUsize::new(0),
         }
+    }
+
+    /// A front end whose split/chipletize artifacts go through `store`
+    /// (when one is given) behind the local memo cells, so a second
+    /// process — or a second front end over the same `--cache-dir` —
+    /// reuses the persisted split instead of re-partitioning.
+    pub fn with_store(store: Option<Arc<ArtifactStore>>) -> FrontEnd {
+        FrontEnd {
+            store,
+            ..FrontEnd::new()
+        }
+    }
+
+    /// The split stage's store key. The front end is spec-independent:
+    /// the key covers the (fixed) design identity and the stage version
+    /// only, so *every* clean scenario shares one entry.
+    pub fn split_key() -> StoreKey {
+        let mut h = KeyHasher::new("split", SPLIT_STAGE_VERSION);
+        h.field_str("design", "openpiton-2tile");
+        h.finish()
+    }
+
+    /// The chipletize stage's store key: downstream of the split, plus
+    /// the SerDes plan the netlists are built with.
+    pub fn netlists_key() -> StoreKey {
+        let plan = SerdesPlan::paper();
+        let mut h = KeyHasher::new("chiplet_netlists", NETLISTS_STAGE_VERSION);
+        h.upstream("split", FrontEnd::split_key());
+        h.field_u64("serdes.wires_before", plan.wires_before as u64);
+        h.field_u64("serdes.wires_after", plan.wires_after as u64);
+        h.field_u64("serdes.added_cycles", plan.added_cycles as u64);
+        h.field_u64("serdes.added_cells", plan.added_cells as u64);
+        h.finish()
     }
 
     /// The two-tile OpenPiton-like design (infallible, built once).
@@ -69,11 +147,21 @@ impl FrontEnd {
     ///
     /// # Errors
     ///
-    /// Partitioning failure (not memoized).
+    /// Partitioning failure (not memoized — errors never reach the memo
+    /// cell or the store).
     pub fn split(&self) -> Result<Arc<Partition>, FlowError> {
-        self.split.get_or_try(|| {
+        let compute = || {
+            self.split_computes.fetch_add(1, Ordering::Relaxed);
             netlist::partition::hierarchical_l3_split(&self.design()).map_err(FlowError::from)
-        })
+        };
+        match &self.store {
+            Some(store) => self.split.get_or_try_arc(|| {
+                store
+                    .get_or_compute(FrontEnd::split_key(), &partition_codec(), compute)
+                    .map(|(v, _)| v)
+            }),
+            None => self.split.get_or_try_arc(|| compute().map(Arc::new)),
+        }
     }
 
     /// The chipletized (logic, memory) netlists with the paper's SerDes
@@ -83,26 +171,35 @@ impl FrontEnd {
     ///
     /// Partitioning failure (not memoized).
     pub fn chiplet_netlists(&self) -> Result<Arc<(ChipletNetlist, ChipletNetlist)>, FlowError> {
-        self.netlists.get_or_try(|| {
+        let compute = || {
             let split = self.split()?;
+            self.netlists_computes.fetch_add(1, Ordering::Relaxed);
             Ok(netlist::chiplet_netlist::chipletize(
                 &self.design(),
                 &split,
                 &SerdesPlan::paper(),
             ))
-        })
+        };
+        match &self.store {
+            Some(store) => self.netlists.get_or_try_arc(|| {
+                store
+                    .get_or_compute(FrontEnd::netlists_key(), &netlists_codec(), compute)
+                    .map(|(v, _)| v)
+            }),
+            None => self.netlists.get_or_try_arc(|| compute().map(Arc::new)),
+        }
     }
 
     /// How many hierarchical splits this front end has actually run
-    /// (cache hits don't count) — the regression hook for "shared
-    /// context means one split".
+    /// (cache hits — memo or store — don't count) — the regression hook
+    /// for "shared context means one split".
     pub fn split_compute_count(&self) -> usize {
-        self.split.compute_count()
+        self.split_computes.load(Ordering::Relaxed)
     }
 
     /// How many chipletizations have actually run.
     pub fn netlists_compute_count(&self) -> usize {
-        self.netlists.compute_count()
+        self.netlists_computes.load(Ordering::Relaxed)
     }
 
     /// Forgets the fallible artifacts (the design itself is
@@ -121,9 +218,21 @@ pub struct StudyContext {
     label: String,
     specs: [InterposerSpec; InterposerKind::COUNT],
     frontend: Arc<FrontEnd>,
+    store: Option<Arc<ArtifactStore>>,
     reports: [ArcMemo<(ChipletReport, ChipletReport)>; InterposerKind::COUNT],
+    report_computes: AtomicUsize,
+    links: [[ArcMemo<Table5Row>; 2]; InterposerKind::COUNT],
+    links_computes: AtomicUsize,
     layouts: Arc<LayoutCache>,
     thermal: Arc<ThermalCache>,
+}
+
+/// The per-technology links cache slot for a monitored-length mode.
+fn mode_slot(mode: MonitorLengths) -> usize {
+    match mode {
+        MonitorLengths::Routed => 0,
+        MonitorLengths::Paper => 1,
+    }
 }
 
 impl StudyContext {
@@ -152,11 +261,28 @@ impl StudyContext {
     /// spec-dependent caches stay private because each scenario's specs
     /// differ).
     pub fn for_scenario_shared(scenario: &Scenario, frontend: Arc<FrontEnd>) -> StudyContext {
-        StudyContext::with_parts(
+        StudyContext::for_scenario_with(scenario, frontend, None)
+    }
+
+    /// [`StudyContext::for_scenario_shared`] with an optional shared
+    /// [`ArtifactStore`] behind every spec-dependent cache: scenarios
+    /// whose stage keys coincide (same projected spec fields, same
+    /// upstream keys) share one computation *across contexts*, and —
+    /// when the store has a disk tier — across processes. Pass a store
+    /// only for clean scenarios: fault-armed runs must never read from
+    /// or write to shared state (the batch layer enforces this).
+    pub fn for_scenario_with(
+        scenario: &Scenario,
+        frontend: Arc<FrontEnd>,
+        store: Option<Arc<ArtifactStore>>,
+    ) -> StudyContext {
+        let mut ctx = StudyContext::with_parts(
             scenario.name().to_string(),
             scenario_specs(scenario),
             frontend,
-        )
+        );
+        ctx.store = store;
+        ctx
     }
 
     fn with_parts(
@@ -168,7 +294,11 @@ impl StudyContext {
             label,
             specs,
             frontend,
+            store: None,
             reports: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            report_computes: AtomicUsize::new(0),
+            links: [const { [const { ArcMemo::new() }; 2] }; InterposerKind::COUNT],
+            links_computes: AtomicUsize::new(0),
             layouts: Arc::new(LayoutCache::new()),
             thermal: Arc::new(ThermalCache::new()),
         }
@@ -187,6 +317,12 @@ impl StudyContext {
     /// The shared front end (design/split/netlists).
     pub fn frontend(&self) -> &Arc<FrontEnd> {
         &self.frontend
+    }
+
+    /// The shared artifact store behind this context's caches, when one
+    /// was attached at construction.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_deref()
     }
 
     /// The two-tile OpenPiton-like design.
@@ -222,11 +358,26 @@ impl StudyContext {
         &self,
         tech: InterposerKind,
     ) -> Result<Arc<(ChipletReport, ChipletReport)>, FlowError> {
-        self.reports[tech.index()].get_or_try(|| {
+        self.reports[tech.index()].get_or_try_arc(|| {
             let netlists = self.frontend.chiplet_netlists()?;
-            let (logic_nl, mem_nl) = &*netlists;
-            chiplet::report::analyze_pair_with(logic_nl, mem_nl, self.spec(tech))
-                .map_err(FlowError::from)
+            let compute = || {
+                self.report_computes.fetch_add(1, Ordering::Relaxed);
+                let (logic_nl, mem_nl) = &*netlists;
+                chiplet::report::analyze_pair_with(logic_nl, mem_nl, self.spec(tech))
+                    .map_err(FlowError::from)
+            };
+            match &self.store {
+                Some(store) => {
+                    let key = chiplet::report::reports_store_key(
+                        self.spec(tech),
+                        FrontEnd::netlists_key(),
+                    );
+                    store
+                        .get_or_compute(key, &reports_codec(), compute)
+                        .map(|(pair, _)| pair)
+                }
+                None => compute().map(Arc::new),
+            }
         })
     }
 
@@ -240,8 +391,42 @@ impl StudyContext {
     /// a routed interposer.
     pub fn layout(&self, tech: InterposerKind) -> Result<Arc<InterposerLayout>, FlowError> {
         self.layouts
-            .layout(self.spec(tech))
+            .layout_via(self.spec(tech), self.store.as_deref())
             .map_err(FlowError::from)
+    }
+
+    /// The Table V link row for `tech` in `mode` — the cached form
+    /// behind [`crate::table5::row_in`]. Channel extraction (and with it
+    /// the `extract.channels` fault site and any routed-layout pull)
+    /// runs on every call; only the transient link simulations are
+    /// cached, keyed by the extracted channels and the full resolved
+    /// specs of the technologies they terminate on.
+    ///
+    /// # Errors
+    ///
+    /// Routing and simulation failures (not memoized).
+    pub fn links_row(
+        &self,
+        tech: InterposerKind,
+        mode: MonitorLengths,
+    ) -> Result<Arc<Table5Row>, FlowError> {
+        let (l2m, l2l) = crate::table5::channels_for_in(self, tech, mode)?;
+        let cell = &self.links[tech.index()][mode_slot(mode)];
+        let compute = || {
+            self.links_computes.fetch_add(1, Ordering::Relaxed);
+            crate::table5::simulate_row(self, tech, &l2m, &l2l)
+        };
+        match &self.store {
+            Some(store) => {
+                let key = crate::table5::links_store_key(self, tech, &l2m, &l2l);
+                cell.get_or_try_arc(|| {
+                    store
+                        .get_or_compute(key, &links_codec(), compute)
+                        .map(|(row, _)| row)
+                })
+            }
+            None => cell.get_or_try_arc(|| compute().map(Arc::new)),
+        }
     }
 
     /// The thermal report for `tech` (Fig. 17) against this context's
@@ -252,7 +437,7 @@ impl StudyContext {
     /// Thermal model or solver failure.
     pub fn thermal_report(&self, tech: InterposerKind) -> Result<Arc<ThermalReport>, FlowError> {
         self.thermal
-            .analyze(self.spec(tech))
+            .analyze_via(self.spec(tech), self.store.as_deref())
             .map_err(FlowError::from)
     }
 
@@ -263,19 +448,26 @@ impl StudyContext {
         ComputeCounts {
             split: self.frontend.split_compute_count(),
             netlists: self.frontend.netlists_compute_count(),
-            reports: self.reports.iter().map(ArcMemo::compute_count).sum(),
+            reports: self.report_computes.load(Ordering::Relaxed),
             layouts: self.layouts.compute_count(),
+            links: self.links_computes.load(Ordering::Relaxed),
             thermal: self.thermal.compute_count(),
         }
     }
 
     /// Forgets every fallible cached artifact (front end, reports,
-    /// layouts, thermal) so the next calls recompute. Outstanding `Arc`
-    /// handles stay valid on their own.
+    /// links, layouts, thermal) so the next calls recompute. Outstanding
+    /// `Arc` handles stay valid on their own. The shared store, if any,
+    /// is deliberately *not* cleared — it may serve other contexts.
     pub fn reset(&self) {
         self.frontend.reset();
         for cell in &self.reports {
             cell.reset();
+        }
+        for per_tech in &self.links {
+            for cell in per_tech {
+                cell.reset();
+            }
         }
         self.layouts.reset();
         self.thermal.reset();
@@ -293,6 +485,8 @@ pub struct ComputeCounts {
     pub reports: usize,
     /// Interposer layouts placed and routed.
     pub layouts: usize,
+    /// Table V link rows simulated.
+    pub links: usize,
     /// Thermal fields solved.
     pub thermal: usize,
 }
@@ -300,7 +494,7 @@ pub struct ComputeCounts {
 impl ComputeCounts {
     /// Sum over all stages.
     pub fn total(&self) -> usize {
-        self.split + self.netlists + self.reports + self.layouts + self.thermal
+        self.split + self.netlists + self.reports + self.layouts + self.links + self.thermal
     }
 }
 
@@ -325,7 +519,11 @@ pub fn default_context() -> Arc<StudyContext> {
             label: "paper".to_string(),
             specs: default_specs(),
             frontend: Arc::new(FrontEnd::new()),
+            store: None,
             reports: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            report_computes: AtomicUsize::new(0),
+            links: [const { [const { ArcMemo::new() }; 2] }; InterposerKind::COUNT],
+            links_computes: AtomicUsize::new(0),
             layouts: interposer::report::default_layout_cache(),
             thermal: thermal::report::default_thermal_cache(),
         })

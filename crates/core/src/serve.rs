@@ -63,10 +63,12 @@ use crate::FlowError;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::store::ArtifactStore;
 
 /// Request header carrying a per-request deadline in milliseconds.
 pub const DEADLINE_HEADER: &str = "X-Codesign-Deadline-Ms";
@@ -87,6 +89,11 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
+    /// On-disk tier for the shared artifact store (`--cache-dir`). With
+    /// a directory the warm pool survives restarts: a fresh server over
+    /// the same directory answers its first request from persisted
+    /// artifacts. `None` keeps the store in-memory only.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +103,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             default_deadline_ms: None,
             max_body_bytes: 4 << 20,
+            cache_dir: None,
         }
     }
 }
@@ -114,13 +122,31 @@ impl Default for ServeConfig {
 #[derive(Debug, Default)]
 pub struct ContextPool {
     frontend: Arc<FrontEnd>,
+    store: Option<Arc<ArtifactStore>>,
     contexts: Mutex<HashMap<String, Arc<StudyContext>>>,
 }
 
 impl ContextPool {
-    /// An empty pool.
+    /// An empty pool with no artifact store.
     pub fn new() -> ContextPool {
         ContextPool::default()
+    }
+
+    /// An empty pool whose clean contexts share `store` (in addition to
+    /// the pool's own per-spec-set context reuse, the store shares
+    /// stage-keyed artifacts *between* differently-specced contexts —
+    /// and across restarts when it has a disk tier).
+    pub fn with_store(store: Arc<ArtifactStore>) -> ContextPool {
+        ContextPool {
+            frontend: Arc::new(FrontEnd::with_store(Some(Arc::clone(&store)))),
+            store: Some(store),
+            contexts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The pool's shared store, when one was attached.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_deref()
     }
 
     /// The context to run `scenario` in, plus whether it was a pool
@@ -142,9 +168,10 @@ impl ContextPool {
         if let Some(ctx) = map.get(&key) {
             return Ok((Arc::clone(ctx), true));
         }
-        let ctx = Arc::new(StudyContext::for_scenario_shared(
+        let ctx = Arc::new(StudyContext::for_scenario_with(
             scenario,
             Arc::clone(&self.frontend),
+            self.store.clone(),
         ));
         map.insert(key, Arc::clone(&ctx));
         Ok((ctx, false))
@@ -221,17 +248,25 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(config: ServeConfig) -> Shared {
-        Shared {
+    fn new(config: ServeConfig) -> std::io::Result<Shared> {
+        // The daemon always runs its pool over a shared store: clean
+        // scenarios with coinciding stage keys share computations even
+        // across differently-specced pooled contexts. A cache directory
+        // upgrades the store with the persistent warm tier.
+        let store = match &config.cache_dir {
+            Some(dir) => Arc::new(ArtifactStore::with_disk(dir)?),
+            None => Arc::new(ArtifactStore::in_memory()),
+        };
+        Ok(Shared {
             lease: techlib::par::LeasePool::new(techlib::par::thread_count()),
             config,
             queue: Mutex::new(Queue::default()),
             ready: Condvar::new(),
-            pool: ContextPool::new(),
+            pool: ContextPool::with_store(store),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
-        }
+        })
     }
 
     fn lock_queue(&self) -> MutexGuard<'_, Queue> {
@@ -329,7 +364,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Socket bind/configuration failures.
+    /// Socket bind/configuration failures, or an unusable
+    /// [`ServeConfig::cache_dir`].
     pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -340,7 +376,7 @@ impl Server {
         Ok(Server {
             listener,
             local_addr,
-            shared: Arc::new(Shared::new(config)),
+            shared: Arc::new(Shared::new(config)?),
         })
     }
 
@@ -696,13 +732,21 @@ fn stats_body(shared: &Shared) -> String {
     } else {
         0.0
     };
+    let store = shared
+        .pool
+        .store()
+        .map(ArtifactStore::stats)
+        .unwrap_or_default();
     format!(
         concat!(
             "{{\"queue_depth\":{},\"in_flight\":{},\"workers\":{},",
             "\"lease_total\":{},\"requests\":{},\"rejected\":{},",
             "\"deadline_hits\":{},\"completed\":{},\"context_hits\":{},",
             "\"context_misses\":{},\"context_hit_ratio\":{:.4},",
-            "\"contexts_pooled\":{},\"latency_p50_us\":{},",
+            "\"contexts_pooled\":{},\"store_mem_hits\":{},",
+            "\"store_disk_hits\":{},\"store_misses\":{},",
+            "\"store_writes\":{},\"store_invalid\":{},",
+            "\"latency_p50_us\":{},",
             "\"latency_p99_us\":{},\"uptime_us\":{}}}\n"
         ),
         queue_depth,
@@ -717,6 +761,11 @@ fn stats_body(shared: &Shared) -> String {
         misses,
         hit_ratio,
         shared.pool.len(),
+        store.mem_hits,
+        store.disk_hits,
+        store.misses,
+        store.writes,
+        store.invalid,
         percentile_us(&latencies, 50.0),
         percentile_us(&latencies, 99.0),
         u64::try_from(shared.started.elapsed().as_micros()).unwrap_or(u64::MAX),

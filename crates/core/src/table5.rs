@@ -12,9 +12,10 @@
 use crate::context::{default_context, StudyContext};
 use crate::FlowError;
 use interposer::diemap::NetClass;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use si::link::{simulate_link_with, ChannelKind, LinkReport};
 use techlib::spec::{InterposerKind, Stacking};
+use techlib::store::{hash_spec_field, KeyHasher, SpecField, StoreKey};
 
 /// Where the monitored net lengths come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -26,7 +27,7 @@ pub enum MonitorLengths {
 }
 
 /// One Table V row (one technology, both link classes).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table5Row {
     /// Technology.
     pub tech: InterposerKind,
@@ -134,6 +135,78 @@ pub fn channels_for_in(
     }
 }
 
+/// Algorithm version of the SI-links stage (deck construction, transient
+/// settings, delay/power extraction). Bump whenever any of those — or
+/// the serialized shape of [`Table5Row`] — changes.
+pub const LINKS_STAGE_VERSION: u32 = 1;
+
+/// Hashes one monitored channel into a links stage key: the channel
+/// descriptor itself (which already embeds any routed worst-net length,
+/// subsuming the layout upstream key) plus the **full** resolved spec of
+/// the technology the channel terminates on — the transient deck reads
+/// wire geometry, dielectric properties, loss tangent and bump/via
+/// dimensions, so no narrower projection is sound here.
+fn hash_channel(h: &mut KeyHasher, label: &str, channel: &ChannelKind, ctx: &StudyContext) {
+    match channel {
+        ChannelKind::RdlTrace { tech, length_um } => {
+            h.field_str(&format!("{label}.channel"), "rdl_trace");
+            h.field_str(&format!("{label}.tech"), &format!("{tech:?}"));
+            h.field_f64(&format!("{label}.length_um"), *length_um);
+        }
+        ChannelKind::StackedViaColumn { levels } => {
+            h.field_str(&format!("{label}.channel"), "stacked_via_column");
+            h.field_u64(&format!("{label}.levels"), *levels as u64);
+        }
+        ChannelKind::MicroBump => {
+            h.field_str(&format!("{label}.channel"), "microbump");
+        }
+        ChannelKind::BackToBackTsv => {
+            h.field_str(&format!("{label}.channel"), "back_to_back_tsv");
+        }
+    }
+    let spec = ctx.spec(channel.tech());
+    for field in SpecField::ALL {
+        hash_spec_field(h, spec, field);
+    }
+}
+
+/// The links stage's store key for one row: the row technology and both
+/// extracted channels (with the full specs they are simulated against).
+/// The monitored-length mode is *not* hashed separately — its entire
+/// effect is the lengths already inside the channel descriptors, so the
+/// two modes share one entry whenever they extract identical channels
+/// (as on Silicon 3D, whose channels carry no length at all).
+pub fn links_store_key(
+    ctx: &StudyContext,
+    tech: InterposerKind,
+    l2m: &ChannelKind,
+    l2l: &ChannelKind,
+) -> StoreKey {
+    let mut h = KeyHasher::new("si_links", LINKS_STAGE_VERSION);
+    h.field_str("tech", &format!("{tech:?}"));
+    hash_channel(&mut h, "l2m", l2m, ctx);
+    hash_channel(&mut h, "l2l", l2l, ctx);
+    h.finish()
+}
+
+/// The uncached link-row computation: simulates both extracted channels
+/// against the specs of the technologies they terminate on. The cached
+/// entry point wrapping this is [`StudyContext::links_row`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub(crate) fn simulate_row(
+    ctx: &StudyContext,
+    tech: InterposerKind,
+    l2m: &ChannelKind,
+    l2l: &ChannelKind,
+) -> Result<Table5Row, FlowError> {
+    let l2m = simulate_link_with(l2m, ctx.spec(l2m.tech()))?;
+    let l2l = simulate_link_with(l2l, ctx.spec(l2l.tech()))?;
+    Ok(Table5Row { tech, l2m, l2l })
+}
+
 /// Builds one Table V row against the default context.
 ///
 /// # Errors
@@ -146,7 +219,8 @@ pub fn row(tech: InterposerKind, mode: MonitorLengths) -> Result<Table5Row, Flow
 /// Builds one Table V row against an explicit context: each link is
 /// simulated with the spec of the channel's own technology as resolved
 /// by `ctx` (scenario overrides reach the RLGC extraction and the bump
-/// models).
+/// models). Rows are memoized per (technology, mode) in `ctx` — and
+/// shared through its artifact store when one is attached.
 ///
 /// # Errors
 ///
@@ -156,10 +230,7 @@ pub fn row_in(
     tech: InterposerKind,
     mode: MonitorLengths,
 ) -> Result<Table5Row, FlowError> {
-    let (l2m, l2l) = channels_for_in(ctx, tech, mode)?;
-    let l2m = simulate_link_with(&l2m, ctx.spec(l2m.tech()))?;
-    let l2l = simulate_link_with(&l2l, ctx.spec(l2l.tech()))?;
-    Ok(Table5Row { tech, l2m, l2l })
+    ctx.links_row(tech, mode).map(|row| (*row).clone())
 }
 
 /// Builds the whole Table V (all six packaged technologies), simulating

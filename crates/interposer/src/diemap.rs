@@ -11,11 +11,11 @@ use chiplet::bumpmap::{paper_plan_with, BumpPlan};
 use netlist::chiplet_netlist::ChipletKind;
 use netlist::openpiton::INTRA_TILE_CUT;
 use netlist::serdes::SerdesPlan;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
 
 /// One placed die on (or in) the interposer.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DieSite {
     /// Which tile the die belongs to (0 or 1).
     pub tile: usize,
@@ -94,7 +94,7 @@ fn edge_cluster_map(bumps: &BumpPlan, intra: usize, inter: usize, edge: Edge) ->
 }
 
 /// How a net physically connects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NetClass {
     /// Logic-to-memory within a tile, routed laterally on the RDL.
     IntraTileLateral,
@@ -106,7 +106,7 @@ pub enum NetClass {
 }
 
 /// One global net to route.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetSpec {
     /// Net index.
     pub id: usize,
@@ -119,7 +119,7 @@ pub struct NetSpec {
 }
 
 /// The full die placement for one technology.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiePlacement {
     /// Technology.
     pub tech: InterposerKind,

@@ -5,12 +5,12 @@
 //! interconnects: TGVs through the glass core, TSVs through the silicon
 //! interposer to C4 bumps, and plated through-holes through organic cores.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
 use techlib::via::{ViaKind, ViaModel};
 
 /// The P/G vertical-interconnect species per technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PgViaKind {
     /// Through-glass via.
     Tgv,
@@ -21,7 +21,7 @@ pub enum PgViaKind {
 }
 
 /// The generated PDN of one interposer.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PdnPlan {
     /// Technology.
     pub tech: InterposerKind,

@@ -14,13 +14,15 @@ use crate::pdn::PdnPlan;
 use crate::router::{self, RoutedNet};
 use crate::stats::RoutingStats;
 use crate::RouteError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use techlib::memo::ArcMemo;
 use techlib::spec::{InterposerKind, InterposerSpec, Stacking};
+use techlib::store::{ArtifactStore, Codec, SpecField, StoreKey};
 
 /// The complete interposer layout for one technology.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InterposerLayout {
     /// The interposer spec the layout was placed and routed against
     /// (carries any scenario overrides into downstream length queries).
@@ -66,6 +68,48 @@ impl InterposerLayout {
     }
 }
 
+/// Algorithm version of the layout stage (place + route + PDN). Bump
+/// whenever placement, routing, PDN generation, or the serialized shape
+/// of [`InterposerLayout`] changes, so persisted artifacts from older
+/// binaries miss instead of resurfacing stale results.
+pub const LAYOUT_STAGE_VERSION: u32 = 1;
+
+/// The spec fields place-and-route actually consumes: everything
+/// *except* `loss_tangent`, which only the SI link simulation reads.
+/// Placement reads the geometry fields, the routing grid reads the wire
+/// rules, and the PDN plan reads `dielectric_constant` (plane
+/// capacitance), so those all stay in the projection. A sweep that only
+/// varies `loss_tangent` therefore shares one layout across scenarios.
+pub const LAYOUT_PROJECTION: &[SpecField] = &[
+    SpecField::Kind,
+    SpecField::SignalMetalLayers,
+    SpecField::MetalThicknessUm,
+    SpecField::DielectricThicknessUm,
+    SpecField::DielectricConstant,
+    SpecField::MinWireWidthUm,
+    SpecField::MinWireSpaceUm,
+    SpecField::ViaSizeUm,
+    SpecField::BumpSizeUm,
+    SpecField::DieToDieSpacingUm,
+    SpecField::MicrobumpPitchUm,
+    SpecField::Stacking,
+    SpecField::RoutingStyle,
+    SpecField::CoreThicknessUm,
+];
+
+/// The layout stage's store key for `spec`.
+pub fn layout_store_key(spec: &InterposerSpec) -> StoreKey {
+    techlib::store::projection_key("layout", LAYOUT_STAGE_VERSION, spec, LAYOUT_PROJECTION, &[])
+}
+
+/// JSON codec for persisted layouts.
+fn layout_codec() -> Codec<InterposerLayout> {
+    Codec {
+        encode: |layout| serde_json::to_string(layout).ok(),
+        decode: |text| serde_json::from_str_typed(text).ok(),
+    }
+}
+
 /// A per-scenario layout cache: one memo cell per technology, each
 /// holding the routed layout for that scenario's spec. Placement and
 /// routing are deterministic, so sharing a cache's results is safe;
@@ -81,6 +125,7 @@ impl InterposerLayout {
 #[derive(Debug, Default)]
 pub struct LayoutCache {
     cells: [ArcMemo<InterposerLayout>; InterposerKind::COUNT],
+    computes: AtomicUsize,
 }
 
 impl LayoutCache {
@@ -88,6 +133,7 @@ impl LayoutCache {
     pub const fn new() -> LayoutCache {
         LayoutCache {
             cells: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            computes: AtomicUsize::new(0),
         }
     }
 
@@ -98,13 +144,46 @@ impl LayoutCache {
     ///
     /// Same as [`place_and_route_with`]; errors are never cached.
     pub fn layout(&self, spec: &InterposerSpec) -> Result<Arc<InterposerLayout>, RouteError> {
-        self.cells[spec.kind.index()].get_or_try(|| place_and_route_with(spec))
+        self.layout_via(spec, None)
+    }
+
+    /// [`layout`](LayoutCache::layout) with an optional shared artifact
+    /// store behind this cache's own cell. On a local miss the store is
+    /// consulted under the stage key ([`layout_store_key`]) before
+    /// place-and-route runs, so scenarios whose specs agree on
+    /// [`LAYOUT_PROJECTION`] share one routed layout — across contexts,
+    /// and across processes when the store has a disk tier. The layout is
+    /// deterministic in the projected fields, so a store hit is
+    /// indistinguishable from recomputing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`place_and_route_with`]; errors reach neither the cache
+    /// nor the store.
+    pub fn layout_via(
+        &self,
+        spec: &InterposerSpec,
+        store: Option<&ArtifactStore>,
+    ) -> Result<Arc<InterposerLayout>, RouteError> {
+        let cell = &self.cells[spec.kind.index()];
+        let compute = || {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            place_and_route_with(spec)
+        };
+        match store {
+            Some(store) => cell.get_or_try_arc(|| {
+                store
+                    .get_or_compute(layout_store_key(spec), &layout_codec(), compute)
+                    .map(|(layout, _)| layout)
+            }),
+            None => cell.get_or_try_arc(|| compute().map(Arc::new)),
+        }
     }
 
     /// How many place-and-route computations this cache has actually run
-    /// (cache hits don't count).
+    /// (cache hits — local or store — don't count; failed computes do).
     pub fn compute_count(&self) -> usize {
-        self.cells.iter().map(ArcMemo::compute_count).sum()
+        self.computes.load(Ordering::Relaxed)
     }
 
     /// Forgets every cached layout so the next call re-routes.

@@ -66,7 +66,7 @@
 use crate::diemap::{DiePlacement, NetClass};
 use crate::grid::{GridWindow, RoutingGrid};
 use crate::RouteError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -92,7 +92,7 @@ pub const INITIAL_WINDOW_MARGIN: usize = 8;
 pub const WINDOW_GROWTH: usize = 4;
 
 /// One routed net.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoutedNet {
     /// Net id (index into the placement's net list).
     pub id: usize,

@@ -2,12 +2,12 @@
 
 use crate::diemap::{DiePlacement, NetClass};
 use crate::router::RoutedNet;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::spec::{InterposerKind, InterposerSpec};
 use techlib::via::stacked_via_column;
 
 /// The routing statistics row of Table IV for one interposer.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoutingStats {
     /// Technology.
     pub tech: InterposerKind,

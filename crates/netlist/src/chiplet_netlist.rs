@@ -8,11 +8,11 @@
 use crate::design::Design;
 use crate::partition::Partition;
 use crate::serdes::SerdesPlan;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::cells::CellClass;
 
 /// Which chiplet of a tile this is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChipletKind {
     /// Core + FPU + CCX + L1/L2 + NoC router (+ SerDes).
     Logic,
@@ -37,7 +37,7 @@ impl std::fmt::Display for ChipletKind {
 }
 
 /// The synthesised netlist of one chiplet.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChipletNetlist {
     /// Logic or memory.
     pub kind: ChipletKind,

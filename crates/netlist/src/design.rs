@@ -6,11 +6,11 @@
 //! is exactly the granularity the paper's chipletization step works at.
 
 use crate::NetlistError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::cells::CellClass;
 
 /// Index of a module within a [`Design`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ModuleId(pub usize);
 
 /// A leaf module with a synthesised cell population.

@@ -7,10 +7,10 @@
 use crate::design::{Design, ModuleId};
 use crate::openpiton;
 use crate::NetlistError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A two-way assignment of a tile's modules to logic/memory chiplets.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Partition {
     /// Which tile this partition covers.
     pub tile: usize,

@@ -11,7 +11,7 @@
 use circuit::netlist::Circuit;
 use circuit::tran::{cross_time, simulate, TranConfig};
 use circuit::CircuitError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use techlib::bump::BumpModel;
 use techlib::calib;
 use techlib::iodriver::IoDriver;
@@ -70,7 +70,7 @@ impl ChannelKind {
 }
 
 /// Delay/power result of one link (one Table V row half).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LinkReport {
     /// Driver (TX+RX) delay including local bump loading, ps.
     pub driver_delay_ps: f64,

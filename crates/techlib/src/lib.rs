@@ -37,6 +37,7 @@ pub mod par;
 pub mod reliability;
 pub mod spec;
 pub mod stackup;
+pub mod store;
 pub mod units;
 pub mod via;
 

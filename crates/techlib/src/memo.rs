@@ -54,6 +54,18 @@ impl<T> ArcMemo<T> {
     ///
     /// Propagates the error from `f` without caching it.
     pub fn get_or_try<E>(&self, f: impl FnOnce() -> Result<T, E>) -> Result<Arc<T>, E> {
+        self.get_or_try_arc(|| f().map(Arc::new))
+    }
+
+    /// [`get_or_try`](ArcMemo::get_or_try) for closures that already
+    /// produce an [`Arc`] — e.g. a handle shared out of an artifact
+    /// store — so the value is not wrapped a second time and ends up
+    /// pointer-shared with every other cache holding it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `f` without caching it.
+    pub fn get_or_try_arc<E>(&self, f: impl FnOnce() -> Result<Arc<T>, E>) -> Result<Arc<T>, E> {
         if let Some(v) = read(&self.slot).as_ref() {
             crate::obs::add(crate::obs::MEMO_HIT, 1);
             return Ok(Arc::clone(v));
@@ -65,7 +77,7 @@ impl<T> ArcMemo<T> {
         }
         crate::obs::add(crate::obs::MEMO_COMPUTE, 1);
         self.computes.fetch_add(1, Ordering::Relaxed);
-        let v = Arc::new(f()?);
+        let v = f()?;
         *guard = Some(Arc::clone(&v));
         Ok(v)
     }

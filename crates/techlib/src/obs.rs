@@ -124,9 +124,19 @@ pub const SERVE_CONTEXT_HITS: Counter = Counter(16);
 pub const SERVE_CONTEXT_MISSES: Counter = Counter(17);
 /// Serve requests fully executed (success or per-scenario error body).
 pub const SERVE_COMPLETED: Counter = Counter(18);
+/// Artifact-store hits served from the in-memory tier.
+pub const STORE_MEM_HIT: Counter = Counter(19);
+/// Artifact-store hits decoded from the on-disk tier.
+pub const STORE_DISK_HIT: Counter = Counter(20);
+/// Artifact-store misses (the compute closure ran).
+pub const STORE_MISS: Counter = Counter(21);
+/// Artifacts written to the on-disk tier.
+pub const STORE_WRITE: Counter = Counter(22);
+/// On-disk entries discarded as corrupt/undecodable (treated as a miss).
+pub const STORE_INVALID: Counter = Counter(23);
 
 /// Names of every registered counter, indexed by [`Counter`] handle.
-pub const COUNTER_NAMES: [&str; 19] = [
+pub const COUNTER_NAMES: [&str; 24] = [
     "memo.hit",
     "memo.compute",
     "router.nets_routed",
@@ -146,6 +156,11 @@ pub const COUNTER_NAMES: [&str; 19] = [
     "serve.context_hits",
     "serve.context_misses",
     "serve.completed",
+    "store.mem_hit",
+    "store.disk_hit",
+    "store.miss",
+    "store.write",
+    "store.invalid",
 ];
 
 static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =

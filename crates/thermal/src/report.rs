@@ -3,13 +3,15 @@
 use crate::model::ThermalModel;
 use crate::solver::{solve, SolveConfig, TemperatureField};
 use crate::ThermalError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use techlib::memo::ArcMemo;
 use techlib::spec::{InterposerKind, InterposerSpec};
+use techlib::store::{ArtifactStore, Codec, SpecField, StoreKey};
 
 /// Peak chiplet and interposer temperatures for one assembly.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThermalReport {
     /// Technology.
     pub tech: InterposerKind,
@@ -48,6 +50,37 @@ impl ThermalReport {
     }
 }
 
+/// Algorithm version of the thermal stage (model build + SOR solve).
+/// Bump whenever the mesh, boundary conditions, solver tolerances, or
+/// the serialized shape of [`ThermalReport`] changes.
+pub const THERMAL_STAGE_VERSION: u32 = 1;
+
+/// The spec fields the thermal stage actually consumes. The model is
+/// built from the stacking style and the technology's fixed geometry
+/// (`ThermalModel::for_spec` reads nothing else), so every electrical
+/// override — loss tangent, wire rules, dielectric constant — shares
+/// one solve.
+pub const THERMAL_PROJECTION: &[SpecField] = &[SpecField::Kind, SpecField::Stacking];
+
+/// The thermal stage's store key for `spec`.
+pub fn thermal_store_key(spec: &InterposerSpec) -> StoreKey {
+    techlib::store::projection_key(
+        "thermal",
+        THERMAL_STAGE_VERSION,
+        spec,
+        THERMAL_PROJECTION,
+        &[],
+    )
+}
+
+/// JSON codec for persisted thermal reports.
+fn thermal_codec() -> Codec<ThermalReport> {
+    Codec {
+        encode: |report| serde_json::to_string(report).ok(),
+        decode: |text| serde_json::from_str_typed(text).ok(),
+    }
+}
+
 /// A per-scenario thermal-report cache: one memo cell per technology
 /// (the field is deterministic and each solve takes ~a second). Only
 /// **successes** are memoised — an error (including one injected at the
@@ -56,6 +89,7 @@ impl ThermalReport {
 #[derive(Debug, Default)]
 pub struct ThermalCache {
     cells: [ArcMemo<ThermalReport>; InterposerKind::COUNT],
+    computes: AtomicUsize,
 }
 
 impl ThermalCache {
@@ -63,6 +97,7 @@ impl ThermalCache {
     pub const fn new() -> ThermalCache {
         ThermalCache {
             cells: [const { ArcMemo::new() }; InterposerKind::COUNT],
+            computes: AtomicUsize::new(0),
         }
     }
 
@@ -75,6 +110,25 @@ impl ThermalCache {
     /// `thermal.solve` fault site (checked before the cache so an armed
     /// fault always fires).
     pub fn analyze(&self, spec: &InterposerSpec) -> Result<Arc<ThermalReport>, ThermalError> {
+        self.analyze_via(spec, None)
+    }
+
+    /// [`analyze`](ThermalCache::analyze) with an optional shared
+    /// artifact store behind this cache's own cell, keyed by
+    /// [`thermal_store_key`]. The `thermal.solve` fault site stays ahead
+    /// of *both* tiers, so an armed fault fires without ever touching
+    /// shared state — fault-armed scenarios are additionally given no
+    /// store at all by the batch layer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`analyze`](ThermalCache::analyze); errors reach neither
+    /// the cache nor the store.
+    pub fn analyze_via(
+        &self,
+        spec: &InterposerSpec,
+        store: Option<&ArtifactStore>,
+    ) -> Result<Arc<ThermalReport>, ThermalError> {
         if techlib::faults::armed("thermal.solve") {
             return Err(ThermalError::NoConvergence {
                 iterations: 0,
@@ -82,17 +136,27 @@ impl ThermalCache {
                 tolerance_k: SolveConfig::default().tolerance_k,
             });
         }
-        self.cells[spec.kind.index()].get_or_try(|| {
+        let cell = &self.cells[spec.kind.index()];
+        let compute = || {
+            self.computes.fetch_add(1, Ordering::Relaxed);
             let model = ThermalModel::for_spec(spec)?;
             let field = solve(&model, &SolveConfig::default())?;
             Ok(ThermalReport::from_field(&model, &field))
-        })
+        };
+        match store {
+            Some(store) => cell.get_or_try_arc(|| {
+                store
+                    .get_or_compute(thermal_store_key(spec), &thermal_codec(), compute)
+                    .map(|(report, _)| report)
+            }),
+            None => cell.get_or_try_arc(|| compute().map(Arc::new)),
+        }
     }
 
     /// How many thermal solves this cache has actually run (cache hits
-    /// don't count).
+    /// — local or store — don't count; failed computes do).
     pub fn compute_count(&self) -> usize {
-        self.cells.iter().map(ArcMemo::compute_count).sum()
+        self.computes.load(Ordering::Relaxed)
     }
 
     /// Forgets every cached report so the next call re-solves.

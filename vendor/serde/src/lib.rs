@@ -2,16 +2,20 @@
 //!
 //! The build environment has no registry access, so this crate provides the
 //! slice of serde the workspace consumes: a `Serialize` trait driving the
-//! sibling `serde_json` stub, a `Deserialize` marker so existing
-//! `#[derive(Deserialize)]` attributes keep compiling, and re-exported
-//! derive macros behind the usual `derive` feature.
+//! sibling `serde_json` stub, a `Deserialize` trait rebuilding values from
+//! the same tree, and re-exported derive macros behind the usual `derive`
+//! feature.
 //!
 //! Instead of serde's visitor-based serializer traits, `Serialize` lowers a
 //! value into a [`Content`] tree — the same "self-describing value"
 //! shortcut serde itself uses internally for untagged enums. `serde_json`
-//! then renders the tree. The externally-tagged enum representation and
-//! field ordering match upstream serde, so JSON produced here is identical
-//! to what the real crates would emit for this workspace's types.
+//! then renders the tree. Deserialization runs the same road in reverse:
+//! [`Deserialize::from_content`] rebuilds a typed value from a [`Content`]
+//! tree (produced by `serde_json::from_str_typed`). The externally-tagged
+//! enum representation and field ordering match upstream serde, so JSON
+//! produced here is identical to what the real crates would emit for this
+//! workspace's types, and every value this stub serializes deserializes
+//! back to an equal value.
 
 /// A self-describing serialized value (JSON-shaped).
 #[derive(Debug, Clone, PartialEq)]
@@ -34,15 +38,153 @@ pub enum Content {
     Map(Vec<(String, Content)>),
 }
 
+impl Content {
+    /// Short tag for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Map lookup by key (first match, like upstream struct access).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `self` is not a map or the key is absent.
+    pub fn field(&self, key: &str) -> Result<&Content, DeError> {
+        match self {
+            Content::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{key}`"))),
+            other => Err(DeError::expected("a map", other)),
+        }
+    }
+
+    /// Sequence items, requiring an exact length (tuples, tuple structs).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `self` is not a sequence of exactly `expect` items.
+    pub fn items(&self, expect: usize) -> Result<&[Content], DeError> {
+        let items = self.seq()?;
+        if items.len() == expect {
+            Ok(items)
+        } else {
+            Err(DeError::new(format!(
+                "expected a sequence of {expect} items, got {}",
+                items.len()
+            )))
+        }
+    }
+
+    /// Sequence items of any length (`Vec`).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `self` is not a sequence.
+    pub fn seq(&self) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(DeError::expected("a sequence", other)),
+        }
+    }
+
+    /// Splits an externally-tagged enum value into its variant tag and
+    /// optional payload: `"Tag"` → `("Tag", None)`, `{"Tag": inner}` →
+    /// `("Tag", Some(inner))`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `self` is neither a string nor a one-entry map.
+    pub fn variant(&self) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+            other => Err(DeError::expected("an externally-tagged enum", other)),
+        }
+    }
+
+    /// Requires `self` to be `null` (unit structs).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when `self` is any other variant.
+    pub fn expect_null(&self) -> Result<(), DeError> {
+        match self {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message, mirroring upstream
+/// serde's `de::Error` in spirit (this stub never needs structured codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// "expected X, got `<kind>`" — the usual type-mismatch shape.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// An enum tag that names no variant of `ty`.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+
+    /// A data-carrying enum variant arrived without a payload.
+    pub fn missing_value(variant: &str) -> DeError {
+        DeError(format!("variant `{variant}` is missing its value"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
 /// A value that can lower itself into a [`Content`] tree.
 pub trait Serialize {
     /// Build the serialized form of `self`.
     fn to_content(&self) -> Content;
 }
 
-/// Marker trait so `#[derive(Deserialize)]` keeps compiling; the workspace
-/// never deserializes at runtime.
-pub trait Deserialize<'de>: Sized {}
+/// A value that can rebuild itself from a [`Content`] tree.
+///
+/// The lifetime parameter mirrors upstream serde so existing
+/// `#[derive(Deserialize)]` attributes and bounds keep compiling; this
+/// stub always deserializes from an owned tree (see [`DeserializeOwned`]).
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild a value from its serialized form.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the tree does not describe a `Self`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// A type deserializable from an owned tree — the bound generic callers
+/// want (`serde_json::from_str_typed`), matching upstream's alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -54,6 +196,17 @@ macro_rules! impl_serialize_unsigned {
                 Content::U64(*self as u64)
             }
         }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match *content {
+                    Content::U64(u) => u,
+                    Content::I64(i) if i >= 0 => i as u64,
+                    ref other => return Err(DeError::expected(stringify!($ty), other)),
+                };
+                <$ty>::try_from(wide).map_err(|_| DeError::expected(stringify!($ty), content))
+            }
+        }
     )*};
 }
 
@@ -62,6 +215,19 @@ macro_rules! impl_serialize_signed {
         impl Serialize for $ty {
             fn to_content(&self) -> Content {
                 Content::I64(*self as i64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = match *content {
+                    Content::I64(i) => i,
+                    Content::U64(u) => {
+                        i64::try_from(u).map_err(|_| DeError::expected(stringify!($ty), content))?
+                    }
+                    ref other => return Err(DeError::expected(stringify!($ty), other)),
+                };
+                <$ty>::try_from(wide).map_err(|_| DeError::expected(stringify!($ty), content))
             }
         }
     )*};
@@ -76,9 +242,31 @@ impl Serialize for f64 {
     }
 }
 
+impl<'de> Deserialize<'de> for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        // Integer content is accepted so hand-written JSON like `"x": 3`
+        // fills float fields, matching upstream. Values this stub
+        // serialized always come back as `F64` (the renderer forces a
+        // trailing `.0` on integral floats), so round-trips stay exact,
+        // including the sign of -0.0.
+        match *content {
+            Content::F64(x) => Ok(x),
+            Content::I64(i) => Ok(i as f64),
+            Content::U64(u) => Ok(u as f64),
+            ref other => Err(DeError::expected("f64", other)),
+        }
+    }
+}
+
 impl Serialize for f32 {
     fn to_content(&self) -> Content {
         Content::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|x| x as f32)
     }
 }
 
@@ -88,9 +276,33 @@ impl Serialize for bool {
     }
 }
 
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
 impl Serialize for char {
     fn to_content(&self) -> Content {
         Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::new("expected a one-character string")),
+                }
+            }
+            other => Err(DeError::expected("char", other)),
+        }
     }
 }
 
@@ -103,6 +315,15 @@ impl Serialize for str {
 impl Serialize for String {
     fn to_content(&self) -> Content {
         Content::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
     }
 }
 
@@ -121,9 +342,24 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_content(&self) -> Content {
         self.as_slice().to_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content.seq()?.iter().map(T::from_content).collect()
     }
 }
 
@@ -139,9 +375,27 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content.items(N)?;
+        let vec: Vec<T> = items
+            .iter()
+            .map(T::from_content)
+            .collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::new(format!("expected a sequence of {N} items")))
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn to_content(&self) -> Content {
         (**self).to_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
     }
 }
 
@@ -152,6 +406,14 @@ macro_rules! impl_serialize_tuple {
                 Content::Seq(vec![$(self.$idx.to_content()),+])
             }
         }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = content.items(LEN)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
     )*};
 }
 
@@ -160,4 +422,61 @@ impl_serialize_tuple! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + DeserializeOwned,
+    {
+        T::from_content(&value.to_content()).expect("round-trips")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip(&42u8), 42);
+        assert_eq!(round_trip(&usize::MAX), usize::MAX);
+        assert_eq!(round_trip(&-7i32), -7);
+        assert_eq!(round_trip(&2.5f64), 2.5);
+        assert_eq!(round_trip(&(-0.0f64)).to_bits(), (-0.0f64).to_bits());
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&'é'), 'é');
+        assert_eq!(round_trip(&String::from("glass")), "glass");
+    }
+
+    #[test]
+    fn integers_cross_signedness_when_in_range() {
+        assert_eq!(u32::from_content(&Content::I64(7)).unwrap(), 7);
+        assert_eq!(i64::from_content(&Content::U64(7)).unwrap(), 7);
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(i8::from_content(&Content::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip(&vec![1u64, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(round_trip(&Some(1.5f64)), Some(1.5));
+        assert_eq!(round_trip(&Option::<f64>::None), None);
+        assert_eq!(round_trip(&(1u64, -2i64, 3.5f64)), (1, -2, 3.5));
+        assert_eq!(round_trip(&[1u64, 2]), [1, 2]);
+        assert_eq!(round_trip(&Box::new(9usize)), Box::new(9));
+        assert_eq!(
+            round_trip(&vec![(1usize, 2.5f64), (3, 4.5)]),
+            vec![(1, 2.5), (3, 4.5)]
+        );
+    }
+
+    #[test]
+    fn mismatches_report_useful_errors() {
+        let err = f64::from_content(&Content::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected f64"));
+        let err = Content::Map(vec![]).field("pitch").unwrap_err();
+        assert!(err.to_string().contains("missing field `pitch`"));
+        assert!(Content::Seq(vec![]).items(2).is_err());
+        assert!(Content::Null.variant().is_err());
+    }
 }

@@ -88,10 +88,70 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: ::serde::Deserialize::from_content(\
+                         __content.field(\"{}\")?)?,",
+                        f,
+                        key_name(f)
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({} {{ {} }})",
+                item.name,
+                inits.join("")
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_content(__content)?))",
+            item.name
+        ),
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __content.items({})?; \
+                 ::std::result::Result::Ok({}({}))",
+                n,
+                item.name,
+                inits.join("")
+            )
+        }
+        ItemKind::UnitStruct => format!(
+            "__content.expect_null()?; ::std::result::Result::Ok({})",
+            item.name
+        ),
+        ItemKind::Enum(variants) => {
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.fields, VariantFields::Unit));
+            let binder = if has_data { "__value" } else { "_" };
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| enum_de_arm(&item.name, v))
+                .collect();
+            format!(
+                "let (__tag, {binder}) = __content.variant()?; \
+                 match __tag {{ {} __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{}\")), }}",
+                arms.join(""),
+                item.name
+            )
+        }
+    };
     format!(
         "#[automatically_derived]\n\
-         impl<'de> ::serde::Deserialize<'de> for {} {{}}",
-        item.name
+         impl<'de> ::serde::Deserialize<'de> for {} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {} }}\n\
+         }}",
+        item.name, body
     )
     .parse()
     .expect("serde_derive stub: generated impl must parse")
@@ -150,6 +210,63 @@ fn enum_arm(enum_name: &str, v: &Variant) -> String {
                 fields.join(","),
                 tag,
                 pairs.join("")
+            )
+        }
+    }
+}
+
+/// One `match` arm deserializing `variant` from serde's externally-tagged
+/// representation. The surrounding codegen has already split the tag and
+/// payload into `__tag` / `__value`.
+fn enum_de_arm(enum_name: &str, v: &Variant) -> String {
+    let tag = key_name(&v.name);
+    let take_value =
+        format!("let __v = __value.ok_or_else(|| ::serde::DeError::missing_value(\"{tag}\"))?;");
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "\"{}\" => ::std::result::Result::Ok({}::{}),",
+            tag, enum_name, v.name
+        ),
+        VariantFields::Tuple(1) => format!(
+            "\"{}\" => {{ {} ::std::result::Result::Ok({}::{}(\
+                 ::serde::Deserialize::from_content(__v)?)) }}",
+            tag, take_value, enum_name, v.name
+        ),
+        VariantFields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "\"{}\" => {{ {} let __items = __v.items({})?; \
+                 ::std::result::Result::Ok({}::{}({})) }}",
+                tag,
+                take_value,
+                n,
+                enum_name,
+                v.name,
+                inits.join("")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: ::serde::Deserialize::from_content(\
+                         __inner.field(\"{}\")?)?,",
+                        f,
+                        key_name(f)
+                    )
+                })
+                .collect();
+            format!(
+                "\"{}\" => {{ {} let __inner = __v; \
+                 ::std::result::Result::Ok({}::{} {{ {} }}) }}",
+                tag,
+                take_value,
+                enum_name,
+                v.name,
+                inits.join("")
             )
         }
     }

@@ -3,7 +3,8 @@
 //! Renders the [`serde::Content`] tree produced by the sibling `serde`
 //! stub. Supports the API surface the workspace uses: [`to_string`],
 //! [`to_string_pretty`], [`to_value`], [`Value`] with `&str`/`usize`
-//! indexing, the `as_*` accessors, and comparisons against literals.
+//! indexing, the `as_*` accessors, comparisons against literals, and
+//! typed parsing via [`from_str_typed`].
 //!
 //! Formatting follows upstream serde_json: compact output has no spaces,
 //! pretty output indents by two spaces, strings carry the standard JSON
@@ -425,10 +426,10 @@ fn write_f64(out: &mut String, x: f64) {
 
 /// Parses a JSON document into a [`Value`] tree.
 ///
-/// Unlike upstream there is no typed `Deserialize`; callers walk the
-/// returned [`Value`] with `get`/`as_*`. Numbers parse to `I64`/`U64`
-/// when integral and `F64` otherwise; duplicate object keys keep both
-/// entries (lookup returns the first, matching [`Value::get`]).
+/// Callers either walk the returned [`Value`] with `get`/`as_*`, or use
+/// [`from_str_typed`] to rebuild a concrete type. Numbers parse to
+/// `I64`/`U64` when integral and `F64` otherwise; duplicate object keys
+/// keep both entries (lookup returns the first, matching [`Value::get`]).
 ///
 /// # Errors
 ///
@@ -444,6 +445,24 @@ pub fn from_str(s: &str) -> Result<Value> {
         return Err(p.err("trailing characters after the document"));
     }
     Ok(v)
+}
+
+/// Parses a JSON document straight into a typed value.
+///
+/// Upstream's `from_str<T: Deserialize>` with a different name: keeping
+/// [`from_str`] monomorphic preserves inference at the existing
+/// `Value`-walking call sites. The parse goes text → [`Value`] →
+/// [`serde::Content`] → `T`; any value [`to_string`] rendered round-trips
+/// to an equal value (non-finite floats excepted — they serialize as
+/// `null` and fail the typed rebuild).
+///
+/// # Errors
+///
+/// [`Error`] for malformed JSON or a document that does not describe a
+/// `T`.
+pub fn from_str_typed<T: serde::DeserializeOwned>(s: &str) -> Result<T> {
+    let value = from_str(s)?;
+    T::from_content(&value.to_content()).map_err(|e| Error(e.to_string()))
 }
 
 const MAX_DEPTH: usize = 128;
@@ -773,6 +792,33 @@ mod tests {
         let v = from_str(" \n\t{ \"a\" : [ ] , \"b\" : { } } ").unwrap();
         assert_eq!(v["a"], Value::Array(vec![]));
         assert_eq!(v["b"], Value::Object(vec![]));
+    }
+
+    #[test]
+    fn typed_parse_round_trips_serialized_values() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(usize, f64)> = from_str_typed(&text).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<Vec<u64>> = from_str_typed("null").unwrap();
+        assert_eq!(opt, None);
+        let err = from_str_typed::<Vec<u64>>("[1,\"x\"]").unwrap_err();
+        assert!(err.to_string().contains("expected u64"));
+    }
+
+    #[test]
+    fn typed_floats_round_trip_exactly() {
+        // Integral floats keep their forced ".0" and stay floats on the
+        // way back; -0.0 keeps its sign bit; shortest round-trip Display
+        // means every finite f64 survives text and back bit-for-bit.
+        for x in [1.0f64, -0.0, 0.1, 2.5e-300, 1e300, f64::MIN_POSITIVE] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str_typed(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+        // Non-finite floats render as null and refuse the typed rebuild.
+        assert!(from_str_typed::<f64>(&to_string(&f64::NAN).unwrap()).is_err());
     }
 
     #[test]
