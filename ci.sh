@@ -99,6 +99,67 @@ curl -sS -X POST "http://$SERVE_ADDR/shutdown" > /dev/null
 wait "$SERVE_PID"
 echo "    serve smoke: response byte-identical to sweep --json, clean drain"
 
+# Hardening smoke: a daemon with tight read budgets survives a
+# slowloris client, an oversized body declaration, and raw binary
+# garbage fired concurrently with a clean sweep. The clean response
+# must stay byte-identical to sweep --json, the abuse must land in the
+# /stats hardening counters, and /shutdown must still drain cleanly.
+echo "==> codesign serve hardening smoke (adversarial clients, byte-identity, drain)"
+rm -f /tmp/codesign_hard_log.txt /tmp/codesign_hard_body.json
+cargo run --release -q -p codesign --bin codesign -- serve 127.0.0.1:0 \
+    --header-read-ms 1000 --body-read-ms 1500 --write-ms 2000 --max-connections 8 \
+    > /tmp/codesign_hard_log.txt &
+HARD_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" /tmp/codesign_hard_log.txt 2>/dev/null && break
+    sleep 0.1
+done
+HARD_ADDR=$(sed -n 's/^codesign serve listening on //p' /tmp/codesign_hard_log.txt)
+test -n "$HARD_ADDR"
+HARD_HOST=${HARD_ADDR%:*}
+HARD_PORT=${HARD_ADDR##*:}
+# Slowloris: open a connection and drip header bytes one at a time,
+# far slower than the 1 s whole-header budget allows.
+(
+    exec 3<> "/dev/tcp/$HARD_HOST/$HARD_PORT" || exit 0
+    printf 'POST /sweep HTTP/1.1\r\n' >&3 2>/dev/null
+    for _ in $(seq 1 20); do
+        sleep 0.2
+        printf 'a' >&3 2>/dev/null || break
+    done
+    exec 3>&- 2>/dev/null
+) &
+SLOW_PID=$!
+# Raw binary garbage on a second connection.
+(
+    exec 3<> "/dev/tcp/$HARD_HOST/$HARD_PORT" || exit 0
+    head -c 512 /dev/urandom | tr -d '\r\n' >&3 2>/dev/null
+    printf '\r\n\r\n' >&3 2>/dev/null
+    cat <&3 > /dev/null 2>&1
+    exec 3>&- 2>/dev/null
+) &
+GARBAGE_PID=$!
+# Oversized body declaration: must draw 413 without reading a body.
+exec 4<> "/dev/tcp/$HARD_HOST/$HARD_PORT"
+printf 'POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n' >&4
+head -n 1 <&4 | grep -q '413'
+exec 4>&-
+# Known path, wrong method: 405 with an Allow header.
+exec 4<> "/dev/tcp/$HARD_HOST/$HARD_PORT"
+printf 'GET /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n' >&4
+head -c 512 <&4 | grep -q '405 Method Not Allowed'
+exec 4>&-
+# The clean sweep, concurrent with all of the above.
+curl -sS -X POST --data-binary @examples/smoke_scenarios.json \
+    "http://$HARD_ADDR/sweep" > /tmp/codesign_hard_body.json
+cmp /tmp/codesign_hard_body.json /tmp/codesign_smoke_sweep.json
+wait "$SLOW_PID" "$GARBAGE_PID" 2>/dev/null || true
+jq -e '.slow_client_aborts >= 1 and .conn_rejected >= 0 and .write_timeouts >= 0' \
+    <(curl -sS "http://$HARD_ADDR/stats") > /dev/null
+curl -sS -X POST "http://$HARD_ADDR/shutdown" > /dev/null
+wait "$HARD_PID"
+echo "    hardening smoke: clean sweep byte-identical under abuse, clean drain"
+
 # Rustdoc must build warning-free for the workspace crates (broken
 # intra-doc links, bad code fences). --no-deps keeps the gate off the
 # vendored path dependencies' docs.

@@ -1,7 +1,7 @@
 //! Load-tests the `codesign serve` daemon in-process and records the
 //! results under the `"serve"` key of `BENCH_flow.json`.
 //!
-//! Five phases against real loopback sockets:
+//! Six phases against real loopback sockets:
 //!
 //! 1. **Warm-up** — one cold request pays the studies and populates the
 //!    context pool.
@@ -19,6 +19,11 @@
 //!    ([`ServeConfig::cache_dir`]) must let a freshly restarted server
 //!    answer its first request from the previous process's persisted
 //!    stage artifacts, byte-identical to the CLI reference.
+//! 6. **Misbehaving clients** — slowloris headers, drip-fed bodies,
+//!    oversized declarations, binary garbage, and abrupt disconnects
+//!    hammer a hardened server while clean sweeps run; every clean
+//!    response must stay byte-identical to the CLI reference and the
+//!    abuse must land in the hardening counters.
 
 use codesign::serve::{ServeConfig, Server};
 use std::io::{Read as _, Write as _};
@@ -261,6 +266,121 @@ fn main() {
          {restart_warm_s:.3} s ({disk_hits} disk hits)"
     );
 
+    // Phase 6: misbehaving clients against a hardened server. Tight
+    // read budgets so the adversaries are shed quickly; the clean
+    // sweeps interleaved with them must not notice.
+    let (hard, hard_handle) = start(ServeConfig {
+        header_read_ms: 300,
+        body_read_ms: 600,
+        max_connections: 16,
+        ..ServeConfig::default()
+    });
+    // Warm the pool so the clean requests measure the steady state.
+    let (status, body) = request(hard, "POST", "/sweep", &[], SCENARIOS);
+    assert_eq!(status, 200, "{body}");
+    let t4 = Instant::now();
+    let clean_during_abuse: usize = std::thread::scope(|scope| {
+        let slowloris = scope.spawn(move || {
+            // Drips one header byte per 100 ms: the whole-header budget
+            // (300 ms) must cut each attempt loose.
+            for _ in 0..3 {
+                let mut stream = TcpStream::connect(hard).expect("connect");
+                let _ = stream.write_all(b"POST /sweep HTTP/1.1\r\n");
+                for _ in 0..12 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if stream.write_all(b"a").is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let dripper = scope.spawn(move || {
+            // Sends headers promptly, then drips a declared 64-byte
+            // body far past the 600 ms body budget.
+            for _ in 0..3 {
+                let mut stream = TcpStream::connect(hard).expect("connect");
+                let _ = stream
+                    .write_all(b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n");
+                for _ in 0..12 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if stream.write_all(b"[").is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let vandal = scope.spawn(move || {
+            for _ in 0..3 {
+                // Oversized declaration: rejected before any body read.
+                let mut stream = TcpStream::connect(hard).expect("connect");
+                stream
+                    .write_all(
+                        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n",
+                    )
+                    .expect("oversized declaration");
+                let mut raw = Vec::new();
+                let _ = stream.read_to_end(&mut raw);
+                let raw = String::from_utf8_lossy(&raw);
+                assert!(
+                    raw.starts_with("HTTP/1.1 413 "),
+                    "oversized declaration must draw 413: {raw}"
+                );
+                // Binary garbage with a header terminator.
+                let mut stream = TcpStream::connect(hard).expect("connect");
+                let mut garbage: Vec<u8> =
+                    (0u8..=255).filter(|&b| b != b'\r' && b != b'\n').collect();
+                garbage.extend_from_slice(b"\r\n\r\n");
+                let _ = stream.write_all(&garbage);
+                let mut sink = Vec::new();
+                let _ = stream.read_to_end(&mut sink);
+                // Abrupt mid-body disconnect.
+                let mut stream = TcpStream::connect(hard).expect("connect");
+                let _ = stream
+                    .write_all(b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\nab");
+                drop(stream);
+                std::thread::sleep(Duration::from_millis(60));
+            }
+        });
+        let mut clean = 0usize;
+        while !(slowloris.is_finished() && dripper.is_finished() && vandal.is_finished()) {
+            let (status, body) = request(hard, "POST", "/sweep", &[], SCENARIOS);
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(
+                body, reference,
+                "clean responses must stay byte-identical under abuse"
+            );
+            clean += 1;
+        }
+        slowloris.join().expect("slowloris client");
+        dripper.join().expect("drip client");
+        vandal.join().expect("vandal client");
+        clean
+    });
+    let abuse_wall_s = t4.elapsed().as_secs_f64();
+    let (status, stats) = request(hard, "GET", "/stats", &[], "");
+    assert_eq!(status, 200);
+    let stat = |field: &str| -> usize {
+        stats
+            .split(&format!("\"{field}\":"))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or_else(|| panic!("{field} in {stats}"))
+    };
+    let slow_aborts = stat("slow_client_aborts");
+    assert!(
+        slow_aborts > 0,
+        "the slowloris/drip clients must land in slow_client_aborts: {stats}"
+    );
+    shutdown(hard, hard_handle);
+    println!(
+        "misbehaving clients: {clean_during_abuse} clean byte-identical sweeps during \
+         {abuse_wall_s:.3} s of abuse ({slow_aborts} slow-client aborts)"
+    );
+
     let serve = serde_json::Value::Object(vec![
         ("clients".into(), serde_json::Value::from(CLIENTS)),
         (
@@ -305,6 +425,22 @@ fn main() {
         (
             "restart_store_disk_hits".into(),
             serde_json::Value::from(disk_hits),
+        ),
+        (
+            "adversarial_clean_sweeps".into(),
+            serde_json::Value::from(clean_during_abuse),
+        ),
+        (
+            "adversarial_clean_byte_identical".into(),
+            serde_json::Value::from(true),
+        ),
+        (
+            "adversarial_wall_s".into(),
+            serde_json::Value::from(abuse_wall_s),
+        ),
+        (
+            "adversarial_slow_client_aborts".into(),
+            serde_json::Value::from(slow_aborts),
         ),
     ]);
 

@@ -43,7 +43,9 @@ fn usage() -> ! {
     );
     eprintln!(
         "       codesign serve <host:port> [--workers <n>] [--queue-depth <n>] \
-         [--deadline-ms <n>] [--cache-dir <dir>] [--trace <path>] [--stats]"
+         [--deadline-ms <n>] [--max-connections <n>] [--header-read-ms <n>] \
+         [--body-read-ms <n>] [--write-ms <n>] [--cache-dir <dir>] \
+         [--trace <path>] [--stats]"
     );
     eprintln!(
         "       (--cache-dir persists stage artifacts across runs; \
@@ -232,6 +234,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--workers" => config.workers = numeric_flag(arg, iter.next()) as usize,
             "--queue-depth" => config.queue_depth = numeric_flag(arg, iter.next()) as usize,
             "--deadline-ms" => config.default_deadline_ms = Some(numeric_flag(arg, iter.next())),
+            "--max-connections" => {
+                config.max_connections = numeric_flag(arg, iter.next()) as usize;
+            }
+            "--header-read-ms" => config.header_read_ms = numeric_flag(arg, iter.next()),
+            "--body-read-ms" => config.body_read_ms = numeric_flag(arg, iter.next()),
+            "--write-ms" => config.write_ms = numeric_flag(arg, iter.next()),
             "--cache-dir" => match iter.next() {
                 Some(dir) => config.cache_dir = Some(PathBuf::from(dir)),
                 None => {

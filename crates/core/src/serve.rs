@@ -10,11 +10,36 @@
 //! # Request pipeline
 //!
 //! ```text
-//! accept → admission (bounded queue, 429 + Retry-After when full)
+//! accept → connection pool (bounded, 503 + Retry-After at capacity)
+//!        → read (whole-phase header/body budgets, size limits)
+//!        → admission (bounded queue, 429 + Retry-After when full)
 //!        → job queue (FIFO)
 //!        → request worker: deadline scope → context pool → batch run
-//!        → response (byte-identical to `codesign sweep --json`)
+//!        → bounded write (abort-on-stall within the write budget)
 //! ```
+//!
+//! # Network-edge hardening
+//!
+//! Every per-connection resource is explicitly bounded, so a
+//! misbehaving client can never pin a thread or wedge the drain:
+//!
+//! * **Connection pool** — accepted sockets are handled by a
+//!   fixed-size pool of [`ServeConfig::max_connections`] threads; the
+//!   accept loop never spawns. An accept beyond capacity is answered
+//!   `503` + `Retry-After` immediately and closed.
+//! * **Read budgets** — the header section must arrive within
+//!   [`ServeConfig::header_read_ms`] and the body within
+//!   [`ServeConfig::body_read_ms`], *in total*: the deadline is fixed
+//!   when the phase starts, so a slowloris client dripping one byte
+//!   per interval cannot reset it. Exhausting a budget aborts the
+//!   connection with `408` and counts `serve.slow_client_aborts`.
+//! * **Size limits** — header sections over 64 KiB answer `431`;
+//!   bodies declared over [`ServeConfig::max_body_bytes`] answer
+//!   `413` before any body byte is read.
+//! * **Bounded writes** — a whole response must be accepted by the
+//!   peer within [`ServeConfig::write_ms`]; a reader that stalls past
+//!   the budget has its socket dropped (`serve.write_timeouts`), so
+//!   graceful drain completes even against clients that never read.
 //!
 //! * **Admission** — the queue holds at most
 //!   [`ServeConfig::queue_depth`] *waiting* jobs. A request arriving
@@ -94,6 +119,19 @@ pub struct ServeConfig {
     /// the same directory answers its first request from persisted
     /// artifacts. `None` keeps the store in-memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Connection-handler pool size: the hard cap on sockets being
+    /// read, executed, or answered at once. Accepts at capacity are
+    /// answered `503` + `Retry-After` immediately instead of spawning.
+    pub max_connections: usize,
+    /// Whole-header read budget in milliseconds, fixed when the
+    /// connection is picked up — drip-fed bytes never extend it.
+    pub header_read_ms: u64,
+    /// Whole-body read budget in milliseconds, fixed when the header
+    /// section has parsed.
+    pub body_read_ms: u64,
+    /// Whole-response write budget in milliseconds. A reader stalling
+    /// the send past this has its socket dropped (abort-on-stall).
+    pub write_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +142,10 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             max_body_bytes: 4 << 20,
             cache_dir: None,
+            max_connections: 32,
+            header_read_ms: 10_000,
+            body_read_ms: 30_000,
+            write_ms: 10_000,
         }
     }
 }
@@ -213,6 +255,9 @@ fn spec_key(scenario: &Scenario) -> Result<String, FlowError> {
 struct ServeStats {
     requests: AtomicU64,
     rejected: AtomicU64,
+    conn_rejected: AtomicU64,
+    slow_client_aborts: AtomicU64,
+    write_timeouts: AtomicU64,
     deadline_hits: AtomicU64,
     completed: AtomicU64,
     context_hits: AtomicU64,
@@ -235,11 +280,26 @@ struct Queue {
     closed: bool,
 }
 
+/// Accepted sockets waiting for a connection-pool thread. Bounded by
+/// construction: the accept loop only enqueues while `open_conns` is
+/// below [`ServeConfig::max_connections`].
+#[derive(Debug, Default)]
+struct ConnQueue {
+    streams: VecDeque<TcpStream>,
+    closed: bool,
+}
+
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
     queue: Mutex<Queue>,
     ready: Condvar,
+    conns: Mutex<ConnQueue>,
+    conn_ready: Condvar,
+    /// Sockets accepted but not yet fully handled (queued + in
+    /// handling). Only the accept thread increments, so the capacity
+    /// check cannot overshoot.
+    open_conns: AtomicU64,
     pool: ContextPool,
     lease: techlib::par::LeasePool,
     stats: ServeStats,
@@ -262,6 +322,9 @@ impl Shared {
             config,
             queue: Mutex::new(Queue::default()),
             ready: Condvar::new(),
+            conns: Mutex::new(ConnQueue::default()),
+            conn_ready: Condvar::new(),
+            open_conns: AtomicU64::new(0),
             pool: ContextPool::with_store(store),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
@@ -272,6 +335,10 @@ impl Shared {
     fn lock_queue(&self) -> MutexGuard<'_, Queue> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn lock_conns(&self) -> MutexGuard<'_, ConnQueue> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 #[derive(Debug)]
@@ -279,6 +346,7 @@ struct Response {
     status: u16,
     body: String,
     retry_after_s: Option<u64>,
+    allow: Option<&'static str>,
 }
 
 impl Response {
@@ -287,6 +355,7 @@ impl Response {
             status,
             body,
             retry_after_s: None,
+            allow: None,
         }
     }
 }
@@ -388,12 +457,16 @@ impl Server {
     /// Serves until `POST /shutdown` or `SIGTERM`, then drains: stops
     /// accepting, finishes every queued and in-flight job (their
     /// clients still get full responses), joins all workers, and
-    /// returns.
+    /// returns. Every drain step is time-bounded: connection threads
+    /// abort reads at the read budgets and writes at the write budget,
+    /// so even a client that never reads its response cannot wedge the
+    /// join.
     ///
     /// # Errors
     ///
     /// Fatal accept-loop I/O failures (`WouldBlock` is the poll idle
-    /// path, not an error).
+    /// path, not an error). The drain still runs before the error
+    /// returns.
     pub fn run(self) -> std::io::Result<()> {
         install_sigterm_handler();
         let mut workers = Vec::new();
@@ -401,41 +474,119 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        loop {
+        // The fixed-size connection pool: reading, execution hand-off
+        // and the response write for one socket all happen on one of
+        // these threads. The accept loop never spawns, so a client
+        // flood cannot grow the thread count past this cap.
+        let mut handlers = Vec::new();
+        for _ in 0..self.shared.config.max_connections.max(1) {
+            let shared = Arc::clone(&self.shared);
+            handlers.push(std::thread::spawn(move || connection_loop(&shared)));
+        }
+        let result = loop {
             if SIGTERM_SEEN.load(Ordering::Relaxed) {
                 self.shared.shutdown.store(true, Ordering::Relaxed);
             }
             if self.shared.shutdown.load(Ordering::Relaxed) {
-                break;
+                break Ok(());
             }
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&self.shared);
-                    connections.push(std::thread::spawn(move || {
-                        handle_connection(&shared, stream);
-                    }));
-                }
+                Ok((stream, _peer)) => accept_stream(&self.shared, stream),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.shared.shutdown.store(true, Ordering::Relaxed);
+                    break Err(e);
+                }
             }
-            connections.retain(|handle| !handle.is_finished());
+        };
+        // Drain, in dependency order. 1) Close the connection queue and
+        // join the pool: handlers finish their queued and in-flight
+        // sockets (late /sweep admissions answer 503 because the
+        // shutdown flag is set; handlers blocked on a worker reply get
+        // it because the workers are still running). 2) Close the job
+        // queue and join the workers, which finish every admitted job.
+        {
+            self.shared.lock_conns().closed = true;
         }
-        // Drain: close the queue so workers exit once it is empty, then
-        // join them (finishing every queued job and sending its reply),
-        // then join the connection threads (each is blocked at most on
-        // the reply its worker just sent).
+        self.shared.conn_ready.notify_all();
+        for handler in handlers {
+            let _ = handler.join();
+        }
         self.shared.lock_queue().closed = true;
         self.shared.ready.notify_all();
         for worker in workers {
             let _ = worker.join();
         }
-        for connection in connections {
-            let _ = connection.join();
+        result
+    }
+}
+
+/// Hands an accepted socket to the connection pool, or rejects it with
+/// an immediate `503` when the pool is at capacity. The rejection write
+/// is bounded and tiny (it always fits a fresh socket's send buffer),
+/// so a connect flood cannot stall the accept loop.
+fn accept_stream(shared: &Shared, stream: TcpStream) {
+    // Accepted sockets must block (with timeouts): Linux does not make
+    // them inherit the listener's non-blocking flag, but that is
+    // platform-specific, so pin it.
+    let _ = stream.set_nonblocking(false);
+    let capacity = shared.config.max_connections.max(1) as u64;
+    if shared.open_conns.load(Ordering::Relaxed) >= capacity {
+        shared.stats.conn_rejected.fetch_add(1, Ordering::Relaxed);
+        techlib::obs::add(techlib::obs::SERVE_CONN_REJECTED, 1);
+        let mut stream = stream;
+        let reject = Response {
+            status: 503,
+            body: error_body("connection capacity reached"),
+            retry_after_s: Some(1),
+            allow: None,
+        };
+        let _ = write_response_within(&mut stream, &reject, Duration::from_millis(100));
+        // Close gracefully: half-close the write side, then briefly
+        // drain whatever request bytes the client already sent. Closing
+        // with unread data in the receive buffer makes the kernel send
+        // RST, which can discard the buffered 503 before the client
+        // reads it.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut scratch = [0u8; 4096];
+        while let Ok(n) = stream.read(&mut scratch) {
+            if n == 0 {
+                break;
+            }
         }
-        Ok(())
+        return;
+    }
+    shared.open_conns.fetch_add(1, Ordering::Relaxed);
+    shared.lock_conns().streams.push_back(stream);
+    shared.conn_ready.notify_one();
+}
+
+/// One connection-pool thread: picks up accepted sockets until the
+/// queue closes and empties, handling each within the read/write
+/// budgets.
+fn connection_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut conns = shared.lock_conns();
+            loop {
+                if let Some(stream) = conns.streams.pop_front() {
+                    break Some(stream);
+                }
+                if conns.closed {
+                    break None;
+                }
+                conns = shared
+                    .conn_ready
+                    .wait(conns)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(shared, stream);
+        shared.open_conns.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -570,42 +721,130 @@ fn header_ms(request: &Request, name: &str) -> Result<Option<u64>, String> {
         .map_err(|_| format!("{name}: expected a millisecond count, got {raw:?}"))
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => dispatch(shared, &request),
-        Err(e) => Response::json(400, error_body(&format!("malformed request: {e}"))),
-    };
-    write_response(&mut stream, &response);
+/// Largest accepted header section, bytes. Larger requests answer
+/// `431`.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Why a request could not be read. Each variant maps to one response
+/// (or, for [`ReadError::Disconnected`], to none at all).
+#[derive(Debug)]
+enum ReadError {
+    /// A whole-phase read budget ran out: the client dripped bytes too
+    /// slowly (slowloris) or simply stopped sending.
+    Slow { phase: &'static str },
+    /// The peer vanished before a full request arrived; there is
+    /// nobody left to answer.
+    Disconnected,
+    /// The header section exceeded [`MAX_HEADER_BYTES`] (`431`).
+    HeaderTooLarge,
+    /// The declared body exceeds [`ServeConfig::max_body_bytes`]
+    /// (`413`, before any body byte is read).
+    BodyTooLarge { declared: usize, max: usize },
+    /// Anything else unparseable (`400`).
+    Malformed(String),
 }
 
-fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<Request> {
-    let bad = |message: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let response = match read_request(&mut stream, &shared.config) {
+        Ok(request) => dispatch(shared, &request),
+        Err(ReadError::Disconnected) => return,
+        Err(ReadError::Slow { phase }) => {
+            shared
+                .stats
+                .slow_client_aborts
+                .fetch_add(1, Ordering::Relaxed);
+            techlib::obs::add(techlib::obs::SERVE_SLOW_CLIENT_ABORTS, 1);
+            Response::json(408, error_body(&format!("{phase} read budget exhausted")))
+        }
+        Err(ReadError::HeaderTooLarge) => Response::json(
+            431,
+            error_body(&format!("header section exceeds {MAX_HEADER_BYTES} bytes")),
+        ),
+        Err(ReadError::BodyTooLarge { declared, max }) => Response::json(
+            413,
+            error_body(&format!(
+                "request body of {declared} bytes exceeds the {max}-byte limit"
+            )),
+        ),
+        Err(ReadError::Malformed(reason)) => {
+            Response::json(400, error_body(&format!("malformed request: {reason}")))
+        }
+    };
+    let budget = Duration::from_millis(shared.config.write_ms.max(1));
+    if write_response_within(&mut stream, &response, budget) == WriteOutcome::TimedOut {
+        shared.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
+        techlib::obs::add(techlib::obs::SERVE_WRITE_TIMEOUTS, 1);
+    }
+}
+
+/// One bounded read. The deadline is the *phase* deadline — it never
+/// moves, no matter how many bytes trickle in — so the total time a
+/// client can hold the socket in this phase is the configured budget.
+fn read_within(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+    phase: &'static str,
+) -> Result<usize, ReadError> {
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ReadError::Slow { phase });
+        }
+        // `set_read_timeout(Some(ZERO))` is rejected by std; clamping
+        // up a hair keeps the final slice of the budget enforceable.
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    }
+}
+
+fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request, ReadError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    let header_deadline = Instant::now() + Duration::from_millis(config.header_read_ms.max(1));
+    let mut scanned = 0usize;
     let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
+        if let Some(pos) = find_header_end_from(&buf, scanned) {
             break pos;
         }
-        if buf.len() > 64 * 1024 {
-            return Err(bad("header section too large"));
+        // Resume the next scan where a terminator could first straddle
+        // the old/new boundary — three bytes before the current end —
+        // instead of rescanning the whole buffer per read.
+        scanned = buf.len().saturating_sub(3);
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::HeaderTooLarge);
         }
-        let n = stream.read(&mut chunk)?;
+        let n = read_within(stream, &mut chunk, header_deadline, "header")?;
         if n == 0 {
-            return Err(bad("connection closed before the header section ended"));
+            return Err(ReadError::Disconnected);
         }
         buf.extend_from_slice(&chunk[..n]);
     };
-    let head = String::from_utf8(buf[..header_end].to_vec())
-        .map_err(|_| bad("header section is not UTF-8"))?;
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ReadError::Malformed("header section is not UTF-8".to_string()))?;
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request".to_string()))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| bad("missing method"))?
+        .ok_or_else(|| ReadError::Malformed("missing method".to_string()))?
         .to_string();
-    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing path".to_string()))?
+        .to_string();
     let headers: Vec<(String, String)> = lines
         .filter(|line| !line.is_empty())
         .filter_map(|line| {
@@ -613,26 +852,25 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<Requ
             Some((key.trim().to_string(), value.trim().to_string()))
         })
         .collect();
-    let content_length = headers
-        .iter()
-        .find(|(key, _)| key.eq_ignore_ascii_case("content-length"))
-        .map(|(_, value)| value.parse::<usize>())
-        .transpose()
-        .map_err(|_| bad("invalid Content-Length"))?
-        .unwrap_or(0);
-    if content_length > max_body {
-        return Err(bad("request body too large"));
+    let content_length = content_length(&headers)?;
+    if content_length > config.max_body_bytes {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            max: config.max_body_bytes,
+        });
     }
+    let body_deadline = Instant::now() + Duration::from_millis(config.body_read_ms.max(1));
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let n = read_within(stream, &mut chunk, body_deadline, "body")?;
         if n == 0 {
-            return Err(bad("connection closed mid-body"));
+            return Err(ReadError::Disconnected);
         }
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::Malformed("request body is not UTF-8".to_string()))?;
     Ok(Request {
         method,
         path,
@@ -641,8 +879,36 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<Requ
     })
 }
 
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|window| window == b"\r\n\r\n")
+/// Finds `\r\n\r\n`, scanning only from `from` — the caller advances
+/// `from` as the buffer grows, so repeated reads cost O(new bytes), not
+/// O(buffer) each.
+fn find_header_end_from(buf: &[u8], from: usize) -> Option<usize> {
+    let from = from.min(buf.len());
+    buf[from..]
+        .windows(4)
+        .position(|window| window == b"\r\n\r\n")
+        .map(|pos| from + pos)
+}
+
+/// The request's declared body length. Exactly one `Content-Length`
+/// header is accepted: duplicates — even agreeing ones — are
+/// request-smuggling territory and rejected outright.
+fn content_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
+    let mut values = headers
+        .iter()
+        .filter(|(key, _)| key.eq_ignore_ascii_case("content-length"))
+        .map(|(_, value)| value.as_str());
+    let Some(first) = values.next() else {
+        return Ok(0);
+    };
+    if let Some(second) = values.next() {
+        return Err(ReadError::Malformed(format!(
+            "duplicate Content-Length headers ({first:?}, then {second:?})"
+        )));
+    }
+    first
+        .parse::<usize>()
+        .map_err(|_| ReadError::Malformed(format!("invalid Content-Length {first:?}")))
 }
 
 fn dispatch(shared: &Shared, request: &Request) -> Response {
@@ -654,10 +920,25 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             shared.shutdown.store(true, Ordering::Relaxed);
             Response::json(200, "{\"status\":\"draining\"}\n".to_string())
         }
+        // Known paths answer a wrong method with 405 + Allow, not 404.
+        (_, "/sweep" | "/shutdown") => method_not_allowed(request, "POST"),
+        (_, "/stats" | "/healthz") => method_not_allowed(request, "GET"),
         _ => Response::json(
             404,
             error_body(&format!("no route for {} {}", request.method, request.path)),
         ),
+    }
+}
+
+fn method_not_allowed(request: &Request, allow: &'static str) -> Response {
+    Response {
+        status: 405,
+        body: error_body(&format!(
+            "{} not allowed for {}; use {allow}",
+            request.method, request.path
+        )),
+        retry_after_s: None,
+        allow: Some(allow),
     }
 }
 
@@ -696,6 +977,7 @@ fn admit_sweep(shared: &Shared, request: &Request) -> Response {
                 status: 429,
                 body: error_body("queue full"),
                 retry_after_s: Some(1),
+                allow: None,
             };
         }
         queue.jobs.push_back(job);
@@ -740,7 +1022,10 @@ fn stats_body(shared: &Shared) -> String {
     format!(
         concat!(
             "{{\"queue_depth\":{},\"in_flight\":{},\"workers\":{},",
+            "\"open_connections\":{},\"max_connections\":{},",
             "\"lease_total\":{},\"requests\":{},\"rejected\":{},",
+            "\"conn_rejected\":{},\"slow_client_aborts\":{},",
+            "\"write_timeouts\":{},",
             "\"deadline_hits\":{},\"completed\":{},\"context_hits\":{},",
             "\"context_misses\":{},\"context_hit_ratio\":{:.4},",
             "\"contexts_pooled\":{},\"store_mem_hits\":{},",
@@ -752,9 +1037,14 @@ fn stats_body(shared: &Shared) -> String {
         queue_depth,
         stats.in_flight.load(Ordering::Relaxed),
         shared.config.workers.max(1),
+        shared.open_conns.load(Ordering::Relaxed),
+        shared.config.max_connections.max(1),
         shared.lease.total(),
         stats.requests.load(Ordering::Relaxed),
         stats.rejected.load(Ordering::Relaxed),
+        stats.conn_rejected.load(Ordering::Relaxed),
+        stats.slow_client_aborts.load(Ordering::Relaxed),
+        stats.write_timeouts.load(Ordering::Relaxed),
         stats.deadline_hits.load(Ordering::Relaxed),
         stats.completed.load(Ordering::Relaxed),
         hits,
@@ -777,7 +1067,11 @@ fn status_reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -785,23 +1079,81 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) {
+/// How a bounded response write ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteOutcome {
+    /// The whole response reached the peer's socket.
+    Sent,
+    /// The peer stopped draining its side and the whole-response
+    /// budget ran out; the socket was shut down mid-response.
+    TimedOut,
+    /// The peer vanished mid-response; nothing left to bound.
+    Disconnected,
+}
+
+/// Writes `response` with a whole-response budget. The deadline is
+/// fixed up front: a reader that accepts a trickle of bytes per
+/// timeout cannot stretch the send, and a reader that never reads is
+/// abandoned when the budget expires — which is what keeps graceful
+/// drain time-bounded.
+fn write_response_within(
+    stream: &mut TcpStream,
+    response: &Response,
+    budget: Duration,
+) -> WriteOutcome {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         status_reason(response.status),
         response.body.len()
     );
-    if let Some(seconds) = response.retry_after_s {
+    {
         use std::fmt::Write as _;
-        let _ = write!(head, "Retry-After: {seconds}\r\n");
+        if let Some(seconds) = response.retry_after_s {
+            let _ = write!(head, "Retry-After: {seconds}\r\n");
+        }
+        if let Some(methods) = response.allow {
+            let _ = write!(head, "Allow: {methods}\r\n");
+        }
     }
     head.push_str("\r\n");
-    // The client may already be gone; nothing useful to do about a
-    // failed write on a connection we are about to close anyway.
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
+    let deadline = Instant::now() + budget;
+    match write_all_within(stream, head.as_bytes(), deadline) {
+        WriteOutcome::Sent => {}
+        other => return other,
+    }
+    match write_all_within(stream, response.body.as_bytes(), deadline) {
+        WriteOutcome::Sent => {}
+        other => return other,
+    }
     let _ = stream.flush();
+    WriteOutcome::Sent
+}
+
+fn write_all_within(stream: &mut TcpStream, mut bytes: &[u8], deadline: Instant) -> WriteOutcome {
+    while !bytes.is_empty() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // Abort-on-stall: drop the socket rather than wait out a
+            // reader that never drains its side.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return WriteOutcome::TimedOut;
+        }
+        let _ = stream.set_write_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match stream.write(bytes) {
+            Ok(0) => return WriteOutcome::Disconnected,
+            Ok(n) => bytes = &bytes[n..],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return WriteOutcome::Disconnected,
+        }
+    }
+    WriteOutcome::Sent
 }
 
 #[cfg(test)]
@@ -872,7 +1224,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let request = read_request(&mut stream, 1024).unwrap();
+        let config = ServeConfig {
+            max_body_bytes: 1024,
+            ..ServeConfig::default()
+        };
+        let request = read_request(&mut stream, &config).unwrap();
         client.join().unwrap();
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/sweep");
@@ -898,5 +1254,130 @@ mod tests {
             error_body("bad \"x\"\n"),
             "{\"error\":\"bad \\\"x\\\"\\n\"}\n"
         );
+    }
+
+    #[test]
+    fn header_scan_resumes_across_any_chunk_boundary() {
+        let full = b"POST /sweep HTTP/1.1\r\nHost: x\r\n\r\ntrailing body";
+        let end = find_header_end_from(full, 0).expect("terminator present");
+        assert_eq!(&full[end..end + 4], b"\r\n\r\n");
+        // Replay read_request's incremental protocol for every split
+        // point: scan the first chunk from 0, then resume three bytes
+        // before its end once the rest arrives. The resumed scan must
+        // find the terminator wherever the split lands — including
+        // splits inside the \r\n\r\n itself.
+        for split in 0..=full.len() {
+            let found = match find_header_end_from(&full[..split], 0) {
+                Some(pos) => Some(pos),
+                None => find_header_end_from(full, split.saturating_sub(3)),
+            };
+            assert_eq!(found, Some(end), "split at {split}");
+        }
+        // A cursor past the data is clamped, not a panic.
+        assert_eq!(find_header_end_from(b"\r\n", 17), None);
+        // Resuming past the terminator no longer sees it (that is what
+        // makes the scan O(new bytes)).
+        assert_eq!(find_header_end_from(full, end + 1), None);
+    }
+
+    #[test]
+    fn content_length_accepts_exactly_one_header() {
+        let headers = |pairs: &[(&str, &str)]| -> Vec<(String, String)> {
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        assert_eq!(content_length(&headers(&[])).unwrap(), 0);
+        assert_eq!(
+            content_length(&headers(&[("Content-Length", "12"), ("Host", "x")])).unwrap(),
+            12
+        );
+        assert_eq!(
+            content_length(&headers(&[("content-LENGTH", "3")])).unwrap(),
+            3
+        );
+        // Duplicates are rejected even when they agree…
+        let dup = content_length(&headers(&[
+            ("Content-Length", "2"),
+            ("Content-Length", "2"),
+        ]));
+        assert!(
+            matches!(&dup, Err(ReadError::Malformed(m)) if m.contains("Content-Length")),
+            "{dup:?}"
+        );
+        // …as are conflicting values and garbage.
+        assert!(matches!(
+            content_length(&headers(&[
+                ("Content-Length", "2"),
+                ("content-length", "3"),
+            ])),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            content_length(&headers(&[("Content-Length", "two")])),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            content_length(&headers(&[("Content-Length", "-1")])),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn stalled_readers_abort_within_the_write_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The client connects and never reads: once the kernel buffers
+        // fill, the server's writes stall. 32 MiB comfortably exceeds
+        // any default loopback send+receive buffering.
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut stream, _) = listener.accept().unwrap();
+        let response = Response::json(200, "x".repeat(32 << 20));
+        let started = Instant::now();
+        let outcome = write_response_within(&mut stream, &response, Duration::from_millis(250));
+        assert_eq!(outcome, WriteOutcome::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "abort-on-stall must not wait for the reader"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(250),
+            "the whole budget is available before aborting"
+        );
+        drop(client);
+    }
+
+    #[test]
+    fn responses_carry_allow_and_retry_after_headers() {
+        // Round-trip a 405 through a socket pair and check the header
+        // block the client sees.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut raw = Vec::new();
+            stream.read_to_end(&mut raw).unwrap();
+            String::from_utf8(raw).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = Request {
+            method: "GET".to_string(),
+            path: "/sweep".to_string(),
+            headers: Vec::new(),
+            body: String::new(),
+        };
+        let response = method_not_allowed(&request, "POST");
+        assert_eq!(response.status, 405);
+        let outcome = write_response_within(&mut stream, &response, Duration::from_secs(5));
+        assert_eq!(outcome, WriteOutcome::Sent);
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("\r\nAllow: POST\r\n"), "{raw}");
+        assert!(raw.contains("use POST"), "{raw}");
     }
 }

@@ -134,9 +134,17 @@ pub const STORE_MISS: Counter = Counter(21);
 pub const STORE_WRITE: Counter = Counter(22);
 /// On-disk entries discarded as corrupt/undecodable (treated as a miss).
 pub const STORE_INVALID: Counter = Counter(23);
+/// Connections rejected at accept with 503 (handler pool at capacity).
+pub const SERVE_CONN_REJECTED: Counter = Counter(24);
+/// Connections aborted because the client exhausted a read budget
+/// (slowloris headers, drip-fed bodies).
+pub const SERVE_SLOW_CLIENT_ABORTS: Counter = Counter(25);
+/// Responses aborted because the client stalled the write past the
+/// whole-response budget.
+pub const SERVE_WRITE_TIMEOUTS: Counter = Counter(26);
 
 /// Names of every registered counter, indexed by [`Counter`] handle.
-pub const COUNTER_NAMES: [&str; 24] = [
+pub const COUNTER_NAMES: [&str; 27] = [
     "memo.hit",
     "memo.compute",
     "router.nets_routed",
@@ -161,6 +169,9 @@ pub const COUNTER_NAMES: [&str; 24] = [
     "store.miss",
     "store.write",
     "store.invalid",
+    "serve.conn_rejected",
+    "serve.slow_client_aborts",
+    "serve.write_timeouts",
 ];
 
 static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =
@@ -585,6 +596,9 @@ mod tests {
         assert_eq!(SERVE_CONTEXT_HITS.name(), "serve.context_hits");
         assert_eq!(SERVE_CONTEXT_MISSES.name(), "serve.context_misses");
         assert_eq!(SERVE_COMPLETED.name(), "serve.completed");
+        assert_eq!(SERVE_CONN_REJECTED.name(), "serve.conn_rejected");
+        assert_eq!(SERVE_SLOW_CLIENT_ABORTS.name(), "serve.slow_client_aborts");
+        assert_eq!(SERVE_WRITE_TIMEOUTS.name(), "serve.write_timeouts");
         for name in COUNTER_NAMES {
             assert!(name.contains('.'), "counter {name:?} is stage-qualified");
         }

@@ -1,0 +1,512 @@
+//! Socket-level adversarial tests for the `codesign serve` network
+//! edge: slowloris headers, drip-fed bodies, oversized headers/bodies,
+//! binary garbage, abrupt mid-body disconnects, connection-capacity
+//! rejection, stalled readers against the write budget, and the hard
+//! invariant that well-formed `/sweep` responses stay byte-identical to
+//! `codesign sweep --json` while all of that is going on — with a drain
+//! that still completes.
+
+use codesign::serve::{ServeConfig, Server};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Same scenarios as `tests/serve.rs`: the cheapest full studies, so
+/// the byte-identity reference stays a real study payload.
+const CLEAN_SWEEP: &str = r#"[
+  { "name": "s3d-a", "tech": "silicon3d" },
+  { "name": "s3d-b", "tech": "silicon3d" }
+]"#;
+
+fn start_server(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Minimal well-behaved HTTP/1.1 client (one request per connection).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut text = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    for (name, value) in headers {
+        text.push_str(&format!("{name}: {value}\r\n"));
+    }
+    text.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    raw_request(addr, text.as_bytes())
+}
+
+/// Writes `bytes` verbatim, then reads the whole response. For
+/// adversarial payloads the helpers above would refuse to produce.
+fn raw_request(addr: SocketAddr, bytes: &[u8]) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream.write_all(bytes).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&String::from_utf8(raw).expect("utf-8 response"))
+}
+
+fn parse_response(raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn response_header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value.as_str())
+}
+
+fn stats_field(addr: SocketAddr, field: &str) -> i64 {
+    let (status, _, body) = request(addr, "GET", "/stats", &[], "");
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("stats parse");
+    doc.get(field)
+        .and_then(serde_json::Value::as_i64)
+        .unwrap_or_else(|| panic!("stats field {field} in {body}"))
+}
+
+/// Polls `/stats` until `field` reaches at least `want`.
+fn wait_for_stat_at_least(addr: SocketAddr, field: &str, want: i64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if stats_field(addr, field) >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{field} never reached {want} (last = {})",
+            stats_field(addr, field)
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// What `codesign sweep --json` prints for `scenarios` — the reference
+/// bytes every well-formed serve response is held to.
+fn cli_reference(scenarios: &str, tag: &str) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "codesign-hardening-test-{}-{tag}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, scenarios).expect("scenario file written");
+    let out = Command::new(env!("CARGO_BIN_EXE_codesign"))
+        .args(["sweep", path.to_str().expect("utf-8 path"), "--json"])
+        .output()
+        .expect("codesign sweep runs");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// Drips `bytes` one at a time every `interval`, ignoring write errors
+/// (the server is expected to abort mid-drip), then drops the socket.
+fn drip(addr: SocketAddr, prefix: &[u8], drip_bytes: &[u8], interval: Duration) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(prefix);
+    for &byte in drip_bytes {
+        std::thread::sleep(interval);
+        if stream.write_all(&[byte]).is_err() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn a_fresh_server_reports_the_hardening_counters() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    assert_eq!(stats_field(addr, "conn_rejected"), 0);
+    assert_eq!(stats_field(addr, "slow_client_aborts"), 0);
+    assert_eq!(stats_field(addr, "write_timeouts"), 0);
+    assert_eq!(stats_field(addr, "max_connections"), 32);
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn slowloris_headers_are_aborted_within_the_budget() {
+    let (addr, handle) = start_server(ServeConfig {
+        header_read_ms: 400,
+        ..ServeConfig::default()
+    });
+    // One byte per 100 ms would keep the old per-read timeout alive
+    // forever; the whole-header budget must end it at ~400 ms.
+    let started = Instant::now();
+    drip(
+        addr,
+        b"POST /sweep HTTP/1.1\r\n",
+        b"X-Drip: aaaaaaaa",
+        Duration::from_millis(100),
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the drip loop must be cut short by the server's abort"
+    );
+    wait_for_stat_at_least(addr, "slow_client_aborts", 1);
+    // The daemon is unharmed.
+    let (status, _, body) = request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn drip_fed_bodies_cannot_evade_the_body_budget() {
+    let (addr, handle) = start_server(ServeConfig {
+        body_read_ms: 400,
+        ..ServeConfig::default()
+    });
+    // Headers arrive instantly and promise 64 body bytes; the body then
+    // drips far too slowly. The body budget is fixed at header-end, so
+    // each byte must not reset it.
+    drip(
+        addr,
+        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n",
+        b"[aaaaaaaaaaaaaaa",
+        Duration::from_millis(100),
+    );
+    wait_for_stat_at_least(addr, "slow_client_aborts", 1);
+    let (status, _, body) = request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn oversized_bodies_get_413_and_oversized_headers_431() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    // The declared body exceeds max_body_bytes: 413 before a single
+    // body byte is read (no multi-megabyte upload required).
+    let (status, _, body) = raw_request(
+        addr,
+        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n",
+    );
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("exceeds"), "{body}");
+
+    // A header section past 64 KiB answers 431.
+    let mut huge = Vec::from(&b"POST /sweep HTTP/1.1\r\n"[..]);
+    while huge.len() <= 66 * 1024 {
+        huge.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    let (status, _, body) = raw_request(addr, &huge);
+    assert_eq!(status, 431, "{body}");
+
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn wrong_methods_on_known_paths_get_405_with_allow() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    for (method, path, allow) in [
+        ("GET", "/sweep", "POST"),
+        ("PUT", "/sweep", "POST"),
+        ("POST", "/stats", "GET"),
+        ("POST", "/healthz", "GET"),
+        ("GET", "/shutdown", "POST"),
+    ] {
+        let (status, headers, body) = request(addr, method, path, &[], "");
+        assert_eq!(status, 405, "{method} {path}: {body}");
+        assert_eq!(
+            response_header(&headers, "allow"),
+            Some(allow),
+            "{method} {path} must name the allowed method"
+        );
+        assert!(body.contains("not allowed"), "{body}");
+    }
+    // Unknown paths still 404.
+    let (status, _, _) = request(addr, "GET", "/nope", &[], "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn duplicate_or_conflicting_content_length_is_rejected() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    // Conflicting lengths: classic request-smuggling shape.
+    let (status, _, body) = raw_request(
+        addr,
+        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n[]x",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("Content-Length"), "{body}");
+    // Even agreeing duplicates are refused.
+    let (status, _, body) = raw_request(
+        addr,
+        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n[]",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("Content-Length"), "{body}");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn binary_garbage_and_abrupt_disconnects_leave_the_daemon_healthy() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    // Binary garbage with a header terminator: parses as not-HTTP, 400.
+    let mut garbage: Vec<u8> = (0u8..=255).filter(|&b| b != b'\r' && b != b'\n').collect();
+    garbage.extend_from_slice(b"\r\n\r\n");
+    let (status, _, body) = raw_request(addr, &garbage);
+    assert_eq!(status, 400, "{body}");
+
+    // Abrupt mid-body disconnect: headers promise 10 bytes, 3 arrive,
+    // the client vanishes. The server just moves on.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\nabc")
+            .expect("partial body");
+    } // dropped here
+
+    // Mid-header disconnect too.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"POST /swee").expect("partial header");
+    }
+
+    let (status, _, body) = request(addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn connection_capacity_rejects_with_503_and_recovers() {
+    let (addr, handle) = start_server(ServeConfig {
+        max_connections: 2,
+        ..ServeConfig::default()
+    });
+    // Two idle connections occupy the whole handler pool (they sit in
+    // the header-read budget without sending a byte).
+    let holder_a = TcpStream::connect(addr).expect("holder a");
+    let holder_b = TcpStream::connect(addr).expect("holder b");
+    // Once the accept loop has handed both to the pool, any further
+    // connection is answered 503 + Retry-After without a thread spawn.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (status, headers, body) = loop {
+        let result = request(addr, "GET", "/healthz", &[], "");
+        if result.0 == 503 {
+            break result;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "capacity rejection never observed (last status {})",
+            result.0
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(body.contains("connection capacity"), "{body}");
+    assert_eq!(
+        response_header(&headers, "retry-after"),
+        Some("1"),
+        "503 must carry Retry-After"
+    );
+
+    // Dropping the holders frees the pool and service resumes.
+    drop(holder_a);
+    drop(holder_b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, _) = request(addr, "GET", "/healthz", &[], "");
+        if status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never recovered after the holders left"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(stats_field(addr, "conn_rejected") >= 1);
+    assert_eq!(status, 503, "the rejection observed above");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+/// A `/sweep` body whose response is large enough (> 10 MiB) to
+/// overflow any default loopback socket buffering, so a client that
+/// never reads reliably stalls the server's write.
+fn padded_sweep_body() -> String {
+    let pad = "a".repeat(1_400_000);
+    let rows: Vec<String> = (0..8)
+        .map(|i| format!("{{\"name\":\"pad-{i}-{pad}\",\"tech\":\"silicon3d\"}}"))
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Sends `body` as a `/sweep` request and then never reads the
+/// response. Returns the stream, which must be kept alive to keep the
+/// server's write stalled.
+fn stalled_sweep(addr: SocketAddr, body: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let text = format!(
+        "POST /sweep HTTP/1.1\r\nHost: stall\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(text.as_bytes()).expect("send head");
+    stream.write_all(body.as_bytes()).expect("send body");
+    stream.flush().expect("flush");
+    stream
+}
+
+#[test]
+fn stalled_readers_hit_the_write_budget_and_drain_stays_clean() {
+    let (addr, handle) = start_server(ServeConfig {
+        write_ms: 1_000,
+        max_body_bytes: 32 << 20,
+        ..ServeConfig::default()
+    });
+    let body = padded_sweep_body();
+
+    // First stalled reader: its sweep executes, the response write
+    // stalls, and the write budget must cut it loose.
+    let stall_one = stalled_sweep(addr, &body);
+    wait_for_stat_at_least(addr, "write_timeouts", 1);
+
+    // Second stalled reader: this one is mid-write when the drain
+    // starts, which is exactly the case that used to wedge
+    // `connection.join()` forever.
+    let stall_two = stalled_sweep(addr, &body);
+    wait_for_stat_at_least(addr, "completed", 2);
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    let started = Instant::now();
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "drain must complete within the write budget, took {:?}",
+        started.elapsed()
+    );
+    drop(stall_one);
+    drop(stall_two);
+}
+
+#[test]
+fn clean_sweeps_stay_byte_identical_under_adversarial_barrage() {
+    let reference = cli_reference(CLEAN_SWEEP, "barrage");
+    let (addr, handle) = start_server(ServeConfig {
+        workers: 2,
+        max_connections: 16,
+        header_read_ms: 400,
+        body_read_ms: 800,
+        ..ServeConfig::default()
+    });
+
+    std::thread::scope(|scope| {
+        // The barrage: slowloris headers, drip-fed bodies, oversized
+        // declarations, binary garbage, and abrupt disconnects, cycling
+        // while the well-formed requests run.
+        let mut adversaries = Vec::new();
+        for i in 0..2 {
+            adversaries.push(scope.spawn(move || {
+                for _ in 0..3 {
+                    drip(
+                        addr,
+                        b"POST /sweep HTTP/1.1\r\n",
+                        b"X-Slow: aaaa",
+                        Duration::from_millis(120 + 10 * i),
+                    );
+                }
+            }));
+            adversaries.push(scope.spawn(move || {
+                for _ in 0..3 {
+                    drip(
+                        addr,
+                        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n",
+                        b"[aaa",
+                        Duration::from_millis(150 + 10 * i),
+                    );
+                }
+            }));
+            adversaries.push(scope.spawn(move || {
+                for _ in 0..3 {
+                    let (status, _, _) = raw_request(
+                        addr,
+                        b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 999999999\r\n\r\n",
+                    );
+                    assert_eq!(status, 413);
+                    let mut garbage: Vec<u8> =
+                        (0u8..=255).filter(|&b| b != b'\r' && b != b'\n').collect();
+                    garbage.extend_from_slice(b"\r\n\r\n");
+                    let (status, _, _) = raw_request(addr, &garbage);
+                    assert_eq!(status, 400);
+                    let mut partial = TcpStream::connect(addr).expect("connect");
+                    let _ =
+                        partial.write_all(b"POST /sweep HTTP/1.1\r\nContent-Length: 10\r\n\r\nab");
+                    drop(partial);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }));
+        }
+
+        // The invariant: well-formed sweeps answer byte-identically to
+        // the CLI all the way through the barrage.
+        for round in 0..4 {
+            let (status, _, body) = request(addr, "POST", "/sweep", &[], CLEAN_SWEEP);
+            assert_eq!(status, 200, "round {round}: {body}");
+            assert_eq!(
+                body, reference,
+                "round {round}: barrage must not perturb clean responses"
+            );
+        }
+        for adversary in adversaries {
+            adversary.join().expect("adversary thread");
+        }
+    });
+
+    // The misbehaviour was seen and counted, and the daemon drains
+    // cleanly afterwards.
+    assert!(stats_field(addr, "slow_client_aborts") >= 1);
+    assert_eq!(stats_field(addr, "rejected"), 0);
+    let (status, _, body) = request(addr, "POST", "/sweep", &[], CLEAN_SWEEP);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, reference, "post-barrage responses stay identical");
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}
