@@ -154,7 +154,30 @@ curl -sS -X POST --data-binary @examples/smoke_scenarios.json \
     "http://$HARD_ADDR/sweep" > /tmp/codesign_hard_body.json
 cmp /tmp/codesign_hard_body.json /tmp/codesign_smoke_sweep.json
 wait "$SLOW_PID" "$GARBAGE_PID" 2>/dev/null || true
-jq -e '.slow_client_aborts >= 1 and .conn_rejected >= 0 and .write_timeouts >= 0' \
+# Connection-capacity burst: fill all 8 handler slots with idle
+# connections, then one more must draw the rejection thread's 503 —
+# making the conn_rejected assertion below meaningful. Retried a few
+# times because a loaded machine could let the 1 s header budget expire
+# mid-burst and free a slot for the probe.
+REJECTED=0
+for _ in 1 2 3; do
+    for FD in $(seq 5 12); do
+        eval "exec $FD<> /dev/tcp/$HARD_HOST/$HARD_PORT"
+    done
+    exec 13<> "/dev/tcp/$HARD_HOST/$HARD_PORT"
+    if head -n 1 <&13 | grep -q '503'; then
+        REJECTED=1
+    fi
+    exec 13>&-
+    for FD in $(seq 5 12); do
+        eval "exec $FD>&-"
+    done
+    if [ "$REJECTED" -eq 1 ]; then
+        break
+    fi
+done
+test "$REJECTED" -eq 1
+jq -e '.slow_client_aborts >= 1 and .conn_rejected >= 1' \
     <(curl -sS "http://$HARD_ADDR/stats") > /dev/null
 curl -sS -X POST "http://$HARD_ADDR/shutdown" > /dev/null
 wait "$HARD_PID"

@@ -25,8 +25,13 @@
 //!
 //! * **Connection pool** — accepted sockets are handled by a
 //!   fixed-size pool of [`ServeConfig::max_connections`] threads; the
-//!   accept loop never spawns. An accept beyond capacity is answered
-//!   `503` + `Retry-After` immediately and closed.
+//!   accept loop never spawns and never touches a socket itself. An
+//!   accept beyond capacity goes to a dedicated rejection thread that
+//!   answers `503` + `Retry-After` and closes the socket under hard
+//!   deadlines and a drain byte cap, so neither a connect flood nor a
+//!   byte-dripping rejected client can slow the accept loop. A panic
+//!   inside a handler (or a request worker) is caught: the pools never
+//!   shrink and the connection count never leaks.
 //! * **Read budgets** — the header section must arrive within
 //!   [`ServeConfig::header_read_ms`] and the body within
 //!   [`ServeConfig::body_read_ms`], *in total*: the deadline is fixed
@@ -289,6 +294,30 @@ struct ConnQueue {
     closed: bool,
 }
 
+/// Over-capacity sockets waiting for the rejection thread to answer
+/// them `503`. Bounded to [`REJECT_QUEUE_DEPTH`]: past that the accept
+/// loop drops the socket unanswered rather than queue without limit.
+#[derive(Debug, Default)]
+struct RejectQueue {
+    streams: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// Most sockets waiting for the rejection thread at once. Beyond this
+/// a connect flood is shedding faster than 503s can be written, and a
+/// silent close beats unbounded queueing.
+const REJECT_QUEUE_DEPTH: usize = 64;
+
+/// Whole-phase budget for each half of a rejection (the `503` write,
+/// then the graceful-close drain), in milliseconds.
+const REJECT_IO_MS: u64 = 100;
+
+/// Most bytes drained from a rejected socket before closing anyway.
+/// Together with [`REJECT_IO_MS`] this bounds the drain absolutely: a
+/// client dripping one byte per read-timeout can extend neither the
+/// deadline nor the byte budget.
+const REJECT_DRAIN_BYTES: usize = 64 * 1024;
+
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
@@ -296,6 +325,8 @@ struct Shared {
     ready: Condvar,
     conns: Mutex<ConnQueue>,
     conn_ready: Condvar,
+    rejects: Mutex<RejectQueue>,
+    reject_ready: Condvar,
     /// Sockets accepted but not yet fully handled (queued + in
     /// handling). Only the accept thread increments, so the capacity
     /// check cannot overshoot.
@@ -324,6 +355,8 @@ impl Shared {
             ready: Condvar::new(),
             conns: Mutex::new(ConnQueue::default()),
             conn_ready: Condvar::new(),
+            rejects: Mutex::new(RejectQueue::default()),
+            reject_ready: Condvar::new(),
             open_conns: AtomicU64::new(0),
             pool: ContextPool::with_store(store),
             stats: ServeStats::default(),
@@ -338,6 +371,10 @@ impl Shared {
 
     fn lock_conns(&self) -> MutexGuard<'_, ConnQueue> {
         self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_rejects(&self) -> MutexGuard<'_, RejectQueue> {
+        self.rejects.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -483,6 +520,13 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             handlers.push(std::thread::spawn(move || connection_loop(&shared)));
         }
+        // Over-capacity 503s are written by this dedicated thread, so
+        // the accept loop never performs per-socket I/O and a connect
+        // flood cannot slow accepts or the shutdown poll below.
+        let rejector = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || reject_loop(&shared))
+        };
         let result = loop {
             if SIGTERM_SEEN.load(Ordering::Relaxed) {
                 self.shared.shutdown.store(true, Ordering::Relaxed);
@@ -514,6 +558,13 @@ impl Server {
         for handler in handlers {
             let _ = handler.join();
         }
+        // The rejection thread's backlog is doubly bounded (queue depth
+        // and per-socket I/O budgets), so this join is time-bounded too.
+        {
+            self.shared.lock_rejects().closed = true;
+        }
+        self.shared.reject_ready.notify_all();
+        let _ = rejector.join();
         self.shared.lock_queue().closed = true;
         self.shared.ready.notify_all();
         for worker in workers {
@@ -523,10 +574,10 @@ impl Server {
     }
 }
 
-/// Hands an accepted socket to the connection pool, or rejects it with
-/// an immediate `503` when the pool is at capacity. The rejection write
-/// is bounded and tiny (it always fits a fresh socket's send buffer),
-/// so a connect flood cannot stall the accept loop.
+/// Hands an accepted socket to the connection pool, or — when the pool
+/// is at capacity — to the rejection thread for a `503`. Either way the
+/// accept loop only accepts and enqueues; it never performs per-socket
+/// I/O, so no client behaviour can stall it.
 fn accept_stream(shared: &Shared, stream: TcpStream) {
     // Accepted sockets must block (with timeouts): Linux does not make
     // them inherit the listener's non-blocking flag, but that is
@@ -536,32 +587,79 @@ fn accept_stream(shared: &Shared, stream: TcpStream) {
     if shared.open_conns.load(Ordering::Relaxed) >= capacity {
         shared.stats.conn_rejected.fetch_add(1, Ordering::Relaxed);
         techlib::obs::add(techlib::obs::SERVE_CONN_REJECTED, 1);
-        let mut stream = stream;
-        let reject = Response {
-            status: 503,
-            body: error_body("connection capacity reached"),
-            retry_after_s: Some(1),
-            allow: None,
-        };
-        let _ = write_response_within(&mut stream, &reject, Duration::from_millis(100));
-        // Close gracefully: half-close the write side, then briefly
-        // drain whatever request bytes the client already sent. Closing
-        // with unread data in the receive buffer makes the kernel send
-        // RST, which can discard the buffered 503 before the client
-        // reads it.
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut scratch = [0u8; 4096];
-        while let Ok(n) = stream.read(&mut scratch) {
-            if n == 0 {
-                break;
+        // A full rejection queue means the flood is outpacing even the
+        // bounded 503 writes; dropping the socket unanswered is the
+        // only move that keeps every queue finite.
+        {
+            let mut rejects = shared.lock_rejects();
+            if !rejects.closed && rejects.streams.len() < REJECT_QUEUE_DEPTH {
+                rejects.streams.push_back(stream);
             }
         }
+        shared.reject_ready.notify_one();
         return;
     }
     shared.open_conns.fetch_add(1, Ordering::Relaxed);
     shared.lock_conns().streams.push_back(stream);
     shared.conn_ready.notify_one();
+}
+
+/// The rejection thread: answers each over-capacity socket with `503`
+/// + `Retry-After` and closes it gracefully, within hard bounds.
+fn reject_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut rejects = shared.lock_rejects();
+            loop {
+                if let Some(stream) = rejects.streams.pop_front() {
+                    break Some(stream);
+                }
+                if rejects.closed {
+                    break None;
+                }
+                rejects = shared
+                    .reject_ready
+                    .wait(rejects)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        reject_connection(&mut stream);
+    }
+}
+
+/// Writes the capacity `503`, then closes gracefully: half-close the
+/// write side and drain whatever the client already sent, because
+/// closing with unread data in the receive buffer makes the kernel
+/// send RST, which can discard the buffered 503 before the client
+/// reads it. The write and the drain each get a fixed whole-phase
+/// deadline ([`REJECT_IO_MS`]) and the drain additionally a byte cap
+/// ([`REJECT_DRAIN_BYTES`]) — a client dripping bytes just under the
+/// read timeout extends neither, so a rejected socket can hold this
+/// thread for at most ~2 × [`REJECT_IO_MS`].
+fn reject_connection(stream: &mut TcpStream) {
+    let reject = Response {
+        status: 503,
+        body: error_body("connection capacity reached"),
+        retry_after_s: Some(1),
+        allow: None,
+    };
+    let _ = write_response_within(stream, &reject, Duration::from_millis(REJECT_IO_MS));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(REJECT_IO_MS);
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < REJECT_DRAIN_BYTES {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
 }
 
 /// One connection-pool thread: picks up accepted sockets until the
@@ -585,8 +683,16 @@ fn connection_loop(shared: &Shared) {
             }
         };
         let Some(stream) = stream else { return };
-        handle_connection(shared, stream);
+        // Panic isolation: a panicking handler must neither kill this
+        // pool thread nor skip the decrement below — either would
+        // permanently shrink the effective pool until every accept is
+        // answered 503. The socket dies with the unwind, which is the
+        // right answer for the client of a broken request.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, stream);
+        }));
         shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+        drop(outcome);
     }
 }
 
@@ -614,7 +720,13 @@ fn worker_loop(shared: &Shared) {
         let Some(job) = job else { return };
         shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        let response = execute(shared, &job);
+        // Panic isolation: a sweep that panics must not kill the
+        // worker (its queued successors would wait on recv() forever)
+        // or leave in_flight stuck — answer 500 and move on.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &job)));
+        let response =
+            outcome.unwrap_or_else(|_| Response::json(500, error_body("request worker panicked")));
         let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         shared
             .stats
@@ -636,6 +748,12 @@ fn worker_loop(shared: &Shared) {
 /// request that overstays while queued-plus-held starts failing at the
 /// first stage boundary its scenarios reach.
 fn execute(shared: &Shared, job: &Job) -> Response {
+    // Test-only trigger for the worker panic-isolation test; release
+    // builds carry no panic path here.
+    #[cfg(test)]
+    if job.body == "panic-for-tests" {
+        panic!("test-injected worker panic");
+    }
     let _span = techlib::obs::span("serve.request");
     let _deadline = job.deadline.map(techlib::cancel::deadline_at);
     if let Some(hold) = job.hold {
@@ -913,6 +1031,10 @@ fn content_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
 
 fn dispatch(shared: &Shared, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
+        // Test-only trigger for the connection panic-isolation test;
+        // release builds have no such route.
+        #[cfg(test)]
+        ("POST", "/panic-for-tests") => panic!("test-injected connection panic"),
         ("POST", "/sweep") => admit_sweep(shared, request),
         ("GET", "/stats") => Response::json(200, stats_body(shared)),
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}\n".to_string()),
@@ -1322,6 +1444,156 @@ mod tests {
             content_length(&headers(&[("Content-Length", "-1")])),
             Err(ReadError::Malformed(_))
         ));
+    }
+
+    /// Sends `payload` verbatim and reads whatever comes back. Read
+    /// errors and empty reads are legitimate outcomes here (the panic
+    /// tests drop the socket mid-connection), so they map to whatever
+    /// bytes arrived rather than a test failure.
+    fn raw_roundtrip(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream.write_all(payload).expect("send request");
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        String::from_utf8_lossy(&raw).into_owned()
+    }
+
+    #[test]
+    fn rejected_socket_drain_ends_at_its_deadline_despite_dripping() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Drip a byte every couple of ms: every server-side read
+        // succeeds, so only the whole-drain deadline can end the loop.
+        let dripper = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for _ in 0..2_000 {
+                if stream.write_all(b"a").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        reject_connection(&mut stream);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "the drain must end at its deadline even when every read succeeds, took {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        dripper.join().unwrap();
+    }
+
+    #[test]
+    fn rejected_socket_drain_is_byte_capped_against_blasting_clients() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let blaster = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let chunk = vec![0u8; 1 << 20];
+            for _ in 0..64 {
+                if stream.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        reject_connection(&mut stream);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "the drain must stop at its byte cap, took {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        blaster.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_connection_handlers_do_not_shrink_the_pool() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                max_connections: 1,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        // Each of these panics inside dispatch, on the single pool
+        // thread. Without catch_unwind one panic would kill the whole
+        // pool; without the post-panic decrement it would leak the
+        // open_conns slot — either way the recovery below would fail.
+        for _ in 0..3 {
+            let _ = raw_roundtrip(
+                addr,
+                b"POST /panic-for-tests HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+            );
+        }
+        // The decrement races the next connect, so poll: with a pool
+        // of one, healthz only ever answers again if the thread
+        // survived and the slot came back.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let raw = raw_roundtrip(addr, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+            if raw.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pool never recovered after handler panics: {raw:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let raw = raw_roundtrip(
+            addr,
+            b"POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        handle.join().expect("server thread").expect("clean exit");
+    }
+
+    #[test]
+    fn panicking_jobs_answer_500_and_the_worker_survives() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let body = "panic-for-tests";
+        let raw = raw_roundtrip(
+            addr,
+            format!(
+                "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        assert!(raw.starts_with("HTTP/1.1 500"), "{raw}");
+        assert!(raw.contains("request worker panicked"), "{raw}");
+        // The single worker must still be alive to run a real job.
+        let raw = raw_roundtrip(
+            addr,
+            b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n[]",
+        );
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let raw = raw_roundtrip(
+            addr,
+            b"POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        handle.join().expect("server thread").expect("clean exit");
     }
 
     #[test]

@@ -362,6 +362,80 @@ fn connection_capacity_rejects_with_503_and_recovers() {
     handle.join().expect("server thread").expect("clean exit");
 }
 
+#[test]
+fn dripping_rejected_clients_cannot_stall_the_accept_loop() {
+    let (addr, handle) = start_server(ServeConfig {
+        max_connections: 1,
+        // The idle holder below must outlive the whole dripper phase,
+        // so keep the header budget well clear of it.
+        header_read_ms: 120_000,
+        ..ServeConfig::default()
+    });
+    // One idle holder occupies the whole pool…
+    let holder = TcpStream::connect(addr).expect("holder");
+    // …which the next connection confirms by drawing a 503.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, _) = request(addr, "GET", "/healthz", &[], "");
+        if status == 503 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "holder never filled the pool");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Rejected clients that keep dripping request bytes. The rejection
+    // drain is deadline- and byte-capped and runs on the dedicated
+    // rejection thread, so these can neither pin that thread for long
+    // nor touch the accept loop at all. (Before the rejection thread
+    // existed, ONE of these drips blocked every accept indefinitely.)
+    let mut drippers = Vec::new();
+    for _ in 0..2 {
+        drippers.push(std::thread::spawn(move || {
+            for _ in 0..4 {
+                drip(
+                    addr,
+                    b"POST /sweep HTTP/1.1\r\n",
+                    &[b'a'; 400],
+                    Duration::from_millis(25),
+                );
+            }
+        }));
+    }
+    // Concurrently, further connections keep drawing prompt 503s: the
+    // accept loop is alive and rejections stay bounded.
+    for round in 0..5 {
+        let started = Instant::now();
+        let (status, _, body) = request(addr, "GET", "/healthz", &[], "");
+        assert_eq!(status, 503, "round {round}: {body}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "round {round}: rejection must stay prompt while rejected clients drip, took {:?}",
+            started.elapsed()
+        );
+    }
+    for dripper in drippers {
+        dripper.join().expect("dripper thread");
+    }
+    // Freeing the holder restores normal service.
+    drop(holder);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, _) = request(addr, "GET", "/healthz", &[], "");
+        if status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never recovered after the drippers left"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(stats_field(addr, "conn_rejected") >= 6);
+    let (status, _, _) = request(addr, "POST", "/shutdown", &[], "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
 /// A `/sweep` body whose response is large enough (> 10 MiB) to
 /// overflow any default loopback socket buffering, so a client that
 /// never reads reliably stalls the server's write.
