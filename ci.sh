@@ -62,9 +62,11 @@ rm -rf "$CACHE_DIR"
 echo "    warm cache: byte-identical, served from disk, zero recomputes"
 
 # Router bench smoke: flow_timing on a single technology must prove the
-# parallel router byte-identical to sequential and report non-zero
-# hot-path work counters in its "router" section. Writes to /tmp so the
-# published BENCH_flow.json (full six-technology run) stays untouched.
+# parallel router byte-identical to sequential at every sweep width and
+# report non-zero hot-path work counters in its "router" section (the
+# bucket-queue frontier must account for every pop). Writes to /tmp so
+# the published BENCH_flow.json (full six-technology run) stays
+# untouched.
 echo "==> router bench smoke (flow_timing, one tech)"
 rm -f /tmp/codesign_router_smoke.json
 FLOW_TIMING_TECHS="silicon 2.5d" \
@@ -73,7 +75,29 @@ FLOW_TIMING_TECHS="silicon 2.5d" \
 jq -e '.outputs_byte_identical == true' /tmp/codesign_router_smoke.json > /dev/null
 jq -e '.router.nets_routed > 0 and .router.heap_pops > 0 and .router.expansions > 0' \
     /tmp/codesign_router_smoke.json > /dev/null
+jq -e '.router.bucket_pops == .router.heap_pops' /tmp/codesign_router_smoke.json > /dev/null
 echo "    router smoke: byte-identical outputs, hot-path counters recorded"
+
+# Router perf gate. Live half: the single-technology smoke above must
+# route its 530 nets well under a generous wall-clock ceiling at one
+# worker (~200 ms on the reference box; 2 s allows a badly loaded CI
+# host but still catches an algorithmic regression), and intra-tech
+# speculative batching must actually fire at every sweep width >= 2.
+# Published half: BENCH_flow.json must carry the pinned deterministic
+# studies hash and a single-worker route.nets total under 2x the PR-10
+# target (9000 ms), so a regressing PR cannot simply regenerate the
+# numbers and slip past.
+echo "==> router perf gate (smoke wall clock + batching, published BENCH_flow.json)"
+jq -e '.router.route_nets_total_ms < 2000' /tmp/codesign_router_smoke.json > /dev/null
+jq -e '[.parallel_sweep[] | select(.workers >= 2)]
+       | length > 0 and all(.router.batch_rounds > 0)' \
+    /tmp/codesign_router_smoke.json > /dev/null
+jq -e '.studies_hash_fnv1a == "c134daec37b29ea7"' BENCH_flow.json > /dev/null
+jq -e '.router.route_nets_total_ms < 9000' BENCH_flow.json > /dev/null
+jq -e '[.parallel_sweep[] | select(.workers >= 2)]
+       | length > 0 and all(.router.batch_rounds > 0)' \
+    BENCH_flow.json > /dev/null
+echo "    router perf gate: smoke under ceiling, batching fires, published hash pinned"
 
 # Serve smoke: start the daemon on an ephemeral port, POST the same
 # two-scenario file, and require the response bytes to equal the CLI's

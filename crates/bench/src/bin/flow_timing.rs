@@ -5,15 +5,21 @@
 //! reports) per process, a fair cold comparison needs fresh processes:
 //! the binary re-executes itself once per mode. The sequential child is
 //! pinned to one worker (`CODESIGN_THREADS=1`) and calls
-//! [`codesign::flow::run_all_sequential`]; the parallel child uses the
-//! default worker count and calls [`codesign::flow::run_all`]. Each child
-//! also re-runs its flow warm to show what the artifact cache saves, and
-//! prints a hash of the serialized studies so the parent can verify the
-//! two modes produced byte-identical output.
+//! [`codesign::flow::run_all_sequential`]; the parallel children call
+//! [`codesign::flow::run_all`] at each worker count in [`WORKER_SWEEP`]
+//! (explicitly pinned via `CODESIGN_THREADS`, so `parallel_cold_s`
+//! measures real fan-out even on hosts whose default thread count is 1).
+//! Each child also re-runs its flow warm to show what the artifact cache
+//! saves, and prints a hash of the serialized studies so the parent can
+//! verify every mode produced byte-identical output.
 //!
-//! The parallel child additionally records `techlib::obs` stage spans
-//! and kernel work counters and hands them up on a `STAGES` line; they
-//! land under the `"stages"` key of `BENCH_flow.json`.
+//! The parallel children additionally record `techlib::obs` stage spans
+//! and kernel work counters and hand them up on a `STAGES` line; they
+//! land under the `"stages"` key (widest run) and the per-width
+//! `"parallel_sweep"` entries of `BENCH_flow.json`. The top-level
+//! `"router"` section distills the single-worker parallel child: at one
+//! worker the `route.nets` spans never overlap, so their sum is the real
+//! CPU cost of routing and the stable basis for the CI perf ceiling.
 
 use codesign::flow::TechStudy;
 use codesign::table5::MonitorLengths;
@@ -31,6 +37,11 @@ const TECHS_ENV: &str = "FLOW_TIMING_TECHS";
 /// Overrides the output path (default: `BENCH_flow.json` at the repo
 /// root), so smoke runs don't clobber the published numbers.
 const OUT_ENV: &str = "FLOW_TIMING_OUT";
+/// Worker counts for the parallel children. One worker isolates the
+/// router's CPU cost (no span overlap, no speculative batching); the
+/// widest entry exercises cross-tech fan-out plus intra-tech speculative
+/// batching (`router.batch_rounds > 0` is CI-gated at this width).
+const WORKER_SWEEP: [usize; 2] = [1, 4];
 
 /// Resolves the `FLOW_TIMING_TECHS` filter against the packaged set.
 /// Children inherit the parent's environment, so both processes resolve
@@ -122,18 +133,19 @@ struct ChildResult {
     cold_s: f64,
     warm_s: f64,
     hash: String,
-    /// Per-stage timing breakdown; only the traced (parallel) child
-    /// prints one.
+    /// Per-stage timing breakdown; only the traced (parallel) children
+    /// print one.
     stages: Option<serde_json::Value>,
 }
 
-fn run_child(parallel: bool) -> ChildResult {
+fn run_child(parallel: bool, workers: usize) -> ChildResult {
     let exe = std::env::current_exe().expect("own path");
     let mut cmd = std::process::Command::new(exe);
     cmd.env(CHILD_ENV, if parallel { "par" } else { "seq" });
-    if !parallel {
-        cmd.env(techlib::par::THREADS_ENV, "1");
-    }
+    // Pin the width explicitly: children must not inherit the host's
+    // default (or an ambient CODESIGN_THREADS) or the sweep would
+    // measure whatever the machine happens to be.
+    cmd.env(techlib::par::THREADS_ENV, workers.to_string());
     let out = cmd.output().expect("child runs");
     assert!(out.status.success(), "child failed: {out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -165,29 +177,61 @@ fn main() {
         return;
     }
 
-    let threads = techlib::par::thread_count();
     let techs = selected_techs();
+    let widest = WORKER_SWEEP[WORKER_SWEEP.len() - 1];
     println!(
-        "flow_timing: sequential (1 worker) vs parallel ({threads} workers), {} technologies",
+        "flow_timing: sequential (1 worker) vs parallel (workers {WORKER_SWEEP:?}), {} technologies",
         techs.len()
     );
     println!("running sequential child...");
-    let seq = run_child(false);
+    let seq = run_child(false, 1);
     println!("  cold {:.3} s, warm {:.3} s", seq.cold_s, seq.warm_s);
-    println!("running parallel child...");
-    let par = run_child(true);
-    println!("  cold {:.3} s, warm {:.3} s", par.cold_s, par.warm_s);
+    let sweep: Vec<(usize, ChildResult)> = WORKER_SWEEP
+        .iter()
+        .map(|&workers| {
+            println!("running parallel child ({workers} workers)...");
+            let r = run_child(true, workers);
+            println!("  cold {:.3} s, warm {:.3} s", r.cold_s, r.warm_s);
+            (workers, r)
+        })
+        .collect();
 
-    assert_eq!(
-        seq.hash, par.hash,
-        "parallel run_all must serialize byte-identically to sequential"
-    );
+    for (workers, r) in &sweep {
+        assert_eq!(
+            seq.hash, r.hash,
+            "parallel run_all at {workers} workers must serialize \
+             byte-identically to sequential"
+        );
+    }
     println!("determinism: OK (serialized studies hash {})", seq.hash);
+    let (_, par) = sweep
+        .iter()
+        .find(|(w, _)| *w == widest)
+        .expect("widest sweep entry exists");
     let speedup = seq.cold_s / par.cold_s;
-    println!("cold speedup: {speedup:.2}x");
+    println!("cold speedup at {widest} workers: {speedup:.2}x");
+
+    let sweep_value = serde_json::Value::Array(
+        sweep
+            .iter()
+            .map(|(workers, r)| {
+                serde_json::Value::Object(vec![
+                    ("workers".into(), serde_json::Value::from(*workers)),
+                    ("cold_s".into(), serde_json::Value::from(r.cold_s)),
+                    ("warm_s".into(), serde_json::Value::from(r.warm_s)),
+                    (
+                        "router".into(),
+                        r.stages
+                            .as_ref()
+                            .map_or(serde_json::Value::Null, bench::router_value),
+                    ),
+                ])
+            })
+            .collect(),
+    );
 
     let report = serde_json::Value::Object(vec![
-        ("workers".into(), serde_json::Value::from(threads)),
+        ("workers".into(), serde_json::Value::from(widest)),
         (
             "sequential_cold_s".into(),
             serde_json::Value::from(seq.cold_s),
@@ -207,7 +251,7 @@ fn main() {
         ("cold_speedup".into(), serde_json::Value::from(speedup)),
         (
             "outputs_byte_identical".into(),
-            serde_json::Value::from(seq.hash == par.hash),
+            serde_json::Value::from(sweep.iter().all(|(_, r)| r.hash == seq.hash)),
         ),
         (
             "studies_hash_fnv1a".into(),
@@ -236,22 +280,31 @@ fn main() {
                     .collect(),
             ),
         ),
-        // The router's share of the parallel cold run: route.nets span
-        // totals plus the hot-path work counters (heap pops, expansions,
-        // window fallbacks, incremental/conflict re-routes).
+        // The router's share of the single-worker parallel cold run:
+        // route.nets span totals (per-tech and summed — at one worker
+        // the spans never overlap, so the sum is the router's true CPU
+        // cost and the basis for the CI perf ceiling) plus the hot-path
+        // work counters (bucket pops, expansions, batching, window
+        // fallbacks, incremental/conflict re-routes).
         (
             "router".into(),
-            par.stages
-                .as_ref()
+            sweep
+                .iter()
+                .find(|(w, _)| *w == 1)
+                .and_then(|(_, r)| r.stages.as_ref())
                 .map_or(serde_json::Value::Null, bench::router_value),
         ),
-        // Stage-by-stage breakdown of the parallel cold run, recorded
-        // out-of-band by `techlib::obs` (the sequential child stays
-        // untraced so the hash equality above also validates that
+        // One entry per sweep width: cold/warm seconds plus that width's
+        // router distillation. The widest entry is where speculative
+        // batching must fire (router.batch_rounds > 0).
+        ("parallel_sweep".into(), sweep_value),
+        // Stage-by-stage breakdown of the widest parallel cold run,
+        // recorded out-of-band by `techlib::obs` (the sequential child
+        // stays untraced so the hash equality above also validates that
         // tracing is observationally transparent).
         (
             "stages".into(),
-            par.stages.unwrap_or(serde_json::Value::Null),
+            par.stages.clone().unwrap_or(serde_json::Value::Null),
         ),
     ]);
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow.json");

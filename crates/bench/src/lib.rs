@@ -52,9 +52,46 @@ pub fn stages_value() -> serde_json::Value {
             .map(|(name, value)| (name.to_string(), serde_json::Value::from(value)))
             .collect(),
     );
+    // Per-technology router timing: flow spans carry a
+    // `"{scenario}:{tech}"` label, so splitting the `route.nets` rows of
+    // the (label, stage) aggregation on the first colon attributes each
+    // call to its technology. Unlabeled spans (router benches outside
+    // the flow) land under "(unlabeled)".
+    let mut by_tech: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for stat in techlib::obs::aggregate_spans() {
+        if stat.stage != "route.nets" {
+            continue;
+        }
+        let tech = match stat.label.split_once(':') {
+            Some((_, tech)) if !tech.is_empty() => tech.to_string(),
+            _ if !stat.label.is_empty() => stat.label.clone(),
+            _ => "(unlabeled)".to_string(),
+        };
+        let entry = by_tech.entry(tech).or_insert((0, 0));
+        entry.0 += stat.count;
+        entry.1 += stat.total_us;
+    }
+    let route_nets_by_tech = serde_json::Value::Object(
+        by_tech
+            .into_iter()
+            .map(|(tech, (calls, total_us))| {
+                (
+                    tech,
+                    serde_json::Value::Object(vec![
+                        ("calls".into(), serde_json::Value::from(calls)),
+                        (
+                            "total_ms".into(),
+                            serde_json::Value::from(total_us as f64 / 1e3),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     serde_json::Value::Object(vec![
         ("by_stage".into(), stages),
         ("counters".into(), counters),
+        ("route_nets_by_tech".into(), route_nets_by_tech),
     ])
 }
 
@@ -84,7 +121,20 @@ pub fn router_value(stages: &serde_json::Value) -> serde_json::Value {
         ("route_nets_total_ms".into(), span("total_ms")),
         ("nets_routed".into(), counter("router.nets_routed")),
         ("batch_rounds".into(), counter("router.batch_rounds")),
+        (
+            "batch_candidates".into(),
+            counter("router.batch_candidates"),
+        ),
+        (
+            "batch_conflict_rejects".into(),
+            counter("router.batch_conflict_rejects"),
+        ),
         ("heap_pops".into(), counter("router.heap_pops")),
+        ("bucket_pops".into(), counter("router.bucket_pops")),
+        (
+            "heuristic_prunes".into(),
+            counter("router.heuristic_prunes"),
+        ),
         ("expansions".into(), counter("router.expansions")),
         (
             "window_fallbacks".into(),
@@ -97,6 +147,13 @@ pub fn router_value(stages: &serde_json::Value) -> serde_json::Value {
         (
             "conflict_reroutes".into(),
             counter("router.conflict_reroutes"),
+        ),
+        (
+            "route_nets_by_tech".into(),
+            stages
+                .get("route_nets_by_tech")
+                .cloned()
+                .unwrap_or(serde_json::Value::Null),
         ),
     ])
 }
@@ -123,7 +180,14 @@ mod tests {
                 "counters": {
                     "router.nets_routed": 530,
                     "router.heap_pops": 9001,
+                    "router.bucket_pops": 9001,
+                    "router.batch_candidates": 40,
+                    "router.batch_conflict_rejects": 7,
+                    "router.heuristic_prunes": 11,
                     "router.window_fallbacks": 3
+                },
+                "route_nets_by_tech": {
+                    "Glass 2.5D": {"calls": 1, "total_ms": 20.0}
                 }
             }"#,
         )
@@ -132,7 +196,44 @@ mod tests {
         assert_eq!(r.get("route_nets_calls").and_then(|v| v.as_u64()), Some(5));
         assert_eq!(r.get("nets_routed").and_then(|v| v.as_u64()), Some(530));
         assert_eq!(r.get("heap_pops").and_then(|v| v.as_u64()), Some(9001));
+        assert_eq!(r.get("bucket_pops").and_then(|v| v.as_u64()), Some(9001));
+        assert_eq!(r.get("batch_candidates").and_then(|v| v.as_u64()), Some(40));
+        assert_eq!(
+            r.get("batch_conflict_rejects").and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert_eq!(r.get("heuristic_prunes").and_then(|v| v.as_u64()), Some(11));
         // Counters absent from the snapshot report zero, not null.
         assert_eq!(r.get("expansions").and_then(|v| v.as_u64()), Some(0));
+        // The per-tech map passes through intact.
+        assert_eq!(
+            r.get("route_nets_by_tech")
+                .and_then(|m| m.get("Glass 2.5D"))
+                .and_then(|t| t.get("calls"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn stages_value_attributes_route_nets_to_technologies() {
+        // Record a labeled route.nets span the way the flow does and
+        // check the per-tech aggregation splits the scenario prefix off.
+        techlib::obs::enable();
+        techlib::obs::reset();
+        {
+            let _label = techlib::obs::enter_label(Some(std::sync::Arc::from("paper:Glass 2.5D")));
+            let _span = techlib::obs::span("route.nets");
+        }
+        let v = super::stages_value();
+        let by_tech = v.get("route_nets_by_tech").expect("per-tech map present");
+        assert_eq!(
+            by_tech
+                .get("Glass 2.5D")
+                .and_then(|t| t.get("calls"))
+                .and_then(|c| c.as_u64()),
+            Some(1)
+        );
+        techlib::obs::reset();
     }
 }

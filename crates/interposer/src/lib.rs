@@ -31,6 +31,7 @@
 //! # Ok::<(), interposer::RouteError>(())
 //! ```
 
+pub mod bucket;
 pub mod congestion;
 pub mod diemap;
 pub mod drc;

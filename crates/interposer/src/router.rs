@@ -11,16 +11,37 @@
 //! # Hot-path architecture
 //!
 //! The A* inner loop is the whole runtime of the flow, so it is built
-//! around three mechanisms:
+//! around these mechanisms (the exactness arguments live in DESIGN.md
+//! §16):
 //!
-//! * **Reusable search scratch** (`SearchScratch`) — `dist`/`prev`
-//!   arrays and the read-footprint bitmap are allocated once per worker
+//! * **Monotone bucket frontier** ([`crate::bucket::BucketQueue`]) —
+//!   the open set is a Dial-style ring of cost-tick slots scanned by a
+//!   monotone cursor instead of a global binary heap, with per-slot
+//!   mini-heaps reproducing the exact `(total_cmp f, node)` pop order
+//!   of the historical `BinaryHeap`. The old heap survives behind the
+//!   `frontier-oracle` test gate as a differential oracle.
+//! * **Fused cost field** ([`crate::congestion::CostField`]) — the
+//!   history + present-overflow penalty is folded into one per-node
+//!   array maintained incrementally as paths commit (same expression,
+//!   same rounding), halving the random-access traffic of the
+//!   relaxation loop.
+//! * **Corridor-scaled heuristic** — per window attempt, the cheapest
+//!   lateral-entry excess over the window's gcells (layer bias +
+//!   congestion floor, from `CostField::corridor_floor`) scales the
+//!   octile/Manhattan distance into a sharper still-admissible lower
+//!   bound: every in-window lateral step pays at least that excess on
+//!   top of its geometric length. On uncongested corridors the floor is
+//!   zero and the heuristic — and therefore every popped bit — is
+//!   unchanged.
+//! * **Reusable search scratch** (`SearchScratch`) — per-node search
+//!   state and the read-footprint bitmap are allocated once per worker
 //!   and *epoch-stamped*: a search begins by bumping a generation
 //!   counter, so resetting costs O(1) instead of re-initialising
-//!   `node_count` floats per net. Heap entries carry their `g` value and
-//!   stale pops (entries superseded by a later relaxation) are skipped;
-//!   `dist` is monotone non-increasing, so the skipped expansion would
-//!   have relaxed nothing — results are bit-identical.
+//!   `node_count` floats per net; the bucket frontier resets the same
+//!   way. Frontier entries carry their `g` value and stale pops
+//!   (entries superseded by a later relaxation) are skipped; `dist` is
+//!   monotone non-increasing, so the skipped expansion would have
+//!   relaxed nothing — results are bit-identical.
 //! * **Windowed search** — each net searches a bounding box around its
 //!   endpoints inflated by [`INITIAL_WINDOW_MARGIN`] gcells and takes
 //!   the path it finds. Blockage and congestion are soft penalties, so a
@@ -46,14 +67,21 @@
 //! # Parallel routing
 //!
 //! With more than one worker ([`techlib::par::thread_count`]),
-//! [`route_all`] routes nets in *speculative batches*: every net of a
-//! batch runs A* concurrently against a usage snapshot taken at the
-//! batch boundary, recording the set of gcells whose congestion it
-//! examined (its *footprint*). Batch results are then committed strictly
-//! in net order; a speculative route is accepted only if no
-//! earlier-committed net of the same batch dirtied a gcell in its
-//! footprint, and is re-routed on the spot otherwise. A* is a
-//! deterministic function of the usage values it reads, so an accepted
+//! [`route_all`] routes nets in *speculative batches*. The batch former
+//! scans a bounded lookahead of the in-order net list for up to a
+//! batch's worth of nets whose initial search windows are pairwise
+//! disjoint (the historical former chunked contiguous nets, whose
+//! interleaved bboxes essentially never qualified on real workloads —
+//! the `batch_rounds == 0` bug). Every picked net runs A* concurrently
+//! against a cost snapshot taken at batch formation, recording the set
+//! of gcells whose congestion it examined (its *footprint*, plus each
+//! window attempt's corridor-floor witness). Results are then committed
+//! strictly in net order across the whole span the batch covers:
+//! skipped-over nets route sequentially in place (their commits stamp
+//! the round's epoch), and a speculative route is accepted only if
+//! nothing committed since the snapshot dirtied a gcell in its
+//! footprint — it is re-routed on the spot otherwise. A* is a
+//! deterministic function of the cost values it reads, so an accepted
 //! route is bit-identical to what the sequential pass would have
 //! produced — `route_all` returns byte-identical results for any worker
 //! count, only wall-clock changes. When a batch's conflict rate makes
@@ -63,12 +91,12 @@
 //! `SearchScratch` buffers live in a [`techlib::par::ScratchPool`]
 //! so speculation allocates no per-net search state either.
 
+use crate::bucket::{BucketQueue, FrontierItem, FrontierQueue};
+use crate::congestion::CostField;
 use crate::diemap::{DiePlacement, NetClass};
 use crate::grid::{GridWindow, RoutingGrid};
 use crate::RouteError;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Cost of a via between adjacent layers, in µm-equivalent wirelength.
 pub const VIA_COST_UM: f64 = 30.0;
@@ -76,6 +104,9 @@ pub const VIA_COST_UM: f64 = 30.0;
 pub const NONPREF_PENALTY: f64 = 1.5;
 /// Present-congestion penalty per unit overflow, µm-equivalent.
 pub const PRESENT_PENALTY_UM: f64 = 200.0;
+/// Per-layer cost bias, µm-equivalent per layer index: keeps routing low
+/// in the stack unless congestion pushes it up.
+pub const LAYER_BIAS_UM: f64 = 0.5;
 /// History increment per overflowed gcell per iteration, µm-equivalent.
 pub const HISTORY_INC_UM: f64 = 60.0;
 /// Rip-up-and-reroute iterations.
@@ -84,6 +115,11 @@ pub const MAX_ITERATIONS: usize = 3;
 /// more parallelism but raise the chance a footprint conflict forces a
 /// sequential re-route.
 pub const SPECULATIVE_BATCH_PER_WORKER: usize = 2;
+/// How far past the current net (in multiples of the batch length) the
+/// speculative batch former scans for window-disjoint partners. Nets in
+/// the lookahead that overlap the batch stay in place and route
+/// sequentially between the batch's ordered commits.
+pub const BATCH_LOOKAHEAD_FACTOR: usize = 8;
 /// Initial window margin: gcells added around a net's endpoint bounding
 /// box for the first windowed A* attempt.
 pub const INITIAL_WINDOW_MARGIN: usize = 8;
@@ -104,47 +140,6 @@ pub struct RoutedNet {
     pub max_layer: usize,
     /// Path as (x, y, layer) gcell steps.
     pub path: Vec<(usize, usize, usize)>,
-}
-
-struct HeapItem {
-    f: f64,
-    /// The g value (`dist`) this entry was pushed with; entries whose g
-    /// exceeds the node's current `dist` are stale and skipped on pop.
-    g: f64,
-    node: usize,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on f; `g` is deliberately not part of the key so the
-        // pop order is identical to the pre-stale-skip router.
-        //
-        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: treating
-        // an incomparable pair as Equal silently breaks `Ord`'s
-        // transitivity contract the moment a NaN cost enters the heap
-        // (a NaN-priced item would compare Equal to *everything*), and
-        // BinaryHeap is allowed to misorder or lose entries under an
-        // inconsistent Ord. Costs are non-negative finite today, so the
-        // order is unchanged — this pins the invariant down.
-        other
-            .f
-            .total_cmp(&self.f)
-            .then_with(|| self.node.cmp(&other.node))
-    }
-}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Pre-seeds gcell usage with the blockage that exists before any signal
@@ -202,6 +197,8 @@ struct SearchCounters {
     pops: u64,
     expansions: u64,
     window_fallbacks: u64,
+    bucket_pops: u64,
+    heuristic_prunes: u64,
 }
 
 impl SearchCounters {
@@ -209,39 +206,58 @@ impl SearchCounters {
         self.pops += other.pops;
         self.expansions += other.expansions;
         self.window_fallbacks += other.window_fallbacks;
+        self.bucket_pops += other.bucket_pops;
+        self.heuristic_prunes += other.heuristic_prunes;
     }
+}
+
+/// Per-node search state, packed so one relaxation touches a single
+/// 16-byte record instead of three parallel arrays (three cache lines).
+/// `dist`/`prev` are valid only where `stamp` equals the scratch's
+/// current generation.
+#[derive(Clone, Copy)]
+struct NodeState {
+    dist: f64,
+    prev: u32,
+    stamp: u32,
 }
 
 /// Reusable, epoch-stamped A* state: one allocation per worker for the
 /// lifetime of a [`route_all`] call instead of two `node_count`-sized
 /// vectors per net.
 ///
-/// `dist[i]`/`prev[i]` are valid only where `stamp[i] == generation`;
+/// `nodes[i]` is valid only where `nodes[i].stamp == generation`;
 /// [`SearchScratch::begin_search`] bumps the generation, invalidating
-/// the whole state in O(1). The footprint bitmap records every node
-/// whose congestion a speculative search read (across *all* window
-/// attempts of a net — earlier attempts decide whether the window
-/// expands, so their reads are part of the route's input); it is
-/// cleared in O(touched) by [`SearchScratch::take_footprint`].
-struct SearchScratch {
-    dist: Vec<f64>,
-    prev: Vec<u32>,
-    stamp: Vec<u32>,
+/// the whole state in O(1) — and the frontier queue (the bucket ring by
+/// default; the retained binary heap under the `frontier-oracle` gate)
+/// resets the same way. The footprint bitmap records every node whose
+/// congestion a speculative search read (across *all* window attempts
+/// of a net — earlier attempts decide whether the window expands, so
+/// their reads are part of the route's input), plus each attempt's
+/// corridor-floor witness node; it is cleared in O(touched) by
+/// [`SearchScratch::take_footprint`].
+struct SearchScratch<Q: FrontierQueue = BucketQueue> {
+    nodes: Vec<NodeState>,
     generation: u32,
-    heap: BinaryHeap<HeapItem>,
+    frontier: Q,
     fp_words: Vec<u64>,
     fp_touched: Vec<u32>,
     counters: SearchCounters,
 }
 
-impl SearchScratch {
-    fn new(nodes: usize) -> SearchScratch {
+impl<Q: FrontierQueue> SearchScratch<Q> {
+    fn new(nodes: usize) -> SearchScratch<Q> {
         SearchScratch {
-            dist: vec![f64::INFINITY; nodes],
-            prev: vec![u32::MAX; nodes],
-            stamp: vec![0; nodes],
+            nodes: vec![
+                NodeState {
+                    dist: f64::INFINITY,
+                    prev: u32::MAX,
+                    stamp: 0,
+                };
+                nodes
+            ],
             generation: 0,
-            heap: BinaryHeap::new(),
+            frontier: Q::new(),
             fp_words: vec![0; nodes.div_ceil(64)],
             fp_touched: Vec::new(),
             counters: SearchCounters::default(),
@@ -249,14 +265,26 @@ impl SearchScratch {
     }
 
     /// Invalidates all per-search state in O(1) (amortised: the stamp
-    /// array is re-zeroed only when the 32-bit generation wraps).
+    /// fields are re-zeroed only when the 32-bit generation wraps).
     fn begin_search(&mut self) {
-        self.heap.clear();
+        self.frontier.begin();
         if self.generation == u32::MAX {
-            self.stamp.fill(0);
+            for state in &mut self.nodes {
+                state.stamp = 0;
+            }
             self.generation = 1;
         } else {
             self.generation += 1;
+        }
+    }
+
+    /// Records `node` in the read footprint (idempotent per net).
+    #[inline]
+    fn mark_footprint(&mut self, node: usize) {
+        let (w, b) = (node / 64, node % 64);
+        if self.fp_words[w] & (1u64 << b) == 0 {
+            self.fp_words[w] |= 1u64 << b;
+            self.fp_touched.push(node as u32);
         }
     }
 
@@ -275,14 +303,51 @@ impl SearchScratch {
 // The A* kernel.
 // ---------------------------------------------------------------------
 
+/// Division by a loop-invariant divisor via the ceiling-reciprocal
+/// trick (Granlund–Montgomery / Lemire): with `m = ⌈2⁶⁴ / d⌉`
+/// (computed as `⌊(2⁶⁴−1)/d⌋ + 1` for `d ≥ 2`; exact for powers of
+/// two), `⌊n / d⌋ == (m · n) >> 64` for every `n < 2³²` — the error
+/// term `n·(m·d − 2⁶⁴)/(d·2⁶⁴)` stays below `1/d`. Node indices are far
+/// below 2³², and the A* expansion loop decomposes one per pop — this
+/// turns the three hardware divisions per expansion into two widening
+/// multiplies (the release-build divisors are runtime grid dimensions,
+/// so LLVM cannot strength-reduce them itself).
+struct FastDiv {
+    d: u64,
+    m: u64,
+}
+
+impl FastDiv {
+    fn new(d: u64) -> FastDiv {
+        debug_assert!(d >= 2, "reciprocal needs d >= 2; d == 1 is identity");
+        FastDiv {
+            d,
+            m: u64::MAX / d + 1,
+        }
+    }
+
+    /// `n / self.d` for `n < 2³²`.
+    #[inline]
+    fn div(&self, n: u64) -> u64 {
+        debug_assert!(n < (1 << 32));
+        let q = ((u128::from(self.m) * u128::from(n)) >> 64) as u64;
+        debug_assert_eq!(q, n / self.d);
+        q
+    }
+}
+
 /// One A* search from `start` to `goal`, restricted laterally to `win`.
 /// Returns the goal's settled cost, leaving the `prev` chain in
 /// `scratch` for reconstruction. Identical pop order and relaxation
 /// sequence to the historical full-grid router when `win` covers the
-/// grid.
+/// grid and `hscale == 1.0`.
+///
+/// `hscale ≥ 1.0` multiplies the geometric heuristic into the corridor-
+/// scaled lower bound of the caller (see [`route_with_margin`]); it
+/// affects only the *queue keys*, never the relaxed `dist` values.
 ///
 /// `pruned_min` is set to the smallest admissible f-value (`g` + step +
-/// layer bias + `h`, congestion ≥ 0 dropped) among the moves the
+/// layer bias + plain `h`, congestion ≥ 0 dropped) among the moves the
 /// *window* rejected — moves off the grid itself don't count, the
 /// full-grid search rejects those too. It is the search's certificate:
 /// with a consistent heuristic, any full-grid path cheaper than the
@@ -290,38 +355,48 @@ impl SearchScratch {
 /// bound undercuts it, so a goal cost strictly below `pruned_min` *is*
 /// the full-grid optimum (and, because equal-cost ties are excluded,
 /// the reconstructed path is the one the full-grid search would have
-/// returned, prev-pointer for prev-pointer).
+/// returned, prev-pointer for prev-pointer). Under a sharpened
+/// heuristic (`hscale > 1.0`) the corridor floor is window-local, so a
+/// successful search additionally folds `dist + h` over every
+/// *unpopped* frontier entry into `pruned_min`: any full-grid path the
+/// sharpened search did not examine either crosses the window boundary
+/// (recorded above) or passes through a relaxed-but-unexpanded node
+/// still in the frontier (folded here), so the combined bound is a true
+/// full-grid certificate — `window_fallbacks` semantics survive the
+/// sharper heuristic.
 #[allow(clippy::too_many_arguments)]
-fn astar(
-    scratch: &mut SearchScratch,
+fn astar<Q: FrontierQueue>(
+    scratch: &mut SearchScratch<Q>,
     grid: &RoutingGrid,
-    usage: &[f64],
-    history: &[f64],
+    cost: &CostField,
     start: usize,
     goal: usize,
     target: (usize, usize),
     win: &GridWindow,
+    hscale: f64,
     record_footprint: bool,
     pruned_min: &mut f64,
 ) -> Option<f64> {
     *pruned_min = f64::INFINITY;
     scratch.begin_search();
     let SearchScratch {
-        dist,
-        prev,
-        stamp,
+        nodes,
         generation,
-        heap,
+        frontier,
         fp_words,
         fp_touched,
         counters,
     } = scratch;
     let gen = *generation;
     let (tx, ty) = target;
+    let penalty = &cost.penalty[..];
 
+    // Integer |Δ| is exact for gcell coordinates (≪ 2^53), so this is
+    // the bit-identical Manhattan/octile distance of the historical
+    // float-subtract form, minus the float abs work.
     let h = |x: usize, y: usize| -> f64 {
-        let dx = (x as f64 - tx as f64).abs();
-        let dy = (y as f64 - ty as f64).abs();
+        let dx = x.abs_diff(tx) as f64;
+        let dy = y.abs_diff(ty) as f64;
         if grid.diagonal {
             (dx.max(dy) + (std::f64::consts::SQRT_2 - 1.0) * dx.min(dy)) * grid.gcell_um
         } else {
@@ -329,111 +404,202 @@ fn astar(
         }
     };
 
-    let congestion = |node: usize| -> f64 {
-        let over = (usage[node] + 1.0 - grid.capacity).max(0.0);
-        history[node] + PRESENT_PENALTY_UM * over
+    nodes[start] = NodeState {
+        dist: 0.0,
+        prev: u32::MAX,
+        stamp: gen,
     };
-
-    dist[start] = 0.0;
-    prev[start] = u32::MAX;
-    stamp[start] = gen;
-    heap.push(HeapItem {
+    frontier.push(FrontierItem {
         f: 0.0,
         g: 0.0,
         node: start,
     });
 
+    // Reciprocal divisors for the per-pop index decomposition. `cols >= 2`
+    // implies `per >= 2`, so both reciprocals are well-defined; degenerate
+    // single-column grids (never produced by real footprints) fall back to
+    // the hardware-division decompose.
+    let per_layer = grid.rows * grid.cols;
+    let fast = if grid.cols >= 2 {
+        Some((
+            FastDiv::new(per_layer as u64),
+            FastDiv::new(grid.cols as u64),
+        ))
+    } else {
+        None
+    };
+
     let mut pops = 0u64;
     let mut expansions = 0u64;
     let mut found = None;
-    while let Some(HeapItem { f: _, g, node }) = heap.pop() {
+    while let Some(FrontierItem { f: _, g, node }) = frontier.pop() {
         pops += 1;
         if node == goal {
-            found = Some(dist[node]);
+            found = Some(nodes[node].dist);
             break;
         }
         // Stale entry: a later relaxation already improved this node, so
         // its (earlier-popped) fresh entry performed every relaxation
         // this one could; skipping is result-identical.
-        if g > dist[node] {
+        if g > nodes[node].dist {
             continue;
         }
         expansions += 1;
-        let (x, y, layer) = grid.decompose(node);
-        let d = dist[node];
+        let (x, y, layer) = match &fast {
+            Some((fper, fcols)) => {
+                let layer = fper.div(node as u64) as usize;
+                let rem = node - layer * per_layer;
+                let y = fcols.div(rem as u64) as usize;
+                (rem - y * grid.cols, y, layer)
+            }
+            None => grid.decompose(node),
+        };
+        let d = nodes[node].dist;
+        // `layer as f64 * LAYER_BIAS_UM`, hoisted: every probe of this
+        // expansion but the two via moves adds exactly this term.
+        let layer_bias = layer as f64 * LAYER_BIAS_UM;
 
+        // Lateral probe: the destination layer is the popped node's, so
+        // the layer bounds check is vacuous and the flattened index is
+        // the popped node's plus a precomputed ±1 (x) / ±cols (y)
+        // offset. Off-grid and off-window handling — and every float
+        // operation — match the historical all-purpose try_move
+        // bit-for-bit.
         let pruned_min = &mut *pruned_min;
-        let mut try_move =
-            |nx: i64, ny: i64, nl: i64, step: f64, heap: &mut BinaryHeap<HeapItem>| {
-                if nx < 0
-                    || ny < 0
-                    || nl < 0
-                    || nx >= grid.cols as i64
-                    || ny >= grid.rows as i64
-                    || nl >= grid.layers as i64
-                {
-                    return;
+        let mut lateral = |nx: i64, ny: i64, delta: i64, step: f64, frontier: &mut Q| {
+            if nx < 0 || ny < 0 || nx >= grid.cols as i64 || ny >= grid.rows as i64 {
+                return;
+            }
+            let (nx, ny) = (nx as usize, ny as usize);
+            if nx < win.x0 || ny < win.y0 || nx > win.x1 || ny > win.y1 {
+                // In the grid but outside the window: record the
+                // certificate bound this pruned move witnesses (plain
+                // h — outside the window the corridor floor is void).
+                let lb = d + step + layer_bias + h(nx, ny);
+                if lb < *pruned_min {
+                    *pruned_min = lb;
                 }
-                let (nx, ny, nl) = (nx as usize, ny as usize, nl as usize);
-                if nx < win.x0 || ny < win.y0 || nx > win.x1 || ny > win.y1 {
-                    // In the grid but outside the window: record the
-                    // certificate bound this pruned move witnesses.
-                    let lb = d + step + nl as f64 * 0.5 + h(nx, ny);
-                    if lb < *pruned_min {
-                        *pruned_min = lb;
-                    }
-                    return;
+                return;
+            }
+            let ni = (node as i64 + delta) as usize;
+            // Everything usage-dependent about this A* flows through the
+            // fused penalty read below, so the footprint is exactly the
+            // set of nodes it covers (plus the corridor witness the
+            // caller marks).
+            if record_footprint {
+                let (w, b) = (ni / 64, ni % 64);
+                if fp_words[w] & (1u64 << b) == 0 {
+                    fp_words[w] |= 1u64 << b;
+                    fp_touched.push(ni as u32);
                 }
-                let ni = grid.index(nx, ny, nl);
-                // Everything usage-dependent about this A* flows through the
-                // congestion read below, so the footprint is exactly the set
-                // of nodes passed to it.
-                if record_footprint {
-                    let (w, b) = (ni / 64, ni % 64);
-                    if fp_words[w] & (1u64 << b) == 0 {
-                        fp_words[w] |= 1u64 << b;
-                        fp_touched.push(ni as u32);
-                    }
-                }
-                // Small upper-layer bias keeps routing low when uncongested.
-                let nd = d + step + congestion(ni) + nl as f64 * 0.5;
-                let cur = if stamp[ni] == gen {
-                    dist[ni]
-                } else {
-                    f64::INFINITY
-                };
-                if nd < cur {
-                    dist[ni] = nd;
-                    prev[ni] = node as u32;
-                    stamp[ni] = gen;
-                    heap.push(HeapItem {
-                        f: nd + h(nx, ny),
-                        g: nd,
-                        node: ni,
-                    });
-                }
+            }
+            // Small upper-layer bias keeps routing low when uncongested.
+            // `penalty[ni]` is the identical expression the historical
+            // congestion closure computed (see `CostField`).
+            let nd = d + step + penalty[ni] + layer_bias;
+            let state = &mut nodes[ni];
+            let cur = if state.stamp == gen {
+                state.dist
+            } else {
+                f64::INFINITY
             };
+            if nd < cur {
+                *state = NodeState {
+                    dist: nd,
+                    prev: node as u32,
+                    stamp: gen,
+                };
+                frontier.push(FrontierItem {
+                    f: nd + h(nx, ny) * hscale,
+                    g: nd,
+                    node: ni,
+                });
+            }
+        };
 
         let hp = grid.horizontal_preferred(layer);
         let hx = if hp { 1.0 } else { NONPREF_PENALTY };
         let hy = if hp { NONPREF_PENALTY } else { 1.0 };
         let g = grid.gcell_um;
-        try_move(x as i64 + 1, y as i64, layer as i64, g * hx, heap);
-        try_move(x as i64 - 1, y as i64, layer as i64, g * hx, heap);
-        try_move(x as i64, y as i64 + 1, layer as i64, g * hy, heap);
-        try_move(x as i64, y as i64 - 1, layer as i64, g * hy, heap);
+        let cols = grid.cols as i64;
+        lateral(x as i64 + 1, y as i64, 1, g * hx, frontier);
+        lateral(x as i64 - 1, y as i64, -1, g * hx, frontier);
+        lateral(x as i64, y as i64 + 1, cols, g * hy, frontier);
+        lateral(x as i64, y as i64 - 1, -cols, g * hy, frontier);
         if grid.diagonal {
             let gd = g * std::f64::consts::SQRT_2;
-            try_move(x as i64 + 1, y as i64 + 1, layer as i64, gd, heap);
-            try_move(x as i64 + 1, y as i64 - 1, layer as i64, gd, heap);
-            try_move(x as i64 - 1, y as i64 + 1, layer as i64, gd, heap);
-            try_move(x as i64 - 1, y as i64 - 1, layer as i64, gd, heap);
+            lateral(x as i64 + 1, y as i64 + 1, cols + 1, gd, frontier);
+            lateral(x as i64 + 1, y as i64 - 1, -cols + 1, gd, frontier);
+            lateral(x as i64 - 1, y as i64 + 1, cols - 1, gd, frontier);
+            lateral(x as i64 - 1, y as i64 - 1, -cols - 1, gd, frontier);
         }
-        try_move(x as i64, y as i64, layer as i64 + 1, VIA_COST_UM, heap);
-        try_move(x as i64, y as i64, layer as i64 - 1, VIA_COST_UM, heap);
+
+        // Via probe: (x, y) is unchanged and already in-window (it was
+        // relaxed there), so the historical window check was vacuously
+        // false for layer moves — only the layer bound remains. The
+        // heuristic at the unchanged gcell is hoisted once for both
+        // directions.
+        let h_here = h(x, y);
+        let per = (grid.cols * grid.rows) as i64;
+        let mut via = |nl: i64, delta: i64, frontier: &mut Q| {
+            if nl < 0 || nl >= grid.layers as i64 {
+                return;
+            }
+            let ni = (node as i64 + delta) as usize;
+            if record_footprint {
+                let (w, b) = (ni / 64, ni % 64);
+                if fp_words[w] & (1u64 << b) == 0 {
+                    fp_words[w] |= 1u64 << b;
+                    fp_touched.push(ni as u32);
+                }
+            }
+            let nd = d + VIA_COST_UM + penalty[ni] + nl as f64 * LAYER_BIAS_UM;
+            let state = &mut nodes[ni];
+            let cur = if state.stamp == gen {
+                state.dist
+            } else {
+                f64::INFINITY
+            };
+            if nd < cur {
+                *state = NodeState {
+                    dist: nd,
+                    prev: node as u32,
+                    stamp: gen,
+                };
+                frontier.push(FrontierItem {
+                    f: nd + h_here * hscale,
+                    g: nd,
+                    node: ni,
+                });
+            }
+        };
+        via(layer as i64 + 1, per, frontier);
+        via(layer as i64 - 1, -per, frontier);
     }
     counters.pops += pops;
     counters.expansions += expansions;
+    if Q::IS_BUCKET {
+        counters.bucket_pops += pops;
+    }
+    if hscale > 1.0 && found.is_some() {
+        // Certificate repair for the sharpened heuristic: fold the
+        // plain-h lower bound of every unexpanded frontier node into
+        // the pruned minimum (see the doc comment). Every entry counted
+        // here is an expansion the sharper bound saved.
+        let mut remaining = 0u64;
+        frontier.for_each(|item| {
+            remaining += 1;
+            let state = &nodes[item.node];
+            if state.stamp == gen {
+                let (ix, iy, _) = grid.decompose(item.node);
+                let lb = state.dist + h(ix, iy);
+                if lb < *pruned_min {
+                    *pruned_min = lb;
+                }
+            }
+        });
+        counters.heuristic_prunes += remaining;
+    }
     found
 }
 
@@ -444,14 +610,25 @@ fn astar(
 /// as provably-optimal or window-constrained for observability.
 /// `initial_margin = usize::MAX` forces a single full-grid search (the
 /// historical behaviour; used by the coverage tests as the reference).
+///
+/// Each window attempt sharpens the heuristic with the corridor floor:
+/// the cheapest lateral-entry excess (layer bias + congestion penalty)
+/// any in-window node charges. Every lateral step of an in-window path
+/// pays at least `1 + floor / max_step` times its geometric cost — with
+/// `max_step` the largest preferred-direction step length the heuristic
+/// already assumes — so scaling `h` by that factor stays admissible and
+/// consistent (DESIGN.md §16). On a fresh corridor the floor is 0, the
+/// scale is exactly 1.0, and every search bit matches the historical
+/// router. The floor's witness node joins the speculative footprint:
+/// penalties only grow within a pass, so an untouched witness proves
+/// the whole window minimum — and hence the scale — is unchanged.
 #[allow(clippy::too_many_arguments)]
-fn route_with_margin(
+fn route_with_margin<Q: FrontierQueue>(
     placement: &DiePlacement,
     grid: &RoutingGrid,
     net: &crate::diemap::NetSpec,
-    usage: &[f64],
-    history: &[f64],
-    scratch: &mut SearchScratch,
+    cost: &CostField,
+    scratch: &mut SearchScratch<Q>,
     record_footprint: bool,
     initial_margin: usize,
 ) -> Option<RoutedNet> {
@@ -461,25 +638,39 @@ fn route_with_margin(
     let (tx, ty) = grid.gcell_of(t.0, t.1);
     let start = grid.index(sx, sy, 0);
     let goal = grid.index(tx, ty, 0);
+    let max_step = if grid.diagonal {
+        grid.gcell_um * std::f64::consts::SQRT_2
+    } else {
+        grid.gcell_um
+    };
 
     let mut margin = initial_margin;
     loop {
         let win = grid.window((sx, sy), (tx, ty), margin);
         let full = win.covers(grid);
+        let (floor, witness) = cost.corridor_floor(grid, &win);
+        if record_footprint {
+            scratch.mark_footprint(witness);
+        }
+        let hscale = if floor > 0.0 {
+            1.0 + floor / max_step
+        } else {
+            1.0
+        };
         let mut pruned_min = f64::INFINITY;
-        let cost = astar(
+        let found = astar(
             scratch,
             grid,
-            usage,
-            history,
+            cost,
             start,
             goal,
             (tx, ty),
             &win,
+            hscale,
             record_footprint,
             &mut pruned_min,
         );
-        match cost {
+        match found {
             Some(c) => {
                 // The windowed path is taken as-is. When its cost beats
                 // every pruned boundary bound it provably equals the
@@ -519,7 +710,7 @@ fn route_with_margin(
         if cur == start {
             break;
         }
-        cur = scratch.prev[cur] as usize;
+        cur = scratch.nodes[cur].prev as usize;
     }
     path.reverse();
 
@@ -548,21 +739,19 @@ fn route_with_margin(
     })
 }
 
-fn route_traced(
+fn route_traced<Q: FrontierQueue>(
     placement: &DiePlacement,
     grid: &RoutingGrid,
     net: &crate::diemap::NetSpec,
-    usage: &[f64],
-    history: &[f64],
-    scratch: &mut SearchScratch,
+    cost: &CostField,
+    scratch: &mut SearchScratch<Q>,
     record_footprint: bool,
 ) -> Option<RoutedNet> {
     route_with_margin(
         placement,
         grid,
         net,
-        usage,
-        history,
+        cost,
         scratch,
         record_footprint,
         INITIAL_WINDOW_MARGIN,
@@ -672,7 +861,51 @@ pub fn route_all_with_workers(
     grid: &RoutingGrid,
     workers: usize,
 ) -> Result<Vec<RoutedNet>, RouteError> {
-    route_all_impl(placement, grid, workers, Reroute::Incremental)
+    Ok(route_all_impl(placement, grid, workers, Reroute::Incremental)?.0)
+}
+
+/// Batching telemetry of one [`route_all`] call (flushed to
+/// [`techlib::obs`]; returned raw so tests can assert on it).
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteStats {
+    batch_rounds: u64,
+    batch_candidates: u64,
+    batch_window_rejects: u64,
+    conflict_reroutes: u64,
+    incremental_reroutes: u64,
+}
+
+/// Routes `order[k]` sequentially against the live cost field and
+/// commits it, stamping `epoch` into the dirty map and refreshing the
+/// fused penalties the commit changed. The single code path behind the
+/// sequential pass, the between-batch nets, and conflict re-routes.
+#[allow(clippy::too_many_arguments)]
+fn route_and_commit(
+    placement: &DiePlacement,
+    grid: &RoutingGrid,
+    net: &crate::diemap::NetSpec,
+    usage: &mut [f64],
+    history: &[f64],
+    cost: &mut CostField,
+    dirty: &mut [u32],
+    epoch: u32,
+    scratch: &mut SearchScratch,
+) -> Result<RoutedNet, RouteError> {
+    let r = route_traced(placement, grid, net, cost, scratch, false)
+        .ok_or(RouteError::Unroutable { net: net.id })?;
+    commit(grid, &r, usage, dirty, epoch);
+    cost.refresh_path(grid, &r.path, usage, history);
+    Ok(r)
+}
+
+/// `routed[k] = r`, growing the vector when `k` is the next slot (first
+/// iteration) and overwriting in place on re-routes.
+fn store_routed(routed: &mut Vec<RoutedNet>, k: usize, r: RoutedNet) {
+    if k == routed.len() {
+        routed.push(r);
+    } else {
+        routed[k] = r;
+    }
 }
 
 fn route_all_impl(
@@ -680,7 +913,7 @@ fn route_all_impl(
     grid: &RoutingGrid,
     workers: usize,
     strategy: Reroute,
-) -> Result<Vec<RoutedNet>, RouteError> {
+) -> Result<(Vec<RoutedNet>, RouteStats), RouteError> {
     if techlib::faults::armed("router.escape") {
         // Injected fault: the escape/channel router gives up on the first
         // net, the same typed error a congested grid would produce.
@@ -710,12 +943,34 @@ fn route_all_impl(
             .then_with(|| a.id.cmp(&b.id))
     });
 
+    // Per-net initial search windows, precomputed once: the batch former
+    // admits only pairwise window-disjoint nets into a speculative
+    // batch. `None` marks nets without placed endpoints (they route to
+    // `Unroutable` on the sequential path).
+    let windows: Vec<Option<GridWindow>> = order
+        .iter()
+        .map(|net| {
+            let s = placement.dies[net.from.0].signal_position(net.from.1)?;
+            let t = placement.dies[net.to.0].signal_position(net.to.1)?;
+            Some(grid.window(
+                grid.gcell_of(s.0, s.1),
+                grid.gcell_of(t.0, t.1),
+                INITIAL_WINDOW_MARGIN,
+            ))
+        })
+        .collect();
+
     // Epoch-stamped dirty map: `dirty[i] == epoch` means node `i`'s usage
-    // changed during the current batch. Bumping the epoch clears the map
-    // in O(1). Epoch 0 is reserved so the sequential path's commits never
-    // match a check.
+    // changed since the current speculative round's snapshot. Bumping the
+    // epoch clears the map in O(1). Epoch 0 is reserved so commits made
+    // before the first round never match a check.
     let mut dirty: Vec<u32> = vec![0; n];
     let mut epoch: u32 = 0;
+
+    // The fused penalty field every search reads; maintained
+    // incrementally per commit/rip-up and rebuilt at iteration
+    // boundaries (history bumps touch arbitrary node sets).
+    let mut cost = CostField::build(grid, &usage, &history);
 
     // One scratch for the sequential path and conflict re-routes; the
     // pool serves speculative workers across every batch of the call.
@@ -725,8 +980,7 @@ fn route_all_impl(
     // `routed[k]` stays aligned with `order[k]` until the final sort.
     let mut routed: Vec<RoutedNet> = Vec::with_capacity(order.len());
     let mut overflowed = vec![false; n];
-    let mut incremental_reroutes = 0u64;
-    let mut conflict_reroutes = 0u64;
+    let mut stats = RouteStats::default();
 
     for iteration in 0..MAX_ITERATIONS {
         let targets: Vec<usize> = if iteration == 0 {
@@ -752,7 +1006,7 @@ fn route_all_impl(
             if !any {
                 break;
             }
-            match strategy {
+            let targets = match strategy {
                 Reroute::Full => {
                     usage.copy_from_slice(&base);
                     routed.clear();
@@ -770,10 +1024,14 @@ fn route_all_impl(
                     for &k in &targets {
                         uncommit(grid, &routed[k], &mut usage);
                     }
-                    incremental_reroutes += targets.len() as u64;
+                    stats.incremental_reroutes += targets.len() as u64;
                     targets
                 }
-            }
+            };
+            // History bumps and rip-ups touched arbitrary nodes: rebuild
+            // the fused field wholesale before the pass reads it.
+            cost.rebuild(grid, &usage, &history);
+            targets
         };
 
         // Speculation can be abandoned mid-pass when conflicts make it a
@@ -781,74 +1039,135 @@ fn route_all_impl(
         // this is purely a wall-clock policy.
         let mut speculate = workers > 1;
         let batch_len = (workers * SPECULATIVE_BATCH_PER_WORKER).max(1);
-        for batch in targets.chunks(batch_len) {
-            if speculate && batch.len() > 1 {
-                epoch += 1;
-                // Route the whole batch against the snapshot, recording
-                // which nodes each A* read congestion from.
-                let speculative = techlib::par::ordered_map_with(workers, batch, |&k| {
-                    pool.with(
-                        || SearchScratch::new(n),
-                        |scratch| {
-                            let r = route_traced(
-                                placement, grid, order[k], &usage, &history, scratch, true,
-                            );
-                            (r, scratch.take_footprint())
-                        },
-                    )
-                });
-                // Commit in net order, validating each speculative route
-                // against the nodes dirtied by earlier commits.
-                let mut conflicts = 0usize;
-                for (&k, (r, footprint)) in batch.iter().zip(speculative) {
-                    let clean = footprint.iter().all(|&node| dirty[node as usize] != epoch);
-                    let r = match r {
-                        Some(r) if clean => r,
-                        _ => {
-                            conflicts += 1;
-                            route_traced(
-                                placement,
-                                grid,
-                                order[k],
-                                &usage,
-                                &history,
-                                &mut main_scratch,
-                                false,
-                            )
-                            .ok_or(RouteError::Unroutable { net: order[k].id })?
+        let lookahead = batch_len * BATCH_LOOKAHEAD_FACTOR;
+        let mut i = 0usize;
+        while i < targets.len() {
+            // Greedy batch former: scan the next `lookahead` in-order
+            // nets for up to `batch_len` whose initial windows are
+            // pairwise disjoint (nets that cannot read or dirty one
+            // another's congestion unless a search escalates its
+            // window — which the footprint validation still catches).
+            // The historical former chunked *contiguous* nets, and the
+            // longest-first order interleaves bbox-overlapping nets so
+            // thoroughly that whole-chunk disjointness essentially
+            // never held on the paper workload: `batch_rounds == 0`.
+            let mut picked: Vec<usize> = vec![i];
+            if speculate {
+                stats.batch_candidates += 1;
+                if let Some(w0) = windows[targets[i]] {
+                    let mut wins: Vec<GridWindow> = vec![w0];
+                    let end = (i + lookahead).min(targets.len());
+                    for j in (i + 1)..end {
+                        if picked.len() == batch_len {
+                            break;
                         }
-                    };
-                    commit(grid, &r, &mut usage, &mut dirty, epoch);
-                    if k == routed.len() {
-                        routed.push(r);
-                    } else {
-                        routed[k] = r;
-                    }
-                }
-                conflict_reroutes += conflicts as u64;
-                if 2 * conflicts >= batch.len() {
-                    speculate = false;
-                }
-            } else {
-                for &k in batch {
-                    let r = route_traced(
-                        placement,
-                        grid,
-                        order[k],
-                        &usage,
-                        &history,
-                        &mut main_scratch,
-                        false,
-                    )
-                    .ok_or(RouteError::Unroutable { net: order[k].id })?;
-                    commit(grid, &r, &mut usage, &mut dirty, 0);
-                    if k == routed.len() {
-                        routed.push(r);
-                    } else {
-                        routed[k] = r;
+                        stats.batch_candidates += 1;
+                        match windows[targets[j]] {
+                            Some(w) if wins.iter().all(|p| p.disjoint(&w)) => {
+                                picked.push(j);
+                                wins.push(w);
+                            }
+                            _ => stats.batch_window_rejects += 1,
+                        }
                     }
                 }
             }
+            if picked.len() < 2 {
+                // No window-disjoint partner in the lookahead (or
+                // speculation is off): plain sequential net.
+                let k = targets[i];
+                let r = route_and_commit(
+                    placement,
+                    grid,
+                    order[k],
+                    &mut usage,
+                    &history,
+                    &mut cost,
+                    &mut dirty,
+                    epoch,
+                    &mut main_scratch,
+                )?;
+                store_routed(&mut routed, k, r);
+                i += 1;
+                continue;
+            }
+
+            // Route the batch against the current-state snapshot,
+            // recording which nodes each A* read congestion from.
+            epoch += 1;
+            stats.batch_rounds += 1;
+            let speculative = techlib::par::ordered_map_with(workers, &picked, |&j| {
+                pool.with(
+                    || SearchScratch::new(n),
+                    |scratch| {
+                        let r =
+                            route_traced(placement, grid, order[targets[j]], &cost, scratch, true);
+                        (r, scratch.take_footprint())
+                    },
+                )
+            });
+
+            // Commit walk, strictly in net order, over every position
+            // the batch spans: batch members validate their footprint
+            // against nodes dirtied since the snapshot, and the
+            // in-between (window-overlapping) nets route sequentially —
+            // their commits stamp the current epoch so later batch
+            // members see their dirt. Net order is exactly the
+            // sequential order, so results stay byte-identical.
+            let last = *picked.last().unwrap_or(&i);
+            let mut conflicts = 0usize;
+            let mut spec = picked.iter().zip(speculative);
+            let mut next = spec.next();
+            for (pos, &k) in targets.iter().enumerate().take(last + 1).skip(i) {
+                let is_spec = matches!(next.as_ref(), Some((j, _)) if **j == pos);
+                let r = if is_spec {
+                    let (r, footprint) = match next.take() {
+                        Some((_, payload)) => payload,
+                        None => (None, Vec::new()), // unreachable: is_spec
+                    };
+                    next = spec.next();
+                    let clean = footprint.iter().all(|&node| dirty[node as usize] != epoch);
+                    match r {
+                        Some(r) if clean => {
+                            commit(grid, &r, &mut usage, &mut dirty, epoch);
+                            cost.refresh_path(grid, &r.path, &usage, &history);
+                            r
+                        }
+                        _ => {
+                            conflicts += 1;
+                            route_and_commit(
+                                placement,
+                                grid,
+                                order[k],
+                                &mut usage,
+                                &history,
+                                &mut cost,
+                                &mut dirty,
+                                epoch,
+                                &mut main_scratch,
+                            )?
+                        }
+                    }
+                } else {
+                    route_and_commit(
+                        placement,
+                        grid,
+                        order[k],
+                        &mut usage,
+                        &history,
+                        &mut cost,
+                        &mut dirty,
+                        epoch,
+                        &mut main_scratch,
+                    )?
+                };
+                store_routed(&mut routed, k, r);
+            }
+            stats.conflict_reroutes += conflicts as u64;
+            if 2 * conflicts >= picked.len() {
+                speculate = false;
+            }
+            i = last + 1;
         }
     }
     routed.sort_by_key(|r| r.id);
@@ -859,7 +1178,7 @@ fn route_all_impl(
         totals.merge(scratch.counters);
     }
     techlib::obs::add(techlib::obs::ROUTER_NETS_ROUTED, routed.len() as u64);
-    techlib::obs::add(techlib::obs::ROUTER_BATCH_ROUNDS, u64::from(epoch));
+    techlib::obs::add(techlib::obs::ROUTER_BATCH_ROUNDS, stats.batch_rounds);
     techlib::obs::add(techlib::obs::ROUTER_HEAP_POPS, totals.pops);
     techlib::obs::add(techlib::obs::ROUTER_EXPANSIONS, totals.expansions);
     techlib::obs::add(
@@ -868,10 +1187,26 @@ fn route_all_impl(
     );
     techlib::obs::add(
         techlib::obs::ROUTER_INCREMENTAL_REROUTES,
-        incremental_reroutes,
+        stats.incremental_reroutes,
     );
-    techlib::obs::add(techlib::obs::ROUTER_CONFLICT_REROUTES, conflict_reroutes);
-    Ok(routed)
+    techlib::obs::add(
+        techlib::obs::ROUTER_CONFLICT_REROUTES,
+        stats.conflict_reroutes,
+    );
+    techlib::obs::add(
+        techlib::obs::ROUTER_BATCH_CANDIDATES,
+        stats.batch_candidates,
+    );
+    techlib::obs::add(
+        techlib::obs::ROUTER_BATCH_CONFLICT_REJECTS,
+        stats.batch_window_rejects,
+    );
+    techlib::obs::add(techlib::obs::ROUTER_BUCKET_POPS, totals.bucket_pops);
+    techlib::obs::add(
+        techlib::obs::ROUTER_HEURISTIC_PRUNES,
+        totals.heuristic_prunes,
+    );
+    Ok((routed, stats))
 }
 
 #[cfg(test)]
@@ -976,16 +1311,69 @@ mod tests {
     }
 
     #[test]
-    fn speculative_batches_match_on_real_silicon_layout() {
+    fn speculative_batches_match_on_real_silicon_layout_and_fire() {
+        // Byte-identity at workers {1, 2, 4, 7} on the paper workload,
+        // AND the batch former must actually form batches at every
+        // parallel width — `batch_rounds == 0` silently regressing the
+        // parallel path to sequential is exactly the bug this PR fixes.
         let p = place_dies(InterposerKind::Silicon25D);
         let spec = InterposerSpec::for_kind(InterposerKind::Silicon25D);
         let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
-        let seq = route_all_with_workers(&p, &grid, 1).unwrap();
-        let par = route_all_with_workers(&p, &grid, 4).unwrap();
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in par.iter().zip(&seq) {
-            assert_eq!(a.path, b.path, "net {}", a.id);
+        let (seq, seq_stats) = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap();
+        assert_eq!(seq_stats.batch_rounds, 0, "sequential never speculates");
+        for workers in [2, 4, 7] {
+            let (par, stats) = route_all_impl(&p, &grid, workers, Reroute::Incremental).unwrap();
+            assert!(
+                stats.batch_rounds > 0,
+                "speculative batching must fire at {workers} workers \
+                 (candidates={}, window_rejects={})",
+                stats.batch_candidates,
+                stats.batch_window_rejects
+            );
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.path, b.path, "net {} ({workers} workers)", a.id);
+            }
         }
+    }
+
+    #[test]
+    fn bucket_frontier_reproduces_heap_frontier_paths() {
+        // Full-layout differential oracle: route every net of the glass
+        // workload (serpentine congestion, the hardest frontier
+        // schedules we have) with the bucket frontier and the retained
+        // binary heap, committing the bucket result so both see
+        // evolving congestion. Paths must match node-for-node.
+        use crate::bucket::HeapFrontier;
+        let p = place_dies(InterposerKind::Glass25D);
+        let spec = InterposerSpec::for_kind(InterposerKind::Glass25D);
+        let grid = RoutingGrid::new(p.footprint_um, &spec).unwrap();
+        let n = grid.node_count();
+        let mut usage = base_blockage(&p, &grid);
+        let history = vec![0.0; n];
+        let mut cost = CostField::build(&grid, &usage, &history);
+        let mut dirty = vec![0u32; n];
+        let mut bucket: SearchScratch = SearchScratch::new(n);
+        let mut heap: SearchScratch<HeapFrontier> = SearchScratch::new(n);
+        for net in &p.nets {
+            let a = route_traced(&p, &grid, net, &cost, &mut bucket, false);
+            let b = route_traced(&p, &grid, net, &cost, &mut heap, false);
+            match (&a, &b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.path, b.path, "net {}", net.id);
+                    assert!(a.length_um == b.length_um && a.vias == b.vias);
+                }
+                (None, None) => {}
+                _ => panic!("net {}: routability diverged", net.id),
+            }
+            if let Some(a) = a {
+                commit(&grid, &a, &mut usage, &mut dirty, 0);
+                cost.refresh_path(&grid, &a.path, &usage, &history);
+            }
+        }
+        assert!(bucket.counters.pops > 0);
+        assert_eq!(bucket.counters.pops, bucket.counters.bucket_pops);
+        assert_eq!(heap.counters.bucket_pops, 0);
     }
 
     #[test]
@@ -1174,21 +1562,13 @@ mod tests {
         let base = base_blockage(p, &grid);
         let mut usage = base.clone();
         let history = vec![0.0; n];
+        let mut cost = CostField::build(&grid, &usage, &history);
         let mut dirty = vec![0u32; n];
-        let mut scratch = SearchScratch::new(n);
+        let mut scratch: SearchScratch = SearchScratch::new(n);
         let (mut len_win, mut len_full) = (0.0f64, 0.0f64);
         for net in &p.nets {
-            let windowed = route_traced(p, &grid, net, &usage, &history, &mut scratch, false);
-            let full = route_with_margin(
-                p,
-                &grid,
-                net,
-                &usage,
-                &history,
-                &mut scratch,
-                false,
-                usize::MAX,
-            );
+            let windowed = route_traced(p, &grid, net, &cost, &mut scratch, false);
+            let full = route_with_margin(p, &grid, net, &cost, &mut scratch, false, usize::MAX);
             match (&windowed, &full) {
                 (Some(w), Some(f)) => {
                     assert_eq!(w.path.first(), f.path.first(), "net {} start", net.id);
@@ -1219,6 +1599,7 @@ mod tests {
             }
             if let Some(w) = windowed {
                 commit(&grid, &w, &mut usage, &mut dirty, 0);
+                cost.refresh_path(&grid, &w.path, &usage, &history);
             }
         }
         if len_full > 0.0 {
@@ -1247,8 +1628,10 @@ mod tests {
             }
             usage.iter().filter(|&&u| u > grid.capacity).count()
         };
-        let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap();
-        let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap();
+        let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental)
+            .unwrap()
+            .0;
+        let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap().0;
         assert_eq!(overflow(&inc), overflow(&full));
         assert_eq!(overflow(&inc), 0);
     }
@@ -1302,8 +1685,8 @@ mod tests {
                 }
                 usage.iter().filter(|&&u| u > grid.capacity).count()
             };
-            let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap();
-            let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap();
+            let inc = route_all_impl(&p, &grid, 1, Reroute::Incremental).unwrap().0;
+            let full = route_all_impl(&p, &grid, 1, Reroute::Full).unwrap().0;
             prop_assert_eq!(overflow(&inc), overflow(&full));
         }
 
@@ -1332,19 +1715,43 @@ mod tests {
 
     #[test]
     fn scratch_generations_isolate_searches() {
-        let mut s = SearchScratch::new(128);
+        let mut s: SearchScratch = SearchScratch::new(128);
         s.begin_search();
         let gen = s.generation;
-        s.dist[5] = 1.5;
-        s.stamp[5] = gen;
+        s.nodes[5].dist = 1.5;
+        s.nodes[5].stamp = gen;
         s.begin_search();
-        assert_ne!(s.stamp[5], s.generation, "stale stamp invalidated");
-        // Footprint drain clears the bitmap for reuse.
-        s.fp_words[0] |= 1 << 7;
-        s.fp_touched.push(7);
+        assert_ne!(s.nodes[5].stamp, s.generation, "stale stamp invalidated");
+        // Footprint marks dedupe and drain clears the bitmap for reuse.
+        s.mark_footprint(7);
+        s.mark_footprint(7);
         assert_eq!(s.take_footprint(), vec![7]);
         assert_eq!(s.fp_words[0], 0);
         assert!(s.take_footprint().is_empty());
+    }
+
+    #[test]
+    fn fast_div_is_exact_for_32_bit_operands() {
+        // Exhaustive-ish sweep over awkward divisors (powers of two,
+        // odd primes, grid-typical per-layer sizes) and boundary
+        // numerators. The debug_assert inside `div` cross-checks every
+        // call against hardware division as well.
+        let divisors = [2u64, 3, 4, 7, 64, 110, 12100, 110 * 110 * 7, 65537];
+        for &d in &divisors {
+            let f = FastDiv::new(d);
+            for n in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                7 * d + 3,
+                u32::MAX as u64 - 1,
+                u32::MAX as u64,
+            ] {
+                assert_eq!(f.div(n), n / d, "n={n} d={d}");
+            }
+        }
     }
 
     #[test]
@@ -1360,7 +1767,8 @@ mod tests {
         let n = grid.node_count();
         let usage = base_blockage(&p, &grid);
         let history = vec![0.0; n];
-        let mut scratch = SearchScratch::new(n);
+        let field = CostField::build(&grid, &usage, &history);
+        let mut scratch: SearchScratch = SearchScratch::new(n);
         let s = grid.index(3, 3, 0);
         let t = grid.index(12, 9, 0);
         let full = grid.window((3, 3), (12, 9), usize::MAX);
@@ -1368,12 +1776,12 @@ mod tests {
         let cost = astar(
             &mut scratch,
             &grid,
-            &usage,
-            &history,
+            &field,
             s,
             t,
             (12, 9),
             &full,
+            1.0,
             false,
             &mut pruned_min,
         );
@@ -1385,16 +1793,48 @@ mod tests {
         let cost_tight = astar(
             &mut scratch,
             &grid,
-            &usage,
-            &history,
+            &field,
             s,
             t,
             (12, 9),
             &tight,
+            1.0,
             false,
             &mut pruned_min,
         );
         assert!(cost_tight.is_some());
         assert!(pruned_min.is_finite(), "window boundary was reached");
+
+        // A sharpened search on a congested window still terminates with
+        // a sound certificate: the frontier fold leaves a finite bound
+        // (the unexpanded entries are real full-grid candidates) and
+        // counts them as heuristic prunes.
+        let mut hot = usage.clone();
+        for u in &mut hot {
+            *u += 30.0; // every gcell over capacity → floor > 0
+        }
+        let hot_field = CostField::build(&grid, &hot, &history);
+        let win = grid.window((3, 3), (12, 9), 2);
+        let (floor, _) = hot_field.corridor_floor(&grid, &win);
+        assert!(floor > 0.0, "saturated corridor must have a nonzero floor");
+        let hscale = 1.0 + floor / grid.gcell_um;
+        let before = scratch.counters.heuristic_prunes;
+        let sharp = astar(
+            &mut scratch,
+            &grid,
+            &hot_field,
+            s,
+            t,
+            (12, 9),
+            &win,
+            hscale,
+            false,
+            &mut pruned_min,
+        );
+        assert!(sharp.is_some());
+        assert!(
+            scratch.counters.heuristic_prunes > before,
+            "sharpened search should leave unexpanded frontier entries"
+        );
     }
 }

@@ -142,9 +142,21 @@ pub const SERVE_SLOW_CLIENT_ABORTS: Counter = Counter(25);
 /// Responses aborted because the client stalled the write past the
 /// whole-response budget.
 pub const SERVE_WRITE_TIMEOUTS: Counter = Counter(26);
+/// Nets examined by the speculative batch former (picked or rejected).
+pub const ROUTER_BATCH_CANDIDATES: Counter = Counter(27);
+/// Lookahead nets the batch former rejected for window overlap with an
+/// already-picked batch member.
+pub const ROUTER_BATCH_CONFLICT_REJECTS: Counter = Counter(28);
+/// A* pops served by the monotone bucket frontier (equals
+/// `router.heap_pops` unless the binary-heap oracle is in use).
+pub const ROUTER_BUCKET_POPS: Counter = Counter(29);
+/// Frontier entries left unexpanded at goal settlement because the
+/// corridor-sharpened heuristic priced them past the goal — expansions
+/// the plain heuristic would have paid for.
+pub const ROUTER_HEURISTIC_PRUNES: Counter = Counter(30);
 
 /// Names of every registered counter, indexed by [`Counter`] handle.
-pub const COUNTER_NAMES: [&str; 27] = [
+pub const COUNTER_NAMES: [&str; 31] = [
     "memo.hit",
     "memo.compute",
     "router.nets_routed",
@@ -172,6 +184,10 @@ pub const COUNTER_NAMES: [&str; 27] = [
     "serve.conn_rejected",
     "serve.slow_client_aborts",
     "serve.write_timeouts",
+    "router.batch_candidates",
+    "router.batch_conflict_rejects",
+    "router.bucket_pops",
+    "router.heuristic_prunes",
 ];
 
 static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =
@@ -599,6 +615,13 @@ mod tests {
         assert_eq!(SERVE_CONN_REJECTED.name(), "serve.conn_rejected");
         assert_eq!(SERVE_SLOW_CLIENT_ABORTS.name(), "serve.slow_client_aborts");
         assert_eq!(SERVE_WRITE_TIMEOUTS.name(), "serve.write_timeouts");
+        assert_eq!(ROUTER_BATCH_CANDIDATES.name(), "router.batch_candidates");
+        assert_eq!(
+            ROUTER_BATCH_CONFLICT_REJECTS.name(),
+            "router.batch_conflict_rejects"
+        );
+        assert_eq!(ROUTER_BUCKET_POPS.name(), "router.bucket_pops");
+        assert_eq!(ROUTER_HEURISTIC_PRUNES.name(), "router.heuristic_prunes");
         for name in COUNTER_NAMES {
             assert!(name.contains('.'), "counter {name:?} is stage-qualified");
         }
